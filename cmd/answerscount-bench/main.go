@@ -1,0 +1,43 @@
+// Command answerscount-bench regenerates Fig 4: the StackExchange
+// AnswersCount benchmark across OpenMP, MPI, Spark and Hadoop, verifying
+// the paper's qualitative findings (including the MPI 2 GiB-chunk floor).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcbd"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the scaled-down test configuration")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	gb := flag.Float64("gb", 0, "override dataset size in decimal GB")
+	flag.Parse()
+
+	o := hpcbd.FullOptions()
+	if *quick {
+		o = hpcbd.QuickOptions()
+	}
+	if *gb > 0 {
+		o.ACBytes = int64(*gb * 1e9)
+	}
+	fig, results := hpcbd.Fig4(o)
+	if *csv {
+		fmt.Print(fig.CSV())
+	} else {
+		fmt.Println(fig)
+	}
+	avg := results["Serial"].Average()
+	fmt.Printf("average answers per question: %.3f (all frameworks agree with the serial oracle)\n", avg)
+	if bad := hpcbd.CheckFig4(fig, results, o.ACBytes); len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "shape violations:")
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "  "+b)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("shape check: OK (Hadoop > Spark; MPI needs >=40 procs at 80 GB; OpenMP single-node)")
+}

@@ -1,0 +1,72 @@
+// Command stack-bench runs the software-stack ablations of the paper's
+// §IV comparison (Figure 1's layer table) plus the related-work
+// reproductions: interconnect transports, storage layers, resource
+// managers, rack topology, and MapReduce-on-MPI vs Hadoop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"hpcbd"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the scaled-down test configuration")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	which := flag.String("only", "", "comma-separated subset: interconnect,filesystem,scheduler,topology,mrmpi,kmeans,offload,memory")
+	flag.Parse()
+
+	o := hpcbd.FullOptions()
+	if *quick {
+		o = hpcbd.QuickOptions()
+	}
+	want := map[string]bool{}
+	if *which != "" {
+		for _, w := range strings.Split(*which, ",") {
+			want[strings.TrimSpace(w)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	show := func(t hpcbd.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	if sel("interconnect") {
+		t, _ := hpcbd.AblationInterconnect(o)
+		show(t)
+	}
+	if sel("filesystem") {
+		t, _ := hpcbd.AblationFilesystem(o)
+		show(t)
+	}
+	if sel("scheduler") {
+		t, _ := hpcbd.AblationScheduler(o)
+		show(t)
+	}
+	if sel("topology") {
+		t, _ := hpcbd.AblationTopology(o)
+		show(t)
+	}
+	if sel("mrmpi") {
+		t, _ := hpcbd.AblationMRMPI(o)
+		show(t)
+	}
+	if sel("kmeans") {
+		t, _ := hpcbd.AblationKMeans(o, 8, 8, 10)
+		show(t)
+	}
+	if sel("offload") {
+		t, _ := hpcbd.AblationOffload(o)
+		show(t)
+	}
+	if sel("memory") {
+		t, _ := hpcbd.AblationMemory(o)
+		show(t)
+	}
+}

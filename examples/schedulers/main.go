@@ -1,0 +1,53 @@
+// Schedulers: the §IV resource-manager layer, executable. The same mixed
+// workload — long exclusive HPC jobs plus a stream of small analytics
+// jobs — scheduled three ways: Slurm-like FIFO, Slurm-like with backfill,
+// and YARN-like containers.
+//
+//	go run ./examples/schedulers
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hpcbd"
+	"hpcbd/internal/rm"
+)
+
+func main() {
+	const nodes = 4
+	mk := func() []rm.Job {
+		jobs := []rm.Job{
+			{ID: "mpi-weather", Tasks: 3 * 24, TaskCores: 1, TaskDuration: 8 * time.Minute}, // 3 of 4 nodes
+			{ID: "mpi-cfd", Arrive: time.Second, Tasks: 4 * 24, TaskCores: 1, TaskDuration: 6 * time.Minute},
+		}
+		for i := 0; i < 6; i++ {
+			jobs = append(jobs, rm.Job{
+				ID:           fmt.Sprintf("query-%d", i),
+				Arrive:       time.Duration(i+2) * 15 * time.Second,
+				Tasks:        6,
+				TaskCores:    1,
+				TaskDuration: 45 * time.Second,
+			})
+		}
+		return jobs
+	}
+
+	show := func(name string, s rm.Summary) {
+		fmt.Printf("\n%s:  mean wait %v, makespan %v, utilization %.0f%%\n",
+			name, s.MeanWait.Round(time.Second), s.Makespan.Round(time.Second), s.Utilization*100)
+		for _, r := range s.Results {
+			fmt.Printf("  %-12s arrive %4v  wait %6v  turnaround %6v\n",
+				r.Job.ID, r.Job.Arrive.Round(time.Second),
+				r.Wait.Round(time.Second), r.Turnaround.Round(time.Second))
+		}
+	}
+
+	show("Slurm-like FIFO (exclusive nodes)", rm.RunSlurm(hpcbd.NewComet(1, nodes), mk(), false))
+	show("Slurm-like with backfill", rm.RunSlurm(hpcbd.NewComet(1, nodes), mk(), true))
+	show("YARN-like containers", rm.RunYarn(hpcbd.NewComet(1, nodes), mk()))
+
+	fmt.Println("\nThe paper's §IV stack table, quantified: exclusive nodes give the")
+	fmt.Println("HPC jobs isolation but strand cores behind queued jobs; containers")
+	fmt.Println("let small analytics jobs flow around them.")
+}

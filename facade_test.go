@@ -1,0 +1,49 @@
+package hpcbd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeTable1(t *testing.T) {
+	tab := Table1()
+	if !strings.Contains(tab.String(), "E5-2680v3") {
+		t.Errorf("Table I missing platform:\n%s", tab)
+	}
+}
+
+func TestFacadeNewComet(t *testing.T) {
+	c := NewComet(1, 4)
+	if c.Size() != 4 {
+		t.Errorf("cluster size %d", c.Size())
+	}
+	if c.Node(0).Spec.Cores() != 24 {
+		t.Errorf("cores %d", c.Node(0).Spec.Cores())
+	}
+}
+
+func TestFacadeOptionsPresets(t *testing.T) {
+	full, quick := FullOptions(), QuickOptions()
+	if full.ACBytes != 80e9 {
+		t.Errorf("full AC dataset %g, want the paper's 80 GB", float64(full.ACBytes))
+	}
+	if quick.ACBytes >= full.ACBytes {
+		t.Error("quick options not smaller than full")
+	}
+	if full.PRLogicalVertices != 1_000_000 {
+		t.Errorf("full PR vertices %d, want the paper's 1M", full.PRLogicalVertices)
+	}
+}
+
+func TestFacadeEndToEndQuick(t *testing.T) {
+	// One full artifact through the public API, shape-checked.
+	o := QuickOptions()
+	o.ReduceSizes = []int64{64, 4096}
+	fig := Fig3(o)
+	if bad := CheckFig3(fig); len(bad) != 0 {
+		t.Errorf("fig3 violations via facade: %v", bad)
+	}
+	if tab, err := Table3(); err != nil || len(tab.Rows) == 0 {
+		t.Errorf("table3: %v rows=%d", err, len(tab.Rows))
+	}
+}

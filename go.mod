@@ -1,0 +1,3 @@
+module hpcbd
+
+go 1.22

@@ -1,0 +1,191 @@
+// Package hpcbd reproduces "A Comparative Survey of the HPC and Big Data
+// Paradigms: Analysis and Experiments" (Asaadi, Khaldi, Chapman — IEEE
+// CLUSTER 2016) as an executable Go library.
+//
+// The repository models the paper's whole experimental universe on a
+// deterministic discrete-event simulator:
+//
+//   - internal/sim      — virtual-time kernel (processes, resources)
+//   - internal/cluster  — Comet-like nodes, disks, and the three network
+//     software paths (RDMA verbs, IPoIB, Ethernet)
+//   - internal/mpi      — MPI runtime: p2p, tuned collectives, MPI-IO
+//   - internal/omp      — OpenMP-style shared-memory runtime
+//   - internal/shmem    — OpenSHMEM-style PGAS runtime
+//   - internal/dfs      — HDFS-like replicated block filesystem
+//   - internal/mapred   — Hadoop-like MapReduce engine
+//   - internal/rdd      — Spark-like RDD engine (lineage, DAG scheduler,
+//     block manager, pluggable shuffle transport)
+//   - internal/rda      — the paper's §VIII future-work prototype:
+//     resilient distributed arrays on the HPC runtime
+//   - internal/core     — the comparative benchmark framework that
+//     regenerates every table and figure of the paper
+//
+// This package is the facade: platform construction, experiment
+// regeneration (Tables I-III, Figs 3-4, 6-7), the ablations supporting the
+// paper's Discussion section, and the shape checks that verify each
+// artifact still exhibits the paper's qualitative findings. Programs that
+// want to write code against the programming models themselves (the way
+// examples/ do) import the internal runtime packages directly.
+package hpcbd
+
+import (
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/core"
+	"hpcbd/internal/rm"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/workload"
+)
+
+// Re-exported experiment and report types.
+type (
+	// Options scales the experiments (see FullOptions / QuickOptions).
+	Options = core.Options
+	// Figure is a reproduced figure: series of (x, seconds) points.
+	Figure = core.Figure
+	// Table is a reproduced table.
+	Table = core.Table
+	// Series is one line of a Figure.
+	Series = core.Series
+	// Point is one measurement of a Series.
+	Point = core.Point
+	// Cluster is the simulated platform shared by every runtime.
+	Cluster = cluster.Cluster
+	// AnswersCountResult is the Fig 4 statistic.
+	AnswersCountResult = workload.AnswersCountResult
+	// FaultAblation is the §VI-D fault-tolerance comparison.
+	FaultAblation = core.FaultAblation
+	// RDAAblation is the §VIII convergence-prototype comparison.
+	RDAAblation = core.RDAAblation
+)
+
+// FullOptions returns the paper-scale experiment configuration.
+func FullOptions() Options { return core.Full() }
+
+// QuickOptions returns a configuration small enough for tests and demos.
+func QuickOptions() Options { return core.Quick() }
+
+// NewComet builds an n-node simulated Comet cluster (Table I hardware)
+// with a fresh deterministic kernel.
+func NewComet(seed int64, nodes int) *Cluster {
+	return cluster.Comet(sim.NewKernel(seed), nodes)
+}
+
+// Table1 regenerates Table I (platform characteristics).
+func Table1() Table { return core.Table1() }
+
+// Fig3 regenerates Fig 3 (reduce microbenchmark: MPI vs Spark vs
+// Spark-RDMA across message sizes).
+func Fig3(o Options) Figure { return core.Fig3(o) }
+
+// Fig3Extended is Fig 3 plus the OpenSHMEM series the paper surveys but
+// does not plot.
+func Fig3Extended(o Options) Figure { return core.Fig3Extended(o) }
+
+// Table2 regenerates Table II (parallel file read: Spark-on-HDFS vs
+// Spark-local vs MPI-IO).
+func Table2(o Options) Table { return core.Table2(o) }
+
+// Table2Values returns Table II numerically ([size][hdfs, local, mpi]
+// seconds).
+func Table2Values(o Options) [][3]float64 { return core.Table2Values(o) }
+
+// Fig4 regenerates Fig 4 (StackExchange AnswersCount across OpenMP, MPI,
+// Spark, Hadoop) along with each framework's computed result.
+func Fig4(o Options) (Figure, map[string]AnswersCountResult) { return core.Fig4(o) }
+
+// Fig6 regenerates Fig 6 (BigDataBench PageRank: MPI vs tuned Spark vs
+// tuned Spark-RDMA) along with final ranks per series.
+func Fig6(o Options) (Figure, map[string][]float64) { return core.Fig6(o) }
+
+// Fig7 regenerates Fig 7 (HiBench PageRank: untuned Spark vs Spark-RDMA).
+func Fig7(o Options) (Figure, map[string][]float64) { return core.Fig7(o) }
+
+// Table3 regenerates Table III (maintainability: LoC and boilerplate of
+// the benchmark implementations in this repository).
+func Table3() (Table, error) { return core.Table3() }
+
+// AblationPersist measures the §VI-C persist() speedup on PageRank.
+func AblationPersist(o Options, nodes int) (tuned, untuned float64) {
+	return core.AblationPersist(o, nodes)
+}
+
+// AblationReplication reproduces the §V-B2 replication-vs-locality study.
+func AblationReplication(o Options) Table { return core.AblationReplication(o) }
+
+// AblationFaults runs the §VI-D fault-tolerance comparison.
+func AblationFaults(o Options) FaultAblation { return core.AblationFaults(o) }
+
+// AblationRDA measures the §VIII convergence prototype's recovery models.
+func AblationRDA(o Options) RDAAblation { return core.AblationRDA(o) }
+
+// AblationMRMPI reproduces the related-work claims ([36],[37]): MapReduce
+// on MPI vs Hadoop, blocking vs non-blocking exchange.
+func AblationMRMPI(o Options) (Table, map[string]float64) { return core.AblationMRMPI(o) }
+
+// AblationInterconnect sweeps the §IV transport stacks under a
+// shuffle-heavy job.
+func AblationInterconnect(o Options) (Table, map[string]float64) {
+	return core.AblationInterconnect(o)
+}
+
+// AblationFilesystem sweeps the §IV storage layers under the parallel
+// read workload.
+func AblationFilesystem(o Options) (Table, map[string]float64) {
+	return core.AblationFilesystem(o)
+}
+
+// AblationScheduler contrasts the §IV resource managers (Slurm-like
+// exclusive nodes vs YARN-like containers) on a mixed workload.
+func AblationScheduler(o Options) (Table, map[string]rm.Summary) {
+	return core.AblationScheduler(o)
+}
+
+// AblationTopology measures rack-level oversubscription (Table I's hybrid
+// fat-tree) against a shuffle microbenchmark.
+func AblationTopology(o Options) (Table, map[string]float64) {
+	return core.AblationTopology(o)
+}
+
+// Shape checks: each returns the list of violations of the paper's
+// qualitative findings (empty = the reproduction preserves the shape).
+
+// CheckFig3 verifies the Fig 3 findings.
+func CheckFig3(f Figure) []string { return core.CheckFig3(f) }
+
+// CheckTable2 verifies the Table II findings.
+func CheckTable2(vals [][3]float64) []string { return core.CheckTable2(vals) }
+
+// CheckFig4 verifies the Fig 4 findings.
+func CheckFig4(f Figure, results map[string]AnswersCountResult, acBytes int64) []string {
+	return core.CheckFig4(f, results, acBytes)
+}
+
+// CheckFig6 verifies the Fig 6 findings.
+func CheckFig6(f Figure, ranks map[string][]float64) []string { return core.CheckFig6(f, ranks) }
+
+// CheckFig7 verifies the Fig 7 findings.
+func CheckFig7(f Figure, ranks map[string][]float64) []string { return core.CheckFig7(f, ranks) }
+
+// AblationKMeans runs the related-work [38] cross-paradigm k-means
+// comparison (OpenMP vs MPI vs Spark) with oracle verification.
+func AblationKMeans(o Options, nodes, ppn, iters int) (Table, map[string]core.KMResult) {
+	return core.AblationKMeans(o, nodes, ppn, iters)
+}
+
+// AblationOffload quantifies the §III-D accelerator trade-off: GPU
+// offload vs arithmetic intensity on a HeteroSpark-style map.
+func AblationOffload(o Options) (Table, map[string][2]float64) {
+	return core.AblationOffload(o)
+}
+
+// AblationMemory sweeps executor memory under tuned PageRank, exposing
+// block-manager eviction and lineage recomputation (§III-B).
+func AblationMemory(o Options) (Table, map[string][2]float64) {
+	return core.AblationMemory(o)
+}
+
+// AblationConverged answers the paper's §VIII convergence question with
+// numbers: PageRank on raw MPI, on the RDA converged model, and on Spark.
+func AblationConverged(o Options) (Table, map[string]core.PRResult) {
+	return core.AblationConverged(o)
+}

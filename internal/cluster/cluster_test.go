@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/sim"
+)
+
+func TestCometPreset(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := Comet(k, 8)
+	if c.Size() != 8 {
+		t.Fatalf("size %d, want 8", c.Size())
+	}
+	spec := c.Node(0).Spec
+	if spec.Cores() != 24 {
+		t.Errorf("cores %d, want 24 (2 sockets x 12)", spec.Cores())
+	}
+	if spec.MemBytes != 128<<30 {
+		t.Errorf("mem %d, want 128 GiB", spec.MemBytes)
+	}
+	if c.Fabric.Name != "rdma-verbs-fdr" {
+		t.Errorf("fabric %q", c.Fabric.Name)
+	}
+}
+
+func TestXferUnloadedTime(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := Comet(k, 2)
+	f := c.Fabric
+	var took sim.Time
+	k.Spawn("x", func(p *sim.Proc) {
+		start := p.Now()
+		c.Xfer(p, 0, 1, 1<<20, f)
+		took = p.Now() - start
+	})
+	k.Run()
+	want := f.TransferTime(1 << 20)
+	if got := time.Duration(took); got != want {
+		t.Errorf("1MiB transfer took %v, want %v", got, want)
+	}
+}
+
+func TestXferContention(t *testing.T) {
+	// Two simultaneous 1 MiB transfers out of node 0 must serialize on
+	// its tx port: the second finishes roughly one occupancy later.
+	k := sim.NewKernel(1)
+	c := Comet(k, 3)
+	f := c.Fabric
+	var ends []sim.Time
+	for dst := 1; dst <= 2; dst++ {
+		dst := dst
+		k.Spawn("x", func(p *sim.Proc) {
+			c.Xfer(p, 0, dst, 1<<20, f)
+			ends = append(ends, p.Now())
+		})
+	}
+	k.Run()
+	gap := time.Duration(ends[1] - ends[0])
+	occ := f.Occupancy(1 << 20)
+	if gap < occ*9/10 || gap > occ*11/10 {
+		t.Errorf("gap between contended transfers %v, want ~occupancy %v", gap, occ)
+	}
+}
+
+func TestIntraNodeUsesSharedMemory(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := Comet(k, 2)
+	var local, remote sim.Time
+	k.Spawn("x", func(p *sim.Proc) {
+		s := p.Now()
+		c.Xfer(p, 0, 0, 64<<10, IPoIB()) // fabric arg ignored intra-node
+		local = p.Now() - s
+		s = p.Now()
+		c.Xfer(p, 0, 1, 64<<10, IPoIB())
+		remote = p.Now() - s
+	})
+	k.Run()
+	if local >= remote {
+		t.Errorf("intra-node %v not faster than inter-node %v", local, remote)
+	}
+	if c.BytesSent() != 64<<10 {
+		t.Errorf("bytesSent %d counts intra-node traffic", c.BytesSent())
+	}
+}
+
+func TestFabricSoftwarePathOrdering(t *testing.T) {
+	// Small-message latency: RDMA verbs << IPoIB << 10GbE.
+	r, i, e := RDMAVerbsFDR(), IPoIB(), Ethernet10G()
+	msg := int64(64)
+	if !(r.TransferTime(msg) < i.TransferTime(msg) && i.TransferTime(msg) < e.TransferTime(msg)) {
+		t.Errorf("latency ordering violated: rdma=%v ipoib=%v eth=%v",
+			r.TransferTime(msg), i.TransferTime(msg), e.TransferTime(msg))
+	}
+	// Bandwidth ordering for large messages too.
+	big := int64(64 << 20)
+	if !(r.TransferTime(big) < i.TransferTime(big) && i.TransferTime(big) < e.TransferTime(big)) {
+		t.Errorf("bandwidth ordering violated")
+	}
+}
+
+func TestXferAsyncDeliversAtLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := Comet(k, 2)
+	f := c.Fabric
+	var injected, delivered sim.Time
+	k.Spawn("x", func(p *sim.Proc) {
+		c.XferAsync(p, 0, 1, 4096, f, func() { delivered = k.Now() })
+		injected = p.Now()
+	})
+	k.Run()
+	if wantInj := f.SendOverhead + f.Occupancy(4096); time.Duration(injected) != wantInj {
+		t.Errorf("sender blocked %v, want injection cost %v", time.Duration(injected), wantInj)
+	}
+	if delivered != injected.Add(f.Latency) {
+		t.Errorf("delivered at %v, want inject+latency %v", delivered, injected.Add(f.Latency))
+	}
+}
+
+func TestDiskReadWrite(t *testing.T) {
+	k := sim.NewKernel(1)
+	spec := LocalSSD()
+	d := NewDisk(k, "ssd", spec)
+	n := int64(spec.ReadBW) // exactly one second of reading
+	var took sim.Time
+	k.Spawn("r", func(p *sim.Proc) {
+		start := p.Now()
+		d.Read(p, n)
+		took = p.Now() - start
+	})
+	k.Run()
+	want := spec.Latency + time.Second
+	if time.Duration(took) != want {
+		t.Errorf("read took %v, want %v", time.Duration(took), want)
+	}
+	if d.BytesRead() != n {
+		t.Errorf("bytesRead %d", d.BytesRead())
+	}
+}
+
+func TestDiskChannelContention(t *testing.T) {
+	// 8 concurrent readers on a 4-channel SSD finish in ~2x the time of 4.
+	k := sim.NewKernel(1)
+	d := NewDisk(k, "ssd", LocalSSD())
+	n := int64(100_000_000)
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		k.Spawn("r", func(p *sim.Proc) {
+			d.Read(p, n)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	k.Run()
+	per := LocalSSD().Latency + time.Duration(float64(n)/LocalSSD().ReadBW*1e9)
+	want := 2 * per
+	got := time.Duration(last)
+	if got < want*9/10 || got > want*11/10 {
+		t.Errorf("8 readers on 4 channels finished at %v, want ~%v", got, want)
+	}
+}
+
+func TestMemAccounting(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := Comet(k, 1)
+	n := c.Node(0)
+	if !n.AllocMem(64 << 30) {
+		t.Fatal("alloc 64GiB failed on 128GiB node")
+	}
+	if n.AllocMem(100 << 30) {
+		t.Fatal("overcommit allowed")
+	}
+	if n.MemFree() != 64<<30 {
+		t.Errorf("free %d", n.MemFree())
+	}
+	n.FreeMem(64 << 30)
+	if n.MemUsed() != 0 {
+		t.Errorf("used %d after free", n.MemUsed())
+	}
+}
+
+func TestNFSSharedAcrossCluster(t *testing.T) {
+	// All nodes reading NFS at once serialize on the single filer channel.
+	k := sim.NewKernel(1)
+	c := Comet(k, 4)
+	n := int64(1_000_000_000)
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		k.Spawn("r", func(p *sim.Proc) {
+			c.NFS.Read(p, n)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	k.Run()
+	serial := 4 * (NFSDisk().Latency + time.Duration(float64(n)/NFSDisk().ReadBW*1e9))
+	if got := time.Duration(last); got < serial*9/10 {
+		t.Errorf("NFS reads overlapped: %v, want ~%v serialized", got, serial)
+	}
+}
+
+func TestCostModelDerived(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.JVMScanBW() >= cm.ScanBW {
+		t.Error("JVM scan should be slower than C scan")
+	}
+	if cm.PerEdgeJVM() <= cm.PerEdgeC {
+		t.Error("JVM per-edge should exceed C per-edge")
+	}
+	if cm.SerTime(7e8) < 900*time.Millisecond || cm.SerTime(7e8) > 1100*time.Millisecond {
+		t.Errorf("SerTime(SerBW bytes) = %v, want ~1s", cm.SerTime(7e8))
+	}
+}
+
+func TestFatTreeUplinkContention(t *testing.T) {
+	// 4 simultaneous bulk transfers leaving one 4-node rack with 2:1
+	// oversubscription (2 uplink streams) take ~2x as long as on a flat
+	// full-bisection network.
+	elapsed := func(fatTree bool) sim.Time {
+		k := sim.NewKernel(1)
+		c := Comet(k, 8)
+		if fatTree {
+			c.EnableFatTree(4, 2)
+		}
+		f := c.Fabric
+		var last sim.Time
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn("x", func(p *sim.Proc) {
+				c.Xfer(p, i, 4+i, 64<<20, f) // rack 0 -> rack 1
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		k.Run()
+		return last
+	}
+	flat, fat := elapsed(false), elapsed(true)
+	ratio := float64(fat) / float64(flat)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("fat-tree slowdown %.2fx, want ~2x (2 uplink streams for 4 transfers)", ratio)
+	}
+}
+
+func TestFatTreeIntraRackUnaffected(t *testing.T) {
+	elapsed := func(fatTree bool) sim.Time {
+		k := sim.NewKernel(1)
+		c := Comet(k, 8)
+		if fatTree {
+			c.EnableFatTree(4, 4)
+		}
+		var end sim.Time
+		k.Spawn("x", func(p *sim.Proc) {
+			c.Xfer(p, 0, 1, 64<<20, c.Fabric) // same rack
+			end = p.Now()
+		})
+		k.Run()
+		return end
+	}
+	if flat, fat := elapsed(false), elapsed(true); flat != fat {
+		t.Errorf("intra-rack transfer changed under fat-tree: %v vs %v", flat, fat)
+	}
+}

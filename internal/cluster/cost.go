@@ -1,0 +1,144 @@
+package cluster
+
+import "time"
+
+// CostModel gathers the software-stack cost parameters shared by the
+// framework models. One documented default set (DefaultCostModel) is used
+// by every experiment so all comparisons share a single platform, as the
+// paper insists ("a single cluster machine and thus ... a fair
+// comparison").
+type CostModel struct {
+	// ---- native (C/C++) compute rates, per core ----
+
+	// ScanBW is the text/byte scan rate of compiled C code.
+	ScanBW float64 // bytes/s
+	// PerEdgeC is the cost of one graph-edge operation (PageRank inner
+	// loop) in C.
+	PerEdgeC time.Duration
+	// MemcpyBW is in-memory copy bandwidth.
+	MemcpyBW float64 // bytes/s
+	// ReduceFlopTime is the per-element cost of an arithmetic reduction op.
+	ReduceFlopTime time.Duration
+
+	// ---- JVM execution ----
+
+	// JVMFactor scales native compute rates for JVM-based frameworks
+	// (object headers, boxing, GC; <1 means slower).
+	JVMFactor float64
+	// SerBW and DeserBW are Java serialization rates, charged whenever a
+	// record crosses a JVM boundary (task results, shuffle payloads).
+	SerBW   float64 // bytes/s
+	DeserBW float64 // bytes/s
+	// JVMIOFactor is the fraction of raw device bandwidth a JVM stream
+	// stack realizes on plain local-file reads (HadoopRDD on file://).
+	JVMIOFactor float64
+	// DFSReadFactor is the fraction realized when reading through the
+	// DFS datanode path, which adds a local socket hop and inline
+	// checksumming even for node-local blocks — the source of the
+	// 25-56% HDFS-vs-local gap in Table II.
+	DFSReadFactor float64
+
+	// ---- Spark driver/executor model ----
+
+	// SparkTaskDispatch is the driver CPU time to schedule one task.
+	SparkTaskDispatch time.Duration
+	// SparkTaskLaunch is the executor-side cost to deserialize and start
+	// one task closure.
+	SparkTaskLaunch time.Duration
+	// SparkStageOverhead is the fixed driver cost to submit a stage.
+	SparkStageOverhead time.Duration
+	// SparkJobOverhead is the fixed cost per action (DAG construction,
+	// driver bookkeeping).
+	SparkJobOverhead time.Duration
+	// SparkPerRecord is the framework's per-record processing overhead
+	// (iterator chain, object churn) on top of user compute.
+	SparkPerRecord time.Duration
+	// SparkCtrlBytes is the size of one orchestration message (task
+	// descriptor / status update) on the control path — which always
+	// uses sockets, even with the RDMA shuffle plugin.
+	SparkCtrlBytes int64
+
+	// ---- Hadoop MapReduce ----
+
+	// HadoopTaskOverhead is per-task JVM spawn/teardown.
+	HadoopTaskOverhead time.Duration
+	// HadoopJobOverhead is job submission/initialization.
+	HadoopJobOverhead time.Duration
+	// HadoopPerRecord is the per-record cost of the map/reduce iterator
+	// machinery (includes sort comparisons amortized).
+	HadoopPerRecord time.Duration
+
+	// ---- HDFS-model DFS ----
+
+	// DFSBlockRPC is the namenode metadata round-trip per block lookup.
+	DFSBlockRPC time.Duration
+	// DFSStreamSetup is the datanode connection/stream setup per block.
+	DFSStreamSetup time.Duration
+	// DFSChecksumBW is the client-side checksum verification rate;
+	// together with stream setup it is the ~25% HDFS overhead of
+	// Table II.
+	DFSChecksumBW float64 // bytes/s
+
+	// ---- MPI runtime ----
+
+	// MPIEagerThreshold is the message size at and below which sends
+	// complete eagerly without rendezvous.
+	MPIEagerThreshold int64
+	// MPIPerCallOverhead is the library-side cost of one MPI call.
+	MPIPerCallOverhead time.Duration
+}
+
+// DefaultCostModel returns the calibrated parameter set used by all
+// experiments. Values are drawn from published microbenchmarks of the
+// respective stacks in the paper's era (OpenMPI 1.8 on FDR, Spark 1.5,
+// Hadoop 2.6, JDK 7); see DESIGN.md §5.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ScanBW:         2.2e9,
+		PerEdgeC:       4 * time.Nanosecond,
+		MemcpyBW:       9.0e9,
+		ReduceFlopTime: 1 * time.Nanosecond,
+
+		JVMFactor:     0.55,
+		SerBW:         7.0e8,
+		DeserBW:       9.0e8,
+		JVMIOFactor:   0.5,
+		DFSReadFactor: 0.36,
+
+		SparkTaskDispatch:  120 * time.Microsecond,
+		SparkTaskLaunch:    1800 * time.Microsecond,
+		SparkStageOverhead: 12 * time.Millisecond,
+		SparkJobOverhead:   45 * time.Millisecond,
+		SparkPerRecord:     55 * time.Nanosecond,
+		SparkCtrlBytes:     2048,
+
+		HadoopTaskOverhead: 900 * time.Millisecond,
+		HadoopJobOverhead:  4 * time.Second,
+		HadoopPerRecord:    140 * time.Nanosecond,
+
+		DFSBlockRPC:    500 * time.Microsecond,
+		DFSStreamSetup: 900 * time.Microsecond,
+		DFSChecksumBW:  1.2e9,
+
+		MPIEagerThreshold:  8 << 10,
+		MPIPerCallOverhead: 150 * time.Nanosecond,
+	}
+}
+
+// JVMScanBW returns the JVM text scan rate.
+func (c CostModel) JVMScanBW() float64 { return c.ScanBW * c.JVMFactor }
+
+// PerEdgeJVM returns the per-edge graph cost under the JVM.
+func (c CostModel) PerEdgeJVM() time.Duration {
+	return time.Duration(float64(c.PerEdgeC) / c.JVMFactor)
+}
+
+// SerTime returns the time to serialize n bytes.
+func (c CostModel) SerTime(n int64) time.Duration {
+	return time.Duration(float64(n) / c.SerBW * 1e9)
+}
+
+// DeserTime returns the time to deserialize n bytes.
+func (c CostModel) DeserTime(n int64) time.Duration {
+	return time.Duration(float64(n) / c.DeserBW * 1e9)
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"time"
+
+	"hpcbd/internal/sim"
+)
+
+// DiskSpec describes a storage device.
+type DiskSpec struct {
+	Name     string
+	ReadBW   float64 // bytes/s sequential read
+	WriteBW  float64 // bytes/s sequential write
+	Latency  time.Duration
+	Channels int64 // internal parallelism: concurrent requests served at full speed
+}
+
+// LocalSSD models the 320 GB scratch SSD of a Comet node (sequential
+// throughput with readahead; the paper's MPI numbers imply ~700 MB/s
+// effective per node).
+func LocalSSD() DiskSpec {
+	return DiskSpec{
+		Name:     "local-ssd",
+		ReadBW:   7.0e8,
+		WriteBW:  5.0e8,
+		Latency:  90 * time.Microsecond,
+		Channels: 4,
+	}
+}
+
+// NFSDisk models the shared NFS filer HPC clusters traditionally mount;
+// a single service channel makes cluster-wide read contention visible.
+func NFSDisk() DiskSpec {
+	return DiskSpec{
+		Name:     "nfs",
+		ReadBW:   1.0e9,
+		WriteBW:  6.0e8,
+		Latency:  500 * time.Microsecond,
+		Channels: 1,
+	}
+}
+
+// Disk is a simulated storage device. Concurrent requests beyond Channels
+// queue FIFO, so oversubscribed disks slow down gracefully — the storage
+// contention effect the paper discusses in §III-C.
+type Disk struct {
+	Spec DiskSpec
+	ch   *sim.Resource
+
+	bytesRead    int64
+	bytesWritten int64
+	reads        int64
+	writes       int64
+}
+
+// NewDisk creates a disk attached to the given kernel.
+func NewDisk(k *sim.Kernel, name string, spec DiskSpec) *Disk {
+	ch := spec.Channels
+	if ch <= 0 {
+		ch = 1
+	}
+	return &Disk{Spec: spec, ch: sim.NewResource(k, name, ch)}
+}
+
+// Read charges the process for reading n bytes sequentially.
+func (d *Disk) Read(p *sim.Proc, n int64) { d.ReadEff(p, n, 1) }
+
+// ReadEff charges a read that achieves only the given fraction of the
+// device bandwidth (eff in (0,1]). JVM stream stacks — HDFS datanodes,
+// Spark's HadoopRDD — typically realize about half the raw device rate
+// (buffer copies, small reads); see CostModel.JVMIOFactor.
+func (d *Disk) ReadEff(p *sim.Proc, n int64, eff float64) {
+	if n <= 0 {
+		return
+	}
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	d.reads++
+	d.bytesRead += n
+	d.ch.UseFor(p, 1, d.Spec.Latency+time.Duration(float64(n)/(d.Spec.ReadBW*eff)*1e9))
+}
+
+// Write charges the process for writing n bytes sequentially.
+func (d *Disk) Write(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	d.writes++
+	d.bytesWritten += n
+	d.ch.UseFor(p, 1, d.Spec.Latency+time.Duration(float64(n)/d.Spec.WriteBW*1e9))
+}
+
+// BytesRead returns the cumulative bytes read.
+func (d *Disk) BytesRead() int64 { return d.bytesRead }
+
+// BytesWritten returns the cumulative bytes written.
+func (d *Disk) BytesWritten() int64 { return d.bytesWritten }
+
+// Utilization reports the fraction of virtual time the disk was busy.
+func (d *Disk) Utilization() float64 { return d.ch.Utilization() }

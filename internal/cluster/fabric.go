@@ -1,0 +1,99 @@
+package cluster
+
+import "time"
+
+// FabricSpec describes an interconnect transport: its wire characteristics
+// and the per-message software cost of the protocol stack that drives it.
+// The same physical InfiniBand wire appears here as two different fabrics —
+// RDMA verbs and IP-over-IB — because the paper's central observation is
+// that the software path, not the wire, dominates many comparisons.
+type FabricSpec struct {
+	Name string
+
+	// Latency is the end-to-end wire+switch latency per message.
+	Latency time.Duration
+
+	// Bandwidth is the sustainable point-to-point bandwidth in bytes/s
+	// per NIC port.
+	Bandwidth float64
+
+	// SendOverhead is the sender-side CPU/protocol cost per message
+	// (syscalls, copies, TCP/IP stack for sockets; doorbell write for
+	// RDMA verbs).
+	SendOverhead time.Duration
+
+	// RecvOverhead is the receiver-side CPU/protocol cost per message.
+	RecvOverhead time.Duration
+
+	// RDMA marks one-sided-capable transports: the target's CPU is not
+	// involved in data delivery (used by the OpenSHMEM model, and by the
+	// Spark RDMA shuffle engine).
+	RDMA bool
+}
+
+// TransferTime returns the unloaded (contention-free) time to move n bytes:
+// overheads + occupancy + latency. Contention on NIC ports is modelled
+// separately by resource queueing in Net.
+func (f FabricSpec) TransferTime(n int64) time.Duration {
+	occ := time.Duration(float64(n) / f.Bandwidth * 1e9)
+	return f.SendOverhead + occ + f.Latency + f.RecvOverhead
+}
+
+// Occupancy returns the NIC occupancy time for n bytes.
+func (f FabricSpec) Occupancy(n int64) time.Duration {
+	return time.Duration(float64(n) / f.Bandwidth * 1e9)
+}
+
+// The fabric presets below are calibrated to the platform in the paper's
+// Table I (SDSC Comet: FDR InfiniBand in a hybrid fat-tree) and to typical
+// published numbers for each software path circa 2016.
+
+// RDMAVerbsFDR is FDR InfiniBand driven through verbs (what MPI and
+// OpenSHMEM use for everything, and what the Spark RDMA plugin uses for
+// shuffle payloads only).
+func RDMAVerbsFDR() FabricSpec {
+	return FabricSpec{
+		Name:         "rdma-verbs-fdr",
+		Latency:      1200 * time.Nanosecond,
+		Bandwidth:    6.0e9, // ~6 GB/s effective of 56 Gb/s FDR
+		SendOverhead: 300 * time.Nanosecond,
+		RecvOverhead: 200 * time.Nanosecond,
+		RDMA:         true,
+	}
+}
+
+// IPoIB is IP-over-InfiniBand through the kernel socket stack (the default
+// Spark/Hadoop transport on Comet).
+func IPoIB() FabricSpec {
+	return FabricSpec{
+		Name:         "ipoib",
+		Latency:      15 * time.Microsecond,
+		Bandwidth:    1.4e9, // TCP streams over FDR realized ~11 Gb/s
+		SendOverhead: 12 * time.Microsecond,
+		RecvOverhead: 12 * time.Microsecond,
+	}
+}
+
+// Ethernet10G is conventional 10 GbE with TCP sockets (the commodity
+// interconnect Hadoop was designed for).
+func Ethernet10G() FabricSpec {
+	return FabricSpec{
+		Name:         "ethernet-10g",
+		Latency:      40 * time.Microsecond,
+		Bandwidth:    1.17e9,
+		SendOverhead: 20 * time.Microsecond,
+		RecvOverhead: 20 * time.Microsecond,
+	}
+}
+
+// IntraNode models cross-process communication within one node (shared
+// memory transport: one memcpy through a shared segment).
+func IntraNode() FabricSpec {
+	return FabricSpec{
+		Name:         "intra-node-shm",
+		Latency:      400 * time.Nanosecond,
+		Bandwidth:    8.0e9,
+		SendOverhead: 150 * time.Nanosecond,
+		RecvOverhead: 150 * time.Nanosecond,
+	}
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"hpcbd/internal/sim"
+)
+
+// GPUSpec describes an attached accelerator (§III-D of the paper: the
+// 2016-era device landscape — discrete memory, a PCIe transfer wall, and
+// far higher arithmetic throughput than the host).
+type GPUSpec struct {
+	Name     string
+	FlopRate float64 // device flop/s
+	MemBytes int64   // device memory ("the scarcity of device memory")
+	// PCIeBW is host<->device transfer bandwidth ("the very high cost of
+	// transferring data between host and device").
+	PCIeBW      float64 // bytes/s
+	PCIeLatency time.Duration
+	// LaunchOverhead is the per-kernel launch cost.
+	LaunchOverhead time.Duration
+	// Unified marks host-unified memory (the paper's KNL/AMD case): no
+	// explicit transfers, at some bandwidth cost.
+	Unified bool
+}
+
+// TeslaK80 models the discrete accelerator of the paper's era (Nvidia
+// GPUs, "Knight's Corner": device memory separate from the host's).
+func TeslaK80() GPUSpec {
+	return GPUSpec{
+		Name:           "tesla-k80",
+		FlopRate:       2.9e12,
+		MemBytes:       12 << 30,
+		PCIeBW:         1.0e10, // PCIe gen3 x16 ~ 10 GB/s effective
+		PCIeLatency:    10 * time.Microsecond,
+		LaunchOverhead: 8 * time.Microsecond,
+	}
+}
+
+// KNLUnified models a self-hosted/unified-memory device ("Knight's
+// Landing", AMD APUs): no PCIe wall, lower peak than a discrete part.
+func KNLUnified() GPUSpec {
+	return GPUSpec{
+		Name:           "knl-unified",
+		FlopRate:       2.2e12,
+		MemBytes:       96 << 30,
+		PCIeBW:         8.0e10, // MCDRAM-class bandwidth, no explicit copies
+		PCIeLatency:    1 * time.Microsecond,
+		LaunchOverhead: 3 * time.Microsecond,
+		Unified:        true,
+	}
+}
+
+// GPU is one attached device.
+type GPU struct {
+	Spec GPUSpec
+	node *Node
+	// exec serializes kernels (one kernel at a time, like a single
+	// stream; finer stream models are out of scope).
+	exec *sim.Resource
+	// pcie serializes host<->device transfers: PCIe is one shared bus.
+	pcie *sim.Resource
+
+	memUsed      int64
+	BytesToDev   int64
+	BytesFromDev int64
+	Kernels      int64
+}
+
+// AttachGPU adds an accelerator to every node of the cluster.
+func (c *Cluster) AttachGPU(spec GPUSpec) {
+	for _, n := range c.Nodes {
+		n.GPU = &GPU{
+			Spec: spec,
+			node: n,
+			exec: sim.NewResource(c.K, fmt.Sprintf("node%d.gpu", n.ID), 1),
+			pcie: sim.NewResource(c.K, fmt.Sprintf("node%d.pcie", n.ID), 1),
+		}
+	}
+}
+
+// MemUsed returns accounted device memory.
+func (g *GPU) MemUsed() int64 { return g.memUsed }
+
+// Alloc accounts a device allocation; false = out of device memory (the
+// caller must tile or stay on the host).
+func (g *GPU) Alloc(bytes int64) bool {
+	if g.memUsed+bytes > g.Spec.MemBytes {
+		return false
+	}
+	g.memUsed += bytes
+	return true
+}
+
+// Free releases a device allocation.
+func (g *GPU) Free(bytes int64) {
+	g.memUsed -= bytes
+	if g.memUsed < 0 {
+		panic("cluster: GPU Free below zero")
+	}
+}
+
+// CopyToDevice charges a host-to-device transfer (free on unified parts).
+func (g *GPU) CopyToDevice(p *sim.Proc, bytes int64) {
+	if g.Spec.Unified || bytes <= 0 {
+		return
+	}
+	g.BytesToDev += bytes
+	g.pcie.UseFor(p, 1, g.Spec.PCIeLatency+time.Duration(float64(bytes)/g.Spec.PCIeBW*1e9))
+}
+
+// CopyFromDevice charges a device-to-host transfer.
+func (g *GPU) CopyFromDevice(p *sim.Proc, bytes int64) {
+	if g.Spec.Unified || bytes <= 0 {
+		return
+	}
+	g.BytesFromDev += bytes
+	g.pcie.UseFor(p, 1, g.Spec.PCIeLatency+time.Duration(float64(bytes)/g.Spec.PCIeBW*1e9))
+}
+
+// Launch charges one kernel executing the given flops on the device,
+// serialized against other kernels on the same GPU.
+func (g *GPU) Launch(p *sim.Proc, flops float64) {
+	g.Kernels++
+	g.exec.UseFor(p, 1, g.Spec.LaunchOverhead+time.Duration(flops/g.Spec.FlopRate*1e9))
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/dfs"
+	"hpcbd/internal/mpi"
+	"hpcbd/internal/rda"
+	"hpcbd/internal/rdd"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/workload"
+)
+
+// AblationReplication reproduces the §V-B2 observation. The paper found
+// that "the Spark cluster manager does not evenly distribute the executors
+// among the nodes", leaving some HDFS blocks with no replica on any
+// executor node, and fixed it by raising the replication factor to the
+// executor-node count. Here executors occupy only half the datanodes
+// (the skewed allocation), and replication sweeps up to the node count:
+// low factors force remote block fetches; replication == nodes restores
+// full locality.
+func AblationReplication(o Options) Table {
+	t := Table{
+		ID:      "ablation-replication",
+		Title:   "HDFS replication factor vs executor locality (§V-B2)",
+		Columns: []string{"Replication", "Local reads", "Remote reads", "Locality", "Read time"},
+	}
+	nodes := o.FileReadNodes
+	if nodes < 2 {
+		nodes = 2
+	}
+	size := o.FileReadSizes[0]
+	for _, repl := range []int{1, 2, 3, nodes} {
+		c := newCluster(o.Seed, nodes)
+		cfg := dfs.DefaultConfig()
+		cfg.Replication = repl
+		fs := dfs.New(c, cluster.IPoIB(), cfg)
+		d := workload.NewStackExchange(o.Seed, size, o.ACRecordBytes, o.ACStride)
+		conf := rdd.DefaultConfig()
+		conf.CoresPerExecutor = o.FileReadPPN
+		conf.Scale = float64(d.Stride)
+		ctx := rdd.NewContext(c, conf)
+		// The skewed allocation: executors only on the first half of the
+		// nodes; datanodes everywhere.
+		for n := nodes / 2; n < nodes; n++ {
+			ctx.KillExecutor(n)
+		}
+		var secs float64
+		c.K.Spawn("driver", func(p *sim.Proc) {
+			// Stage from a non-executor node so low replication strands
+			// blocks off the executor set.
+			if err := fs.Create(p, nodes-1, "/input", size); err != nil {
+				panic(err)
+			}
+			start := p.Now()
+			if _, err := rdd.Count(p, DFSTextRDD(ctx, fs, "/input", d)); err != nil {
+				panic(err)
+			}
+			secs = p.Now().Sub(start).Seconds()
+		})
+		c.K.Run()
+		local, remote := fs.LocalReads(), fs.RemoteReads()
+		frac := float64(local) / float64(local+remote)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", repl),
+			fmt.Sprintf("%d", local),
+			fmt.Sprintf("%d", remote),
+			fmt.Sprintf("%.0f%%", frac*100),
+			fmtSeconds(secs),
+		})
+	}
+	return t
+}
+
+// FaultAblation compares the §VI-D fault-tolerance stories on one
+// workload: Spark recomputing lost partitions from lineage after an
+// executor death, versus MPI rolling back to a checkpoint.
+type FaultAblation struct {
+	SparkClean      float64 // PageRank, no failures
+	SparkFailure    float64 // PageRank with an executor killed mid-run
+	SparkRecomputed int64
+	MPIClean        float64 // iterations, no checkpoint, no failure
+	MPICheckpoint   float64 // with periodic checkpoints, no failure
+	MPIRecovery     float64 // with checkpoints and one rollback
+	DFSKillOK       bool    // DFS read succeeded across a datanode death
+}
+
+// AblationFaults runs the fault-tolerance comparison.
+func AblationFaults(o Options) FaultAblation {
+	var fa FaultAblation
+	nodes := 4
+	if len(o.PRNodes) > 0 {
+		nodes = o.PRNodes[len(o.PRNodes)-1]
+	}
+	g := newGraph(o)
+
+	// Spark clean run.
+	r := SparkPageRank(newCluster(o.Seed, nodes), g, nodes, o.PRPPN, o.PRIters, true, false)
+	fa.SparkClean = r.Seconds
+
+	// Spark with an executor killed between iterations: the scheduler
+	// recomputes lost cache/shuffle state from lineage.
+	{
+		c := newCluster(o.Seed, nodes)
+		conf := rdd.DefaultConfig()
+		conf.CoresPerExecutor = o.PRPPN
+		conf.Scale = g.Scale()
+		ctx := rdd.NewContext(c, conf)
+		var secs float64
+		c.K.Spawn("driver", func(p *sim.Proc) {
+			nparts := nodes * o.PRPPN
+			n := g.NumVertices
+			links := rdd.FromSource(ctx, "links", nparts, nil,
+				func(tv rdd.TaskView, part int) []rdd.KV[int32, []int32] {
+					lo, hi := part*n/nparts, (part+1)*n/nparts
+					out := make([]rdd.KV[int32, []int32], 0, hi-lo)
+					for v := lo; v < hi; v++ {
+						out = append(out, rdd.KV[int32, []int32]{K: int32(v), V: g.OutEdges(v)})
+					}
+					return out
+				}, 48)
+			links = rdd.PartitionBy(links, nparts).Persist(rdd.MemoryOnly)
+			ranks := rdd.MapValues(links, func([]int32) float64 { return 1.0 })
+			start := p.Now()
+			for it := 0; it < o.PRIters; it++ {
+				contribs := rdd.FlatMap(rdd.Join(links, ranks, nparts),
+					func(kv rdd.KV[int32, rdd.JoinPair[[]int32, float64]]) []rdd.KV[int32, float64] {
+						share := kv.V.Right / float64(len(kv.V.Left))
+						out := make([]rdd.KV[int32, float64], len(kv.V.Left))
+						for i, u := range kv.V.Left {
+							out[i] = rdd.KV[int32, float64]{K: u, V: share}
+						}
+						return out
+					}).WithRecordBytes(12)
+				sums := rdd.ReduceByKey(contribs, func(a, b float64) float64 { return a + b }, nparts)
+				ranks = rdd.MapValues(sums, func(s float64) float64 {
+					return (1 - workload.Damping) + workload.Damping*s
+				}).Persist(rdd.MemoryAndDisk)
+				if _, err := rdd.Count(p, ranks); err != nil { // materialize per iteration
+					panic(err)
+				}
+				if it == o.PRIters/2 {
+					ctx.KillExecutor(nodes - 1) // failure mid-job
+				}
+			}
+			secs = p.Now().Sub(start).Seconds()
+		})
+		c.K.Run()
+		fa.SparkFailure = secs
+		fa.SparkRecomputed = ctx.RecomputedPart
+	}
+
+	// MPI: clean, checkpointed, and checkpoint+rollback runs of an
+	// iteration loop with per-iteration state the size of the rank
+	// partition.
+	iterState := int64(g.NumVertices) * 8
+	mpiRun := func(checkpointEvery int, failAt int) float64 {
+		c := newCluster(o.Seed, nodes)
+		np := nodes * o.PRPPN
+		var secs float64
+		mpi.Launch(c, np, o.PRPPN, func(r *mpi.Rank) {
+			w := r.World()
+			w.Barrier(r)
+			start := r.Now()
+			state := iterState / int64(np)
+			lastCkpt := 0
+			for it := 0; it < o.PRIters; it++ {
+				r.Compute(float64(g.NumEdges()) / float64(np) * g.Scale() * c.Cost.PerEdgeC.Seconds())
+				w.Barrier(r)
+				if checkpointEvery > 0 && (it+1)%checkpointEvery == 0 {
+					mpi.Checkpoint(r, w, state)
+					lastCkpt = it + 1
+				}
+				if failAt > 0 && it+1 == failAt {
+					// Global rollback: restore and redo lost iterations.
+					mpi.Restore(r, w, state)
+					for redo := lastCkpt; redo < failAt; redo++ {
+						r.Compute(float64(g.NumEdges()) / float64(np) * g.Scale() * c.Cost.PerEdgeC.Seconds())
+						w.Barrier(r)
+					}
+					failAt = -1
+				}
+			}
+			if r.Rank() == 0 {
+				secs = r.Now().Sub(start).Seconds()
+			}
+		})
+		c.K.Run()
+		return secs
+	}
+	fa.MPIClean = mpiRun(0, 0)
+	fa.MPICheckpoint = mpiRun(2, 0)
+	fa.MPIRecovery = mpiRun(2, o.PRIters-1)
+
+	// DFS transparency: kill a datanode and read anyway.
+	{
+		c := newCluster(o.Seed, 4)
+		cfg := dfs.DefaultConfig()
+		cfg.Replication = 2
+		fs := dfs.New(c, cluster.IPoIB(), cfg)
+		ok := false
+		c.K.Spawn("client", func(p *sim.Proc) {
+			if err := fs.Create(p, 0, "/f", 256<<20); err != nil {
+				panic(err)
+			}
+			fs.KillDatanode(0)
+			ok = fs.Read(p, 0, "/f", 0, 256<<20) == nil
+		})
+		c.K.Run()
+		fa.DFSKillOK = ok
+	}
+	return fa
+}
+
+// Rows renders the fault ablation as a table.
+func (fa FaultAblation) Table() Table {
+	return Table{
+		ID:      "ablation-faults",
+		Title:   "Fault tolerance: lineage recomputation vs checkpoint/restart (§VI-D)",
+		Columns: []string{"Scenario", "Time", "Notes"},
+		Rows: [][]string{
+			{"Spark PageRank, clean", fmtSeconds(fa.SparkClean), ""},
+			{"Spark PageRank, executor killed", fmtSeconds(fa.SparkFailure),
+				fmt.Sprintf("%d partitions recomputed from lineage", fa.SparkRecomputed)},
+			{"MPI iterations, clean", fmtSeconds(fa.MPIClean), "no defensive I/O"},
+			{"MPI iterations, checkpointing", fmtSeconds(fa.MPICheckpoint), "checkpoint every 2 iters"},
+			{"MPI iterations, one rollback", fmtSeconds(fa.MPIRecovery), "restore + redo lost work"},
+			{"DFS read across datanode death", boolStr(fa.DFSKillOK), "transparent failover"},
+		},
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "ok"
+	}
+	return "FAILED"
+}
+
+// RDAAblation compares recovery models on the convergence prototype.
+type RDAAblation struct {
+	ReplayRecovery float64 // deep lineage replay
+	CkptRecovery   float64 // checkpoint restore
+	CkptOverhead   float64 // cost of taking the checkpoint
+}
+
+// AblationRDA measures the paper's future-work prototype: lineage replay
+// vs checkpoint restore for a deep transformation chain on the HPC
+// runtime.
+func AblationRDA(o Options) RDAAblation {
+	const n, depth = 1 << 18, 40
+	measure := func(useCkpt bool) (recover, ckptCost float64) {
+		c := newCluster(o.Seed, 2)
+		mpi.Launch(c, 8, 4, func(r *mpi.Rank) {
+			j := rda.NewJob(r, r.World(), n)
+			chain := []*rda.Array{j.Generate("a", func(i int) float64 { return float64(i % 1000) })}
+			for d := 0; d < depth; d++ {
+				chain = append(chain, chain[len(chain)-1].Map(func(v float64) float64 { return v*1.0001 + 1 }))
+			}
+			last := chain[len(chain)-1]
+			last.Materialize()
+			if useCkpt {
+				s := r.Now()
+				last.Checkpoint()
+				if r.Rank() == 0 {
+					ckptCost = r.Now().Sub(s).Seconds()
+				}
+			}
+			start := r.Now()
+			for _, a := range chain {
+				a.Drop()
+			}
+			last.Materialize()
+			if r.Rank() == 0 {
+				recover = r.Now().Sub(start).Seconds()
+			}
+		})
+		c.K.Run()
+		return recover, ckptCost
+	}
+	var ab RDAAblation
+	ab.ReplayRecovery, _ = measure(false)
+	ab.CkptRecovery, ab.CkptOverhead = measure(true)
+	return ab
+}
+
+// Table renders the RDA ablation.
+func (ab RDAAblation) Table() Table {
+	return Table{
+		ID:      "ablation-rda",
+		Title:   "Convergence prototype: lineage replay vs checkpoint on the HPC runtime (§VIII)",
+		Columns: []string{"Recovery model", "Recovery time", "Upfront cost"},
+		Rows: [][]string{
+			{"lineage replay (deep chain)", fmtSeconds(ab.ReplayRecovery), "0"},
+			{"checkpoint restore", fmtSeconds(ab.CkptRecovery), fmtSeconds(ab.CkptOverhead)},
+		},
+	}
+}

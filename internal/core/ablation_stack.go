@@ -1,0 +1,390 @@
+package core
+
+// Ablations over the software-stack layers the paper's §IV contrasts:
+// the interconnect (Ethernet sockets vs IPoIB vs RDMA verbs) and the
+// filesystem (shared NFS vs node-local scratch vs the DFS).
+
+import (
+	"fmt"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/mpi"
+	"hpcbd/internal/rdd"
+	"hpcbd/internal/rm"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/workload"
+)
+
+// AblationInterconnect runs a shuffle microbenchmark — a groupByKey over
+// all-unique keys, so every byte crosses the wire uncombined (the workload
+// class Lu et al. [35] used to evaluate their RDMA shuffle engine, where
+// they report 20-83% gains) — over the three transport stacks of §IV:
+// commodity Ethernet sockets (what Hadoop was designed for), IPoIB
+// (sockets over the InfiniBand wire), and RDMA verbs for the shuffle
+// payloads. One row per transport.
+func AblationInterconnect(o Options) (Table, map[string]float64) {
+	nodes := o.PRNodes[len(o.PRNodes)-1]
+	const (
+		physRecords  = 1 << 14
+		logicalBytes = 16e9 // 16 GB shuffled
+	)
+	times := map[string]float64{}
+
+	run := func(name string, shuffle cluster.FabricSpec, ctrl cluster.FabricSpec) {
+		c := newCluster(o.Seed, nodes)
+		conf := rdd.DefaultConfig()
+		conf.CoresPerExecutor = o.PRPPN
+		recBytes := int64(256)
+		conf.Scale = logicalBytes / float64(physRecords) / float64(recBytes)
+		conf.ShuffleTransport = shuffle
+		conf.CtrlTransport = ctrl
+		ctx := rdd.NewContext(c, conf)
+		nparts := nodes * o.PRPPN
+		var secs float64
+		c.K.Spawn("driver", func(p *sim.Proc) {
+			data := make([]int, physRecords)
+			for i := range data {
+				data[i] = i
+			}
+			records := rdd.Parallelize(ctx, "records", data, nparts, recBytes)
+			pairs := rdd.Map(records, func(v int) rdd.KV[int, int] {
+				return rdd.KV[int, int]{K: v, V: v} // unique keys: no combining
+			}).WithRecordBytes(recBytes)
+			grouped := rdd.GroupByKey(pairs, nparts)
+			start := p.Now()
+			if _, err := rdd.Count(p, grouped); err != nil {
+				panic(err)
+			}
+			secs = p.Now().Sub(start).Seconds()
+		})
+		c.K.Run()
+		times[name] = secs
+	}
+	run("Ethernet 10G sockets", cluster.Ethernet10G(), cluster.Ethernet10G())
+	run("IPoIB sockets", cluster.IPoIB(), cluster.IPoIB())
+	run("RDMA shuffle + IPoIB control", cluster.RDMAVerbsFDR(), cluster.IPoIB())
+
+	t := Table{
+		ID:      "ablation-interconnect",
+		Title:   "Interconnect software path vs 16 GB shuffle microbenchmark (§IV, [35])",
+		Columns: []string{"Transport", "Time", "vs Ethernet"},
+	}
+	base := times["Ethernet 10G sockets"]
+	for _, name := range []string{"Ethernet 10G sockets", "IPoIB sockets", "RDMA shuffle + IPoIB control"} {
+		t.Rows = append(t.Rows, []string{name, fmtSeconds(times[name]), fmtRatio(base / times[name])})
+	}
+	return t, times
+}
+
+// AblationFilesystem contrasts the storage layers of §IV on the parallel
+// read workload: MPI over the shared NFS filer (the traditional HPC
+// mount), MPI over node-local scratch (the staging the paper performs),
+// and Spark over the DFS.
+func AblationFilesystem(o Options) (Table, map[string]float64) {
+	size := o.FileReadSizes[len(o.FileReadSizes)-1]
+	times := map[string]float64{}
+
+	// MPI on the shared NFS filer: every rank pulls its chunk through the
+	// single filer, serializing cluster-wide.
+	{
+		c := newCluster(o.Seed, o.FileReadNodes)
+		np := o.FileReadNodes * o.FileReadPPN
+		var secs float64
+		mpi.Launch(c, np, o.FileReadPPN, func(r *mpi.Rank) {
+			w := r.World()
+			w.Barrier(r)
+			start := r.Now()
+			chunk := size / int64(np)
+			c.NFS.Read(r.Proc(), chunk)
+			r.Compute(float64(chunk) / c.Cost.MemcpyBW)
+			w.Barrier(r)
+			if r.Rank() == 0 {
+				secs = r.Now().Sub(start).Seconds()
+			}
+		})
+		c.K.Run()
+		times["MPI on shared NFS"] = secs
+	}
+	times["MPI on local scratch"] = mpiLocalRead(o, size)
+	times["Spark on DFS"] = sparkDFSRead(o, size)
+
+	t := Table{
+		ID:      "ablation-filesystem",
+		Title:   fmt.Sprintf("Storage layer vs parallel read of %.0f GB (§IV)", float64(size)/1e9),
+		Columns: []string{"Configuration", "Time", "vs NFS"},
+	}
+	base := times["MPI on shared NFS"]
+	for _, name := range []string{"MPI on shared NFS", "MPI on local scratch", "Spark on DFS"} {
+		t.Rows = append(t.Rows, []string{name, fmtSeconds(times[name]), fmtRatio(base / times[name])})
+	}
+	return t, times
+}
+
+// AblationScheduler quantifies the §IV resource-manager contrast on a
+// mixed workload: two node-filling HPC jobs plus a stream of small
+// analytics jobs, scheduled by a Slurm-like exclusive-node batch system
+// (with and without backfill) and by a YARN-like container allocator.
+func AblationScheduler(o Options) (Table, map[string]rm.Summary) {
+	nodes := 8
+	coresPerNode := 24
+	mk := func() []rm.Job {
+		jobs := []rm.Job{
+			// hpc-1 takes 6 of 8 nodes immediately; hpc-2 needs all 8 and
+			// queues — under strict FIFO it blocks everything behind it
+			// even though two nodes sit idle.
+			{ID: "hpc-1", Tasks: 6 * coresPerNode, TaskCores: 1, TaskDuration: 10 * time.Minute},
+			{ID: "hpc-2", Arrive: time.Second, Tasks: nodes * coresPerNode, TaskCores: 1, TaskDuration: 10 * time.Minute},
+		}
+		for i := 0; i < 12; i++ {
+			jobs = append(jobs, rm.Job{
+				ID:           fmt.Sprintf("analytics-%02d", i),
+				Arrive:       time.Duration(i)*20*time.Second + 2*time.Second,
+				Tasks:        8,
+				TaskCores:    1,
+				TaskDuration: time.Minute,
+			})
+		}
+		return jobs
+	}
+	out := map[string]rm.Summary{
+		"Slurm-like FIFO":      rm.RunSlurm(newCluster(o.Seed, nodes), mk(), false),
+		"Slurm-like backfill":  rm.RunSlurm(newCluster(o.Seed, nodes), mk(), true),
+		"YARN-like containers": rm.RunYarn(newCluster(o.Seed, nodes), mk()),
+	}
+	t := Table{
+		ID:      "ablation-scheduler",
+		Title:   "Resource manager layer: exclusive nodes vs containers (§IV)",
+		Columns: []string{"Scheduler", "Mean wait", "Makespan", "Utilization"},
+	}
+	for _, name := range []string{"Slurm-like FIFO", "Slurm-like backfill", "YARN-like containers"} {
+		s := out[name]
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmtSeconds(s.MeanWait.Seconds()),
+			fmtSeconds(s.Makespan.Seconds()),
+			fmt.Sprintf("%.0f%%", s.Utilization*100),
+		})
+	}
+	return t, out
+}
+
+// AblationTopology measures the cost of rack-level oversubscription (the
+// "hybrid fat-tree" of Table I, 4:1 between racks) on the same shuffle
+// microbenchmark: a full-bisection network vs fat-trees of increasing
+// oversubscription. Rack size follows Comet's 18-node racks scaled to the
+// experiment cluster.
+func AblationTopology(o Options) (Table, map[string]float64) {
+	nodes := o.PRNodes[len(o.PRNodes)-1]
+	rack := nodes / 2
+	if rack < 1 {
+		rack = 1
+	}
+	const (
+		physRecords  = 1 << 14
+		logicalBytes = 16e9
+	)
+	times := map[string]float64{}
+	run := func(name string, oversub float64) {
+		c := newCluster(o.Seed, nodes)
+		if oversub > 0 {
+			c.EnableFatTree(rack, oversub)
+		}
+		conf := rdd.DefaultConfig()
+		conf.CoresPerExecutor = o.PRPPN
+		recBytes := int64(256)
+		conf.Scale = logicalBytes / float64(physRecords) / float64(recBytes)
+		ctx := rdd.NewContext(c, conf)
+		nparts := nodes * o.PRPPN
+		var secs float64
+		c.K.Spawn("driver", func(p *sim.Proc) {
+			data := make([]int, physRecords)
+			for i := range data {
+				data[i] = i
+			}
+			records := rdd.Parallelize(ctx, "records", data, nparts, recBytes)
+			pairs := rdd.Map(records, func(v int) rdd.KV[int, int] {
+				return rdd.KV[int, int]{K: v, V: v}
+			}).WithRecordBytes(recBytes)
+			grouped := rdd.GroupByKey(pairs, nparts)
+			start := p.Now()
+			if _, err := rdd.Count(p, grouped); err != nil {
+				panic(err)
+			}
+			secs = p.Now().Sub(start).Seconds()
+		})
+		c.K.Run()
+		times[name] = secs
+	}
+	run("full bisection", 0)
+	run("fat-tree 2:1", 2)
+	run("fat-tree 4:1", 4)
+
+	t := Table{
+		ID:      "ablation-topology",
+		Title:   "Rack oversubscription vs 16 GB shuffle (Table I: hybrid fat-tree)",
+		Columns: []string{"Topology", "Time", "vs full bisection"},
+	}
+	base := times["full bisection"]
+	for _, name := range []string{"full bisection", "fat-tree 2:1", "fat-tree 4:1"} {
+		t.Rows = append(t.Rows, []string{name, fmtSeconds(times[name]), fmtRatio(times[name] / base)})
+	}
+	return t, times
+}
+
+// AblationOffload quantifies the §III-D heterogeneity trade-off on a
+// HeteroSpark-style GPU map: for kernels of increasing arithmetic
+// intensity (flops per byte), CPU-only Spark vs GPU-offloaded Spark. Low
+// intensity is transfer-bound — the PCIe wall makes the GPU lose; high
+// intensity amortizes the transfers.
+func AblationOffload(o Options) (Table, map[string][2]float64) {
+	nodes := 4
+	const (
+		physRecords = 1 << 12
+		recBytes    = 1024         // logical bytes per record each way
+		logicalGB   = 8e9          // 8 GB dataset
+		hostRate    = 0.5e9 * 0.55 // JVM flops/s per core
+	)
+	out := map[string][2]float64{}
+	run := func(gpu bool, flopsPerRecord float64, hostNs int64) float64 {
+		c := newCluster(o.Seed, nodes)
+		if gpu {
+			c.AttachGPU(cluster.TeslaK80())
+		}
+		conf := rdd.DefaultConfig()
+		conf.CoresPerExecutor = o.PRPPN
+		conf.Scale = logicalGB / physRecords / recBytes
+		ctx := rdd.NewContext(c, conf)
+		var secs float64
+		c.K.Spawn("driver", func(p *sim.Proc) {
+			nparts := nodes * o.PRPPN
+			records := rdd.FromSource(ctx, "records", nparts, nil,
+				func(tv rdd.TaskView, part int) []int {
+					lo, hi := part*physRecords/nparts, (part+1)*physRecords/nparts
+					tv.Proc().ReadScratch(int64(float64(hi-lo) * ctx.Conf.Scale * recBytes))
+					return make([]int, hi-lo)
+				}, recBytes)
+			mapped := rdd.MapPartitionsGPU(records, recBytes, recBytes, flopsPerRecord, hostNs,
+				func(in []int) []int { return in })
+			start := p.Now()
+			if _, err := rdd.Count(p, mapped); err != nil {
+				panic(err)
+			}
+			secs = p.Now().Sub(start).Seconds()
+		})
+		c.K.Run()
+		return secs
+	}
+	t := Table{
+		ID:      "ablation-offload",
+		Title:   "GPU offload vs arithmetic intensity (§III-D, HeteroSpark-style)",
+		Columns: []string{"Flops/byte", "CPU-only", "GPU offload", "GPU speedup"},
+	}
+	for _, intensity := range []float64{0.25, 32, 1024} {
+		flopsPerRecord := intensity * recBytes
+		hostNs := int64(flopsPerRecord / hostRate * 1e9)
+		cpu := run(false, flopsPerRecord, hostNs)
+		gpu := run(true, flopsPerRecord, hostNs)
+		key := fmt.Sprintf("%g", intensity)
+		out[key] = [2]float64{cpu, gpu}
+		t.Rows = append(t.Rows, []string{key, fmtSeconds(cpu), fmtSeconds(gpu), fmtRatio(cpu / gpu)})
+	}
+	return t, out
+}
+
+// AblationMemory sweeps executor memory under the tuned PageRank: with
+// ample memory everything persists; under pressure the block manager
+// evicts LRU partitions and the lineage recomputes them — Spark's
+// memory-hierarchy behaviour (§III-B/§VI-C), visible as time and
+// eviction counts.
+func AblationMemory(o Options) (Table, map[string][2]float64) {
+	nodes := 2
+	g := newGraph(o)
+	out := map[string][2]float64{}
+	run := func(name string, memBytes int64) {
+		c := newCluster(o.Seed, nodes)
+		conf := rdd.DefaultConfig()
+		conf.CoresPerExecutor = o.PRPPN
+		conf.Scale = g.Scale()
+		conf.ExecutorMemory = memBytes
+		ctx := rdd.NewContext(c, conf)
+		r := sparkPageRankTuned(ctx, c, g, nodes, o.PRPPN, o.PRIters)
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		var evictions int64
+		for _, e := range ctx.Executors() {
+			evictions += e.Evictions()
+		}
+		out[name] = [2]float64{r.Seconds, float64(evictions)}
+	}
+	run("ample (96 GiB)", 96<<30)
+	run("tight", int64(float64(g.LogicalVertices)*220)) // ~half the working set
+	run("starved", int64(float64(g.LogicalVertices)*40))
+
+	t := Table{
+		ID:      "ablation-memory",
+		Title:   "Executor memory vs tuned PageRank (block manager eviction, §III-B)",
+		Columns: []string{"Executor memory", "Time", "Evictions"},
+	}
+	for _, name := range []string{"ample (96 GiB)", "tight", "starved"} {
+		t.Rows = append(t.Rows, []string{name, fmtSeconds(out[name][0]), fmt.Sprintf("%.0f", out[name][1])})
+	}
+	return t, out
+}
+
+// sparkPageRankTuned is the tuned PageRank loop against a caller-supplied
+// context, for ablations that vary engine configuration.
+func sparkPageRankTuned(ctx *rdd.Context, c *cluster.Cluster, g *workload.Graph,
+	executors, coresPer, iters int) PRResult {
+	var res PRResult
+	nparts := executors * coresPer
+	avgDeg := float64(g.NumEdges()) / float64(g.NumVertices)
+	adjBytes := int64(48 + 16*avgDeg)
+	c.K.Spawn("spark-driver", func(p *sim.Proc) {
+		start := p.Now()
+		n := g.NumVertices
+		links := rdd.FromSource(ctx, "links", nparts, nil,
+			func(tv rdd.TaskView, part int) []rdd.KV[int32, []int32] {
+				lo, hi := part*n/nparts, (part+1)*n/nparts
+				tv.Proc().ReadScratch(int64(float64(hi-lo) * ctx.Conf.Scale * float64(adjBytes)))
+				out := make([]rdd.KV[int32, []int32], 0, hi-lo)
+				for v := lo; v < hi; v++ {
+					out = append(out, rdd.KV[int32, []int32]{K: int32(v), V: g.OutEdges(v)})
+				}
+				return out
+			}, adjBytes)
+		links = rdd.PartitionBy(links, nparts).Persist(rdd.MemoryOnly)
+		ranks := rdd.MapValues(links, func([]int32) float64 { return 1.0 })
+		for it := 0; it < iters; it++ {
+			contribs := rdd.FlatMap(rdd.Join(links, ranks, nparts),
+				func(kv rdd.KV[int32, rdd.JoinPair[[]int32, float64]]) []rdd.KV[int32, float64] {
+					share := kv.V.Right / float64(len(kv.V.Left))
+					out := make([]rdd.KV[int32, float64], len(kv.V.Left))
+					for i, u := range kv.V.Left {
+						out[i] = rdd.KV[int32, float64]{K: u, V: share}
+					}
+					return out
+				}).WithRecordBytes(12)
+			sums := rdd.ReduceByKey(contribs, func(a, b float64) float64 { return a + b }, nparts)
+			ranks = rdd.MapValues(sums, func(s float64) float64 {
+				return (1 - workload.Damping) + workload.Damping*s
+			}).Persist(rdd.MemoryAndDisk)
+		}
+		final, err := rdd.Collect(p, ranks)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		res.Seconds = p.Now().Sub(start).Seconds()
+		res.Ranks = make([]float64, n)
+		for i := range res.Ranks {
+			res.Ranks[i] = 1 - workload.Damping
+		}
+		for _, kv := range final {
+			res.Ranks[kv.K] = kv.V
+		}
+	})
+	c.K.Run()
+	return res
+}

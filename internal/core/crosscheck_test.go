@@ -1,0 +1,163 @@
+package core
+
+// Cross-engine consistency: the same keyed aggregation (answers per
+// question, a genuine shuffle) computed by the Spark-like, Hadoop-like and
+// MR-MPI engines must agree exactly with the serial oracle — the paper's
+// premise that the paradigms differ in cost, not in semantics.
+
+import (
+	"testing"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/mapred"
+	"hpcbd/internal/mpi"
+	"hpcbd/internal/mrmpi"
+	"hpcbd/internal/rdd"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/workload"
+)
+
+// serialAnswersPerQuestion is the oracle: answer count per question key.
+func serialAnswersPerQuestion(d *workload.StackExchange) map[int64]int64 {
+	out := map[int64]int64{}
+	for _, p := range d.Records(0, d.NumRecords) {
+		if !p.Question {
+			out[p.ParentID]++
+		}
+	}
+	return out
+}
+
+func crossDataset(o Options) *workload.StackExchange {
+	return workload.NewStackExchange(o.Seed, 1e9, o.ACRecordBytes, o.ACStride)
+}
+
+func checkCounts(t *testing.T, name string, got, want map[int64]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d keys, want %d", name, len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s: key %d = %d, want %d", name, k, got[k], v)
+		}
+	}
+}
+
+func TestCrossEngineShuffleRDD(t *testing.T) {
+	o := Quick()
+	d := crossDataset(o)
+	want := serialAnswersPerQuestion(d)
+	c := newCluster(o.Seed, 3)
+	conf := rdd.DefaultConfig()
+	conf.Scale = float64(d.Stride)
+	ctx := rdd.NewContext(c, conf)
+	got := map[int64]int64{}
+	c.K.Spawn("driver", func(p *sim.Proc) {
+		posts := rdd.FromSource(ctx, "posts", 12, nil, func(tv rdd.TaskView, part int) []workload.Post {
+			lo := int64(part) * d.NumRecords / 12
+			hi := int64(part+1) * d.NumRecords / 12
+			return d.Records(lo, hi)
+		}, d.RecordBytes)
+		answers := rdd.Filter(posts, func(p workload.Post) bool { return !p.Question })
+		pairs := rdd.Map(answers, func(p workload.Post) rdd.KV[int64, int64] {
+			return rdd.KV[int64, int64]{K: p.ParentID, V: 1}
+		})
+		counts, err := rdd.Collect(p, rdd.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, 8))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, kv := range counts {
+			got[kv.K] = kv.V
+		}
+	})
+	c.K.Run()
+	checkCounts(t, "rdd", got, want)
+}
+
+func TestCrossEngineShuffleMapReduce(t *testing.T) {
+	o := Quick()
+	d := crossDataset(o)
+	want := serialAnswersPerQuestion(d)
+	c := newCluster(o.Seed, 3)
+	job := &mapred.Job[workload.Post, int64, int64]{
+		Cluster: c,
+		Fabric:  cluster.IPoIB(),
+		Name:    "perq",
+		Input:   &memPostInput{c: c, d: d, splits: 9},
+		Map: func(p workload.Post, emit func(int64, int64)) {
+			if !p.Question {
+				emit(p.ParentID, 1)
+			}
+		},
+		Reduce: func(k int64, vals []int64, emit func(int64, int64)) {
+			var s int64
+			for _, v := range vals {
+				s += v
+			}
+			emit(k, s)
+		},
+		Conf: mapred.DefaultConfig(3),
+	}
+	got := map[int64]int64{}
+	c.K.Spawn("client", func(p *sim.Proc) {
+		out, _ := job.Run(p)
+		for _, kv := range out {
+			got[kv.Key] = kv.Val
+		}
+	})
+	c.K.Run()
+	checkCounts(t, "mapred", got, want)
+}
+
+// memPostInput serves dataset records split evenly, charging scratch reads.
+type memPostInput struct {
+	c      *cluster.Cluster
+	d      *workload.StackExchange
+	splits int
+}
+
+func (in *memPostInput) Splits() []mapred.Split {
+	out := make([]mapred.Split, in.splits)
+	for i := range out {
+		out[i] = mapred.Split{ID: i, Hosts: []int{i % in.c.Size()}, Bytes: in.d.LogicalBytes() / int64(in.splits)}
+	}
+	return out
+}
+
+func (in *memPostInput) Read(p *sim.Proc, node int, s mapred.Split) []workload.Post {
+	in.c.Node(node).Scratch.Read(p, s.Bytes)
+	lo := int64(s.ID) * in.d.NumRecords / int64(in.splits)
+	hi := int64(s.ID+1) * in.d.NumRecords / int64(in.splits)
+	return in.d.Records(lo, hi)
+}
+
+func TestCrossEngineShuffleMRMPI(t *testing.T) {
+	o := Quick()
+	d := crossDataset(o)
+	want := serialAnswersPerQuestion(d)
+	c := newCluster(o.Seed, 2)
+	got := map[int64]int64{}
+	mpi.Run(c, 8, 4, func(r *mpi.Rank) {
+		lo := int64(r.Rank()) * d.NumRecords / int64(r.Size())
+		hi := int64(r.Rank()+1) * d.NumRecords / int64(r.Size())
+		out, _ := mrmpi.Run(r, mrmpi.DefaultConfig(), d.Records(lo, hi),
+			func(p workload.Post, emit func(int64, int64)) {
+				if !p.Question {
+					emit(p.ParentID, 1)
+				}
+			},
+			func(_ int64, vals []int64) int64 {
+				var s int64
+				for _, v := range vals {
+					s += v
+				}
+				return s
+			})
+		for _, kv := range out {
+			got[kv.Key] += kv.Val
+		}
+	}) // mpi.Run drives the kernel itself
+	checkCounts(t, "mrmpi", got, want)
+}

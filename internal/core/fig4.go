@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/dfs"
+	"hpcbd/internal/workload"
+)
+
+// Fig4 reproduces the StackExchange AnswersCount benchmark (Fig 4):
+// execution time vs total process/thread count for OpenMP (single node
+// only), MPI (unrunnable below the C-int chunk floor), Spark and Hadoop.
+// The returned figure also exposes each framework's computed result so
+// callers can check cross-framework agreement.
+func Fig4(o Options) (Figure, map[string]workload.AnswersCountResult) {
+	fig := Figure{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("StackExchange AnswersCount, %.0f GB dataset (%d processes/node)", float64(o.ACBytes)/1e9, o.ACPPN),
+		XLabel: "processes",
+		YLabel: "time (s)",
+		Series: []Series{{Name: "OpenMP"}, {Name: "MPI"}, {Name: "Spark"}, {Name: "Hadoop"}},
+	}
+	results := map[string]workload.AnswersCountResult{}
+	dataset := func() *workload.StackExchange {
+		return workload.NewStackExchange(o.Seed, o.ACBytes, o.ACRecordBytes, o.ACStride)
+	}
+
+	// OpenMP: one node, thread counts from the options (paper: 8 and 16).
+	for _, nth := range o.ACOMPThreads {
+		c := newCluster(o.Seed, 1)
+		r := OMPAnswersCount(c, dataset(), nth)
+		fig.Series[0].Points = append(fig.Series[0].Points, Point{X: float64(nth), Y: r.Seconds, OK: true})
+		results["OpenMP"] = r.AnswersCountResult
+	}
+
+	for _, np := range o.ACProcs {
+		nodes := np / o.ACPPN
+		if nodes < 1 {
+			nodes = 1
+		}
+		x := float64(np)
+
+		// MPI: fails below the C-int chunk floor.
+		{
+			c := newCluster(o.Seed, nodes)
+			r := MPIAnswersCount(c, dataset(), np, o.ACPPN)
+			if r.Err != nil {
+				fig.Series[1].Points = append(fig.Series[1].Points, Point{X: x, OK: false, Note: r.Err.Error()})
+			} else {
+				fig.Series[1].Points = append(fig.Series[1].Points, Point{X: x, Y: r.Seconds, OK: true})
+				results["MPI"] = r.AnswersCountResult
+			}
+		}
+		// Spark on the DFS.
+		{
+			c := newCluster(o.Seed, nodes)
+			fs := dfs.New(c, cluster.IPoIB(), dfs.DefaultConfig())
+			r := SparkAnswersCount(c, fs, "/stackexchange", dataset(), nodes, o.ACPPN, false)
+			if r.Err != nil {
+				fig.Series[2].Points = append(fig.Series[2].Points, Point{X: x, OK: false, Note: r.Err.Error()})
+			} else {
+				fig.Series[2].Points = append(fig.Series[2].Points, Point{X: x, Y: r.Seconds, OK: true})
+				results["Spark"] = r.AnswersCountResult
+			}
+		}
+		// Hadoop MapReduce on the DFS.
+		{
+			c := newCluster(o.Seed, nodes)
+			fs := dfs.New(c, cluster.IPoIB(), dfs.DefaultConfig())
+			r := HadoopAnswersCount(c, fs, "/stackexchange", dataset(), o.ACPPN)
+			fig.Series[3].Points = append(fig.Series[3].Points, Point{X: x, Y: r.Seconds, OK: true})
+			results["Hadoop"] = r.AnswersCountResult
+		}
+	}
+	results["Serial"] = dataset().SerialAnswersCount()
+	return fig, results
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcbd/internal/workload"
+)
+
+// newGraph builds the PageRank input for the options.
+func newGraph(o Options) *workload.Graph {
+	return workload.NewGraph(o.Seed, o.PRPhysVertices, o.PRLogicalVertices, o.PRAvgDegree)
+}
+
+// Fig6 reproduces the BigDataBench PageRank benchmark (Fig 6): execution
+// time vs node count for MPI, tuned Spark, and tuned Spark with the RDMA
+// shuffle plugin. The second return value carries the final ranks per
+// series for cross-checking against the serial oracle.
+func Fig6(o Options) (Figure, map[string][]float64) {
+	fig := Figure{
+		ID:     "fig6",
+		Title:  fmt.Sprintf("BigDataBench PageRank, %d vertices (%d processes/node)", o.PRLogicalVertices, o.PRPPN),
+		XLabel: "nodes",
+		YLabel: "time (s)",
+		Series: []Series{{Name: "MPI"}, {Name: "Spark"}, {Name: "Spark-RDMA"}},
+	}
+	ranks := map[string][]float64{}
+	for _, nodes := range o.PRNodes {
+		x := float64(nodes)
+		g := newGraph(o)
+		{
+			c := newCluster(o.Seed, nodes)
+			r := MPIPageRank(c, g, nodes*o.PRPPN, o.PRPPN, o.PRIters)
+			fig.Series[0].Points = append(fig.Series[0].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
+			ranks["MPI"] = r.Ranks
+		}
+		{
+			c := newCluster(o.Seed, nodes)
+			r := SparkPageRank(c, g, nodes, o.PRPPN, o.PRIters, true, false)
+			fig.Series[1].Points = append(fig.Series[1].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
+			ranks["Spark"] = r.Ranks
+		}
+		{
+			c := newCluster(o.Seed, nodes)
+			r := SparkPageRank(c, g, nodes, o.PRPPN, o.PRIters, true, true)
+			fig.Series[2].Points = append(fig.Series[2].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
+			ranks["Spark-RDMA"] = r.Ranks
+		}
+	}
+	ranks["Serial"] = newGraph(o).SerialPageRank(o.PRIters)
+	return fig, ranks
+}
+
+// Fig7 reproduces the HiBench PageRank benchmark (Fig 7): the untuned,
+// shuffle-heavy Spark variant with and without the RDMA shuffle engine.
+func Fig7(o Options) (Figure, map[string][]float64) {
+	fig := Figure{
+		ID:     "fig7",
+		Title:  fmt.Sprintf("HiBench PageRank, %d vertices (%d processes/node)", o.PRLogicalVertices, o.PRPPN),
+		XLabel: "nodes",
+		YLabel: "time (s)",
+		Series: []Series{{Name: "Spark"}, {Name: "Spark-RDMA"}},
+	}
+	ranks := map[string][]float64{}
+	for _, nodes := range o.PRNodes {
+		x := float64(nodes)
+		g := newGraph(o)
+		{
+			c := newCluster(o.Seed, nodes)
+			r := SparkPageRank(c, g, nodes, o.PRPPN, o.PRIters, false, false)
+			fig.Series[0].Points = append(fig.Series[0].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
+			ranks["Spark"] = r.Ranks
+		}
+		{
+			c := newCluster(o.Seed, nodes)
+			r := SparkPageRank(c, g, nodes, o.PRPPN, o.PRIters, false, true)
+			fig.Series[1].Points = append(fig.Series[1].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
+			ranks["Spark-RDMA"] = r.Ranks
+		}
+	}
+	ranks["Serial"] = newGraph(o).SerialPageRank(o.PRIters)
+	return fig, ranks
+}
+
+// AblationPersist quantifies the paper's §VI-C claim that persisting
+// intermediate RDDs improves PageRank "by a factor of 3": tuned vs
+// untuned Spark at a fixed node count.
+func AblationPersist(o Options, nodes int) (tuned, untuned float64) {
+	g := newGraph(o)
+	t := SparkPageRank(newCluster(o.Seed, nodes), g, nodes, o.PRPPN, o.PRIters, true, false)
+	u := SparkPageRank(newCluster(o.Seed, nodes), g, nodes, o.PRPPN, o.PRIters, false, false)
+	return t.Seconds, u.Seconds
+}

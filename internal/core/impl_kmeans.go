@@ -1,0 +1,232 @@
+package core
+
+// Per-framework k-means implementations — the workload the paper's
+// related work [38] used to compare the two ecosystems, reproduced here on
+// one platform. Region markers feed the Table III analysis.
+
+import (
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/mpi"
+	"hpcbd/internal/omp"
+	"hpcbd/internal/rdd"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/workload"
+)
+
+// KMResult carries the final centers and the measured time.
+type KMResult struct {
+	Centers [][]float64
+	Seconds float64
+	Err     error
+}
+
+// kmFlop is the per-point-per-center-per-dim assignment cost in C.
+const kmFlop = 3 * time.Nanosecond
+
+// bench:kmeans:mpi:begin
+
+// MPIKMeans runs Lloyd iterations with block-partitioned points and an
+// allreduce of the per-cluster sums/counts each iteration.
+func MPIKMeans(c *cluster.Cluster, d *workload.KMeans, np, ppn, iters int) KMResult {
+	var res KMResult
+	scale := d.Scale()
+	// bp:begin
+	mpi.Launch(c, np, ppn, func(r *mpi.Rank) {
+		w := r.World()
+		me := r.Rank()
+		// bp:end
+		lo := me * d.NumPoints / np
+		hi := (me + 1) * d.NumPoints / np
+		pts := d.Points(lo, hi)
+		centers := d.InitialCenters()
+		w.Barrier(r)
+		start := r.Now()
+		for it := 0; it < iters; it++ {
+			sums := make([][]float64, d.K)
+			counts := make([]float64, d.K)
+			flat := make([]float64, 0, d.K*(d.Dim+1))
+			for ci := range sums {
+				sums[ci] = make([]float64, d.Dim)
+			}
+			workload.Step(pts, centers, sums, counts)
+			r.Compute(float64(len(pts)*d.K*d.Dim) * scale * kmFlop.Seconds())
+			for ci := range sums {
+				flat = append(flat, sums[ci]...)
+				flat = append(flat, counts[ci])
+			}
+			total := w.Allreduce(r, flat, mpi.OpSum, 8)
+			for ci := range sums {
+				copy(sums[ci], total[ci*(d.Dim+1):])
+				counts[ci] = total[ci*(d.Dim+1)+d.Dim]
+			}
+			centers = workload.Finish(centers, sums, counts)
+		}
+		if me == 0 {
+			res.Centers = centers
+			res.Seconds = r.Now().Sub(start).Seconds()
+		}
+		// bp:begin
+	})
+	c.K.Run()
+	// bp:end
+	return res
+}
+
+// bench:kmeans:mpi:end
+
+// bench:kmeans:spark:begin
+
+// SparkKMeans runs Lloyd iterations as Spark jobs: a cached points RDD,
+// per-partition partial sums, a reduce to the driver, and broadcast
+// centers — the canonical MLlib-style loop.
+func SparkKMeans(c *cluster.Cluster, d *workload.KMeans, executors, coresPer, iters int) KMResult {
+	var res KMResult
+	// bp:begin
+	conf := rdd.DefaultConfig()
+	conf.CoresPerExecutor = coresPer
+	conf.Scale = d.Scale()
+	ctx := rdd.NewContext(c, conf)
+	nparts := executors * coresPer
+	c.K.Spawn("spark-driver", func(p *sim.Proc) {
+		// bp:end
+		points := rdd.FromSource(ctx, "points", nparts, nil,
+			func(tv rdd.TaskView, part int) [][]float64 {
+				lo := part * d.NumPoints / nparts
+				hi := (part + 1) * d.NumPoints / nparts
+				tv.Proc().ReadScratch(int64(float64(hi-lo) * ctx.Conf.Scale * float64(d.PointBytes())))
+				return d.Points(lo, hi)
+			}, d.PointBytes()).Persist(rdd.MemoryOnly)
+		centers := d.InitialCenters()
+		start := p.Now()
+		for it := 0; it < iters; it++ {
+			bc := rdd.NewBroadcast(ctx, centers, int64(d.K*d.Dim*8))
+			partials := rdd.MapPartitionsWithCost(points, int64(float64(d.K*d.Dim)*float64(kmFlop)/0.55),
+				func(in [][]float64) []kmPartial {
+					cs := bc.Value
+					sums := make([][]float64, d.K)
+					counts := make([]float64, d.K)
+					for ci := range sums {
+						sums[ci] = make([]float64, d.Dim)
+					}
+					workload.Step(in, cs, sums, counts)
+					return []kmPartial{{sums, counts}}
+				})
+			agg, err := rdd.Reduce(p, partials, mergeKMPartial)
+			if err != nil {
+				res.Err = err
+				return
+			}
+			centers = workload.Finish(centers, agg.sums, agg.counts)
+		}
+		res.Centers = centers
+		res.Seconds = p.Now().Sub(start).Seconds()
+		// bp:begin
+	})
+	c.K.Run()
+	// bp:end
+	return res
+}
+
+// bench:kmeans:spark:end
+
+// kmPartial is one partition's contribution.
+type kmPartial struct {
+	sums   [][]float64
+	counts []float64
+}
+
+func mergeKMPartial(a, b kmPartial) kmPartial {
+	for c := range a.sums {
+		for j := range a.sums[c] {
+			a.sums[c][j] += b.sums[c][j]
+		}
+		a.counts[c] += b.counts[c]
+	}
+	return a
+}
+
+// bench:kmeans:openmp:begin
+
+// OMPKMeans runs Lloyd iterations on one node with a worksharing loop and
+// a critical-section merge of thread-local partials.
+func OMPKMeans(c *cluster.Cluster, d *workload.KMeans, nthreads, iters int) KMResult {
+	var res KMResult
+	scale := d.Scale()
+	// bp:begin
+	c.K.Spawn("omp-main", func(p *sim.Proc) {
+		start := p.Now()
+		centers := d.InitialCenters()
+		// Shared accumulators, reset each iteration inside a single.
+		var gsums [][]float64
+		var gcounts []float64
+		omp.Parallel(p, c, 0, nthreads, func(t *omp.Thread) {
+			// bp:end
+			for it := 0; it < iters; it++ {
+				t.Single(func(*omp.Thread) {
+					gsums = make([][]float64, d.K)
+					gcounts = make([]float64, d.K)
+					for ci := range gsums {
+						gsums[ci] = make([]float64, d.Dim)
+					}
+				})
+				sums := make([][]float64, d.K)
+				counts := make([]float64, d.K)
+				for ci := range sums {
+					sums[ci] = make([]float64, d.Dim)
+				}
+				t.For(d.NumPoints, omp.Static, 0, func(lo, hi int) {
+					pts := d.Points(lo, hi)
+					workload.Step(pts, centers, sums, counts)
+					t.Compute(float64((hi-lo)*d.K*d.Dim) * scale * kmFlop.Seconds())
+				})
+				t.Critical("kmeans", func() {
+					for ci := range sums {
+						for j := range sums[ci] {
+							gsums[ci][j] += sums[ci][j]
+						}
+						gcounts[ci] += counts[ci]
+					}
+				})
+				t.Barrier()
+				t.Single(func(*omp.Thread) {
+					centers = workload.Finish(centers, gsums, gcounts)
+				})
+				// Single's implicit barrier publishes the new centers to
+				// every thread before the next iteration.
+			}
+			// bp:begin
+		})
+		res.Centers = centers
+		res.Seconds = p.Now().Sub(start).Seconds()
+	})
+	c.K.Run()
+	// bp:end
+	return res
+}
+
+// bench:kmeans:openmp:end
+
+// AblationKMeans runs the [38]-style cross-paradigm k-means comparison:
+// the same Lloyd iterations on OpenMP (one node), MPI and Spark, on one
+// platform, all verified against the serial oracle. Returns the
+// comparison table and each framework's centers + time.
+func AblationKMeans(o Options, nodes, ppn, iters int) (Table, map[string]KMResult) {
+	d := workload.NewKMeans(o.Seed, 4000, 50_000_000, 8, 10)
+	out := map[string]KMResult{
+		"OpenMP (1 node)": OMPKMeans(newCluster(o.Seed, 1), d, ppn, iters),
+		"MPI":             MPIKMeans(newCluster(o.Seed, nodes), d, nodes*ppn, ppn, iters),
+		"Spark":           SparkKMeans(newCluster(o.Seed, nodes), d, nodes, ppn, iters),
+	}
+	t := Table{
+		ID:      "ablation-kmeans",
+		Title:   "k-means across paradigms (related work [38]), 50M logical points",
+		Columns: []string{"Framework", "Time", "vs MPI"},
+	}
+	base := out["MPI"].Seconds
+	for _, name := range []string{"OpenMP (1 node)", "MPI", "Spark"} {
+		t.Rows = append(t.Rows, []string{name, fmtSeconds(out[name].Seconds), fmtRatio(out[name].Seconds / base)})
+	}
+	return t, out
+}

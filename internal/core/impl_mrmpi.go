@@ -1,0 +1,131 @@
+package core
+
+// AnswersCount on the MapReduce-over-MPI engine (the paper's related work
+// [36]/[37]): MapReduce semantics executed by native MPI code. Region
+// markers feed the Table III analysis.
+
+import (
+	"fmt"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/dfs"
+	"hpcbd/internal/mpi"
+	"hpcbd/internal/mrmpi"
+	"hpcbd/internal/workload"
+)
+
+// bench:answerscount:mrmpi:begin
+
+// MRMPIAnswersCount runs AnswersCount on the MapReduce-over-MPI engine:
+// each rank reads its chunk from local scratch, maps posts to ("q"/"a", 1)
+// pairs, and the engine aggregates and reduces them with MPI exchange.
+func MRMPIAnswersCount(c *cluster.Cluster, d *workload.StackExchange, np, ppn int, nonBlocking bool) ACResult {
+	var res ACResult
+	// bp:begin
+	cfg := mrmpi.DefaultConfig()
+	cfg.NonBlocking = nonBlocking
+	cfg.PairBytes = 16 * d.Stride
+	mpi.Launch(c, np, ppn, func(r *mpi.Rank) {
+		w := r.World()
+		start := r.Now()
+		// bp:end
+		f := w.FileOpenLocal(r, "stackexchange.xml", d.LogicalBytes())
+		off, cnt := f.EvenChunk(r)
+		if err := f.ReadAtAll(r, off, cnt); err != nil {
+			if r.Rank() == 0 {
+				res.Err = err
+			}
+			return
+		}
+		r.Compute(float64(cnt) / c.Cost.ScanBW)
+		lo, hi := recordRange(d, off, cnt)
+		out, _ := mrmpi.Run(r, cfg, d.Records(lo, hi),
+			func(p workload.Post, emit func(string, int64)) {
+				if p.Question {
+					emit("q", 1)
+				} else {
+					emit("a", 1)
+				}
+			},
+			func(_ string, vals []int64) int64 {
+				var s int64
+				for _, v := range vals {
+					s += v
+				}
+				return s
+			})
+		counts := make([]float64, 2)
+		for _, p := range out {
+			if p.Key == "q" {
+				counts[0] = float64(p.Val)
+			} else {
+				counts[1] = float64(p.Val)
+			}
+		}
+		total := w.Allreduce(r, counts, mpi.OpSum, 8)
+		if r.Rank() == 0 {
+			res.Questions = int64(total[0])
+			res.Answers = int64(total[1])
+			res.Seconds = r.Now().Sub(start).Seconds()
+		}
+		// bp:begin
+	})
+	c.K.Run()
+	// bp:end
+	return res
+}
+
+// bench:answerscount:mrmpi:end
+
+// AblationMRMPI reproduces the related-work claims on AnswersCount:
+// [37] — a native MapReduce engine beats Hadoop by orders of magnitude;
+// [36] — non-blocking exchange improves the MPI implementation. Returns a
+// table of (engine, time) rows.
+func AblationMRMPI(o Options) (Table, map[string]float64) {
+	nodes := 8
+	np := nodes * o.ACPPN
+	if np < 40 && o.ACBytes > int64(np)*2147483647 {
+		np = 40 // respect the int-limit floor
+	}
+	d := workload.NewStackExchange(o.Seed, o.ACBytes, o.ACRecordBytes, o.ACStride)
+	times := map[string]float64{}
+
+	blocking := MRMPIAnswersCount(newCluster(o.Seed, nodes), d, np, o.ACPPN, false)
+	times["MR-MPI (blocking)"] = blocking.Seconds
+
+	nonblocking := MRMPIAnswersCount(newCluster(o.Seed, nodes), d, np, o.ACPPN, true)
+	times["MR-MPI (non-blocking)"] = nonblocking.Seconds
+
+	{
+		c := newCluster(o.Seed, nodes)
+		fs := dfsIPoIB(c)
+		h := HadoopAnswersCount(c, fs, "/stackexchange", d, o.ACPPN)
+		times["Hadoop"] = h.Seconds
+	}
+
+	t := Table{
+		ID:      "ablation-mrmpi",
+		Title:   "MapReduce semantics without Hadoop costs (related work [36],[37])",
+		Columns: []string{"Engine", "Time", "vs Hadoop"},
+	}
+	for _, name := range []string{"Hadoop", "MR-MPI (blocking)", "MR-MPI (non-blocking)"} {
+		t.Rows = append(t.Rows, []string{
+			name, fmtSeconds(times[name]),
+			fmtRatio(times["Hadoop"] / times[name]),
+		})
+	}
+	return t, times
+}
+
+func fmtRatio(x float64) string {
+	if x >= 10 {
+		return fmt.Sprintf("%.0fx", x)
+	}
+	return fmt.Sprintf("%.1fx", x)
+}
+
+// dfsIPoIB builds the default DFS over IPoIB, the Big Data stack's
+// standard storage configuration.
+func dfsIPoIB(c *cluster.Cluster) *dfs.DFS {
+	return dfs.New(c, cluster.IPoIB(), dfs.DefaultConfig())
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed impl_reduce.go impl_answerscount.go impl_pagerank.go impl_mrmpi.go impl_kmeans.go impl_converged.go
+var implSources embed.FS
+
+// LoCStat is the maintainability measurement for one implementation.
+type LoCStat struct {
+	Benchmark   string
+	Framework   string
+	Lines       int // non-blank, non-comment lines in the region
+	Boilerplate int // of those, lines inside bp: blocks (setup/teardown)
+}
+
+// LoCStats scans the embedded benchmark implementations for
+// bench:<name>:<framework>:begin/end regions and counts code and
+// boilerplate lines — the methodology behind the paper's Table III
+// ("the total number of lines of code and the amount of boilerplate code
+// required to run the distributed code").
+func LoCStats() ([]LoCStat, error) {
+	entries, err := implSources.ReadDir(".")
+	if err != nil {
+		return nil, err
+	}
+	var stats []LoCStat
+	for _, e := range entries {
+		data, err := implSources.ReadFile(e.Name())
+		if err != nil {
+			return nil, err
+		}
+		stats = append(stats, scanRegions(string(data))...)
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Benchmark != stats[j].Benchmark {
+			return stats[i].Benchmark < stats[j].Benchmark
+		}
+		return stats[i].Framework < stats[j].Framework
+	})
+	return stats, nil
+}
+
+func scanRegions(src string) []LoCStat {
+	var out []LoCStat
+	var cur *LoCStat
+	inBP := false
+	for _, line := range strings.Split(src, "\n") {
+		trim := strings.TrimSpace(line)
+		if strings.HasPrefix(trim, "// bench:") {
+			parts := strings.Split(strings.TrimPrefix(trim, "// bench:"), ":")
+			if len(parts) != 3 {
+				continue
+			}
+			switch parts[2] {
+			case "begin":
+				cur = &LoCStat{Benchmark: parts[0], Framework: parts[1]}
+				inBP = false
+			case "end":
+				if cur != nil {
+					out = append(out, *cur)
+				}
+				cur = nil
+			}
+			continue
+		}
+		if cur == nil {
+			continue
+		}
+		switch trim {
+		case "// bp:begin":
+			inBP = true
+			continue
+		case "// bp:end":
+			inBP = false
+			continue
+		}
+		if trim == "" || strings.HasPrefix(trim, "//") {
+			continue
+		}
+		cur.Lines++
+		if inBP {
+			cur.Boilerplate++
+		}
+	}
+	return out
+}
+
+// Table3 reproduces the maintainability analysis (Table III): lines of
+// code and boilerplate per benchmark implementation in this repository.
+func Table3() (Table, error) {
+	stats, err := LoCStats()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "table3",
+		Title:   "Maintainability: lines of code and boilerplate per implementation",
+		Columns: []string{"Benchmark", "Framework", "LoC", "Boilerplate", "Boilerplate %"},
+	}
+	for _, s := range stats {
+		pct := 0.0
+		if s.Lines > 0 {
+			pct = 100 * float64(s.Boilerplate) / float64(s.Lines)
+		}
+		t.Rows = append(t.Rows, []string{
+			s.Benchmark, s.Framework,
+			fmt.Sprintf("%d", s.Lines),
+			fmt.Sprintf("%d", s.Boilerplate),
+			fmt.Sprintf("%.0f%%", pct),
+		})
+	}
+	return t, nil
+}

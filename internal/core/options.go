@@ -1,0 +1,99 @@
+package core
+
+import (
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// Options scales the experiments. Full() reproduces the paper's
+// configurations (logical sizes; physical samples stay small); Quick()
+// shrinks everything for unit tests.
+type Options struct {
+	Seed int64
+
+	// Fig 3 — reduce microbenchmark
+	ReduceNodes   int
+	ReducePPN     int
+	ReduceSizes   []int64 // message bytes (float32 elements x4)
+	ReduceMaxPhys int     // physical element cap for the Spark side
+	ReduceIters   int
+
+	// Table II — parallel file read
+	FileReadNodes int
+	FileReadPPN   int
+	FileReadSizes []int64 // logical file bytes
+
+	// Fig 4 — StackExchange AnswersCount
+	ACBytes       int64 // logical dataset bytes (paper: 80 GB)
+	ACRecordBytes int64
+	ACStride      int64 // sampling stride (physical = records/stride)
+	ACPPN         int
+	ACProcs       []int // total process counts (nodes = procs/ppn)
+	ACOMPThreads  []int // OpenMP-only configurations (paper: 8, 16)
+
+	// Figs 6/7 — PageRank
+	PRLogicalVertices int64 // paper: 1,000,000
+	PRPhysVertices    int
+	PRAvgDegree       float64
+	PRIters           int
+	PRPPN             int
+	PRNodes           []int
+}
+
+// Full returns the paper-scale configuration (logical sizes match the
+// paper; simulation keeps physical samples small).
+func Full() Options {
+	return Options{
+		Seed: 20160926, // CLUSTER 2016
+
+		ReduceNodes:   8,
+		ReducePPN:     8,
+		ReduceSizes:   []int64{4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20},
+		ReduceMaxPhys: 1 << 16,
+		ReduceIters:   3,
+
+		FileReadNodes: 8,
+		FileReadPPN:   8,
+		FileReadSizes: []int64{8e9, 80e9},
+
+		ACBytes:       80e9,
+		ACRecordBytes: 512,
+		ACStride:      2048,
+		ACPPN:         8,
+		ACProcs:       []int{8, 16, 32, 64, 128},
+		ACOMPThreads:  []int{8, 16},
+
+		PRLogicalVertices: 1_000_000,
+		PRPhysVertices:    20_000,
+		PRAvgDegree:       8,
+		PRIters:           10,
+		PRPPN:             16,
+		PRNodes:           []int{1, 2, 4, 8},
+	}
+}
+
+// Quick returns a configuration small enough for unit tests.
+func Quick() Options {
+	o := Full()
+	o.ReduceSizes = []int64{4, 1 << 10, 64 << 10}
+	o.ReduceNodes, o.ReducePPN = 2, 4
+	o.ReduceMaxPhys = 1 << 12
+	o.ReduceIters = 1
+	o.FileReadNodes, o.FileReadPPN = 2, 4
+	o.FileReadSizes = []int64{1e9, 4e9}
+	o.ACBytes = 2e9
+	o.ACStride = 4096
+	o.ACProcs = []int{8, 16}
+	o.ACOMPThreads = []int{4, 8}
+	o.PRLogicalVertices = 1_000_000
+	o.PRPhysVertices = 4_000
+	o.PRIters = 3
+	o.PRNodes = []int{2, 4}
+	return o
+}
+
+// newCluster builds a Comet cluster of n nodes with a fresh kernel, so
+// every measurement starts from a cold, isolated platform.
+func newCluster(seed int64, n int) *cluster.Cluster {
+	return cluster.Comet(sim.NewKernel(seed), n)
+}

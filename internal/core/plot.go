@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII chart (log-scaled y, optionally
+// log-scaled x per f.XLog), one mark per series — a terminal stand-in for
+// the paper's plots. Width/height are the plot area in characters.
+func (f Figure) Plot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Gather points and ranges.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !p.OK || p.Y <= 0 {
+				continue
+			}
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return fmt.Sprintf("%s — %s\n(no plottable points)\n", strings.ToUpper(f.ID), f.Title)
+	}
+	if minY == maxY {
+		maxY = minY * 2
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+
+	xpos := func(x float64) int {
+		var t float64
+		if f.XLog && minX > 0 {
+			t = (math.Log(x) - math.Log(minX)) / (math.Log(maxX) - math.Log(minX))
+		} else {
+			t = (x - minX) / (maxX - minX)
+		}
+		c := int(t * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	ypos := func(y float64) int {
+		t := (math.Log(y) - math.Log(minY)) / (math.Log(maxY) - math.Log(minY))
+		r := int(t * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		m := marks[si%len(marks)]
+		for _, p := range s.Points {
+			if !p.OK || p.Y <= 0 {
+				continue
+			}
+			grid[ypos(p.Y)][xpos(p.X)] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	labelW := 10
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, fmtSeconds(maxY))
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, fmtSeconds(minY))
+		case height / 2:
+			mid := math.Exp((math.Log(minY) + math.Log(maxY)) / 2)
+			label = fmt.Sprintf("%*s", labelW, fmtSeconds(mid))
+		}
+		b.WriteString(label + " |" + string(grid[r]) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", labelW) + " +" + strings.Repeat("-", width) + "\n")
+	b.WriteString(fmt.Sprintf("%*s  %-*s%*s\n", labelW+2, formatX(minX), width/2, "", width/2-len(formatX(maxX))+len(formatX(maxX)), formatX(maxX)))
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Name))
+	}
+	sort.Strings(legend)
+	b.WriteString("  " + strings.Join(legend, "  ") + "  (log y)\n")
+	return b.String()
+}

@@ -1,0 +1,225 @@
+// Package core is the paper's contribution reproduced as a library: a
+// comparative benchmark framework that runs the same workloads — reduction
+// and I/O microbenchmarks, the StackExchange AnswersCount benchmark, and
+// PageRank — across the five programming-model runtimes (MPI, OpenMP,
+// OpenSHMEM, Hadoop-style MapReduce, Spark-style RDDs) on one simulated
+// platform, and regenerates every table and figure of the evaluation
+// section (Table I-III, Figs 3-4, 6-7).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one line of a figure: y-values (seconds) over the shared
+// x-axis. NaN-free; missing configurations carry OK=false.
+type Point struct {
+	X    float64
+	Y    float64 // seconds
+	OK   bool    // false = configuration not runnable (e.g. MPI int limit)
+	Note string
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is one reproduced figure.
+type Figure struct {
+	ID     string // e.g. "fig3"
+	Title  string
+	XLabel string
+	YLabel string
+	XLog   bool
+	Series []Series
+}
+
+// Y returns the series' y value at x (ok=false if absent or not runnable).
+func (s Series) Y(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, p.OK
+		}
+	}
+	return 0, false
+}
+
+// Get returns the named series.
+func (f Figure) Get(name string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// String renders the figure as an aligned text table: one row per x, one
+// column per series — the same rows/series the paper plots.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var xsorted []float64
+	for x := range xs {
+		xsorted = append(xsorted, x)
+	}
+	sort.Float64s(xsorted)
+
+	w := make([]int, len(f.Series)+1)
+	w[0] = len(f.XLabel)
+	for i, s := range f.Series {
+		w[i+1] = len(s.Name)
+		if w[i+1] < 10 {
+			w[i+1] = 10
+		}
+	}
+	cell := func(v string, width int) string {
+		return fmt.Sprintf("%*s", width, v)
+	}
+	header := cell(f.XLabel, w[0])
+	for i, s := range f.Series {
+		header += "  " + cell(s.Name, w[i+1])
+	}
+	b.WriteString(header + "\n")
+	b.WriteString(strings.Repeat("-", len(header)) + "\n")
+	for _, x := range xsorted {
+		row := cell(formatX(x), w[0])
+		for i, s := range f.Series {
+			y, ok := s.Y(x)
+			if !ok {
+				row += "  " + cell("n/a", w[i+1])
+			} else {
+				row += "  " + cell(fmtSeconds(y), w[i+1])
+			}
+		}
+		b.WriteString(row + "\n")
+	}
+	b.WriteString(fmt.Sprintf("(%s vs %s; values are simulated seconds)\n", f.XLabel, f.YLabel))
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteString("\n")
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var xsorted []float64
+	for x := range xs {
+		xsorted = append(xsorted, x)
+	}
+	sort.Float64s(xsorted)
+	for _, x := range xsorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			y, ok := s.Y(x)
+			if !ok {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%.6f", y)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatX(x float64) string {
+	if x == float64(int64(x)) {
+		v := int64(x)
+		switch {
+		case v >= 1<<30 && v%(1<<30) == 0:
+			return fmt.Sprintf("%dGiB", v>>30)
+		case v >= 1<<20 && v%(1<<20) == 0:
+			return fmt.Sprintf("%dMiB", v>>20)
+		case v >= 1<<10 && v%(1<<10) == 0:
+			return fmt.Sprintf("%dKiB", v>>10)
+		default:
+			return fmt.Sprintf("%d", v)
+		}
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.1fs", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fus", s*1e6)
+	}
+}
+
+// Table is one reproduced table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	w := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		w[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(w) && len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var parts []string
+		for i, c := range cells {
+			parts = append(parts, fmt.Sprintf("%-*s", w[i], c))
+		}
+		return strings.Join(parts, "  ")
+	}
+	b.WriteString(line(t.Columns) + "\n")
+	total := 0
+	for _, x := range w {
+		total += x + 2
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(line(row) + "\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return b.String()
+}

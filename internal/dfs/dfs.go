@@ -1,0 +1,417 @@
+// Package dfs models an HDFS-like distributed filesystem (the Big Data
+// stack's storage layer, §IV): a namenode tracking a block-structured
+// namespace, datanodes storing replicated blocks on their node's local
+// scratch disks, locality-aware reads with checksum verification, datanode
+// failure with transparent client failover, and background re-replication.
+//
+// All protocol traffic (metadata RPCs, block streams) uses the socket
+// fabric handed to New — IPoIB on the Comet configuration — never RDMA,
+// matching how Hadoop-era stacks actually ran on InfiniBand clusters.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// Config controls filesystem behaviour.
+type Config struct {
+	BlockSize   int64 // default 128 MiB
+	Replication int   // default 3, clamped to cluster size
+	// RereplicationDelay is how long after a datanode death the namenode
+	// starts restoring replication (heartbeat timeout).
+	RereplicationDelay time.Duration
+}
+
+// DefaultConfig returns HDFS-era defaults (128 MiB blocks, 3 replicas).
+func DefaultConfig() Config {
+	return Config{BlockSize: 128 << 20, Replication: 3, RereplicationDelay: 5 * time.Second}
+}
+
+// BlockLoc describes one block's extent and replica placement, as returned
+// to locality-aware schedulers.
+type BlockLoc struct {
+	Offset int64
+	Size   int64
+	Nodes  []int // replica nodes, alive ones only
+}
+
+type blockMeta struct {
+	id       int64
+	offset   int64
+	size     int64
+	replicas []int
+}
+
+type fileMeta struct {
+	name   string
+	size   int64
+	blocks []*blockMeta
+}
+
+type datanode struct {
+	node   int
+	alive  bool
+	blocks map[int64]*blockMeta
+}
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotFound    = errors.New("dfs: file not found")
+	ErrExists      = errors.New("dfs: file exists")
+	ErrUnavailable = errors.New("dfs: no live replica for block")
+)
+
+// DFS is the filesystem. All methods taking a *sim.Proc must be called
+// from simulated processes.
+type DFS struct {
+	c      *cluster.Cluster
+	cfg    Config
+	fabric cluster.FabricSpec
+	nnNode int
+	files  map[string]*fileMeta
+	dns    []*datanode
+	nextID int64
+
+	remoteReads int64
+	localReads  int64
+}
+
+// New creates a filesystem over the cluster, speaking the given socket
+// fabric. The namenode runs on node 0; every node hosts a datanode.
+func New(c *cluster.Cluster, fabric cluster.FabricSpec, cfg Config) *DFS {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 128 << 20
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Replication > c.Size() {
+		cfg.Replication = c.Size()
+	}
+	if cfg.RereplicationDelay <= 0 {
+		cfg.RereplicationDelay = 5 * time.Second
+	}
+	d := &DFS{c: c, cfg: cfg, fabric: fabric, files: map[string]*fileMeta{}}
+	for i := 0; i < c.Size(); i++ {
+		d.dns = append(d.dns, &datanode{node: i, alive: true, blocks: map[int64]*blockMeta{}})
+	}
+	return d
+}
+
+// Config returns the active configuration.
+func (d *DFS) Config() Config { return d.cfg }
+
+// LocalReads and RemoteReads report how many block reads were served from
+// a replica on the client's own node vs across the network — the locality
+// statistic behind the paper's §V-B2 observation.
+func (d *DFS) LocalReads() int64  { return d.localReads }
+func (d *DFS) RemoteReads() int64 { return d.remoteReads }
+
+// nnRPC charges one metadata round trip from the client to the namenode.
+func (d *DFS) nnRPC(p *sim.Proc, clientNode int) {
+	d.c.Xfer(p, clientNode, d.nnNode, 256, d.fabric)
+	p.Sleep(d.c.Cost.DFSBlockRPC)
+	d.c.Xfer(p, d.nnNode, clientNode, 256, d.fabric)
+}
+
+// placeReplicas picks replica nodes for a new block: first on the writer's
+// node (if its datanode is alive), the rest spread deterministically.
+func (d *DFS) placeReplicas(writerNode int, blockID int64) []int {
+	var out []int
+	if d.dns[writerNode].alive {
+		out = append(out, writerNode)
+	}
+	n := d.c.Size()
+	// Deterministic but scrambled rotation spreads replicas without
+	// aligning block i with node i.
+	start := int((uint64(blockID)*0x9e3779b97f4a7c15)>>33) % n
+	for i := 0; i < n && len(out) < d.cfg.Replication; i++ {
+		cand := (start + i) % n
+		if cand == writerNode || !d.dns[cand].alive {
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out
+}
+
+// Create writes a new file of the given logical size from clientNode,
+// charging the full write pipeline: per-block namenode allocation, a
+// socket transfer to each remote replica and a disk write on every
+// replica (pipelined, so replicas proceed concurrently).
+func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error {
+	if _, ok := d.files[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	f := &fileMeta{name: name, size: size}
+	d.files[name] = f
+	for off := int64(0); off < size; off += d.cfg.BlockSize {
+		bsz := d.cfg.BlockSize
+		if off+bsz > size {
+			bsz = size - off
+		}
+		d.nnRPC(p, clientNode)
+		b := &blockMeta{id: d.nextID, offset: off, size: bsz, replicas: d.placeReplicas(clientNode, d.nextID)}
+		d.nextID++
+		f.blocks = append(f.blocks, b)
+		// Pipelined replica writes: all replicas work concurrently; the
+		// client waits for the slowest.
+		wg := sim.NewWaitGroup(d.c.K)
+		for _, rep := range b.replicas {
+			rep := rep
+			wg.Add(1)
+			d.c.K.Spawn("dfs.write", func(wp *sim.Proc) {
+				if rep != clientNode {
+					d.c.Xfer(wp, clientNode, rep, bsz, d.fabric)
+				}
+				d.c.Node(rep).Scratch.Write(wp, bsz)
+				d.dns[rep].blocks[b.id] = b
+				wg.Done()
+			})
+		}
+		p.Sleep(d.c.Cost.DFSStreamSetup)
+		wg.Wait(p)
+	}
+	return nil
+}
+
+// Stat returns the file's size.
+func (d *DFS) Stat(name string) (int64, error) {
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return f.size, nil
+}
+
+// Locations returns block extents and live replica nodes, the interface
+// locality-aware schedulers (MapReduce, the RDD engine) consume.
+func (d *DFS) Locations(name string) ([]BlockLoc, error) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	out := make([]BlockLoc, 0, len(f.blocks))
+	for _, b := range f.blocks {
+		loc := BlockLoc{Offset: b.offset, Size: b.size}
+		for _, r := range b.replicas {
+			if d.dns[r].alive {
+				loc.Nodes = append(loc.Nodes, r)
+			}
+		}
+		out = append(out, loc)
+	}
+	return out, nil
+}
+
+// Read charges a read of [offset, offset+length) from clientNode: per
+// covered block a namenode lookup, stream setup, a disk read at the chosen
+// replica (local preferred), a socket transfer when remote, and client-
+// side checksum verification. Datanode failures are transparent as long
+// as any replica survives — the property the paper credits for Spark's
+// job-level fault tolerance on HDFS (§V-B2, §VI-D).
+func (d *DFS) Read(p *sim.Proc, clientNode int, name string, offset, length int64) error {
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if offset < 0 || offset+length > f.size {
+		return fmt.Errorf("dfs: read [%d,%d) outside %s (%d bytes)", offset, offset+length, name, f.size)
+	}
+	end := offset + length
+	for _, b := range f.blocks {
+		if b.offset+b.size <= offset || b.offset >= end {
+			continue
+		}
+		lo := max64(offset, b.offset)
+		hi := min64(end, b.offset+b.size)
+		n := hi - lo
+		d.nnRPC(p, clientNode)
+		rep, local := d.chooseReplica(b, clientNode)
+		if rep < 0 {
+			return fmt.Errorf("%w: block %d of %s", ErrUnavailable, b.id, name)
+		}
+		p.Sleep(d.c.Cost.DFSStreamSetup)
+		// The datanode path — a JVM stream plus a local socket hop and
+		// inline checksumming — realizes well under raw device bandwidth.
+		d.c.Node(rep).Scratch.ReadEff(p, n, d.c.Cost.DFSReadFactor)
+		if local {
+			d.localReads++
+		} else {
+			d.remoteReads++
+			d.c.Xfer(p, rep, clientNode, n, d.fabric)
+		}
+		p.Sleep(cluster.ScanCost(n, d.c.Cost.DFSChecksumBW))
+	}
+	return nil
+}
+
+// chooseReplica prefers a replica on the client's node, then the first
+// live replica in placement order.
+func (d *DFS) chooseReplica(b *blockMeta, clientNode int) (node int, local bool) {
+	for _, r := range b.replicas {
+		if r == clientNode && d.dns[r].alive {
+			return r, true
+		}
+	}
+	for _, r := range b.replicas {
+		if d.dns[r].alive {
+			return r, false
+		}
+	}
+	return -1, false
+}
+
+// KillDatanode marks a datanode dead. Blocks it held survive on other
+// replicas; after the heartbeat timeout the namenode re-replicates under-
+// replicated blocks in the background.
+func (d *DFS) KillDatanode(node int) {
+	dn := d.dns[node]
+	if !dn.alive {
+		return
+	}
+	dn.alive = false
+	lost := make([]*blockMeta, 0, len(dn.blocks))
+	for _, b := range dn.blocks {
+		lost = append(lost, b)
+	}
+	// Deterministic order for the re-replication pass.
+	for i := 0; i < len(lost); i++ {
+		for j := i + 1; j < len(lost); j++ {
+			if lost[j].id < lost[i].id {
+				lost[i], lost[j] = lost[j], lost[i]
+			}
+		}
+	}
+	d.c.K.After(d.cfg.RereplicationDelay, func() {
+		d.c.K.Spawn("dfs.rereplicate", func(p *sim.Proc) {
+			for _, b := range lost {
+				d.rereplicate(p, b)
+			}
+		})
+	})
+}
+
+// rereplicate copies a block from a live replica to a node that lacks it.
+func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
+	src := -1
+	have := map[int]bool{}
+	var alive []int
+	for _, r := range b.replicas {
+		if d.dns[r].alive {
+			if src < 0 {
+				src = r
+			}
+			have[r] = true
+			alive = append(alive, r)
+		}
+	}
+	if src < 0 || len(alive) >= d.cfg.Replication {
+		b.replicas = alive
+		return
+	}
+	dst := -1
+	for i := 0; i < d.c.Size(); i++ {
+		cand := (src + 1 + i) % d.c.Size()
+		if d.dns[cand].alive && !have[cand] {
+			dst = cand
+			break
+		}
+	}
+	if dst < 0 {
+		b.replicas = alive
+		return
+	}
+	d.c.Node(src).Scratch.Read(p, b.size)
+	d.c.Xfer(p, src, dst, b.size, d.fabric)
+	d.c.Node(dst).Scratch.Write(p, b.size)
+	d.dns[dst].blocks[b.id] = b
+	b.replicas = append(alive, dst)
+}
+
+// ReplicasOf returns the live replica count of every block of a file (for
+// tests and the replication ablation).
+func (d *DFS) ReplicasOf(name string) ([]int, error) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	var out []int
+	for _, b := range f.blocks {
+		n := 0
+		for _, r := range b.replicas {
+			if d.dns[r].alive {
+				n++
+			}
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Delete removes a file and its blocks from all datanodes (metadata-only
+// cost; block reclamation is asynchronous in real HDFS and free here).
+func (d *DFS) Delete(p *sim.Proc, clientNode int, name string) error {
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	d.nnRPC(p, clientNode)
+	for _, b := range f.blocks {
+		for _, r := range b.replicas {
+			delete(d.dns[r].blocks, b.id)
+		}
+	}
+	delete(d.files, name)
+	return nil
+}
+
+// Rename moves a file within the namespace (a pure namenode operation —
+// one of HDFS's few cheap mutations).
+func (d *DFS) Rename(p *sim.Proc, clientNode int, from, to string) error {
+	f, ok := d.files[from]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, from)
+	}
+	if _, dup := d.files[to]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, to)
+	}
+	d.nnRPC(p, clientNode)
+	delete(d.files, from)
+	f.name = to
+	d.files[to] = f
+	return nil
+}
+
+// List returns the file names under the given prefix, sorted.
+func (d *DFS) List(prefix string) []string {
+	var out []string
+	for name := range d.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,313 @@
+package dfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+func setup(nodes int, cfg Config) (*sim.Kernel, *cluster.Cluster, *DFS) {
+	k := sim.NewKernel(13)
+	c := cluster.Comet(k, nodes)
+	return k, c, New(c, cluster.IPoIB(), cfg)
+}
+
+func TestCreateStatRead(t *testing.T) {
+	k, _, d := setup(4, DefaultConfig())
+	var readErr error
+	k.Spawn("client", func(p *sim.Proc) {
+		if err := d.Create(p, 0, "/data", 512<<20); err != nil {
+			t.Error(err)
+		}
+		sz, err := d.Stat("/data")
+		if err != nil || sz != 512<<20 {
+			t.Errorf("stat: %d, %v", sz, err)
+		}
+		readErr = d.Read(p, 1, "/data", 0, 512<<20)
+	})
+	k.Run()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if _, err := d.Stat("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("stat missing: %v", err)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	k, _, d := setup(2, DefaultConfig())
+	var err2 error
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/f", 1<<20)
+		err2 = d.Create(p, 0, "/f", 1<<20)
+	})
+	k.Run()
+	if !errors.Is(err2, ErrExists) {
+		t.Errorf("duplicate create: %v", err2)
+	}
+}
+
+func TestBlockSplittingAndPlacement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 64 << 20
+	k, _, d := setup(6, cfg)
+	k.Spawn("client", func(p *sim.Proc) {
+		if err := d.Create(p, 2, "/big", 300<<20); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	locs, err := d.Locations("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 5 { // 300/64 -> 4 full + 1 partial
+		t.Fatalf("blocks %d, want 5", len(locs))
+	}
+	var total int64
+	for i, l := range locs {
+		total += l.Size
+		if len(l.Nodes) != 3 {
+			t.Errorf("block %d has %d replicas, want 3", i, len(l.Nodes))
+		}
+		if l.Nodes[0] != 2 {
+			t.Errorf("block %d first replica on node %d, want writer-local 2", i, l.Nodes[0])
+		}
+	}
+	if total != 300<<20 {
+		t.Errorf("total block size %d", total)
+	}
+}
+
+func TestLocalReadPreferred(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	k, _, d := setup(4, cfg)
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/f", 128<<20)
+		_ = d.Read(p, 0, "/f", 0, 128<<20) // writer-local: must be local
+	})
+	k.Run()
+	if d.LocalReads() != 1 || d.RemoteReads() != 0 {
+		t.Errorf("local=%d remote=%d, want 1/0", d.LocalReads(), d.RemoteReads())
+	}
+}
+
+func TestRemoteReadWhenNoLocalReplica(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 1
+	k, _, d := setup(4, cfg)
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/f", 128<<20)
+		_ = d.Read(p, 3, "/f", 0, 128<<20) // replica only on node 0
+	})
+	k.Run()
+	if d.RemoteReads() != 1 {
+		t.Errorf("remote=%d, want 1", d.RemoteReads())
+	}
+}
+
+func TestHigherReplicationImprovesLocality(t *testing.T) {
+	// The paper's §V-B2 fix: replication == nodes makes every executor
+	// local to every block.
+	localFrac := func(replication int) float64 {
+		cfg := DefaultConfig()
+		cfg.BlockSize = 32 << 20
+		cfg.Replication = replication
+		k, c, d := setup(8, cfg)
+		k.Spawn("writer", func(p *sim.Proc) {
+			_ = d.Create(p, 0, "/f", 256<<20)
+			// Every node reads its "own" slice, like executors would.
+			wg := sim.NewWaitGroup(c.K)
+			for n := 0; n < 8; n++ {
+				n := n
+				wg.Add(1)
+				c.K.Spawn("reader", func(rp *sim.Proc) {
+					_ = d.Read(rp, n, "/f", int64(n)*32<<20, 32<<20)
+					wg.Done()
+				})
+			}
+			wg.Wait(p)
+		})
+		k.Run()
+		return float64(d.LocalReads()) / float64(d.LocalReads()+d.RemoteReads())
+	}
+	low, high := localFrac(2), localFrac(8)
+	if high != 1.0 {
+		t.Errorf("replication=nodes should give 100%% locality, got %.2f", high)
+	}
+	if low >= high {
+		t.Errorf("locality did not improve with replication: %.2f vs %.2f", low, high)
+	}
+}
+
+func TestDatanodeFailureTransparent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	k, _, d := setup(4, cfg)
+	var err error
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/f", 128<<20)
+		d.KillDatanode(0) // kill the node holding the local replica
+		err = d.Read(p, 0, "/f", 0, 128<<20)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("read after datanode death failed: %v", err)
+	}
+	if d.RemoteReads() != 1 {
+		t.Errorf("read should have failed over to a remote replica")
+	}
+}
+
+func TestAllReplicasDeadIsUnavailable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 1
+	cfg.RereplicationDelay = time.Hour
+	k, _, d := setup(3, cfg)
+	var err error
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/f", 1<<20)
+		d.KillDatanode(0)
+		err = d.Read(p, 1, "/f", 0, 1<<20)
+	})
+	k.Run()
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err=%v, want ErrUnavailable", err)
+	}
+}
+
+func TestRereplicationRestoresFactor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	cfg.RereplicationDelay = time.Second
+	k, _, d := setup(4, cfg)
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/f", 256<<20)
+		d.KillDatanode(0)
+		p.Sleep(time.Minute) // allow re-replication to run
+	})
+	k.Run()
+	reps, err := d.ReplicasOf("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reps {
+		if r != 2 {
+			t.Errorf("block %d has %d live replicas after re-replication, want 2", i, r)
+		}
+	}
+}
+
+func TestHDFSOverheadVsLocalJVMRead(t *testing.T) {
+	// Reading through the DFS must cost more than the same JVM stack
+	// reading a local file directly (extra RPCs, stream setup, checksums)
+	// — the paper measured 25-56% over local files (Table II). Both
+	// paths share the JVM I/O efficiency; DFS adds protocol on top.
+	k, c, d := setup(4, DefaultConfig())
+	var dfsTime, localTime sim.Time
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/f", 1<<30)
+		start := p.Now()
+		_ = d.Read(p, 0, "/f", 0, 1<<30)
+		dfsTime = p.Now() - start
+		start = p.Now()
+		c.Node(0).Scratch.ReadEff(p, 1<<30, c.Cost.JVMIOFactor)
+		localTime = p.Now() - start
+	})
+	k.Run()
+	ratio := float64(dfsTime) / float64(localTime)
+	if ratio < 1.05 || ratio > 1.8 {
+		t.Errorf("DFS/local-JVM read ratio %.3f, want overhead in (1.05, 1.8)", ratio)
+	}
+}
+
+func TestReadRangesProperty(t *testing.T) {
+	// Any in-bounds range read succeeds; out-of-bounds fails.
+	f := func(offRaw, lenRaw uint32) bool {
+		cfg := DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		k, _, d := setup(3, cfg)
+		size := int64(10 << 20)
+		off := int64(offRaw) % (size + 100)
+		length := int64(lenRaw) % (size + 100)
+		var err error
+		k.Spawn("client", func(p *sim.Proc) {
+			_ = d.Create(p, 0, "/f", size)
+			err = d.Read(p, 1, "/f", off, length)
+		})
+		k.Run()
+		inBounds := off+length <= size
+		return (err == nil) == inBounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteRenameList(t *testing.T) {
+	k, _, d := setup(3, DefaultConfig())
+	var listed, afterDelete []string
+	var renameErr, readErr error
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/data/a", 1<<20)
+		_ = d.Create(p, 0, "/data/b", 1<<20)
+		_ = d.Create(p, 0, "/other/c", 1<<20)
+		listed = d.List("/data/")
+		renameErr = d.Rename(p, 0, "/data/a", "/data/a2")
+		if err := d.Delete(p, 0, "/data/b"); err != nil {
+			t.Error(err)
+		}
+		afterDelete = d.List("/data/")
+		readErr = d.Read(p, 0, "/data/b", 0, 1)
+	})
+	k.Run()
+	if len(listed) != 2 || listed[0] != "/data/a" {
+		t.Errorf("list %v", listed)
+	}
+	if renameErr != nil {
+		t.Errorf("rename: %v", renameErr)
+	}
+	if len(afterDelete) != 1 || afterDelete[0] != "/data/a2" {
+		t.Errorf("after delete %v", afterDelete)
+	}
+	if !errors.Is(readErr, ErrNotFound) {
+		t.Errorf("read deleted file: %v", readErr)
+	}
+}
+
+func TestRenameCollision(t *testing.T) {
+	k, _, d := setup(2, DefaultConfig())
+	var err error
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/a", 1<<20)
+		_ = d.Create(p, 0, "/b", 1<<20)
+		err = d.Rename(p, 0, "/a", "/b")
+	})
+	k.Run()
+	if !errors.Is(err, ErrExists) {
+		t.Errorf("rename onto existing: %v", err)
+	}
+}
+
+func TestDeleteFreesBlocksOnDatanodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 1 << 20
+	k, _, d := setup(2, cfg)
+	k.Spawn("client", func(p *sim.Proc) {
+		_ = d.Create(p, 0, "/f", 10<<20)
+		if err := d.Delete(p, 0, "/f"); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	for i, dn := range d.dns {
+		if len(dn.blocks) != 0 {
+			t.Errorf("datanode %d still holds %d blocks after delete", i, len(dn.blocks))
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package mapred models a Hadoop-MapReduce-style engine (Hadoop 2.6 in the
+// paper): input splits with locality hints, slot-scheduled map tasks with
+// per-task JVM spawn cost, sorted spills to local disk, a socket shuffle,
+// merging reduce tasks, and automatic re-execution of failed tasks.
+//
+// The engine's signature behaviour — every stage boundary goes through
+// disk — is what separates Hadoop from Spark in the paper's Fig 4:
+// "Hadoop relies heavily on disk operations and persists intermediate
+// results on disk."
+package mapred
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// Pair is an intermediate or output key-value pair.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Split is one unit of map input.
+type Split struct {
+	ID    int
+	Hosts []int // nodes holding the data (locality hints)
+	Bytes int64 // logical bytes, for cost accounting
+}
+
+// Input supplies records to map tasks. Read must charge whatever I/O the
+// access costs (e.g. a DFS read) and return the physical records of the
+// split.
+type Input[In any] interface {
+	Splits() []Split
+	Read(p *sim.Proc, node int, s Split) []In
+}
+
+// Config tunes the engine.
+type Config struct {
+	NumReduces   int
+	SlotsPerNode int
+	// PairBytes is the logical wire/disk size of one emitted pair, used
+	// to charge spills and shuffle (sampled datasets emit few physical
+	// pairs representing many logical ones).
+	PairBytes int64
+	// MaxAttempts bounds task re-execution (Hadoop default 4).
+	MaxAttempts int
+	// FailureInjector, when non-nil, is consulted per task attempt; true
+	// makes the attempt fail after doing half its work. Used to exercise
+	// the re-execution path.
+	FailureInjector func(task string, attempt int) bool
+}
+
+// DefaultConfig mirrors common Hadoop settings.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		NumReduces:   nodes,
+		SlotsPerNode: 8,
+		PairBytes:    64,
+		MaxAttempts:  4,
+	}
+}
+
+// Stats reports what a job did.
+type Stats struct {
+	MapTasks      int
+	ReduceTasks   int
+	InputRecords  int64
+	OutputPairs   int64
+	SpilledBytes  int64 // map-side sorted spills (logical)
+	ShuffledBytes int64 // moved between map and reduce nodes (logical)
+	Retries       int
+	Elapsed       time.Duration
+}
+
+// Job is one MapReduce job. Map is called once per input record; Reduce
+// once per distinct key with all its values (first-seen key order, which
+// is deterministic for deterministic inputs). Combine, when non-nil, runs
+// on each map task's spill to shrink it before the shuffle (Hadoop's
+// Combiner; it must be associative and produce reducer-compatible
+// values).
+type Job[In any, K comparable, V any] struct {
+	Cluster *cluster.Cluster
+	Fabric  cluster.FabricSpec // socket fabric for shuffle + control
+	Name    string
+	Input   Input[In]
+	Map     func(in In, emit func(K, V))
+	Combine func(key K, vals []V) V
+	Reduce  func(key K, vals []V, emit func(K, V))
+	Conf    Config
+}
+
+// mapOutput is one map task's partitioned, sorted spill.
+type mapOutput[K comparable, V any] struct {
+	node       int
+	partitions [][]Pair[K, V]
+	partBytes  []int64
+}
+
+// perCompare is the JVM cost of one sort comparison.
+const perCompare = 25 * time.Nanosecond
+
+// Run executes the job from the calling process (the "client"), returning
+// the reduce outputs and statistics. The job tracker lives on node 0.
+func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
+	c := j.Cluster
+	cm := c.Cost
+	conf := j.Conf
+	if conf.NumReduces <= 0 {
+		conf.NumReduces = c.Size()
+	}
+	if conf.SlotsPerNode <= 0 {
+		conf.SlotsPerNode = 8
+	}
+	if conf.PairBytes <= 0 {
+		conf.PairBytes = 64
+	}
+	if conf.MaxAttempts <= 0 {
+		conf.MaxAttempts = 4
+	}
+	var st Stats
+	start := p.Now()
+
+	// Job submission and initialization at the tracker.
+	p.Sleep(cm.HadoopJobOverhead)
+
+	splits := j.Input.Splits()
+	st.MapTasks = len(splits)
+	st.ReduceTasks = conf.NumReduces
+
+	slots := make([]*sim.Resource, c.Size())
+	for i := range slots {
+		slots[i] = sim.NewResource(c.K, fmt.Sprintf("%s.slots%d", j.Name, i), int64(conf.SlotsPerNode))
+	}
+
+	// ---- map phase ----
+	outputs := make([]*mapOutput[K, V], len(splits))
+	wg := sim.NewWaitGroup(c.K)
+	for ti, s := range splits {
+		ti, s := ti, s
+		node := 0
+		if len(s.Hosts) > 0 {
+			node = s.Hosts[ti%len(s.Hosts)]
+		}
+		wg.Add(1)
+		c.K.Spawn(fmt.Sprintf("%s.map%d", j.Name, ti), func(tp *sim.Proc) {
+			defer wg.Done()
+			taskName := fmt.Sprintf("map%d", ti)
+			for attempt := 1; ; attempt++ {
+				slots[node].Acquire(tp, 1)
+				ok := j.runMapAttempt(tp, taskName, attempt, node, s, ti, outputs, &st, conf)
+				slots[node].Release(1)
+				if ok {
+					return
+				}
+				st.Retries++
+				if attempt+1 > conf.MaxAttempts {
+					panic(fmt.Sprintf("mapred: %s.%s exceeded %d attempts", j.Name, taskName, conf.MaxAttempts))
+				}
+			}
+		})
+	}
+	wg.Wait(p)
+
+	// ---- reduce phase (shuffle + merge + reduce) ----
+	results := make([][]Pair[K, V], conf.NumReduces)
+	rwg := sim.NewWaitGroup(c.K)
+	for r := 0; r < conf.NumReduces; r++ {
+		r := r
+		node := r % c.Size()
+		rwg.Add(1)
+		c.K.Spawn(fmt.Sprintf("%s.reduce%d", j.Name, r), func(tp *sim.Proc) {
+			defer rwg.Done()
+			taskName := fmt.Sprintf("reduce%d", r)
+			for attempt := 1; ; attempt++ {
+				slots[node].Acquire(tp, 1)
+				out, ok := j.runReduceAttempt(tp, taskName, attempt, node, r, outputs, &st, conf)
+				slots[node].Release(1)
+				if ok {
+					results[r] = out
+					return
+				}
+				st.Retries++
+				if attempt+1 > conf.MaxAttempts {
+					panic(fmt.Sprintf("mapred: %s.%s exceeded %d attempts", j.Name, taskName, conf.MaxAttempts))
+				}
+			}
+		})
+	}
+	rwg.Wait(p)
+
+	var all []Pair[K, V]
+	for _, rs := range results {
+		all = append(all, rs...)
+	}
+	st.OutputPairs = int64(len(all))
+	st.Elapsed = time.Duration(p.Now() - start)
+	return all, st
+}
+
+// runMapAttempt executes one attempt of a map task; false means injected
+// failure.
+func (j *Job[In, K, V]) runMapAttempt(tp *sim.Proc, task string, attempt, node int,
+	s Split, ti int, outputs []*mapOutput[K, V], st *Stats, conf Config) bool {
+	c := j.Cluster
+	cm := c.Cost
+	tp.Sleep(cm.HadoopTaskOverhead) // JVM spawn
+
+	fail := conf.FailureInjector != nil && conf.FailureInjector(task, attempt)
+
+	records := j.Input.Read(tp, node, s)
+	st.InputRecords += int64(len(records))
+
+	// Record processing: framework per-record cost plus JVM-rate scan of
+	// the split's logical bytes.
+	tp.Sleep(time.Duration(len(records)) * cm.HadoopPerRecord)
+	tp.Sleep(cluster.ScanCost(s.Bytes, cm.JVMScanBW()))
+
+	if fail {
+		return false // half-done attempt wasted the time above
+	}
+
+	parts := make([][]Pair[K, V], conf.NumReduces)
+	emit := func(k K, v V) {
+		h := partitionOf(k, conf.NumReduces)
+		parts[h] = append(parts[h], Pair[K, V]{k, v})
+	}
+	for _, rec := range records {
+		j.Map(rec, emit)
+	}
+
+	// Map-side combine shrinks each partition before it is spilled.
+	if j.Combine != nil {
+		for pi, part := range parts {
+			parts[pi] = combinePairs(part, j.Combine)
+		}
+	}
+
+	// Sort each partition by key hash (Hadoop sorts spills) and charge
+	// n log n comparisons plus the disk write of the spill.
+	mo := &mapOutput[K, V]{node: node, partitions: parts, partBytes: make([]int64, conf.NumReduces)}
+	var totalPairs, totalBytes int64
+	for pi, part := range parts {
+		sortByKeyHash(part)
+		b := int64(len(part)) * conf.PairBytes
+		mo.partBytes[pi] = b
+		totalPairs += int64(len(part))
+		totalBytes += b
+	}
+	if totalPairs > 0 {
+		tp.Sleep(time.Duration(float64(totalPairs)*math.Log2(float64(totalPairs)+1)) * perCompare / 1)
+	}
+	st.SpilledBytes += totalBytes
+	c.Node(node).Scratch.Write(tp, totalBytes)
+	outputs[ti] = mo
+	return true
+}
+
+// runReduceAttempt executes one attempt of a reduce task.
+func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, node, r int,
+	outputs []*mapOutput[K, V], st *Stats, conf Config) ([]Pair[K, V], bool) {
+	c := j.Cluster
+	cm := c.Cost
+	tp.Sleep(cm.HadoopTaskOverhead)
+
+	fail := conf.FailureInjector != nil && conf.FailureInjector(task, attempt)
+
+	// Shuffle: fetch this reducer's partition from every map output.
+	var fetched []Pair[K, V]
+	for _, mo := range outputs {
+		part := mo.partitions[r]
+		b := mo.partBytes[r]
+		if b == 0 {
+			continue
+		}
+		c.Node(mo.node).Scratch.Read(tp, b) // map-side spill read
+		if mo.node != node {
+			c.Xfer(tp, mo.node, node, b, j.Fabric)
+			st.ShuffledBytes += b
+		}
+		tp.Sleep(cm.DeserTime(b))
+		fetched = append(fetched, part...)
+	}
+	if fail {
+		return nil, false
+	}
+
+	// Merge (sort) and group.
+	sortByKeyHash(fetched)
+	if n := len(fetched); n > 0 {
+		tp.Sleep(time.Duration(float64(n)*math.Log2(float64(n)+1)) * perCompare)
+	}
+	tp.Sleep(time.Duration(len(fetched)) * cm.HadoopPerRecord)
+
+	var out []Pair[K, V]
+	emit := func(k K, v V) { out = append(out, Pair[K, V]{k, v}) }
+	i := 0
+	for i < len(fetched) {
+		jx := i + 1
+		for jx < len(fetched) && fetched[jx].Key == fetched[i].Key {
+			jx++
+		}
+		vals := make([]V, 0, jx-i)
+		for _, pr := range fetched[i:jx] {
+			vals = append(vals, pr.Val)
+		}
+		j.Reduce(fetched[i].Key, vals, emit)
+		i = jx
+	}
+
+	// Reduce output is persisted to disk (Hadoop writes to HDFS; charge
+	// the local-replica write).
+	c.Node(node).Scratch.Write(tp, int64(len(out))*conf.PairBytes)
+	return out, true
+}

@@ -1,0 +1,85 @@
+package mapred
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// keyHash produces a deterministic hash for any comparable key; common key
+// types avoid the reflection path.
+func keyHash(k any) uint64 {
+	switch v := k.(type) {
+	case int:
+		return mix(uint64(v))
+	case int32:
+		return mix(uint64(v))
+	case int64:
+		return mix(uint64(v))
+	case uint64:
+		return mix(v)
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return h.Sum64()
+	default:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", v)
+		return h.Sum64()
+	}
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// partitionOf maps a key to one of n reduce partitions.
+func partitionOf(k any, n int) int {
+	return int(keyHash(k) % uint64(n))
+}
+
+// sortByKeyHash sorts pairs so equal keys are adjacent, with a
+// deterministic total order (hash, then formatted key for the rare
+// collisions).
+func sortByKeyHash[K comparable, V any](pairs []Pair[K, V]) {
+	if len(pairs) < 2 {
+		return
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		hi, hj := keyHash(pairs[i].Key), keyHash(pairs[j].Key)
+		if hi != hj {
+			return hi < hj
+		}
+		if pairs[i].Key == pairs[j].Key {
+			return false
+		}
+		// Hash collision between distinct keys: break the tie on the
+		// formatted key so equal keys stay adjacent deterministically.
+		return fmt.Sprint(pairs[i].Key) < fmt.Sprint(pairs[j].Key)
+	})
+}
+
+// combinePairs groups equal keys and folds their values with the
+// combiner, preserving first-seen key order.
+func combinePairs[K comparable, V any](pairs []Pair[K, V], combine func(K, []V) V) []Pair[K, V] {
+	if len(pairs) < 2 {
+		return pairs
+	}
+	groups := map[K][]V{}
+	var order []K
+	for _, p := range pairs {
+		if _, seen := groups[p.Key]; !seen {
+			order = append(order, p.Key)
+		}
+		groups[p.Key] = append(groups[p.Key], p.Val)
+	}
+	out := make([]Pair[K, V], 0, len(order))
+	for _, k := range order {
+		out = append(out, Pair[K, V]{k, combine(k, groups[k])})
+	}
+	return out
+}

@@ -1,0 +1,423 @@
+package mpi
+
+import "time"
+
+// Collective tags live in a reserved space above user tags.
+const (
+	tagBarrier = 1 << 28
+	tagBcast   = 2 << 28
+	tagReduce  = 3 << 28
+	tagGather  = 4 << 28
+	tagScatter = 5 << 28
+	tagAllg    = 6 << 28
+	tagA2A     = 7 << 28
+	tagRing    = 8 << 28
+	tagScan    = 9 << 28
+	tagExscan  = 10 << 28
+	tagGatherv = 11 << 28
+)
+
+// ReduceOp combines two float64 values.
+type ReduceOp func(a, b float64) float64
+
+// Predefined reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Barrier blocks until every rank of the communicator has entered, using
+// the dissemination algorithm: ceil(log2 n) rounds of small messages.
+func (c *Comm) Barrier(r *Rank) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.rankOf(r)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		c.Sendrecv(r, to, tagBarrier+dist, nil, 8, from, tagBarrier+dist)
+	}
+}
+
+// Bcast broadcasts payload (of the given size) from root to all ranks using
+// a binomial tree, returning the payload on every rank.
+func (c *Comm) Bcast(r *Rank, root int, payload any, bytes int64) any {
+	n := c.Size()
+	if n == 1 {
+		return payload
+	}
+	me := c.rankOf(r)
+	rel := (me - root + n) % n // relative rank: root becomes 0
+
+	// Find the lowest set bit of rel: receive from the rank that differs
+	// in that bit, then forward to higher-bit children.
+	if rel != 0 {
+		mask := 1
+		for rel&mask == 0 {
+			mask <<= 1
+		}
+		m := c.Recv(r, ((rel-mask)+root)%n, tagBcast)
+		payload = m.Payload
+		// Forward to children above the received bit.
+		for child := mask >> 1; child >= 1; child >>= 1 {
+			dst := rel | child
+			if dst < n && dst != rel {
+				c.Send(r, (dst+root)%n, tagBcast, payload, bytes)
+			}
+		}
+		return payload
+	}
+	// Root sends to each power-of-two child, highest first (so subtree
+	// forwarding overlaps).
+	top := 1
+	for top < n {
+		top <<= 1
+	}
+	for child := top >> 1; child >= 1; child >>= 1 {
+		if child < n {
+			c.Send(r, (child+root)%n, tagBcast, payload, bytes)
+		}
+	}
+	return payload
+}
+
+// Reduce combines each rank's data element-wise with op, delivering the
+// result at root (nil elsewhere). It uses a binomial tree; per-element
+// arithmetic is charged to the combining rank. This mirrors the OSU reduce
+// microbenchmark semantics: the result array has the same length as the
+// input (Fig 3).
+func (c *Comm) Reduce(r *Rank, root int, data []float64, op ReduceOp, elemBytes int64) []float64 {
+	n := c.Size()
+	me := c.rankOf(r)
+	rel := (me - root + n) % n
+	bytes := int64(len(data)) * elemBytes
+
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	cm := r.cost()
+
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			// Send accumulator to the partner below and exit.
+			c.Send(r, ((rel-mask)+root)%n, tagReduce+mask, acc, bytes)
+			return nil
+		}
+		partner := rel | mask
+		if partner < n {
+			m := c.Recv(r, (partner+root)%n, tagReduce+mask)
+			other := m.Payload.([]float64)
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+			r.p.Sleep(time.Duration(len(acc)) * cm.ReduceFlopTime)
+		}
+	}
+	if me == root {
+		return acc
+	}
+	return nil
+}
+
+// Allreduce combines data across all ranks and returns the result
+// everywhere. Small vectors use recursive doubling; vectors larger than
+// ringThreshold bytes use a bandwidth-optimal ring
+// (reduce-scatter + allgather), matching how tuned MPI implementations
+// switch algorithms by message size — one reason "MPI implementations are
+// well tuned depending on the array size" (§V-B1).
+const ringThreshold = 64 << 10
+
+func (c *Comm) Allreduce(r *Rank, data []float64, op ReduceOp, elemBytes int64) []float64 {
+	n := c.Size()
+	if n == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	bytes := int64(len(data)) * elemBytes
+	if bytes > ringThreshold && len(data) >= n {
+		return c.ringAllreduce(r, data, op, elemBytes)
+	}
+	return c.rdAllreduce(r, data, op, elemBytes)
+}
+
+// rdAllreduce is recursive doubling with the standard pre/post folding for
+// non-power-of-two sizes.
+func (c *Comm) rdAllreduce(r *Rank, data []float64, op ReduceOp, elemBytes int64) []float64 {
+	n := c.Size()
+	me := c.rankOf(r)
+	bytes := int64(len(data)) * elemBytes
+	cm := r.cost()
+
+	acc := make([]float64, len(data))
+	copy(acc, data)
+
+	// Largest power of two <= n.
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+
+	combine := func(other []float64) {
+		for i := range acc {
+			acc[i] = op(acc[i], other[i])
+		}
+		r.p.Sleep(time.Duration(len(acc)) * cm.ReduceFlopTime)
+	}
+
+	// Payloads travel by reference in the simulator, so anything sent
+	// while acc is still being mutated must be a snapshot.
+	snapshot := func() []float64 { return append([]float64(nil), acc...) }
+
+	// Pre-phase: ranks >= pof2 send their data into the power-of-two set.
+	newRank := me
+	if me >= pof2 {
+		c.Send(r, me-pof2, tagReduce, snapshot(), bytes)
+		newRank = -1
+	} else if me < rem {
+		m := c.Recv(r, me+pof2, tagReduce)
+		combine(m.Payload.([]float64))
+	}
+
+	if newRank >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := newRank ^ mask
+			m := c.Sendrecv(r, partner, tagReduce+mask, snapshot(), bytes, partner, tagReduce+mask)
+			combine(m.Payload.([]float64))
+		}
+	}
+
+	// Post-phase: results flow back out to the folded ranks.
+	if me >= pof2 {
+		m := c.Recv(r, me-pof2, tagReduce+1<<27)
+		copy(acc, m.Payload.([]float64))
+	} else if me < rem {
+		c.Send(r, me+pof2, tagReduce+1<<27, acc, bytes)
+	}
+	return acc
+}
+
+// ringAllreduce is the bandwidth-optimal ring algorithm: a reduce-scatter
+// of n-1 chunk exchanges followed by an allgather of n-1 chunk exchanges.
+func (c *Comm) ringAllreduce(r *Rank, data []float64, op ReduceOp, elemBytes int64) []float64 {
+	n := c.Size()
+	me := c.rankOf(r)
+	cm := r.cost()
+
+	acc := make([]float64, len(data))
+	copy(acc, data)
+
+	// Chunk boundaries.
+	bounds := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		bounds[i] = i * len(data) / n
+	}
+	chunk := func(i int) []float64 { return acc[bounds[i]:bounds[i+1]] }
+	chunkBytes := func(i int) int64 { return int64(bounds[i+1]-bounds[i]) * elemBytes }
+
+	next := (me + 1) % n
+	prev := (me - 1 + n) % n
+
+	// Reduce-scatter.
+	for step := 0; step < n-1; step++ {
+		sendIdx := (me - step + n) % n
+		recvIdx := (me - step - 1 + n) % n
+		sendCopy := append([]float64(nil), chunk(sendIdx)...)
+		m := c.Sendrecv(r, next, tagRing+step, sendCopy, chunkBytes(sendIdx), prev, tagRing+step)
+		in := m.Payload.([]float64)
+		dst := chunk(recvIdx)
+		for i := range dst {
+			dst[i] = op(dst[i], in[i])
+		}
+		r.p.Sleep(time.Duration(len(dst)) * cm.ReduceFlopTime)
+	}
+	// Allgather.
+	for step := 0; step < n-1; step++ {
+		sendIdx := (me + 1 - step + n) % n
+		recvIdx := (me - step + n) % n
+		sendCopy := append([]float64(nil), chunk(sendIdx)...)
+		m := c.Sendrecv(r, next, tagRing+(1<<20)+step, sendCopy, chunkBytes(sendIdx), prev, tagRing+(1<<20)+step)
+		copy(chunk(recvIdx), m.Payload.([]float64))
+	}
+	return acc
+}
+
+// Gather collects one payload of the given size from every rank at root;
+// root receives them ordered by rank, others get nil. Linear algorithm,
+// as used for short gathers.
+func (c *Comm) Gather(r *Rank, root int, payload any, bytes int64) []any {
+	n := c.Size()
+	me := c.rankOf(r)
+	if me != root {
+		c.Send(r, root, tagGather, payload, bytes)
+		return nil
+	}
+	out := make([]any, n)
+	out[me] = payload
+	for i := 0; i < n-1; i++ {
+		m := c.Recv(r, AnySource, tagGather)
+		out[m.Src] = m.Payload
+	}
+	return out
+}
+
+// Scatter distributes items[i] (each of the given size) from root to rank
+// i and returns this rank's item.
+func (c *Comm) Scatter(r *Rank, root int, items []any, bytes int64) any {
+	n := c.Size()
+	me := c.rankOf(r)
+	if me == root {
+		if len(items) != n {
+			panic("mpi: Scatter items length must equal comm size at root")
+		}
+		for i := 0; i < n; i++ {
+			if i != me {
+				c.Send(r, i, tagScatter, items[i], bytes)
+			}
+		}
+		return items[me]
+	}
+	return c.Recv(r, root, tagScatter).Payload
+}
+
+// Allgather collects one payload from every rank on every rank, using the
+// ring algorithm (n-1 neighbor exchanges).
+func (c *Comm) Allgather(r *Rank, payload any, bytes int64) []any {
+	n := c.Size()
+	me := c.rankOf(r)
+	out := make([]any, n)
+	out[me] = payload
+	if n == 1 {
+		return out
+	}
+	next := (me + 1) % n
+	prev := (me - 1 + n) % n
+	cur := payload
+	curIdx := me
+	for step := 0; step < n-1; step++ {
+		m := c.Sendrecv(r, next, tagAllg+step, cur, bytes, prev, tagAllg+step)
+		curIdx = (curIdx - 1 + n) % n
+		if curIdx != (me-step-1+n)%n {
+			panic("mpi: allgather bookkeeping error")
+		}
+		out[curIdx] = m.Payload
+		cur = m.Payload
+	}
+	return out
+}
+
+// Alltoall exchanges items[i] with rank i (each of the given size) and
+// returns the items received, indexed by source. Pairwise-exchange
+// algorithm.
+func (c *Comm) Alltoall(r *Rank, items []any, bytes int64) []any {
+	n := c.Size()
+	me := c.rankOf(r)
+	if len(items) != n {
+		panic("mpi: Alltoall items length must equal comm size")
+	}
+	out := make([]any, n)
+	out[me] = items[me]
+	pow2 := n&(n-1) == 0
+	for step := 1; step < n; step++ {
+		if pow2 {
+			// XOR pairwise exchange.
+			partner := me ^ step
+			m := c.Sendrecv(r, partner, tagA2A+step, items[partner], bytes, partner, tagA2A+step)
+			out[partner] = m.Payload
+		} else {
+			// Shifted pairing: send to me+step, receive from me-step.
+			to := (me + step) % n
+			from := (me - step + n) % n
+			m := c.Sendrecv(r, to, tagA2A+step, items[to], bytes, from, tagA2A+step)
+			out[from] = m.Payload
+		}
+	}
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives the
+// element-wise combination of ranks 0..i (MPI_Scan). Linear-pipeline
+// algorithm.
+func (c *Comm) Scan(r *Rank, data []float64, op ReduceOp, elemBytes int64) []float64 {
+	n := c.Size()
+	me := c.rankOf(r)
+	bytes := int64(len(data)) * elemBytes
+	cm := r.cost()
+
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if me > 0 {
+		m := c.Recv(r, me-1, tagScan)
+		prev := m.Payload.([]float64)
+		for i := range acc {
+			acc[i] = op(prev[i], acc[i])
+		}
+		r.p.Sleep(time.Duration(len(acc)) * cm.ReduceFlopTime)
+	}
+	if me < n-1 {
+		c.Send(r, me+1, tagScan, append([]float64(nil), acc...), bytes)
+	}
+	return acc
+}
+
+// Exscan computes the exclusive prefix reduction: rank i receives the
+// combination of ranks 0..i-1; rank 0's result is undefined (returned as
+// a zero slice), per MPI_Exscan.
+func (c *Comm) Exscan(r *Rank, data []float64, op ReduceOp, elemBytes int64) []float64 {
+	n := c.Size()
+	me := c.rankOf(r)
+	bytes := int64(len(data)) * elemBytes
+	cm := r.cost()
+
+	var before []float64
+	if me > 0 {
+		m := c.Recv(r, me-1, tagExscan)
+		before = m.Payload.([]float64)
+	} else {
+		before = make([]float64, len(data))
+	}
+	if me < n-1 {
+		send := make([]float64, len(data))
+		if me == 0 {
+			copy(send, data)
+		} else {
+			for i := range send {
+				send[i] = op(before[i], data[i])
+			}
+			r.p.Sleep(time.Duration(len(send)) * cm.ReduceFlopTime)
+		}
+		c.Send(r, me+1, tagExscan, send, bytes)
+	}
+	return before
+}
+
+// Gatherv collects variable-sized payloads at root: every rank passes its
+// payload and size; root receives them ordered by rank, others get nil.
+func (c *Comm) Gatherv(r *Rank, root int, payload any, bytes int64) []any {
+	n := c.Size()
+	me := c.rankOf(r)
+	if me != root {
+		c.Send(r, root, tagGatherv, payload, bytes)
+		return nil
+	}
+	out := make([]any, n)
+	out[me] = payload
+	for i := 0; i < n-1; i++ {
+		m := c.Recv(r, AnySource, tagGatherv)
+		out[m.Src] = m.Payload
+	}
+	return out
+}

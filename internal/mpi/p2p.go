@@ -1,0 +1,204 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"hpcbd/internal/sim"
+)
+
+// Message is a received point-to-point message.
+type Message struct {
+	Src     int // rank within the communicator it was sent on
+	Tag     int
+	Bytes   int64
+	Payload any
+}
+
+// envelope is an in-flight message at the receiver: either a delivered
+// eager message or a rendezvous RTS awaiting the data transfer.
+type envelope struct {
+	cid     int
+	src     int // comm-relative source rank
+	tag     int
+	bytes   int64
+	payload any
+	eager   bool
+	// rendezvous state
+	cts  *sim.Future[struct{}] // completed when the receiver matches (clear-to-send)
+	data *sim.Future[Message]  // completed by the sender when payload lands
+}
+
+type postedRecv struct {
+	cid, src, tag int
+	fut           *sim.Future[*envelope]
+}
+
+func match(cid, src, tag int, e *envelope) bool {
+	return e.cid == cid &&
+		(src == AnySource || e.src == src) &&
+		(tag == AnyTag || e.tag == tag)
+}
+
+func matchPost(pr *postedRecv, e *envelope) bool {
+	return match(pr.cid, pr.src, pr.tag, e)
+}
+
+// deliver is invoked (as a kernel callback) when a message or RTS arrives
+// at the destination rank: hand it to a matching posted receive, or queue
+// it as unexpected.
+func (r *Rank) deliver(e *envelope) {
+	for i, pr := range r.posted {
+		if matchPost(pr, e) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			pr.fut.Complete(e)
+			return
+		}
+	}
+	r.unexpected = append(r.unexpected, e)
+}
+
+// rtsBytes is the size of the rendezvous control messages.
+const rtsBytes = 64
+
+// Send performs a blocking standard-mode send of a message of the given
+// logical size to dst on communicator c. Payload travels by reference —
+// the simulated cost is determined by bytes, not by the Go value.
+//
+// Messages at or below the eager threshold complete as soon as they are
+// injected (buffered at the receiver); larger messages use a rendezvous
+// protocol and block until the receiver has matched.
+func (c *Comm) Send(r *Rank, dst, tag int, payload any, bytes int64) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (comm size %d)", dst, c.Size()))
+	}
+	cm := r.cost()
+	r.p.Sleep(cm.MPIPerCallOverhead)
+	r.sends++
+	r.sentBytes += bytes
+	dr := c.world.ranks[c.group[dst]]
+	f := r.fabric()
+	src := c.rankOf(r)
+
+	if bytes <= cm.MPIEagerThreshold {
+		e := &envelope{cid: c.cid, src: src, tag: tag, bytes: bytes, payload: payload, eager: true}
+		c.world.Cluster.XferAsync(r.p, r.node, dr.node, bytes+rtsBytes, f, func() {
+			dr.deliver(e)
+		})
+		return
+	}
+
+	// Rendezvous: RTS, wait for CTS, then transfer payload.
+	k := c.world.Cluster.K
+	e := &envelope{
+		cid: c.cid, src: src, tag: tag, bytes: bytes,
+		cts:  sim.NewFuture[struct{}](k),
+		data: sim.NewFuture[Message](k),
+	}
+	c.world.Cluster.XferAsync(r.p, r.node, dr.node, rtsBytes, f, func() {
+		dr.deliver(e)
+	})
+	e.cts.Wait(r.p)
+	c.world.Cluster.Xfer(r.p, r.node, dr.node, bytes, f)
+	e.data.Complete(Message{Src: src, Tag: tag, Bytes: bytes, Payload: payload})
+}
+
+// Recv performs a blocking receive matching (src, tag) on communicator c.
+// src may be AnySource and tag may be AnyTag.
+func (c *Comm) Recv(r *Rank, src, tag int) Message {
+	r.p.Sleep(r.cost().MPIPerCallOverhead)
+	return c.recvOn(r, r, src, tag)
+}
+
+// Request is a handle to a non-blocking operation.
+type Request struct {
+	done *sim.Future[Message]
+}
+
+// Wait blocks until the operation completes and returns the message (zero
+// Message for sends).
+func (q *Request) Wait(r *Rank) Message { return q.done.Wait(r.p) }
+
+// Isend starts a non-blocking send and returns a request. The rank is
+// charged only the call overhead; the transfer proceeds in a background
+// simulated process.
+func (c *Comm) Isend(r *Rank, dst, tag int, payload any, bytes int64) *Request {
+	k := c.world.Cluster.K
+	req := &Request{done: sim.NewFuture[Message](k)}
+	// The background proc inherits the rank's identity for matching
+	// purposes but runs on its own virtual thread, as a real MPI progress
+	// engine would.
+	k.Spawn(fmt.Sprintf("mpi.isend.%d->%d", c.rankOf(r), dst), func(p *sim.Proc) {
+		shadow := &Rank{world: r.world, rank: r.rank, node: r.node, p: p}
+		c.Send(shadow, dst, tag, payload, bytes)
+		r.sends++
+		r.sentBytes += bytes
+		req.done.Complete(Message{})
+	})
+	r.p.Sleep(r.cost().MPIPerCallOverhead)
+	return req
+}
+
+// Irecv starts a non-blocking receive.
+func (c *Comm) Irecv(r *Rank, src, tag int) *Request {
+	k := c.world.Cluster.K
+	req := &Request{done: sim.NewFuture[Message](k)}
+	k.Spawn(fmt.Sprintf("mpi.irecv.%d", c.rankOf(r)), func(p *sim.Proc) {
+		// The shadow runs on its own virtual thread but matches against
+		// the real rank's queues.
+		shadow := &Rank{world: r.world, rank: r.rank, node: r.node, p: p}
+		m := c.recvOn(r, shadow, src, tag)
+		req.done.Complete(m)
+	})
+	r.p.Sleep(r.cost().MPIPerCallOverhead)
+	return req
+}
+
+// recvOn performs a receive using owner's matching queues but charging
+// time to the proc of exec (used by Irecv progress threads).
+func (c *Comm) recvOn(owner, exec *Rank, src, tag int) Message {
+	f := exec.fabric()
+	var e *envelope
+	for i, u := range owner.unexpected {
+		if match(c.cid, src, tag, u) {
+			owner.unexpected = append(owner.unexpected[:i], owner.unexpected[i+1:]...)
+			e = u
+			break
+		}
+	}
+	if e == nil {
+		pr := &postedRecv{cid: c.cid, src: src, tag: tag, fut: sim.NewFuture[*envelope](c.world.Cluster.K)}
+		owner.posted = append(owner.posted, pr)
+		e = pr.fut.Wait(exec.p)
+	}
+	owner.recvs++
+	if e.eager {
+		exec.p.Sleep(f.RecvOverhead)
+		return Message{Src: e.src, Tag: e.tag, Bytes: e.bytes, Payload: e.payload}
+	}
+	k := c.world.Cluster.K
+	k.After(f.TransferTime(rtsBytes), func() { e.cts.Complete(struct{}{}) })
+	return e.data.Wait(exec.p)
+}
+
+// Sendrecv concurrently sends to dst and receives from src, the deadlock-
+// free exchange primitive collective algorithms are built on.
+func (c *Comm) Sendrecv(r *Rank, dst, sendTag int, payload any, bytes int64, src, recvTag int) Message {
+	req := c.Isend(r, dst, sendTag, payload, bytes)
+	m := c.Recv(r, src, recvTag)
+	req.Wait(r)
+	return m
+}
+
+// Probe reports whether a matching message is already queued (non-blocking,
+// in the spirit of MPI_Iprobe).
+func (c *Comm) Probe(r *Rank, src, tag int) bool {
+	for _, u := range r.unexpected {
+		if match(c.cid, src, tag, u) {
+			return true
+		}
+	}
+	return false
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * 1e9) }

@@ -1,0 +1,135 @@
+package mpi
+
+// MPI-3 one-sided communication (§II-B of the paper: "RMA capability has
+// been added to MPI via the notion of windows. Any memory segment that is
+// part of a window can be remotely accessed by other processes via
+// put/get RMA operations"). Windows expose a per-rank float64 buffer;
+// Put/Get/Accumulate ride the RDMA fabric without involving the target's
+// CPU, and Fence provides active-target synchronization.
+
+import (
+	"fmt"
+
+	"hpcbd/internal/sim"
+)
+
+// Win is an MPI window: one buffer per rank, remotely accessible.
+type Win struct {
+	comm *Comm
+	name string
+	bufs [][]float64
+
+	// per-rank epoch state
+	pending []int         // outstanding one-sided ops initiated by rank
+	quiet   []*sim.Signal // completion signals per initiating rank
+}
+
+// WinCreate collectively creates a window exposing a local buffer of n
+// float64s on every rank of the communicator (synchronizes like
+// MPI_Win_create).
+func (c *Comm) WinCreate(r *Rank, name string, n int) *Win {
+	key := "win:" + name
+	w := c.world
+	if existing, ok := w.windows[key]; ok {
+		c.Barrier(r)
+		return existing
+	}
+	win := &Win{
+		comm:    c,
+		name:    name,
+		bufs:    make([][]float64, c.Size()),
+		pending: make([]int, c.Size()),
+		quiet:   make([]*sim.Signal, c.Size()),
+	}
+	for i := range win.bufs {
+		win.bufs[i] = make([]float64, n)
+		win.quiet[i] = sim.NewSignal(w.Cluster.K)
+	}
+	w.windows[key] = win
+	c.Barrier(r)
+	return win
+}
+
+// Local returns the caller's slice of the window.
+func (win *Win) Local(r *Rank) []float64 { return win.bufs[win.comm.rankOf(r)] }
+
+// rmaBytes is the wire size per element.
+const rmaBytes = 8
+
+// Put writes vals into target's window at offset; returns after local
+// completion (the transfer lands one latency later; Fence or Flush waits
+// for it).
+func (win *Win) Put(r *Rank, target, offset int, vals []float64) {
+	me := win.comm.rankOf(r)
+	dst := win.bufs[target]
+	if offset+len(vals) > len(dst) {
+		panic(fmt.Sprintf("mpi: RMA put out of bounds on %s", win.name))
+	}
+	c := win.comm.world.Cluster
+	tgtNode := win.comm.world.ranks[win.comm.group[target]].node
+	snapshot := append([]float64(nil), vals...)
+	win.pending[me]++
+	c.XferAsync(r.p, r.node, tgtNode, int64(len(vals))*rmaBytes, c.Fabric, func() {
+		copy(dst[offset:], snapshot)
+		win.pending[me]--
+		if win.pending[me] == 0 {
+			win.quiet[me].Broadcast()
+		}
+	})
+}
+
+// Get reads n elements from target's window at offset, blocking for the
+// round trip (emulating a completed MPI_Get + flush).
+func (win *Win) Get(r *Rank, target, offset, n int) []float64 {
+	src := win.bufs[target]
+	if offset+n > len(src) {
+		panic(fmt.Sprintf("mpi: RMA get out of bounds on %s", win.name))
+	}
+	c := win.comm.world.Cluster
+	tgtNode := win.comm.world.ranks[win.comm.group[target]].node
+	c.Xfer(r.p, r.node, tgtNode, 16, c.Fabric)
+	c.Xfer(r.p, tgtNode, r.node, int64(n)*rmaBytes, c.Fabric)
+	out := make([]float64, n)
+	copy(out, src[offset:offset+n])
+	return out
+}
+
+// Accumulate atomically adds vals element-wise into target's window at
+// offset (MPI_Accumulate with MPI_SUM); local completion semantics like
+// Put.
+func (win *Win) Accumulate(r *Rank, target, offset int, vals []float64) {
+	me := win.comm.rankOf(r)
+	dst := win.bufs[target]
+	if offset+len(vals) > len(dst) {
+		panic(fmt.Sprintf("mpi: RMA accumulate out of bounds on %s", win.name))
+	}
+	c := win.comm.world.Cluster
+	tgtNode := win.comm.world.ranks[win.comm.group[target]].node
+	snapshot := append([]float64(nil), vals...)
+	win.pending[me]++
+	c.XferAsync(r.p, r.node, tgtNode, int64(len(vals))*rmaBytes, c.Fabric, func() {
+		for i, v := range snapshot {
+			dst[offset+i] += v
+		}
+		win.pending[me]--
+		if win.pending[me] == 0 {
+			win.quiet[me].Broadcast()
+		}
+	})
+}
+
+// Flush blocks until all one-sided operations this rank initiated have
+// completed at their targets (MPI_Win_flush_all).
+func (win *Win) Flush(r *Rank) {
+	me := win.comm.rankOf(r)
+	for win.pending[me] > 0 {
+		win.quiet[me].Wait(r.p)
+	}
+}
+
+// Fence closes the current RMA epoch: every rank's outstanding operations
+// complete, then all ranks synchronize (MPI_Win_fence).
+func (win *Win) Fence(r *Rank) {
+	win.Flush(r)
+	win.comm.Barrier(r)
+}

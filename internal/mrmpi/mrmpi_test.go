@@ -1,0 +1,232 @@
+package mrmpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/mpi"
+	"hpcbd/internal/sim"
+)
+
+func testCluster(nodes int) *cluster.Cluster {
+	return cluster.Comet(sim.NewKernel(41), nodes)
+}
+
+// wordCount runs a count-by-residue job over [0, n) split across ranks.
+func wordCount(np, ppn, n int, cfg Config) (map[int]int64, sim.Time, Stats) {
+	c := testCluster((np + ppn - 1) / ppn)
+	counts := map[int]int64{}
+	var stats Stats
+	end := mpi.Run(c, np, ppn, func(r *mpi.Rank) {
+		lo := r.Rank() * n / r.Size()
+		hi := (r.Rank() + 1) * n / r.Size()
+		input := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			input = append(input, i)
+		}
+		out, st := Run(r, cfg, input,
+			func(in int, emit func(int, int64)) { emit(in%10, 1) },
+			func(_ int, vals []int64) int64 {
+				var s int64
+				for _, v := range vals {
+					s += v
+				}
+				return s
+			})
+		for _, p := range out {
+			counts[p.Key] += p.Val
+		}
+		if r.Rank() == 0 {
+			stats = st
+		}
+	})
+	return counts, end, stats
+}
+
+func TestWordCountCorrect(t *testing.T) {
+	for _, np := range []int{1, 2, 5, 8} {
+		counts, _, _ := wordCount(np, 4, 1000, DefaultConfig())
+		if len(counts) != 10 {
+			t.Fatalf("np=%d: keys %d, want 10", np, len(counts))
+		}
+		for k, v := range counts {
+			if v != 100 {
+				t.Errorf("np=%d key %d count %d, want 100", np, k, v)
+			}
+		}
+	}
+}
+
+func TestKeysOwnedByExactlyOneRank(t *testing.T) {
+	np := 6
+	c := testCluster(3)
+	owners := map[int][]int{}
+	mpi.Run(c, np, 2, func(r *mpi.Rank) {
+		input := []int{}
+		for i := 0; i < 200; i++ {
+			input = append(input, i)
+		}
+		out, _ := Run(r, DefaultConfig(), input,
+			func(in int, emit func(int, int64)) { emit(in%17, 1) },
+			func(_ int, vals []int64) int64 { return int64(len(vals)) })
+		for _, p := range out {
+			owners[p.Key] = append(owners[p.Key], r.Rank())
+		}
+	})
+	for k, rs := range owners {
+		if len(rs) != 1 {
+			t.Errorf("key %d reduced on ranks %v, want exactly one", k, rs)
+		}
+	}
+	if len(owners) != 17 {
+		t.Errorf("keys reduced %d, want 17", len(owners))
+	}
+}
+
+func TestNonBlockingFasterThanBlocking(t *testing.T) {
+	// The [36] claim: non-blocking exchange beats the lock-step pairwise
+	// version. Use enough ranks and data for the exchange to matter.
+	cfgB := DefaultConfig()
+	cfgNB := DefaultConfig()
+	cfgNB.NonBlocking = true
+	cfgB.PairBytes = 4096
+	cfgNB.PairBytes = 4096
+	_, tB, _ := wordCount(16, 8, 20000, cfgB)
+	_, tNB, _ := wordCount(16, 8, 20000, cfgNB)
+	if tNB >= tB {
+		t.Errorf("non-blocking (%v) not faster than blocking (%v)", tNB, tB)
+	}
+	improvement := float64(tB-tNB) / float64(tB)
+	t.Logf("non-blocking improvement: %.0f%% (paper's [36]: ~25%%)", improvement*100)
+}
+
+func TestNonBlockingSameResult(t *testing.T) {
+	a, _, _ := wordCount(8, 4, 777, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.NonBlocking = true
+	b, _, _ := wordCount(8, 4, 777, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("key %d: blocking %d, non-blocking %d", k, v, b[k])
+		}
+	}
+}
+
+func TestOutOfCoreSpills(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemBudget = 100 // force spilling
+	_, _, st := wordCount(4, 2, 1000, cfg)
+	if st.SpilledBytes == 0 {
+		t.Error("tiny memory budget did not spill")
+	}
+	// Out-of-core costs time but not correctness.
+	counts, _, _ := wordCount(4, 2, 1000, cfg)
+	for k, v := range counts {
+		if v != 100 {
+			t.Errorf("out-of-core key %d count %d", k, v)
+		}
+	}
+}
+
+func TestOutOfCoreSlower(t *testing.T) {
+	cfg := DefaultConfig()
+	_, inMem, _ := wordCount(4, 2, 5000, cfg)
+	cfg.MemBudget = 1024
+	_, ooc, _ := wordCount(4, 2, 5000, cfg)
+	if ooc <= inMem {
+		t.Errorf("out-of-core (%v) not slower than in-memory (%v)", ooc, inMem)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	_, _, st := wordCount(4, 2, 1000, DefaultConfig())
+	if st.MapRecords != 250 {
+		t.Errorf("rank 0 mapped %d records, want 250", st.MapRecords)
+	}
+	if st.IntermediatePairs != 250 {
+		t.Errorf("intermediate pairs %d, want 250", st.IntermediatePairs)
+	}
+	if st.ExchangedBytes == 0 {
+		t.Error("no bytes exchanged on a multi-rank job")
+	}
+}
+
+func TestMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64, npRaw uint8) bool {
+		np := int(npRaw)%7 + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400) + np
+		data := make([]int, n)
+		for i := range data {
+			data[i] = rng.Intn(30)
+		}
+		c := testCluster((np + 1) / 2)
+		got := map[int]int64{}
+		mpi.Run(c, np, 2, func(r *mpi.Rank) {
+			lo := r.Rank() * n / r.Size()
+			hi := (r.Rank() + 1) * n / r.Size()
+			out, _ := Run(r, DefaultConfig(), data[lo:hi],
+				func(in int, emit func(int, int64)) { emit(in, 1) },
+				func(_ int, vals []int64) int64 {
+					var s int64
+					for _, v := range vals {
+						s += v
+					}
+					return s
+				})
+			for _, p := range out {
+				got[p.Key] += p.Val
+			}
+		})
+		want := map[int]int64{}
+		for _, v := range data {
+			want[v]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	runOnce := func() [][]Pair[int, int64] {
+		c := testCluster(2)
+		out := make([][]Pair[int, int64], 4)
+		mpi.Run(c, 4, 2, func(r *mpi.Rank) {
+			input := []int{}
+			for i := 0; i < 100; i++ {
+				input = append(input, (i*13)%23)
+			}
+			res, _ := Run(r, DefaultConfig(), input,
+				func(in int, emit func(int, int64)) { emit(in, 1) },
+				func(_ int, vals []int64) int64 { return int64(len(vals)) })
+			out[r.Rank()] = res
+		})
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for rk := range a {
+		if len(a[rk]) != len(b[rk]) {
+			t.Fatalf("rank %d output sizes differ", rk)
+		}
+		for i := range a[rk] {
+			if a[rk][i] != b[rk][i] {
+				t.Fatalf("rank %d output %d differs: %v vs %v", rk, i, a[rk][i], b[rk][i])
+			}
+		}
+	}
+}

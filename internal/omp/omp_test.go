@@ -1,0 +1,298 @@
+package omp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+func run(nthreads int, body func(t *Thread)) (*cluster.Cluster, sim.Time) {
+	k := sim.NewKernel(3)
+	c := cluster.Comet(k, 1)
+	k.Spawn("main", func(p *sim.Proc) {
+		Parallel(p, c, 0, nthreads, body)
+	})
+	return c, k.Run()
+}
+
+func TestParallelRunsAllThreads(t *testing.T) {
+	ran := make([]bool, 8)
+	run(8, func(th *Thread) {
+		ran[th.ID()] = true
+		if th.NumThreads() != 8 {
+			t.Errorf("NumThreads %d", th.NumThreads())
+		}
+	})
+	for i, r := range ran {
+		if !r {
+			t.Errorf("thread %d never ran", i)
+		}
+	}
+}
+
+func TestComputeParallelSpeedup(t *testing.T) {
+	elapsed := func(nthreads int) float64 {
+		_, end := run(nthreads, func(th *Thread) {
+			th.For(16, Static, 0, func(lo, hi int) {
+				th.Compute(float64(hi-lo) * 0.1) // 0.1s per iteration
+			})
+		})
+		return end.Seconds()
+	}
+	t1, t8 := elapsed(1), elapsed(8)
+	speedup := t1 / t8
+	if speedup < 7 || speedup > 8.1 {
+		t.Errorf("8-thread speedup %.2f, want ~8 (t1=%.2f t8=%.2f)", speedup, t1, t8)
+	}
+}
+
+func TestOversubscriptionContendsForCores(t *testing.T) {
+	// 48 threads on 24 cores: compute time roughly doubles vs 24.
+	elapsed := func(nthreads int) float64 {
+		_, end := run(nthreads, func(th *Thread) {
+			th.Compute(1.0)
+		})
+		return end.Seconds()
+	}
+	t24, t48 := elapsed(24), elapsed(48)
+	if ratio := t48 / t24; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("oversubscription ratio %.2f, want ~2", ratio)
+	}
+}
+
+func TestBarrierSynchronizesThreads(t *testing.T) {
+	var minAfter sim.Time = math.MaxInt64
+	run(4, func(th *Thread) {
+		th.Proc().Sleep(sim.Time(int64(th.ID()) * 1e9).Duration()) // 0..3s stagger
+		th.Barrier()
+		if th.Now() < minAfter {
+			minAfter = th.Now()
+		}
+	})
+	if minAfter < sim.Time(3e9) {
+		t.Errorf("a thread passed the barrier at %v, before the slowest arrived", minAfter)
+	}
+}
+
+func TestForStaticCoversRangeExactlyOnce(t *testing.T) {
+	for _, chunk := range []int{0, 3} {
+		counts := make([]int, 100)
+		run(7, func(th *Thread) {
+			th.For(100, Static, chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					counts[i]++
+				}
+			})
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("chunk=%d: iteration %d executed %d times", chunk, i, c)
+			}
+		}
+	}
+}
+
+func TestForDynamicAndGuidedCoverRange(t *testing.T) {
+	for _, sched := range []Schedule{Dynamic, Guided} {
+		counts := make([]int, 113)
+		run(5, func(th *Thread) {
+			th.For(113, sched, 4, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					counts[i]++
+				}
+			})
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("%v: iteration %d executed %d times", sched, i, c)
+			}
+		}
+	}
+}
+
+func TestForDynamicBalancesSkewedWork(t *testing.T) {
+	// With heavily skewed iteration costs, dynamic should beat static.
+	elapsed := func(sched Schedule) float64 {
+		chunk := 1
+		if sched == Static {
+			chunk = 0 // block partition: all expensive work on thread 0
+		}
+		_, end := run(4, func(th *Thread) {
+			th.For(16, sched, chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i < 4 {
+						th.Compute(1.0) // 4 expensive iterations
+					} else {
+						th.Compute(0.01)
+					}
+				}
+			})
+		})
+		return end.Seconds()
+	}
+	st, dy := elapsed(Static), elapsed(Dynamic)
+	if dy >= st {
+		t.Errorf("dynamic (%.2fs) not faster than static (%.2fs) on skewed work", dy, st)
+	}
+}
+
+func TestForReduce(t *testing.T) {
+	var got float64
+	run(6, func(th *Thread) {
+		v := th.ForReduce(1000, Static, 0, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+		if th.ID() == 0 {
+			got = v
+		}
+	})
+	want := 999.0 * 1000 / 2
+	if got != want {
+		t.Errorf("reduction got %f, want %f", got, want)
+	}
+}
+
+func TestForReduceProperty(t *testing.T) {
+	f := func(seed int64, nRaw, nthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%100 + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() // moderate magnitudes: summation
+			// order differences stay within the tolerance below
+		}
+		nth := int(nthRaw)%6 + 1
+		var got float64
+		run(nth, func(th *Thread) {
+			v := th.ForReduce(len(vals), Dynamic, 2, func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += vals[i]
+				}
+				return s
+			}, func(a, b float64) float64 { return a + b })
+			if th.ID() == 0 {
+				got = v
+			}
+		})
+		want := 0.0
+		for _, v := range vals {
+			want += v
+		}
+		return math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	depth, maxDepth := 0, 0
+	run(8, func(th *Thread) {
+		th.Critical("c", func() {
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			th.Proc().Sleep(1e6) // hold the lock across a yield
+			depth--
+		})
+	})
+	if maxDepth != 1 {
+		t.Errorf("critical section depth reached %d", maxDepth)
+	}
+}
+
+func TestSingleRunsOnce(t *testing.T) {
+	count := 0
+	run(8, func(th *Thread) {
+		th.Single(func(*Thread) { count++ })
+		th.Single(func(*Thread) { count += 10 })
+	})
+	if count != 11 {
+		t.Errorf("single constructs ran: count=%d, want 11", count)
+	}
+}
+
+func TestMasterOnlyThreadZero(t *testing.T) {
+	var who []int
+	run(4, func(th *Thread) {
+		th.Master(func(*Thread) { who = append(who, th.ID()) })
+	})
+	if len(who) != 1 || who[0] != 0 {
+		t.Errorf("master executed by %v", who)
+	}
+}
+
+func TestTasks(t *testing.T) {
+	done := map[int]bool{}
+	run(4, func(th *Thread) {
+		th.Single(func(s *Thread) {
+			for i := 0; i < 10; i++ {
+				i := i
+				s.Task(func(*Thread) { done[i] = true })
+			}
+		})
+		th.TaskWait()
+		th.Barrier()
+	})
+	if len(done) != 10 {
+		t.Errorf("%d tasks ran, want 10", len(done))
+	}
+}
+
+func TestScratchReadContention(t *testing.T) {
+	// 16 threads hammering one local SSD do not scale; this is the
+	// single-node I/O wall behind the OpenMP AnswersCount numbers.
+	elapsed := func(nthreads int) float64 {
+		_, end := run(nthreads, func(th *Thread) {
+			th.ReadScratch(1 << 30 / int64(th.NumThreads()))
+		})
+		return end.Seconds()
+	}
+	t8, t16 := elapsed(8), elapsed(16)
+	if t16 < t8*0.85 {
+		t.Errorf("doubling threads sped up disk-bound phase: t8=%.3f t16=%.3f", t8, t16)
+	}
+}
+
+func TestSectionsEachOnce(t *testing.T) {
+	counts := make([]int, 5)
+	executors := map[int]int{}
+	run(3, func(th *Thread) {
+		th.Sections(
+			func(*Thread) { counts[0]++; executors[0] = th.ID() },
+			func(*Thread) { counts[1]++ },
+			func(*Thread) { counts[2]++ },
+			func(*Thread) { counts[3]++ },
+			func(*Thread) { counts[4]++ },
+		)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("section %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestSectionsRunConcurrently(t *testing.T) {
+	// Three 1s sections on 3 threads finish in ~1s, not 3s.
+	_, end := run(3, func(th *Thread) {
+		th.Sections(
+			func(s *Thread) { s.Compute(1.0) },
+			func(s *Thread) { s.Compute(1.0) },
+			func(s *Thread) { s.Compute(1.0) },
+		)
+	})
+	if end.Seconds() > 1.5 {
+		t.Errorf("3 sections on 3 threads took %.2fs, want ~1s", end.Seconds())
+	}
+}

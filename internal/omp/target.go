@@ -1,0 +1,76 @@
+package omp
+
+// OpenMP 4.0 device constructs (§II-A: "the target construct creates
+// tasks to be executed on accelerators in an offload mode"; §III-D: the
+// heterogeneity challenge). Target offloads a kernel to the node's
+// attached GPU, with explicit data mapping modelled after `map(to:...)` /
+// `map(from:...)` clauses — the "relatively complex interfaces for
+// managing allocations, transfers, updates and synchronization of data"
+// the paper describes.
+
+import (
+	"fmt"
+
+	"hpcbd/internal/cluster"
+)
+
+// TargetRegion describes one offloaded kernel.
+type TargetRegion struct {
+	// MapTo is the bytes copied host-to-device before the kernel
+	// (map(to:...)).
+	MapTo int64
+	// MapFrom is the bytes copied back after the kernel (map(from:...)).
+	MapFrom int64
+	// Flops is the kernel's arithmetic volume.
+	Flops float64
+	// Body optionally runs host-side Go code representing the kernel's
+	// semantics (the simulated cost comes from Flops, not Body's real
+	// duration).
+	Body func()
+}
+
+// Target executes a target region on the calling thread's node GPU,
+// blocking the thread for data transfers and kernel execution (the
+// default synchronous offload). It panics if no accelerator is attached —
+// offload code paths are compile-time features in real OpenMP, so using
+// them on a GPU-less platform is a programming error.
+func (t *Thread) Target(c *cluster.Cluster, nodeID int, region TargetRegion) {
+	g := c.Node(nodeID).GPU
+	if g == nil {
+		panic(fmt.Sprintf("omp: target construct on node %d without an attached device", nodeID))
+	}
+	need := region.MapTo + region.MapFrom
+	if need > 0 && !g.Alloc(need) {
+		panic("omp: target data exceeds device memory; tile the region")
+	}
+	defer g.Free(need)
+	g.CopyToDevice(t.p, region.MapTo)
+	if region.Body != nil {
+		region.Body()
+	}
+	g.Launch(t.p, region.Flops)
+	g.CopyFromDevice(t.p, region.MapFrom)
+}
+
+// TargetOrHost offloads when a device is present and profitable (the
+// kernel's device time plus transfers beats the host estimate), otherwise
+// computes on the host — the runtime dispatch a portable program performs.
+// It returns true when the device was used.
+func (t *Thread) TargetOrHost(c *cluster.Cluster, nodeID int, region TargetRegion, hostSeconds float64) bool {
+	g := c.Node(nodeID).GPU
+	if g != nil {
+		dev := region.Flops / g.Spec.FlopRate
+		if !g.Spec.Unified {
+			dev += float64(region.MapTo+region.MapFrom) / g.Spec.PCIeBW
+		}
+		if dev < hostSeconds && region.MapTo+region.MapFrom <= g.Spec.MemBytes {
+			t.Target(c, nodeID, region)
+			return true
+		}
+	}
+	if region.Body != nil {
+		region.Body()
+	}
+	t.Compute(hostSeconds)
+	return false
+}

@@ -1,0 +1,134 @@
+package omp
+
+import (
+	"testing"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+func runGPU(spec *cluster.GPUSpec, body func(t *Thread, c *cluster.Cluster)) (*cluster.Cluster, sim.Time) {
+	k := sim.NewKernel(3)
+	c := cluster.Comet(k, 1)
+	if spec != nil {
+		c.AttachGPU(*spec)
+	}
+	k.Spawn("main", func(p *sim.Proc) {
+		Parallel(p, c, 0, 1, func(t *Thread) { body(t, c) })
+	})
+	return c, k.Run()
+}
+
+func TestTargetChargesTransfersAndKernel(t *testing.T) {
+	spec := cluster.TeslaK80()
+	c, end := runGPU(&spec, func(th *Thread, cl *cluster.Cluster) {
+		th.Target(cl, 0, TargetRegion{
+			MapTo:   1 << 30, // 1 GiB in
+			MapFrom: 1 << 30, // 1 GiB out
+			Flops:   2.9e12,  // 1s of device compute
+		})
+	})
+	// ~0.107s per transfer + 1s kernel.
+	want := 1.0 + 2*float64(1<<30)/spec.PCIeBW
+	got := end.Seconds()
+	if got < want*0.95 || got > want*1.1 {
+		t.Errorf("target took %.3fs, want ~%.3fs", got, want)
+	}
+	g := c.Node(0).GPU
+	if g.BytesToDev != 1<<30 || g.BytesFromDev != 1<<30 || g.Kernels != 1 {
+		t.Errorf("gpu stats: to=%d from=%d kernels=%d", g.BytesToDev, g.BytesFromDev, g.Kernels)
+	}
+	if g.MemUsed() != 0 {
+		t.Errorf("device memory leaked: %d", g.MemUsed())
+	}
+}
+
+func TestUnifiedMemorySkipsTransfers(t *testing.T) {
+	discrete := cluster.TeslaK80()
+	unified := cluster.KNLUnified()
+	elapsed := func(spec cluster.GPUSpec) float64 {
+		_, end := runGPU(&spec, func(th *Thread, cl *cluster.Cluster) {
+			th.Target(cl, 0, TargetRegion{MapTo: 4 << 30, MapFrom: 4 << 30, Flops: 1e9})
+		})
+		return end.Seconds()
+	}
+	d, u := elapsed(discrete), elapsed(unified)
+	if u >= d {
+		t.Errorf("unified memory (%.3fs) not faster than discrete+PCIe (%.3fs) on a transfer-bound region", u, d)
+	}
+}
+
+func TestTargetOrHostCrossover(t *testing.T) {
+	// Transfer-dominated small kernels stay on the host; compute-dominated
+	// big kernels offload — the §III-D trade-off.
+	spec := cluster.TeslaK80()
+	var smallOffloaded, bigOffloaded bool
+	runGPU(&spec, func(th *Thread, cl *cluster.Cluster) {
+		smallOffloaded = th.TargetOrHost(cl, 0, TargetRegion{
+			MapTo: 8 << 30, MapFrom: 8 << 30, Flops: 1e9, // ~1.7s transfer, trivial compute
+		}, 0.05) // host does it in 50ms
+		bigOffloaded = th.TargetOrHost(cl, 0, TargetRegion{
+			MapTo: 1 << 20, MapFrom: 1 << 20, Flops: 1e13, // ~3.4s device, tiny transfer
+		}, 10.0) // host would take 10s
+	})
+	if smallOffloaded {
+		t.Error("transfer-bound region offloaded despite fast host path")
+	}
+	if !bigOffloaded {
+		t.Error("compute-bound region stayed on host despite 3x device advantage")
+	}
+}
+
+func TestTargetWithoutDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("target on GPU-less node did not panic")
+		}
+	}()
+	// Run inline (not via kernel) to catch the panic directly.
+	k := sim.NewKernel(3)
+	c := cluster.Comet(k, 1)
+	th := &Thread{}
+	th.Target(c, 0, TargetRegion{Flops: 1})
+}
+
+func TestDeviceMemoryExhaustionPanics(t *testing.T) {
+	spec := cluster.TeslaK80()
+	k := sim.NewKernel(3)
+	c := cluster.Comet(k, 1)
+	c.AttachGPU(spec)
+	panicked := false
+	k.Spawn("main", func(p *sim.Proc) {
+		Parallel(p, c, 0, 1, func(th *Thread) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			th.Target(c, 0, TargetRegion{MapTo: 64 << 30, Flops: 1}) // 64 GiB > 12 GiB device
+		})
+	})
+	k.Run()
+	if !panicked {
+		t.Error("oversized map(to:) did not panic")
+	}
+}
+
+func TestKernelsSerializeOnOneDevice(t *testing.T) {
+	// Two threads launching 1s kernels on the same GPU finish at ~2s.
+	spec := cluster.TeslaK80()
+	_, end := func() (*cluster.Cluster, sim.Time) {
+		k := sim.NewKernel(3)
+		c := cluster.Comet(k, 1)
+		c.AttachGPU(spec)
+		k.Spawn("main", func(p *sim.Proc) {
+			Parallel(p, c, 0, 2, func(th *Thread) {
+				th.Target(c, 0, TargetRegion{Flops: spec.FlopRate}) // 1s kernel
+			})
+		})
+		return c, k.Run()
+	}()
+	if got := end.Seconds(); got < 1.9 || got > 2.2 {
+		t.Errorf("two kernels on one device finished at %.2fs, want ~2s", got)
+	}
+}

@@ -1,0 +1,137 @@
+package rdd
+
+// blockKey identifies a cached partition.
+type blockKey struct {
+	rdd  int
+	part int
+}
+
+// block is one cached partition.
+type block struct {
+	data   any // []T boxed
+	bytes  int64
+	onDisk bool
+}
+
+// blockManager is the per-executor storage for persisted partitions, with
+// a bounded memory store, LRU eviction, and disk spill — a simplified
+// Spark BlockManager.
+type blockManager struct {
+	memLimit int64
+	memUsed  int64
+	blocks   map[blockKey]*block
+	lru      []blockKey // least recently used first (memory blocks only)
+
+	Hits, Misses, Evictions int64
+	DiskBytes               int64
+}
+
+func newBlockManager(memLimit int64) *blockManager {
+	return &blockManager{memLimit: memLimit, blocks: map[blockKey]*block{}}
+}
+
+// get returns a cached partition. disk=true means the copy must be read
+// from local disk (caller charges the I/O).
+func (bm *blockManager) get(rdd, part int) (data any, bytes int64, disk, ok bool) {
+	k := blockKey{rdd, part}
+	b, found := bm.blocks[k]
+	if !found {
+		bm.Misses++
+		return nil, 0, false, false
+	}
+	bm.Hits++
+	if !b.onDisk {
+		bm.touch(k)
+	}
+	return b.data, b.bytes, b.onDisk, true
+}
+
+func (bm *blockManager) touch(k blockKey) {
+	for i, e := range bm.lru {
+		if e == k {
+			bm.lru = append(bm.lru[:i], bm.lru[i+1:]...)
+			break
+		}
+	}
+	bm.lru = append(bm.lru, k)
+}
+
+// put stores a computed partition under the given level. It reports
+// whether the block landed on disk (caller charges the write) or was
+// dropped entirely (memory-only store with no room).
+type putResult int
+
+const (
+	putMemory putResult = iota
+	putDisk
+	putDropped
+)
+
+func (bm *blockManager) put(rdd, part int, data any, bytes int64, level StorageLevel) putResult {
+	k := blockKey{rdd, part}
+	if _, dup := bm.blocks[k]; dup {
+		return putMemory // already cached (racing recomputation)
+	}
+	switch level {
+	case MemoryOnly, MemoryAndDisk:
+		bm.evictFor(bytes)
+		if bm.memUsed+bytes <= bm.memLimit {
+			bm.blocks[k] = &block{data: data, bytes: bytes}
+			bm.memUsed += bytes
+			bm.lru = append(bm.lru, k)
+			return putMemory
+		}
+		if level == MemoryAndDisk {
+			bm.blocks[k] = &block{data: data, bytes: bytes, onDisk: true}
+			bm.DiskBytes += bytes
+			return putDisk
+		}
+		return putDropped
+	case DiskOnly:
+		bm.blocks[k] = &block{data: data, bytes: bytes, onDisk: true}
+		bm.DiskBytes += bytes
+		return putDisk
+	}
+	return putDropped
+}
+
+// evictFor evicts LRU memory blocks until bytes would fit (or nothing is
+// left to evict). Evicted blocks are dropped — Spark recomputes them from
+// lineage.
+func (bm *blockManager) evictFor(bytes int64) {
+	for bm.memUsed+bytes > bm.memLimit && len(bm.lru) > 0 {
+		victim := bm.lru[0]
+		bm.lru = bm.lru[1:]
+		if b, ok := bm.blocks[victim]; ok && !b.onDisk {
+			bm.memUsed -= b.bytes
+			delete(bm.blocks, victim)
+			bm.Evictions++
+		}
+	}
+}
+
+// dropRDD removes all partitions of an RDD (unpersist).
+func (bm *blockManager) dropRDD(rdd int) {
+	for k, b := range bm.blocks {
+		if k.rdd == rdd {
+			if !b.onDisk {
+				bm.memUsed -= b.bytes
+			}
+			delete(bm.blocks, k)
+		}
+	}
+	kept := bm.lru[:0]
+	for _, k := range bm.lru {
+		if k.rdd != rdd {
+			kept = append(kept, k)
+		}
+	}
+	bm.lru = kept
+}
+
+// dropAll clears the store (executor death).
+func (bm *blockManager) dropAll() {
+	bm.blocks = map[blockKey]*block{}
+	bm.lru = nil
+	bm.memUsed = 0
+}

@@ -1,0 +1,108 @@
+package rdd
+
+import "testing"
+
+func TestBlockManagerPutGet(t *testing.T) {
+	bm := newBlockManager(1000)
+	if res := bm.put(1, 0, []int{1, 2}, 400, MemoryOnly); res != putMemory {
+		t.Fatalf("put result %v", res)
+	}
+	data, bytes, disk, ok := bm.get(1, 0)
+	if !ok || disk || bytes != 400 || len(data.([]int)) != 2 {
+		t.Errorf("get: ok=%v disk=%v bytes=%d", ok, disk, bytes)
+	}
+	if _, _, _, ok := bm.get(1, 1); ok {
+		t.Error("missing partition reported cached")
+	}
+	if bm.Hits != 1 || bm.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", bm.Hits, bm.Misses)
+	}
+}
+
+func TestBlockManagerLRUEviction(t *testing.T) {
+	bm := newBlockManager(1000)
+	bm.put(1, 0, "a", 400, MemoryOnly)
+	bm.put(1, 1, "b", 400, MemoryOnly)
+	bm.get(1, 0) // touch partition 0: partition 1 becomes LRU
+	if res := bm.put(1, 2, "c", 400, MemoryOnly); res != putMemory {
+		t.Fatalf("third put result %v", res)
+	}
+	if _, _, _, ok := bm.get(1, 1); ok {
+		t.Error("LRU block survived eviction")
+	}
+	if _, _, _, ok := bm.get(1, 0); !ok {
+		t.Error("recently-used block was evicted")
+	}
+	if bm.Evictions != 1 {
+		t.Errorf("evictions %d", bm.Evictions)
+	}
+}
+
+func TestBlockManagerMemoryAndDiskOverflow(t *testing.T) {
+	bm := newBlockManager(500)
+	if res := bm.put(1, 0, "big", 400, MemoryAndDisk); res != putMemory {
+		t.Fatalf("first put %v", res)
+	}
+	if res := bm.put(1, 1, "big2", 400, MemoryAndDisk); res != putDisk {
+		// 400+400 > 500 and partition 0 is evictable... eviction makes
+		// room, so this lands in memory. Both outcomes are legal; verify
+		// the invariant instead: memUsed <= limit.
+		_ = res
+	}
+	if bm.memUsed > bm.memLimit {
+		t.Errorf("memory store over limit: %d > %d", bm.memUsed, bm.memLimit)
+	}
+}
+
+func TestBlockManagerMemoryOnlyDropsWhenFull(t *testing.T) {
+	bm := newBlockManager(100)
+	if res := bm.put(1, 0, "x", 400, MemoryOnly); res != putDropped {
+		t.Errorf("oversized MemoryOnly put result %v, want dropped", res)
+	}
+	if _, _, _, ok := bm.get(1, 0); ok {
+		t.Error("dropped block is retrievable")
+	}
+}
+
+func TestBlockManagerDiskOnly(t *testing.T) {
+	bm := newBlockManager(1000)
+	if res := bm.put(1, 0, "x", 400, DiskOnly); res != putDisk {
+		t.Errorf("DiskOnly put result %v", res)
+	}
+	_, _, disk, ok := bm.get(1, 0)
+	if !ok || !disk {
+		t.Errorf("DiskOnly block: ok=%v disk=%v", ok, disk)
+	}
+	if bm.memUsed != 0 {
+		t.Errorf("DiskOnly consumed memory: %d", bm.memUsed)
+	}
+	if bm.DiskBytes != 400 {
+		t.Errorf("disk bytes %d", bm.DiskBytes)
+	}
+}
+
+func TestBlockManagerDropRDD(t *testing.T) {
+	bm := newBlockManager(10000)
+	bm.put(1, 0, "a", 100, MemoryOnly)
+	bm.put(1, 1, "b", 100, MemoryOnly)
+	bm.put(2, 0, "c", 100, MemoryOnly)
+	bm.dropRDD(1)
+	if _, _, _, ok := bm.get(1, 0); ok {
+		t.Error("dropped RDD partition still cached")
+	}
+	if _, _, _, ok := bm.get(2, 0); !ok {
+		t.Error("other RDD's partition was dropped")
+	}
+	if bm.memUsed != 100 {
+		t.Errorf("memUsed %d after dropRDD, want 100", bm.memUsed)
+	}
+}
+
+func TestBlockManagerDoublePutIsIdempotent(t *testing.T) {
+	bm := newBlockManager(1000)
+	bm.put(1, 0, "a", 100, MemoryOnly)
+	bm.put(1, 0, "a", 100, MemoryOnly) // racing recomputation
+	if bm.memUsed != 100 {
+		t.Errorf("double put charged memory twice: %d", bm.memUsed)
+	}
+}

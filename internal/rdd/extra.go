@@ -1,0 +1,250 @@
+package rdd
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcbd/internal/sim"
+)
+
+// SortBy globally sorts the RDD by the given key function via a
+// range-partitioning shuffle: partition boundaries are derived
+// deterministically from a sample of the data, records are shuffled to
+// their range, and each output partition sorts locally — Spark's sortBy.
+// Output partition i holds keys entirely <= partition i+1's.
+func SortBy[T any](r *RDD[T], key func(T) float64, nOut int) *RDD[T] {
+	ctx := r.m.ctx
+	if nOut <= 0 {
+		nOut = ctx.Conf.DefaultParallelism
+	}
+	recBytes := r.recBytes
+
+	// Range boundaries are computed lazily per map task from that task's
+	// own partition sample. To keep boundaries consistent across tasks,
+	// derive them from the first partition's distribution; real Spark
+	// runs a separate sampling job, which this models with a fixed,
+	// shared boundary slice resolved on first use.
+	var bounds []float64
+	boundsFor := func(data []T) []float64 {
+		if bounds != nil {
+			return bounds
+		}
+		keys := make([]float64, len(data))
+		for i, v := range data {
+			keys[i] = key(v)
+		}
+		sort.Float64s(keys)
+		bounds = make([]float64, 0, nOut-1)
+		for i := 1; i < nOut; i++ {
+			if len(keys) == 0 {
+				bounds = append(bounds, 0)
+				continue
+			}
+			bounds = append(bounds, keys[i*len(keys)/nOut])
+		}
+		return bounds
+	}
+	rangeOf := func(k float64, b []float64) int {
+		lo := sort.SearchFloat64s(b, k)
+		return lo
+	}
+
+	var dep *shuffleDep
+	dep = newShuffle(ctx, r.m, nOut, func(tc *taskContext, part int) error {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return err
+		}
+		b := boundsFor(in)
+		buckets := make([][]KV[int, T], nOut)
+		for _, v := range in {
+			g := rangeOf(key(v), b)
+			buckets[g] = append(buckets[g], KV[int, T]{g, v})
+		}
+		tc.chargeRecords(len(in))
+		writeShuffle(tc, dep, part, buckets, recBytes)
+		return nil
+	})
+
+	m := newMeta(ctx, fmt.Sprintf("sortBy@%s", r.m.name), nOut)
+	m.wide = []*shuffleDep{dep}
+	out := &RDD[T]{m: m, recBytes: recBytes}
+	out.compute = func(tc *taskContext, part int) ([]T, error) {
+		buckets, err := fetchShuffle[int, T](tc, dep.shuffleID, part)
+		if err != nil {
+			return nil, err
+		}
+		var res []T
+		for _, b := range buckets {
+			for _, p := range b {
+				res = append(res, p.V)
+			}
+		}
+		sort.SliceStable(res, func(i, j int) bool { return key(res[i]) < key(res[j]) })
+		// n log n comparison cost.
+		if n := len(res); n > 1 {
+			tc.chargeRecords(n + n/2) // sort roughly revisits each record ~1.5x at JVM rates
+		}
+		return res, nil
+	}
+	return out
+}
+
+// Take returns the first n records (partition order), running tasks over
+// only as many partitions as needed — like Spark, it scans partitions
+// incrementally rather than materializing everything.
+func Take[T any](p *sim.Proc, r *RDD[T], n int) ([]T, error) {
+	var out []T
+	for part := 0; part < r.m.nparts && len(out) < n; part++ {
+		data, err := Collect(p, slicePartition(r, part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// slicePartition wraps a single partition of r as a 1-partition RDD.
+func slicePartition[T any](r *RDD[T], part int) *RDD[T] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("partition%d@%s", part, r.m.name), 1)
+	m.narrow = []*meta{r.m}
+	if r.m.prefs != nil {
+		m.prefs = func(int) []int { return r.m.prefs(part) }
+	}
+	out := &RDD[T]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, _ int) ([]T, error) {
+		return r.part(tc, part)
+	}
+	return out
+}
+
+// Sample deterministically keeps approximately fraction of the records
+// (hash-based Bernoulli sampling keyed by seed and record index within
+// the partition).
+func Sample[T any](r *RDD[T], fraction float64, seed int64) *RDD[T] {
+	if fraction < 0 || fraction > 1 {
+		panic("rdd: sample fraction outside [0,1]")
+	}
+	threshold := uint64(fraction * float64(^uint64(0)>>1))
+	m := newMeta(r.m.ctx, fmt.Sprintf("sample@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	out := &RDD[T]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]T, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		var res []T
+		for i, v := range in {
+			h := mix64(uint64(seed) ^ uint64(part)<<32 ^ uint64(i))
+			if h>>1 <= threshold {
+				res = append(res, v)
+			}
+		}
+		tc.chargeRecords(len(in))
+		return res, nil
+	}
+	return out
+}
+
+// Coalesce reduces the partition count without a shuffle by concatenating
+// groups of parent partitions (Spark's coalesce(n, shuffle=false)).
+func Coalesce[T any](r *RDD[T], nOut int) *RDD[T] {
+	if nOut <= 0 || nOut > r.m.nparts {
+		panic("rdd: coalesce target must be in [1, nparts]")
+	}
+	nIn := r.m.nparts
+	m := newMeta(r.m.ctx, fmt.Sprintf("coalesce%d@%s", nOut, r.m.name), nOut)
+	m.narrow = []*meta{r.m}
+	out := &RDD[T]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]T, error) {
+		lo := part * nIn / nOut
+		hi := (part + 1) * nIn / nOut
+		var res []T
+		for i := lo; i < hi; i++ {
+			data, err := r.part(tc, i)
+			if err != nil {
+				return nil, err
+			}
+			res = append(res, data...)
+		}
+		return res, nil
+	}
+	return out
+}
+
+// CountByKey returns a map of key -> record count, computed on the
+// driver from per-partition partial counts.
+func CountByKey[K comparable, V any](p *sim.Proc, r *RDD[KV[K, V]]) (map[K]int64, error) {
+	partials := MapPartitions(r, func(in []KV[K, V]) []KV[K, int64] {
+		counts := map[K]int64{}
+		var order []K
+		for _, kv := range in {
+			if counts[kv.K] == 0 {
+				order = append(order, kv.K)
+			}
+			counts[kv.K]++
+		}
+		out := make([]KV[K, int64], 0, len(order))
+		for _, k := range order {
+			out = append(out, KV[K, int64]{k, counts[k]})
+		}
+		return out
+	})
+	partials.recBytes = 16
+	total := map[K]int64{}
+	err := runJob(p, partials, func(_ int, data []KV[K, int64]) {
+		for _, kv := range data {
+			total[kv.K] += kv.V
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// MapPartitionsWithView is MapPartitions with access to the task view
+// (node, cost charging) — the hook output formats and sinks need.
+func MapPartitionsWithView[T, U any](r *RDD[T], f func(tv TaskView, part int, in []T) []U) *RDD[U] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("mapPartitionsWithView@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	out := &RDD[U]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]U, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		res := f(TaskView{tc}, part, in)
+		tc.chargeRecords(len(in))
+		return res, nil
+	}
+	return out
+}
+
+// MapPartitionsWithCost is MapPartitions with an explicit per-input-record
+// user compute cost in nanoseconds (JVM rate), for workloads whose work
+// is not captured by framework overhead alone.
+func MapPartitionsWithCost[T, U any](r *RDD[T], perRecordNs int64, f func(in []T) []U) *RDD[U] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("mapPartitionsWithCost@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	out := &RDD[U]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]U, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		res := f(in)
+		tc.chargeRecords(len(in))
+		tc.chargeCompute(len(in), nsToDur(perRecordNs))
+		return res, nil
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package rdd
+
+import (
+	"fmt"
+	"time"
+)
+
+// MapPartitionsGPU is a HeteroSpark/cuSpark-style transformation (§III-D
+// of the paper: Spark-like frameworks that offload to GPUs with "no new
+// syntax specific to GPUs... the implementations take care of
+// everything"). Each partition is shipped to the executor node's GPU,
+// processed by a kernel of flopsPerRecord per record, and copied back;
+// executors without a device (or partitions too big for device memory)
+// fall back to host execution at hostNsPerRecord.
+//
+// Like the systems it models, the semantics come from f (run on the
+// host); only the cost model changes with the device.
+func MapPartitionsGPU[T, U any](r *RDD[T], bytesInPerRecord, bytesOutPerRecord int64,
+	flopsPerRecord float64, hostNsPerRecord int64, f func([]T) []U) *RDD[U] {
+
+	m := newMeta(r.m.ctx, fmt.Sprintf("mapPartitionsGPU@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	out := &RDD[U]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]U, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		res := f(in)
+		tc.chargeRecords(len(in))
+
+		scale := tc.ctx.Conf.Scale
+		logicalRecords := float64(len(in)) * scale
+		g := tc.ctx.C.Node(tc.exec.node).GPU
+		bytesIn := int64(logicalRecords * float64(bytesInPerRecord))
+		bytesOut := int64(logicalRecords * float64(bytesOutPerRecord))
+		if g != nil && g.Alloc(bytesIn+bytesOut) {
+			g.CopyToDevice(tc.p, bytesIn)
+			g.Launch(tc.p, logicalRecords*flopsPerRecord)
+			g.CopyFromDevice(tc.p, bytesOut)
+			g.Free(bytesIn + bytesOut)
+		} else {
+			tc.chargeCompute(len(in), time.Duration(hostNsPerRecord))
+		}
+		return res, nil
+	}
+	return out
+}

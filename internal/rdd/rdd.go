@@ -1,0 +1,367 @@
+package rdd
+
+import (
+	"fmt"
+
+	"hpcbd/internal/sim"
+)
+
+// KV is a key-value record for pair-RDD operations.
+type KV[K comparable, V any] struct {
+	K K
+	V V
+}
+
+// shuffleDep is a wide dependency: the child reads a shuffle written by
+// map tasks over the parent.
+type shuffleDep struct {
+	shuffleID int
+	parent    *meta
+	nOut      int
+	// runMapTask computes one parent partition, buckets it by key and
+	// writes the shuffle output (typed closure installed by the pair
+	// transformation that created the dependency).
+	runMapTask func(tc *taskContext, part int) error
+}
+
+// partitioner records how a pair RDD's keys are laid out. Two RDDs with
+// equal partitioners are co-partitioned: joining them needs no shuffle —
+// the optimization behind the paper's tuned (BigDataBench) PageRank, where
+// persisted, pre-partitioned links make every join stage-local (§V-D).
+type partitioner struct {
+	n int // hash partitions
+}
+
+func samePartitioner(a, b *partitioner) bool {
+	return a != nil && b != nil && a.n == b.n
+}
+
+// meta is the untyped view of an RDD that the DAG scheduler traverses.
+type meta struct {
+	id     int
+	ctx    *Context
+	name   string
+	nparts int
+	prefs  func(part int) []int // preferred nodes, nil = anywhere
+	narrow []*meta              // narrow parents (same stage)
+	wide   []*shuffleDep        // stage-boundary parents
+	partr  *partitioner         // key layout, nil = unknown
+
+	level StorageLevel
+}
+
+// RDD is a typed resilient distributed dataset. Transformations are lazy:
+// nothing executes until an action (Reduce, Collect, Count, Foreach).
+type RDD[T any] struct {
+	m *meta
+	// compute materializes one partition (running inside a task on an
+	// executor). It recursively invokes parents — the lineage.
+	compute func(tc *taskContext, part int) ([]T, error)
+	// recBytes is the logical size of one logical record, for shuffle
+	// and cache accounting.
+	recBytes int64
+}
+
+func newMeta(ctx *Context, name string, nparts int) *meta {
+	m := &meta{id: ctx.nextRDD, ctx: ctx, name: name, nparts: nparts}
+	ctx.nextRDD++
+	return m
+}
+
+// ID returns the RDD's unique id.
+func (r *RDD[T]) ID() int { return r.m.id }
+
+// Name returns the RDD's debug name.
+func (r *RDD[T]) Name() string { return r.m.name }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.m.nparts }
+
+// RecordBytes returns the logical per-record size estimate.
+func (r *RDD[T]) RecordBytes() int64 { return r.recBytes }
+
+// WithRecordBytes overrides the logical per-record size estimate used for
+// shuffle/cache charging (fluent, returns r).
+func (r *RDD[T]) WithRecordBytes(n int64) *RDD[T] {
+	r.recBytes = n
+	return r
+}
+
+// Persist marks the RDD for caching at the given storage level — the
+// single API call the paper shows improving PageRank by ~3x (Fig 5, §VI-C).
+func (r *RDD[T]) Persist(level StorageLevel) *RDD[T] {
+	r.m.level = level
+	return r
+}
+
+// Unpersist drops cached partitions everywhere.
+func (r *RDD[T]) Unpersist() {
+	r.m.level = None
+	for _, e := range r.m.ctx.executors {
+		e.bm.dropRDD(r.m.id)
+	}
+}
+
+// part materializes partition i, honoring the cache.
+func (r *RDD[T]) part(tc *taskContext, i int) ([]T, error) {
+	if r.m.level != None {
+		if data, bytes, disk, ok := tc.exec.bm.get(r.m.id, i); ok {
+			if disk {
+				tc.ctx.C.Node(tc.exec.node).Scratch.Read(tc.p, bytes)
+				tc.p.Sleep(tc.ctx.C.Cost.DeserTime(bytes))
+			}
+			return data.([]T), nil
+		}
+	}
+	data, err := r.compute(tc, i)
+	if err != nil {
+		return nil, err
+	}
+	if r.m.level != None {
+		bytes := tc.logicalBytes(len(data), r.recBytes)
+		switch tc.exec.bm.put(r.m.id, i, data, bytes, r.m.level) {
+		case putDisk:
+			tc.p.Sleep(tc.ctx.C.Cost.SerTime(bytes))
+			tc.ctx.C.Node(tc.exec.node).Scratch.Write(tc.p, bytes)
+		case putMemory, putDropped:
+		}
+	}
+	return data, nil
+}
+
+// ---- sources ----
+
+// FromSource creates an RDD whose partitions are produced by read (which
+// must charge its own I/O, e.g. DFS or scratch reads). prefs supplies
+// locality hints and may be nil. recBytes is the logical size of one
+// record.
+func FromSource[T any](ctx *Context, name string, nparts int,
+	prefs func(part int) []int,
+	read func(tc TaskView, part int) []T, recBytes int64) *RDD[T] {
+	m := newMeta(ctx, name, nparts)
+	m.prefs = prefs
+	r := &RDD[T]{m: m, recBytes: recBytes}
+	r.compute = func(tc *taskContext, part int) ([]T, error) {
+		out := read(TaskView{tc}, part)
+		tc.chargeRecords(len(out))
+		return out, nil
+	}
+	return r
+}
+
+// TaskView is the limited task-side interface exposed to data sources:
+// where the task runs and how to charge I/O.
+type TaskView struct{ tc *taskContext }
+
+// Node returns the executor's node id.
+func (tv TaskView) Node() int { return tv.tc.exec.node }
+
+// Proc returns the task's procHandle for charging custom costs.
+func (tv TaskView) Proc() *procHandle { return &procHandle{tv.tc} }
+
+// SimProc returns the task's simulated process, for sources with richer
+// cost models (e.g. DFS reads).
+func (tv TaskView) SimProc() *sim.Proc { return tv.tc.p }
+
+// procHandle exposes cost-charging to sources without leaking the whole
+// task context.
+type procHandle struct{ tc *taskContext }
+
+// ReadScratch charges a local scratch read of n bytes at the JVM stream
+// rate (a Spark task reading a local file).
+func (ph *procHandle) ReadScratch(n int64) {
+	ph.tc.ctx.C.Node(ph.tc.exec.node).Scratch.ReadEff(ph.tc.p, n, ph.tc.ctx.C.Cost.JVMIOFactor)
+}
+
+// Charge sleeps d seconds of task compute.
+func (ph *procHandle) Charge(seconds float64) {
+	ph.tc.p.Sleep(secsToDur(seconds))
+}
+
+// Parallelize distributes an in-memory collection from the driver. Like
+// Spark, the data ships with the tasks: each partition's first
+// materialization charges driver-side serialization and a transfer to the
+// executor — the driver-distribution overhead visible in the reduce
+// microbenchmark (Fig 3).
+func Parallelize[T any](ctx *Context, name string, data []T, nparts int, recBytes int64) *RDD[T] {
+	if nparts <= 0 {
+		nparts = ctx.Conf.DefaultParallelism
+	}
+	m := newMeta(ctx, name, nparts)
+	r := &RDD[T]{m: m, recBytes: recBytes}
+	r.compute = func(tc *taskContext, part int) ([]T, error) {
+		lo := part * len(data) / nparts
+		hi := (part + 1) * len(data) / nparts
+		chunk := data[lo:hi]
+		bytes := tc.logicalBytes(len(chunk), recBytes)
+		tc.p.Sleep(tc.ctx.C.Cost.SerTime(bytes))
+		tc.ctx.C.Xfer(tc.p, tc.ctx.driverNode, tc.exec.node, bytes, tc.ctx.Conf.CtrlTransport)
+		tc.p.Sleep(tc.ctx.C.Cost.DeserTime(bytes))
+		tc.chargeRecords(len(chunk))
+		return chunk, nil
+	}
+	return r
+}
+
+// ---- narrow transformations ----
+
+// Map applies f to every record.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("map@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	out := &RDD[U]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]U, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		res := make([]U, len(in))
+		for i, v := range in {
+			res[i] = f(v)
+		}
+		tc.chargeRecords(len(in))
+		return res, nil
+	}
+	return out
+}
+
+// MapWithCost is Map with an explicit per-record user compute cost
+// (nanoseconds at JVM rate), for workloads whose work is not captured by
+// framework overhead alone.
+func MapWithCost[T, U any](r *RDD[T], perRecordNs int64, f func(T) U) *RDD[U] {
+	out := Map(r, f)
+	inner := out.compute
+	out.compute = func(tc *taskContext, part int) ([]U, error) {
+		res, err := inner(tc, part)
+		if err == nil {
+			tc.chargeCompute(len(res), nsToDur(perRecordNs))
+		}
+		return res, err
+	}
+	return out
+}
+
+// Filter keeps records where pred holds.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("filter@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	m.partr = r.m.partr // filtering never moves keys between partitions
+	out := &RDD[T]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]T, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		var res []T
+		for _, v := range in {
+			if pred(v) {
+				res = append(res, v)
+			}
+		}
+		tc.chargeRecords(len(in))
+		return res, nil
+	}
+	return out
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("flatMap@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	out := &RDD[U]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]U, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		var res []U
+		for _, v := range in {
+			res = append(res, f(v)...)
+		}
+		tc.chargeRecords(len(in) + len(res))
+		return res, nil
+	}
+	return out
+}
+
+// MapPartitions applies f to whole partitions.
+func MapPartitions[T, U any](r *RDD[T], f func([]T) []U) *RDD[U] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("mapPartitions@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	out := &RDD[U]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]U, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		res := f(in)
+		tc.chargeRecords(len(in))
+		return res, nil
+	}
+	return out
+}
+
+// Union concatenates two RDDs (narrow; partitions are renumbered).
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	m := newMeta(a.m.ctx, fmt.Sprintf("union(%s,%s)", a.m.name, b.m.name), a.m.nparts+b.m.nparts)
+	m.narrow = []*meta{a.m, b.m}
+	rb := a.recBytes
+	if b.recBytes > rb {
+		rb = b.recBytes
+	}
+	out := &RDD[T]{m: m, recBytes: rb}
+	out.compute = func(tc *taskContext, part int) ([]T, error) {
+		if part < a.m.nparts {
+			return a.part(tc, part)
+		}
+		return b.part(tc, part-a.m.nparts)
+	}
+	return out
+}
+
+// MapValues transforms values of a pair RDD. Unlike Map it preserves the
+// partitioner (keys are untouched), keeping downstream joins narrow.
+func MapValues[K comparable, V, W any](r *RDD[KV[K, V]], f func(V) W) *RDD[KV[K, W]] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("mapValues@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	m.partr = r.m.partr
+	out := &RDD[KV[K, W]]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]KV[K, W], error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		res := make([]KV[K, W], len(in))
+		for i, p := range in {
+			res[i] = KV[K, W]{p.K, f(p.V)}
+		}
+		tc.chargeRecords(len(in))
+		return res, nil
+	}
+	return out
+}
+
+// Keys projects the keys of a pair RDD.
+func Keys[K comparable, V any](r *RDD[KV[K, V]]) *RDD[K] {
+	return Map(r, func(p KV[K, V]) K { return p.K })
+}
+
+// Values projects the values of a pair RDD.
+func Values[K comparable, V any](r *RDD[KV[K, V]]) *RDD[V] {
+	return Map(r, func(p KV[K, V]) V { return p.V })
+}
+
+// ChargeSer charges JVM serialization of n logical bytes.
+func (ph *procHandle) ChargeSer(n int64) {
+	ph.tc.p.Sleep(ph.tc.ctx.C.Cost.SerTime(n))
+}
+
+// ChargeDeser charges JVM deserialization of n logical bytes.
+func (ph *procHandle) ChargeDeser(n int64) {
+	ph.tc.p.Sleep(ph.tc.ctx.C.Cost.DeserTime(n))
+}

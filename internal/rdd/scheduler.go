@@ -1,0 +1,325 @@
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hpcbd/internal/sim"
+)
+
+// collectShuffles gathers every shuffle dependency reachable from m in
+// dependency-first (post) order, deduplicated — the DAG scheduler's stage
+// list.
+func collectShuffles(m *meta) []*shuffleDep {
+	var out []*shuffleDep
+	seenShuf := map[int]bool{}
+	seenMeta := map[int]bool{}
+	var visitMeta func(*meta)
+	var visitDep func(*shuffleDep)
+	visitMeta = func(mm *meta) {
+		if seenMeta[mm.id] {
+			return
+		}
+		seenMeta[mm.id] = true
+		for _, p := range mm.narrow {
+			visitMeta(p)
+		}
+		for _, d := range mm.wide {
+			visitDep(d)
+		}
+	}
+	visitDep = func(d *shuffleDep) {
+		if seenShuf[d.shuffleID] {
+			return
+		}
+		seenShuf[d.shuffleID] = true
+		visitMeta(d.parent) // parents of this stage first
+		out = append(out, d)
+	}
+	visitMeta(m)
+	return out
+}
+
+// pickExecutor chooses an executor for a task: the least-loaded live
+// executor among the preferred nodes (Spark spreads work over a block's
+// replicas), falling back to the least-loaded live executor overall.
+// Ties rotate by task index for determinism without pile-up.
+func (ctx *Context) pickExecutor(prefs []int, taskIdx int) (*executor, error) {
+	best := func(cands []int) *executor {
+		var pick *executor
+		var pickLoad int64
+		for _, id := range cands {
+			if id < 0 || id >= len(ctx.executors) || !ctx.executors[id].alive {
+				continue
+			}
+			e := ctx.executors[id]
+			load := e.cores.InUse() + int64(e.cores.QueueLen())
+			if pick == nil || load < pickLoad {
+				pick, pickLoad = e, load
+			}
+		}
+		return pick
+	}
+	// Rotate preference order by task index so equal-load replicas spread.
+	if len(prefs) > 0 {
+		rot := make([]int, 0, len(prefs))
+		for i := 0; i < len(prefs); i++ {
+			rot = append(rot, prefs[(i+taskIdx)%len(prefs)])
+		}
+		if e := best(rot); e != nil {
+			return e, nil
+		}
+	}
+	alive := ctx.aliveExecutors()
+	if len(alive) == 0 {
+		return nil, errors.New("rdd: no live executors")
+	}
+	rot := make([]int, 0, len(alive))
+	for i := 0; i < len(alive); i++ {
+		rot = append(rot, alive[(i+taskIdx)%len(alive)])
+	}
+	return best(rot), nil
+}
+
+// runTasks dispatches one task per entry of parts and waits for all of
+// them. The driver serializes dispatch work (its real bottleneck); tasks
+// execute concurrently on executor cores. Returned errors are indexed
+// like parts (nil = success).
+func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
+	prefs func(part int) []int, run func(tc *taskContext, part int) error) []error {
+
+	cm := ctx.C.Cost
+	errs := make([]error, len(parts))
+	wg := sim.NewWaitGroup(ctx.C.K)
+	for i, part := range parts {
+		i, part := i, part
+		var pf []int
+		if prefs != nil {
+			pf = prefs(part)
+		}
+		exec, err := ctx.pickExecutor(pf, i)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		// Driver-side scheduling cost is serial in the driver.
+		p.Sleep(cm.SparkTaskDispatch)
+		ctx.TasksLaunched++
+		wg.Add(1)
+		ctx.C.K.Spawn(fmt.Sprintf("task.%s.%d", name, part), func(tp *sim.Proc) {
+			defer wg.Done()
+			// Task descriptor travels driver -> executor over sockets.
+			ctx.C.Xfer(tp, ctx.driverNode, exec.node, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
+			exec.cores.Acquire(tp, 1)
+			tp.Sleep(cm.SparkTaskLaunch) // deserialize + start the closure
+			tc := &taskContext{ctx: ctx, exec: exec, p: tp}
+			errs[i] = run(tc, part)
+			exec.cores.Release(1)
+			// Status update back to the driver.
+			ctx.C.Xfer(tp, exec.node, ctx.driverNode, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
+		})
+	}
+	wg.Wait(p)
+	return errs
+}
+
+// ensureShuffle makes every map output of dep available, running (or
+// re-running) map tasks as needed — including recursively repairing its
+// own missing ancestors when map tasks hit fetch failures.
+func (ctx *Context) ensureShuffle(p *sim.Proc, dep *shuffleDep) error {
+	ss := ctx.shuffles[dep.shuffleID]
+	for retry := 0; ; retry++ {
+		missing := ss.missingParts(ctx)
+		if len(missing) == 0 {
+			ss.everComplete = true
+			return nil
+		}
+		if retry >= ctx.Conf.MaxTaskRetries {
+			return fmt.Errorf("rdd: shuffle %d incomplete after %d retries", dep.shuffleID, retry)
+		}
+		if ss.everComplete {
+			// Outputs that existed before were lost (executor death):
+			// this is lineage-driven recomputation.
+			ctx.RecomputedPart += int64(len(missing))
+		}
+		if retry > 0 {
+			ctx.TasksRetried += int64(len(missing))
+		}
+		ctx.StagesRun++
+		p.Sleep(ctx.C.Cost.SparkStageOverhead)
+		prefs := dep.parent.prefs
+		errs := ctx.runTasks(p, fmt.Sprintf("shufmap%d", dep.shuffleID), missing, prefs, dep.runMapTask)
+		if err := ctx.repairFetchFailures(p, errs); err != nil {
+			return err
+		}
+	}
+}
+
+// repairFetchFailures reruns ancestor shuffles named in fetch failures;
+// other errors are returned as-is.
+func (ctx *Context) repairFetchFailures(p *sim.Proc, errs []error) error {
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var ff fetchFailure
+		if errors.As(err, &ff) {
+			ctx.RecomputedPart++
+			if e := ctx.ensureShuffle(p, ctx.shuffles[ff.shuffleID].dep); e != nil {
+				return e
+			}
+			continue
+		}
+		return err
+	}
+	return nil
+}
+
+func anyFailed(errs []error) bool {
+	for _, e := range errs {
+		if e != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// runJob executes an action over r: all ancestor shuffle stages in
+// dependency order, then the result stage, shipping each partition's
+// result to the driver. each is invoked on the driver, in partition order
+// indices (but completion order of invocation is partition-indexed, so
+// callers index by part).
+func runJob[T any](p *sim.Proc, r *RDD[T], each func(part int, data []T)) error {
+	ctx := r.m.ctx
+	ctx.JobsRun++
+	p.Sleep(ctx.C.Cost.SparkJobOverhead)
+
+	for _, dep := range collectShuffles(r.m) {
+		if err := ctx.ensureShuffle(p, dep); err != nil {
+			return err
+		}
+	}
+
+	parts := make([]int, r.m.nparts)
+	for i := range parts {
+		parts[i] = i
+	}
+	results := make([][]T, r.m.nparts)
+	for retry := 0; ; retry++ {
+		if retry >= ctx.Conf.MaxTaskRetries {
+			return fmt.Errorf("rdd: result stage of %s failed after %d retries", r.m.name, retry)
+		}
+		ctx.StagesRun++
+		p.Sleep(ctx.C.Cost.SparkStageOverhead)
+		errs := ctx.runTasks(p, fmt.Sprintf("result%d", r.m.id), parts, r.m.prefs,
+			func(tc *taskContext, part int) error {
+				data, err := r.part(tc, part)
+				if err != nil {
+					return err
+				}
+				// Ship the partition result to the driver.
+				bytes := tc.logicalBytes(len(data), r.recBytes)
+				tc.p.Sleep(tc.ctx.C.Cost.SerTime(bytes))
+				tc.ctx.C.Xfer(tc.p, tc.exec.node, tc.ctx.driverNode, bytes+tc.ctx.C.Cost.SparkCtrlBytes, tc.ctx.Conf.CtrlTransport)
+				results[part] = data
+				return nil
+			})
+		if !anyFailed(errs) {
+			break
+		}
+		if err := ctx.repairFetchFailures(p, errs); err != nil {
+			return err
+		}
+		// Retry only the failed partitions.
+		var failedParts []int
+		for i, e := range errs {
+			if e != nil {
+				failedParts = append(failedParts, parts[i])
+			}
+		}
+		parts = failedParts
+	}
+	// Driver-side deserialization of results.
+	for part, data := range results {
+		p.Sleep(ctx.C.Cost.DeserTime(int64(float64(len(data)) * ctx.Conf.Scale * float64(r.recBytes))))
+		each(part, data)
+	}
+	return nil
+}
+
+// ---- actions ----
+
+// Collect returns all records, in partition order.
+func Collect[T any](p *sim.Proc, r *RDD[T]) ([]T, error) {
+	parts := make([][]T, r.m.nparts)
+	err := runJob(p, r, func(part int, data []T) { parts[part] = data })
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, d := range parts {
+		out = append(out, d...)
+	}
+	return out, nil
+}
+
+// Reduce combines all records with op (must be associative and
+// commutative), computing per-partition partials on the executors and the
+// final fold on the driver — exactly the semantics of the paper's Spark
+// reduce microbenchmark (Fig 2: one scalar from a distributed array).
+func Reduce[T any](p *sim.Proc, r *RDD[T], op func(T, T) T) (T, error) {
+	var zero T
+	// Per-partition partial reduction happens inside a map-partitions
+	// wrapper so executors do the heavy combining.
+	partials := MapPartitions(r, func(in []T) []T {
+		if len(in) == 0 {
+			return nil
+		}
+		acc := in[0]
+		for _, v := range in[1:] {
+			acc = op(acc, v)
+		}
+		return []T{acc}
+	})
+	partials.recBytes = r.recBytes
+	var acc T
+	first := true
+	err := runJob(p, partials, func(_ int, data []T) {
+		for _, v := range data {
+			if first {
+				acc, first = v, false
+			} else {
+				acc = op(acc, v)
+			}
+		}
+	})
+	if err != nil {
+		return zero, err
+	}
+	if first {
+		return zero, errors.New("rdd: reduce of empty RDD")
+	}
+	return acc, nil
+}
+
+// Count returns the number of physical records.
+func Count[T any](p *sim.Proc, r *RDD[T]) (int64, error) {
+	counts := MapPartitions(r, func(in []T) []int64 { return []int64{int64(len(in))} })
+	counts.recBytes = 8
+	var total int64
+	err := runJob(p, counts, func(_ int, data []int64) {
+		for _, v := range data {
+			total += v
+		}
+	})
+	return total, err
+}
+
+// Foreach runs the action and hands each partition to f on the driver.
+func Foreach[T any](p *sim.Proc, r *RDD[T], f func(part int, data []T)) error {
+	return runJob(p, r, f)
+}
+
+func secsToDur(s float64) time.Duration { return time.Duration(s * 1e9) }
+func nsToDur(ns int64) time.Duration    { return time.Duration(ns) }

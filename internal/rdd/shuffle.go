@@ -1,0 +1,431 @@
+package rdd
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// shuffleState tracks one shuffle's map outputs (the MapOutputTracker).
+type shuffleState struct {
+	id      int
+	dep     *shuffleDep
+	nOut    int
+	outputs []*mapOutput // indexed by map partition; nil = missing/lost
+	// everComplete marks that all outputs once existed; later missing
+	// parts are losses being recomputed from lineage.
+	everComplete bool
+}
+
+// mapOutput is one map task's bucketed output, resident on an executor.
+type mapOutput struct {
+	exec    int
+	buckets []any // per reduce partition, []KV[K,V] boxed
+	sizes   []int64
+}
+
+// complete reports whether every map output is present on a live executor.
+func (ss *shuffleState) complete(ctx *Context) bool {
+	for _, o := range ss.outputs {
+		if o == nil || !ctx.executors[o.exec].alive {
+			return false
+		}
+	}
+	return true
+}
+
+// missingParts lists map partitions whose output is absent or stranded on
+// a dead executor.
+func (ss *shuffleState) missingParts(ctx *Context) []int {
+	var out []int
+	for i, o := range ss.outputs {
+		if o == nil || !ctx.executors[o.exec].alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// fetchFailure signals that a reduce task could not fetch a map output —
+// the trigger for lineage-based recovery.
+type fetchFailure struct {
+	shuffleID int
+	mapPart   int
+}
+
+func (f fetchFailure) Error() string {
+	return fmt.Sprintf("rdd: fetch failure: shuffle %d map partition %d", f.shuffleID, f.mapPart)
+}
+
+// keyHash is the deterministic partitioner hash.
+func keyHash(k any) uint64 {
+	switch v := k.(type) {
+	case int:
+		return mix64(uint64(v))
+	case int32:
+		return mix64(uint64(v))
+	case int64:
+		return mix64(uint64(v))
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return h.Sum64()
+	default:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", v)
+		return h.Sum64()
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// newShuffle registers a shuffle dependency over parent with a typed map
+// task and returns the dependency.
+func newShuffle(ctx *Context, parent *meta, nOut int, runMap func(tc *taskContext, part int) error) *shuffleDep {
+	dep := &shuffleDep{shuffleID: ctx.nextShuf, parent: parent, nOut: nOut}
+	ctx.nextShuf++
+	dep.runMapTask = runMap
+	ctx.shuffles[dep.shuffleID] = &shuffleState{
+		id:      dep.shuffleID,
+		dep:     dep,
+		nOut:    nOut,
+		outputs: make([]*mapOutput, parent.nparts),
+	}
+	return dep
+}
+
+// writeShuffle charges the map-side shuffle write (serialize + local spill)
+// and registers the output.
+func writeShuffle[K comparable, V any](tc *taskContext, dep *shuffleDep, part int,
+	buckets [][]KV[K, V], recBytes int64) {
+	ss := tc.ctx.shuffles[dep.shuffleID]
+	out := &mapOutput{exec: tc.exec.id, buckets: make([]any, len(buckets)), sizes: make([]int64, len(buckets))}
+	var total int64
+	for i, b := range buckets {
+		out.buckets[i] = b
+		out.sizes[i] = tc.logicalBytes(len(b), recBytes)
+		total += out.sizes[i]
+	}
+	tc.p.Sleep(tc.ctx.C.Cost.SerTime(total))
+	tc.ctx.C.Node(tc.exec.node).Scratch.Write(tc.p, total)
+	ss.outputs[part] = out
+}
+
+// fetchShuffle charges a reduce task's fetch of bucket `reducePart` from
+// every map output and returns the typed buckets in map-partition order.
+// Shuffle payloads travel over Conf.ShuffleTransport — the one path the
+// RDMA plugin accelerates.
+func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart int) ([][]KV[K, V], error) {
+	ctx := tc.ctx
+	ss := ctx.shuffles[shuffleID]
+	out := make([][]KV[K, V], 0, len(ss.outputs))
+	for m, mo := range ss.outputs {
+		if mo == nil || !ctx.executors[mo.exec].alive {
+			return nil, fetchFailure{shuffleID: shuffleID, mapPart: m}
+		}
+		b := mo.sizes[reducePart]
+		srcNode := ctx.executors[mo.exec].node
+		if b > 0 {
+			ctx.C.Node(srcNode).Scratch.Read(tc.p, b) // map-side spill read
+			if srcNode != tc.exec.node {
+				ctx.C.Xfer(tc.p, srcNode, tc.exec.node, b, ctx.Conf.ShuffleTransport)
+				ctx.ShuffleBytes += b
+			}
+			tc.p.Sleep(ctx.C.Cost.DeserTime(b))
+		}
+		out = append(out, mo.buckets[reducePart].([]KV[K, V]))
+	}
+	return out, nil
+}
+
+// bucketize partitions pairs by key hash into n buckets, optionally
+// combining values per key on the map side (insertion-order deterministic).
+func bucketize[K comparable, V any](pairs []KV[K, V], n int, combine func(V, V) V) [][]KV[K, V] {
+	buckets := make([][]KV[K, V], n)
+	if combine == nil {
+		for _, p := range pairs {
+			b := int(keyHash(p.K) % uint64(n))
+			buckets[b] = append(buckets[b], p)
+		}
+		return buckets
+	}
+	idx := make([]map[K]int, n)
+	for _, p := range pairs {
+		b := int(keyHash(p.K) % uint64(n))
+		if idx[b] == nil {
+			idx[b] = map[K]int{}
+		}
+		if at, ok := idx[b][p.K]; ok {
+			buckets[b][at].V = combine(buckets[b][at].V, p.V)
+		} else {
+			idx[b][p.K] = len(buckets[b])
+			buckets[b] = append(buckets[b], p)
+		}
+	}
+	return buckets
+}
+
+// ---- wide transformations ----
+
+// ReduceByKey shuffles pairs by key and combines values with op, with
+// map-side combining (Spark's reduceByKey). nOut <= 0 uses the default
+// parallelism.
+func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], op func(V, V) V, nOut int) *RDD[KV[K, V]] {
+	ctx := r.m.ctx
+	if nOut <= 0 {
+		nOut = ctx.Conf.DefaultParallelism
+	}
+	recBytes := r.recBytes
+	var dep *shuffleDep
+	dep = newShuffle(ctx, r.m, nOut, func(tc *taskContext, part int) error {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return err
+		}
+		buckets := bucketize(in, nOut, op)
+		tc.chargeRecords(len(in))
+		writeShuffle(tc, dep, part, buckets, recBytes)
+		return nil
+	})
+
+	m := newMeta(ctx, fmt.Sprintf("reduceByKey@%s", r.m.name), nOut)
+	m.wide = []*shuffleDep{dep}
+	m.partr = &partitioner{n: nOut}
+	out := &RDD[KV[K, V]]{m: m, recBytes: recBytes}
+	out.compute = func(tc *taskContext, part int) ([]KV[K, V], error) {
+		buckets, err := fetchShuffle[K, V](tc, dep.shuffleID, part)
+		if err != nil {
+			return nil, err
+		}
+		var res []KV[K, V]
+		idx := map[K]int{}
+		n := 0
+		for _, b := range buckets {
+			for _, p := range b {
+				n++
+				if at, ok := idx[p.K]; ok {
+					res[at].V = op(res[at].V, p.V)
+				} else {
+					idx[p.K] = len(res)
+					res = append(res, p)
+				}
+			}
+		}
+		tc.chargeRecords(n)
+		return res, nil
+	}
+	return out
+}
+
+// GroupByKey shuffles pairs and gathers all values per key (no map-side
+// combining — the shuffle-heavy primitive).
+func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, []V]] {
+	ctx := r.m.ctx
+	if nOut <= 0 {
+		nOut = ctx.Conf.DefaultParallelism
+	}
+	recBytes := r.recBytes
+	var dep *shuffleDep
+	dep = newShuffle(ctx, r.m, nOut, func(tc *taskContext, part int) error {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return err
+		}
+		buckets := bucketize[K, V](in, nOut, nil)
+		tc.chargeRecords(len(in))
+		writeShuffle(tc, dep, part, buckets, recBytes)
+		return nil
+	})
+
+	m := newMeta(ctx, fmt.Sprintf("groupByKey@%s", r.m.name), nOut)
+	m.wide = []*shuffleDep{dep}
+	m.partr = &partitioner{n: nOut}
+	out := &RDD[KV[K, []V]]{m: m, recBytes: recBytes * 4}
+	out.compute = func(tc *taskContext, part int) ([]KV[K, []V], error) {
+		buckets, err := fetchShuffle[K, V](tc, dep.shuffleID, part)
+		if err != nil {
+			return nil, err
+		}
+		var res []KV[K, []V]
+		idx := map[K]int{}
+		n := 0
+		for _, b := range buckets {
+			for _, p := range b {
+				n++
+				if at, ok := idx[p.K]; ok {
+					res[at].V = append(res[at].V, p.V)
+				} else {
+					idx[p.K] = len(res)
+					res = append(res, KV[K, []V]{p.K, []V{p.V}})
+				}
+			}
+		}
+		tc.chargeRecords(n)
+		return res, nil
+	}
+	return out
+}
+
+// PartitionBy hash-partitions a pair RDD into nOut partitions (one
+// shuffle). Joining two RDDs sharing a partitioner afterwards is narrow.
+func PartitionBy[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, V]] {
+	ctx := r.m.ctx
+	if nOut <= 0 {
+		nOut = ctx.Conf.DefaultParallelism
+	}
+	recBytes := r.recBytes
+	var dep *shuffleDep
+	dep = newShuffle(ctx, r.m, nOut, func(tc *taskContext, part int) error {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return err
+		}
+		buckets := bucketize[K, V](in, nOut, nil)
+		tc.chargeRecords(len(in))
+		writeShuffle(tc, dep, part, buckets, recBytes)
+		return nil
+	})
+	m := newMeta(ctx, fmt.Sprintf("partitionBy@%s", r.m.name), nOut)
+	m.wide = []*shuffleDep{dep}
+	m.partr = &partitioner{n: nOut}
+	out := &RDD[KV[K, V]]{m: m, recBytes: recBytes}
+	out.compute = func(tc *taskContext, part int) ([]KV[K, V], error) {
+		buckets, err := fetchShuffle[K, V](tc, dep.shuffleID, part)
+		if err != nil {
+			return nil, err
+		}
+		var res []KV[K, V]
+		for _, b := range buckets {
+			res = append(res, b...)
+		}
+		tc.chargeRecords(len(res))
+		return res, nil
+	}
+	return out
+}
+
+// JoinPair is one joined value pair.
+type JoinPair[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// Join performs an inner equi-join of two pair RDDs — the pattern at the
+// heart of the paper's PageRank implementations (links.join(ranks),
+// Fig 5). Co-partitioned inputs join narrowly with no shuffle at all;
+// otherwise both sides are shuffled (cogroup + hash join). The difference
+// between those two paths is precisely the BigDataBench-vs-HiBench
+// distinction of Figs 6 and 7.
+func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], nOut int) *RDD[KV[K, JoinPair[V, W]]] {
+	ctx := a.m.ctx
+	if nOut <= 0 {
+		nOut = ctx.Conf.DefaultParallelism
+	}
+	if samePartitioner(a.m.partr, b.m.partr) && a.m.nparts == b.m.nparts {
+		return narrowJoin(a, b)
+	}
+	var depA, depB *shuffleDep
+	depA = newShuffle(ctx, a.m, nOut, func(tc *taskContext, part int) error {
+		in, err := a.part(tc, part)
+		if err != nil {
+			return err
+		}
+		buckets := bucketize[K, V](in, nOut, nil)
+		tc.chargeRecords(len(in))
+		writeShuffle(tc, depA, part, buckets, a.recBytes)
+		return nil
+	})
+	depB = newShuffle(ctx, b.m, nOut, func(tc *taskContext, part int) error {
+		in, err := b.part(tc, part)
+		if err != nil {
+			return err
+		}
+		buckets := bucketize[K, W](in, nOut, nil)
+		tc.chargeRecords(len(in))
+		writeShuffle(tc, depB, part, buckets, b.recBytes)
+		return nil
+	})
+
+	m := newMeta(ctx, fmt.Sprintf("join(%s,%s)", a.m.name, b.m.name), nOut)
+	m.wide = []*shuffleDep{depA, depB}
+	m.partr = &partitioner{n: nOut}
+	out := &RDD[KV[K, JoinPair[V, W]]]{m: m, recBytes: a.recBytes + b.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]KV[K, JoinPair[V, W]], error) {
+		left, err := fetchShuffle[K, V](tc, depA.shuffleID, part)
+		if err != nil {
+			return nil, err
+		}
+		right, err := fetchShuffle[K, W](tc, depB.shuffleID, part)
+		if err != nil {
+			return nil, err
+		}
+		// Hash the left side, stream the right (insertion order on the
+		// right keeps results deterministic).
+		lh := map[K][]V{}
+		n := 0
+		for _, b := range left {
+			for _, p := range b {
+				n++
+				lh[p.K] = append(lh[p.K], p.V)
+			}
+		}
+		var res []KV[K, JoinPair[V, W]]
+		for _, b := range right {
+			for _, p := range b {
+				n++
+				for _, lv := range lh[p.K] {
+					res = append(res, KV[K, JoinPair[V, W]]{p.K, JoinPair[V, W]{lv, p.V}})
+				}
+			}
+		}
+		tc.chargeRecords(n + len(res))
+		return res, nil
+	}
+	return out
+}
+
+// narrowJoin joins co-partitioned RDDs partition-by-partition with no
+// data movement.
+func narrowJoin[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]]) *RDD[KV[K, JoinPair[V, W]]] {
+	m := newMeta(a.m.ctx, fmt.Sprintf("narrowJoin(%s,%s)", a.m.name, b.m.name), a.m.nparts)
+	m.narrow = []*meta{a.m, b.m}
+	m.prefs = a.m.prefs
+	m.partr = a.m.partr
+	out := &RDD[KV[K, JoinPair[V, W]]]{m: m, recBytes: a.recBytes + b.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]KV[K, JoinPair[V, W]], error) {
+		left, err := a.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		right, err := b.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		lh := map[K][]V{}
+		for _, p := range left {
+			lh[p.K] = append(lh[p.K], p.V)
+		}
+		var res []KV[K, JoinPair[V, W]]
+		for _, p := range right {
+			for _, lv := range lh[p.K] {
+				res = append(res, KV[K, JoinPair[V, W]]{p.K, JoinPair[V, W]{lv, p.V}})
+			}
+		}
+		tc.chargeRecords(len(left) + len(right) + len(res))
+		return res, nil
+	}
+	return out
+}
+
+// Distinct removes duplicates via a shuffle.
+func Distinct[T comparable](r *RDD[T], nOut int) *RDD[T] {
+	pairs := Map(r, func(v T) KV[T, struct{}] { return KV[T, struct{}]{v, struct{}{}} })
+	pairs.recBytes = r.recBytes
+	reduced := ReduceByKey(pairs, func(a, _ struct{}) struct{} { return a }, nOut)
+	return Keys(reduced)
+}

@@ -1,0 +1,235 @@
+// Package rm models the resource-manager layer of the two software stacks
+// (§IV: "Resource manager: YARN, Mesos etc. are used in Big Data, while
+// Slurm/Torque is used in HPC") with two schedulers over the same
+// simulated cluster:
+//
+//   - SlurmLike: HPC batch scheduling — jobs request whole nodes
+//     exclusively and run gang-scheduled waves of tasks; FIFO with
+//     optional aggressive backfill.
+//   - YarnLike: Big Data container scheduling — each task is a container
+//     of a few cores placed on any node with capacity, so small jobs
+//     flow around big ones.
+//
+// The schedulers produce per-job wait/turnaround times and cluster
+// utilization, quantifying the §IV trade-off: exclusive nodes give HPC
+// jobs isolation, containers give mixed workloads throughput.
+package rm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// Job is one batch job: Tasks independent tasks, each needing TaskCores
+// cores for TaskDuration.
+type Job struct {
+	ID           string
+	Arrive       time.Duration
+	Tasks        int
+	TaskCores    int
+	TaskDuration time.Duration
+}
+
+// nodesNeeded returns the whole-node allocation the job requests under
+// exclusive scheduling.
+func (j Job) nodesNeeded(coresPerNode int) int {
+	perNode := coresPerNode / j.TaskCores
+	if perNode < 1 {
+		perNode = 1
+	}
+	n := (j.Tasks + perNode - 1) / perNode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Result is one job's outcome.
+type Result struct {
+	Job        Job
+	Start      time.Duration // first task start, relative to sim start
+	Finish     time.Duration
+	Wait       time.Duration // Start - Arrive
+	Turnaround time.Duration // Finish - Arrive
+}
+
+// Summary aggregates a schedule.
+type Summary struct {
+	Results     []Result
+	Makespan    time.Duration
+	MeanWait    time.Duration
+	Utilization float64 // busy core-time / (cores x makespan)
+}
+
+func summarize(results []Result, totalCores int) Summary {
+	var s Summary
+	s.Results = results
+	var waits time.Duration
+	var busy time.Duration
+	for _, r := range results {
+		if r.Finish > s.Makespan {
+			s.Makespan = r.Finish
+		}
+		waits += r.Wait
+		busy += time.Duration(r.Job.Tasks*r.Job.TaskCores) * r.Job.TaskDuration
+	}
+	if len(results) > 0 {
+		s.MeanWait = waits / time.Duration(len(results))
+	}
+	if s.Makespan > 0 {
+		s.Utilization = float64(busy) / (float64(totalCores) * float64(s.Makespan))
+	}
+	sort.Slice(s.Results, func(i, j int) bool { return s.Results[i].Job.ID < s.Results[j].Job.ID })
+	return s
+}
+
+// RunSlurm schedules the jobs with exclusive whole-node allocation: FIFO
+// order; with backfill, queued jobs may jump ahead when the head job
+// cannot start but they fit in the idle nodes (aggressive backfill,
+// EASY-style without reservations).
+func RunSlurm(c *cluster.Cluster, jobs []Job, backfill bool) Summary {
+	k := c.K
+	coresPerNode := c.Node(0).Spec.Cores()
+	freeNodes := c.Size()
+	type qentry struct {
+		job  Job
+		gate *sim.Future[struct{}]
+	}
+	var queue []qentry
+	kick := sim.NewSignal(k)
+
+	// Scheduler process: grants node allocations in FIFO/backfill order.
+	k.Spawn("slurm.sched", func(p *sim.Proc) {
+		for {
+			granted := true
+			for granted {
+				granted = false
+				for i := 0; i < len(queue); i++ {
+					n := queue[i].job.nodesNeeded(coresPerNode)
+					if n > c.Size() {
+						panic(fmt.Sprintf("rm: job %s needs %d nodes, cluster has %d", queue[i].job.ID, n, c.Size()))
+					}
+					if n <= freeNodes {
+						freeNodes -= n
+						queue[i].gate.Complete(struct{}{})
+						queue = append(queue[:i], queue[i+1:]...)
+						granted = true
+						break
+					}
+					if !backfill {
+						break // strict FIFO: head blocks the queue
+					}
+				}
+			}
+			kick.Wait(p)
+		}
+	})
+
+	results := make([]Result, len(jobs))
+	wg := sim.NewWaitGroup(k)
+	for i, job := range jobs {
+		i, job := i, job
+		wg.Add(1)
+		k.Spawn("slurm.job."+job.ID, func(p *sim.Proc) {
+			defer wg.Done()
+			p.Sleep(job.Arrive)
+			gate := sim.NewFuture[struct{}](k)
+			queue = append(queue, qentry{job, gate})
+			kick.Broadcast()
+			gate.Wait(p)
+			start := p.Now()
+			// Gang-scheduled waves on the exclusive nodes.
+			n := job.nodesNeeded(coresPerNode)
+			perWave := n * max(1, coresPerNode/job.TaskCores)
+			waves := (job.Tasks + perWave - 1) / perWave
+			p.Sleep(time.Duration(waves) * job.TaskDuration)
+			freeNodes += n
+			kick.Broadcast()
+			results[i] = Result{
+				Job: job, Start: start.Duration(), Finish: p.Now().Duration(),
+				Wait:       start.Duration() - job.Arrive,
+				Turnaround: p.Now().Duration() - job.Arrive,
+			}
+		})
+	}
+	k.Spawn("slurm.waiter", func(p *sim.Proc) { wg.Wait(p) })
+	k.Run()
+	defer k.Shutdown()
+	return summarize(results, c.Size()*coresPerNode)
+}
+
+// RunYarn schedules each task as a container on any node with free cores,
+// FIFO per node via the cores resource — small jobs flow around big ones.
+func RunYarn(c *cluster.Cluster, jobs []Job) Summary {
+	k := c.K
+	coresPerNode := c.Node(0).Spec.Cores()
+	results := make([]Result, len(jobs))
+	wg := sim.NewWaitGroup(k)
+	for i, job := range jobs {
+		i, job := i, job
+		wg.Add(1)
+		k.Spawn("yarn.job."+job.ID, func(p *sim.Proc) {
+			defer wg.Done()
+			p.Sleep(job.Arrive)
+			var start, finish sim.Time
+			started := false
+			twg := sim.NewWaitGroup(k)
+			for t := 0; t < job.Tasks; t++ {
+				t := t
+				twg.Add(1)
+				k.Spawn(fmt.Sprintf("yarn.%s.t%d", job.ID, t), func(tp *sim.Proc) {
+					defer twg.Done()
+					// Pick the node with most free cores (capacity
+					// scheduler heuristic), tie-broken by task index.
+					node := pickNode(c, job.TaskCores, t)
+					node.Cores.Acquire(tp, int64(job.TaskCores))
+					if !started {
+						start = tp.Now()
+						started = true
+					}
+					tp.Sleep(job.TaskDuration)
+					node.Cores.Release(int64(job.TaskCores))
+					if tp.Now() > finish {
+						finish = tp.Now()
+					}
+				})
+			}
+			twg.Wait(p)
+			results[i] = Result{
+				Job: job, Start: start.Duration(), Finish: finish.Duration(),
+				Wait:       start.Duration() - job.Arrive,
+				Turnaround: finish.Duration() - job.Arrive,
+			}
+		})
+	}
+	k.Spawn("yarn.waiter", func(p *sim.Proc) { wg.Wait(p) })
+	k.Run()
+	defer k.Shutdown()
+	return summarize(results, c.Size()*coresPerNode)
+}
+
+// pickNode returns the node with the most free cores (FIFO queue length
+// as a tiebreaker), rotating by idx among equals.
+func pickNode(c *cluster.Cluster, cores, idx int) *cluster.Node {
+	best := c.Node(idx % c.Size())
+	bestFree := best.Cores.Capacity() - best.Cores.InUse() - int64(best.Cores.QueueLen()*cores)
+	for i := 0; i < c.Size(); i++ {
+		n := c.Node((idx + i) % c.Size())
+		free := n.Cores.Capacity() - n.Cores.InUse() - int64(n.Cores.QueueLen()*cores)
+		if free > bestFree {
+			best, bestFree = n, free
+		}
+	}
+	return best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package rm
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+func newCluster(nodes int) *cluster.Cluster {
+	return cluster.Comet(sim.NewKernel(51), nodes)
+}
+
+func find(s Summary, id string) Result {
+	for _, r := range s.Results {
+		if r.Job.ID == id {
+			return r
+		}
+	}
+	return Result{}
+}
+
+func TestSlurmSingleJob(t *testing.T) {
+	jobs := []Job{{ID: "a", Tasks: 48, TaskCores: 1, TaskDuration: time.Minute}}
+	s := RunSlurm(newCluster(4), jobs, false)
+	r := find(s, "a")
+	if r.Wait != 0 {
+		t.Errorf("idle cluster: wait %v", r.Wait)
+	}
+	// 48 one-core tasks need 2 nodes (24 cores each): one wave.
+	if r.Turnaround != time.Minute {
+		t.Errorf("turnaround %v, want 1m (one wave on 2 nodes)", r.Turnaround)
+	}
+}
+
+func TestSlurmExclusiveNodesQueue(t *testing.T) {
+	// Two jobs each needing all nodes: the second waits for the first.
+	jobs := []Job{
+		{ID: "a", Tasks: 96, TaskCores: 1, TaskDuration: time.Minute},
+		{ID: "b", Arrive: time.Second, Tasks: 96, TaskCores: 1, TaskDuration: time.Minute},
+	}
+	s := RunSlurm(newCluster(4), jobs, false)
+	b := find(s, "b")
+	if b.Wait < 50*time.Second {
+		t.Errorf("job b waited only %v; nodes are exclusive", b.Wait)
+	}
+}
+
+func TestSlurmFIFOHeadOfLineBlocking(t *testing.T) {
+	// Without backfill a tiny job stuck behind a big queued job waits even
+	// though idle nodes could run it; with backfill it jumps ahead.
+	mk := func() []Job {
+		return []Job{
+			{ID: "running", Tasks: 72, TaskCores: 1, TaskDuration: 10 * time.Minute},                 // 3 of 4 nodes
+			{ID: "big", Arrive: time.Second, Tasks: 96, TaskCores: 1, TaskDuration: time.Minute},     // needs 4: queues
+			{ID: "tiny", Arrive: 2 * time.Second, Tasks: 8, TaskCores: 1, TaskDuration: time.Second}, // fits the idle node
+		}
+	}
+	fifo := RunSlurm(newCluster(4), mk(), false)
+	bf := RunSlurm(newCluster(4), mk(), true)
+	tinyFIFO, tinyBF := find(fifo, "tiny"), find(bf, "tiny")
+	if tinyFIFO.Wait < 5*time.Minute {
+		t.Errorf("FIFO tiny job waited only %v; expected head-of-line blocking", tinyFIFO.Wait)
+	}
+	if tinyBF.Wait > time.Minute {
+		t.Errorf("backfilled tiny job waited %v; expected immediate start", tinyBF.Wait)
+	}
+}
+
+func TestYarnPacksContainers(t *testing.T) {
+	// 4 jobs x 24 one-core tasks on 1 node (24 cores): containers pack
+	// perfectly, finishing in ~4 task durations total.
+	var jobs []Job
+	for _, id := range []string{"a", "b", "c", "d"} {
+		jobs = append(jobs, Job{ID: id, Tasks: 24, TaskCores: 1, TaskDuration: time.Minute})
+	}
+	s := RunYarn(newCluster(1), jobs)
+	if s.Makespan > 4*time.Minute+time.Second {
+		t.Errorf("makespan %v, want ~4m (perfect packing)", s.Makespan)
+	}
+	if s.Utilization < 0.95 {
+		t.Errorf("utilization %.2f, want ~1", s.Utilization)
+	}
+}
+
+func TestYarnSmallJobsFlowAroundBigOnes(t *testing.T) {
+	jobs := []Job{
+		{ID: "big", Tasks: 80, TaskCores: 1, TaskDuration: 10 * time.Minute}, // fills most of 4 nodes
+		{ID: "tiny", Arrive: time.Second, Tasks: 4, TaskCores: 1, TaskDuration: time.Second},
+	}
+	s := RunYarn(newCluster(4), jobs)
+	tiny := find(s, "tiny")
+	if tiny.Wait > time.Second {
+		t.Errorf("tiny containers waited %v despite 16 free cores", tiny.Wait)
+	}
+}
+
+func TestYarnVsSlurmMixedWorkload(t *testing.T) {
+	// The §IV trade-off quantified: on a mixed workload, containers yield
+	// lower mean wait and higher utilization than exclusive nodes.
+	mk := func() []Job {
+		jobs := []Job{
+			{ID: "hpc1", Tasks: 48, TaskCores: 1, TaskDuration: 5 * time.Minute},
+			{ID: "hpc2", Arrive: time.Second, Tasks: 48, TaskCores: 1, TaskDuration: 5 * time.Minute},
+		}
+		for i := 0; i < 6; i++ {
+			jobs = append(jobs, Job{
+				ID: "small" + string(rune('a'+i)), Arrive: time.Duration(i+2) * time.Second,
+				Tasks: 6, TaskCores: 1, TaskDuration: 30 * time.Second,
+			})
+		}
+		return jobs
+	}
+	slurm := RunSlurm(newCluster(4), mk(), false)
+	yarn := RunYarn(newCluster(4), mk())
+	if yarn.MeanWait >= slurm.MeanWait {
+		t.Errorf("yarn mean wait %v not below slurm %v", yarn.MeanWait, slurm.MeanWait)
+	}
+	if yarn.Utilization <= slurm.Utilization {
+		t.Errorf("yarn utilization %.2f not above slurm %.2f", yarn.Utilization, slurm.Utilization)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() []Job {
+		return []Job{
+			{ID: "a", Tasks: 30, TaskCores: 2, TaskDuration: time.Minute},
+			{ID: "b", Arrive: 3 * time.Second, Tasks: 50, TaskCores: 1, TaskDuration: 20 * time.Second},
+		}
+	}
+	x, y := RunYarn(newCluster(2), mk()), RunYarn(newCluster(2), mk())
+	for i := range x.Results {
+		if x.Results[i] != y.Results[i] {
+			t.Fatalf("yarn not deterministic: %+v vs %+v", x.Results[i], y.Results[i])
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package shmem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+func testCluster(nodes int) *cluster.Cluster {
+	return cluster.Comet(sim.NewKernel(11), nodes)
+}
+
+func TestPutDeliversAfterQuiet(t *testing.T) {
+	c := testCluster(2)
+	var seen float64
+	Run(c, 2, 1, func(pe *PE) {
+		s := pe.AllocFloat64("x", 4)
+		if pe.MyPE() == 0 {
+			Put(pe, s, 1, 2, []float64{3.14})
+			pe.Quiet()
+		}
+		pe.BarrierAll()
+		if pe.MyPE() == 1 {
+			seen = s.Local(pe)[2]
+		}
+	})
+	if seen != 3.14 {
+		t.Errorf("target saw %v after barrier, want 3.14", seen)
+	}
+}
+
+func TestPutIsAsynchronous(t *testing.T) {
+	c := testCluster(2)
+	var putReturn, quietReturn sim.Time
+	Run(c, 2, 1, func(pe *PE) {
+		s := pe.AllocFloat64("x", 1<<20)
+		if pe.MyPE() == 0 {
+			big := make([]float64, 1<<20) // 8 MiB put
+			Put(pe, s, 1, 0, big)
+			putReturn = pe.Now()
+			pe.Quiet()
+			quietReturn = pe.Now()
+		}
+	})
+	if putReturn >= quietReturn {
+		t.Errorf("put returned at %v, quiet at %v; put should complete locally first",
+			putReturn, quietReturn)
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	c := testCluster(2)
+	var got []float64
+	Run(c, 2, 1, func(pe *PE) {
+		s := pe.AllocFloat64("src", 8)
+		if pe.MyPE() == 1 {
+			for i := range s.Local(pe) {
+				s.Local(pe)[i] = float64(i * i)
+			}
+		}
+		pe.BarrierAll()
+		if pe.MyPE() == 0 {
+			got = Get(pe, s, 1, 2, 3)
+		}
+	})
+	want := []float64{4, 9, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtomicAddConverges(t *testing.T) {
+	np := 8
+	c := testCluster(4)
+	var total int64
+	Run(c, np, 2, func(pe *PE) {
+		ctr := pe.AllocInt64("ctr", 1)
+		for i := 0; i < 10; i++ {
+			AtomicAdd(pe, ctr, 0, 0, 1)
+		}
+		pe.BarrierAll()
+		if pe.MyPE() == 0 {
+			total = ctr.Local(pe)[0]
+		}
+	})
+	if total != int64(np*10) {
+		t.Errorf("counter %d, want %d", total, np*10)
+	}
+}
+
+func TestFetchAddUniqueTickets(t *testing.T) {
+	np := 6
+	c := testCluster(3)
+	tickets := make([]int64, np)
+	Run(c, np, 2, func(pe *PE) {
+		ctr := pe.AllocInt64("tick", 1)
+		tickets[pe.MyPE()] = FetchAdd(pe, ctr, 0, 0, 1)
+	})
+	seen := map[int64]bool{}
+	for _, tk := range tickets {
+		if seen[tk] {
+			t.Fatalf("duplicate ticket %d in %v", tk, tickets)
+		}
+		seen[tk] = true
+	}
+}
+
+func TestWaitUntilPointToPoint(t *testing.T) {
+	c := testCluster(2)
+	var order []int
+	Run(c, 2, 1, func(pe *PE) {
+		flag := pe.AllocInt64("flag", 1)
+		if pe.MyPE() == 0 {
+			pe.Compute(1.0)
+			order = append(order, 0)
+			AtomicAdd(pe, flag, 1, 0, 1)
+		} else {
+			WaitUntil(pe, flag, 0, func(v int64) bool { return v > 0 })
+			order = append(order, 1)
+		}
+	})
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("order %v, want [0 1]", order)
+	}
+}
+
+func TestBarrierAllSynchronizes(t *testing.T) {
+	for _, np := range []int{2, 3, 5, 8} {
+		c := testCluster((np + 1) / 2)
+		var minAfter sim.Time = math.MaxInt64
+		slowest := float64(np-1) * 0.1
+		Run(c, np, 2, func(pe *PE) {
+			pe.Compute(float64(pe.MyPE()) * 0.1)
+			pe.BarrierAll()
+			if pe.Now() < minAfter {
+				minAfter = pe.Now()
+			}
+		})
+		if minAfter.Seconds() < slowest {
+			t.Errorf("np=%d: PE left barrier at %v before slowest (%.1fs)", np, minAfter, slowest)
+		}
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	c := testCluster(2)
+	count := 0
+	Run(c, 4, 2, func(pe *PE) {
+		for i := 0; i < 5; i++ {
+			pe.BarrierAll()
+		}
+		if pe.MyPE() == 0 {
+			count = pe.barriers
+		}
+	})
+	if count != 5 {
+		t.Errorf("barrier count %d, want 5", count)
+	}
+}
+
+func TestBroadcast64(t *testing.T) {
+	np := 5
+	c := testCluster(3)
+	got := make([]float64, np)
+	Run(c, np, 2, func(pe *PE) {
+		s := pe.AllocFloat64("b", 1)
+		if pe.MyPE() == 2 {
+			s.Local(pe)[0] = 7.5
+		}
+		got[pe.MyPE()] = Broadcast64(pe, s, 2)
+	})
+	for i, v := range got {
+		if v != 7.5 {
+			t.Errorf("PE %d got %v", i, v)
+		}
+	}
+}
+
+func TestSumToAllMatchesSerial(t *testing.T) {
+	np, n := 4, 16
+	c := testCluster(2)
+	results := make([][]float64, np)
+	Run(c, np, 2, func(pe *PE) {
+		s := pe.AllocFloat64("v", n)
+		w := pe.AllocFloat64("w", n*np)
+		for i := range s.Local(pe) {
+			s.Local(pe)[i] = float64(pe.MyPE()*100 + i)
+		}
+		pe.BarrierAll()
+		SumToAll(pe, s, w)
+		results[pe.MyPE()] = append([]float64(nil), s.Local(pe)...)
+	})
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for p := 0; p < np; p++ {
+			want += float64(p*100 + i)
+		}
+		for p := 0; p < np; p++ {
+			if results[p][i] != want {
+				t.Fatalf("PE %d elem %d: got %f want %f", p, i, results[p][i], want)
+			}
+		}
+	}
+}
+
+func TestSumToAllProperty(t *testing.T) {
+	f := func(seed int64, npRaw uint8) bool {
+		np := int(npRaw)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		inputs := make([][]float64, np)
+		for i := range inputs {
+			inputs[i] = make([]float64, n)
+			for j := range inputs[i] {
+				inputs[i][j] = rng.NormFloat64()
+			}
+		}
+		c := testCluster(np)
+		var got []float64
+		Run(c, np, 1, func(pe *PE) {
+			s := pe.AllocFloat64("v", n)
+			w := pe.AllocFloat64("w", n*np)
+			copy(s.Local(pe), inputs[pe.MyPE()])
+			pe.BarrierAll()
+			SumToAll(pe, s, w)
+			if pe.MyPE() == 0 {
+				got = append([]float64(nil), s.Local(pe)...)
+			}
+		})
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for i := 0; i < np; i++ {
+				want += inputs[i][j]
+			}
+			if math.Abs(got[j]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallPutCheaperThanMPIStyleRoundtrip(t *testing.T) {
+	// The PGAS pitch: a small one-sided put costs injection only, far less
+	// than a two-sided exchange. Put+quiet should beat get (round trip).
+	c := testCluster(2)
+	var putCost, getCost sim.Time
+	Run(c, 2, 1, func(pe *PE) {
+		s := pe.AllocFloat64("x", 1)
+		if pe.MyPE() == 0 {
+			start := pe.Now()
+			Put(pe, s, 1, 0, []float64{1})
+			pe.Quiet()
+			putCost = pe.Now() - start
+			start = pe.Now()
+			Get(pe, s, 1, 0, 1)
+			getCost = pe.Now() - start
+		}
+	})
+	if putCost >= getCost {
+		t.Errorf("put+quiet (%v) should be cheaper than get round trip (%v)", putCost, getCost)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	np := 6
+	c := testCluster(3)
+	depth, maxDepth, entries := 0, 0, 0
+	Run(c, np, 2, func(pe *PE) {
+		l := pe.AllocLock("global")
+		pe.BarrierAll()
+		for i := 0; i < 3; i++ {
+			l.Acquire(pe)
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			entries++
+			pe.Compute(0.001) // hold across virtual time
+			depth--
+			l.Release(pe)
+		}
+	})
+	if maxDepth != 1 {
+		t.Errorf("lock depth reached %d", maxDepth)
+	}
+	if entries != np*3 {
+		t.Errorf("entries %d, want %d", entries, np*3)
+	}
+}

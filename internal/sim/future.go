@@ -1,0 +1,103 @@
+package sim
+
+// Future is a single-assignment value that processes can wait on. It is
+// the building block for request/response protocols (rendezvous sends,
+// RPCs, task completion notifications).
+type Future[T any] struct {
+	k       *Kernel
+	done    bool
+	v       T
+	waiters []*Proc
+}
+
+// NewFuture creates an unresolved future.
+func NewFuture[T any](k *Kernel) *Future[T] {
+	return &Future[T]{k: k}
+}
+
+// Done reports whether the future has been completed.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Complete resolves the future and wakes all waiters. Completing twice
+// panics.
+func (f *Future[T]) Complete(v T) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.v = v
+	for _, p := range f.waiters {
+		f.k.wake(p)
+	}
+	f.waiters = nil
+}
+
+// Wait blocks until the future is completed and returns its value.
+func (f *Future[T]) Wait(p *Proc) T {
+	if !f.done {
+		f.waiters = append(f.waiters, p)
+		p.block()
+	}
+	return f.v
+}
+
+// Signal is a broadcast condition: processes wait, another wakes them all.
+// Unlike Future it can fire repeatedly.
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal creates a signal.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Wait parks the process until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// Broadcast wakes all currently waiting processes.
+func (s *Signal) Broadcast() {
+	for _, p := range s.waiters {
+		s.k.wake(p)
+	}
+	s.waiters = nil
+}
+
+// Waiters returns the number of processes currently parked on the signal.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// WaitGroup counts outstanding work in virtual time, mirroring
+// sync.WaitGroup for simulated processes.
+type WaitGroup struct {
+	k     *Kernel
+	count int
+	done  *Signal
+}
+
+// NewWaitGroup creates a wait group.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	return &WaitGroup{k: k, done: NewSignal(k)}
+}
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		w.done.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.count > 0 {
+		w.done.Wait(p)
+	}
+}

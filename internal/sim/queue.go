@@ -1,0 +1,57 @@
+package sim
+
+// eventQueue is a binary min-heap of events ordered by (time, seq).
+// A hand-rolled heap avoids container/heap's interface boxing on the
+// simulator's hottest path.
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // clear for GC of fn closures
+	*q = h[:n]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	h := *q
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource is a counting resource with FIFO queueing in virtual time. It
+// models anything with finite capacity whose contention should produce
+// waiting: CPU cores, NIC ports, disk channels, memory grants.
+//
+// Resources are not goroutine-safe in the conventional sense; they rely on
+// the kernel's one-process-at-a-time execution for consistency.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int64
+	used     int64
+	waiters  []resWaiter
+
+	// Stats
+	acquires  int64
+	waited    int64 // number of acquires that had to queue
+	busyTime  Time  // integral of (used>0) over time, for utilization
+	lastEvent Time
+}
+
+type resWaiter struct {
+	p *Proc
+	n int64
+}
+
+// NewResource creates a resource with the given capacity.
+func NewResource(k *Kernel, name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity must be positive", name))
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// InUse returns the currently held units.
+func (r *Resource) InUse() int64 { return r.used }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// account closes the utilization interval [lastEvent, now] using the
+// usage level that prevailed during it; call before mutating used.
+func (r *Resource) account() {
+	if r.used > 0 {
+		r.busyTime += r.k.now - r.lastEvent
+	}
+	r.lastEvent = r.k.now
+}
+
+// Acquire blocks the process until n units are available, FIFO-fair.
+// n must not exceed capacity.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	if n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d of %q", n, r.capacity, r.name))
+	}
+	r.acquires++
+	// FIFO fairness: even if n units are free, queue behind earlier waiters.
+	if len(r.waiters) == 0 && r.used+n <= r.capacity {
+		r.account()
+		r.used += n
+		return
+	}
+	r.waited++
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.block()
+}
+
+// TryAcquire acquires n units without blocking; it reports whether it
+// succeeded.
+func (r *Resource) TryAcquire(n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	if len(r.waiters) > 0 || r.used+n > r.capacity {
+		return false
+	}
+	r.acquires++
+	r.account()
+	r.used += n
+	return true
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+// It may be called from any running process or kernel callback.
+func (r *Resource) Release(n int64) {
+	if n <= 0 {
+		return
+	}
+	if n > r.used {
+		panic(fmt.Sprintf("sim: release %d exceeds in-use %d of %q", n, r.used, r.name))
+	}
+	r.account()
+	r.used -= n
+	for len(r.waiters) > 0 && r.used+r.waiters[0].n <= r.capacity {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.used += w.n
+		r.k.wake(w.p)
+	}
+}
+
+// Use acquires n units, runs fn, and releases, charging whatever virtual
+// time fn consumes.
+func (r *Resource) Use(p *Proc, n int64, fn func()) {
+	r.Acquire(p, n)
+	defer r.Release(n)
+	fn()
+}
+
+// UseFor acquires n units for duration d, then releases. This is the
+// common "occupy the device for the service time" pattern.
+func (r *Resource) UseFor(p *Proc, n int64, d time.Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// Utilization returns the fraction of elapsed virtual time during which at
+// least one unit was held, up to the last acquire/release.
+func (r *Resource) Utilization() float64 {
+	if r.lastEvent == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / float64(r.lastEvent)
+}
+
+// ContentionRate returns the fraction of acquires that had to queue.
+func (r *Resource) ContentionRate() float64 {
+	if r.acquires == 0 {
+		return 0
+	}
+	return float64(r.waited) / float64(r.acquires)
+}

@@ -1,0 +1,260 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel with a virtual clock.
+//
+// Simulated processes are ordinary goroutines, but the kernel guarantees
+// that exactly one process executes at a time: control is handed to the
+// process whose next event is earliest in virtual time, with FIFO
+// tie-breaking by event sequence number. Because only one process ever
+// runs, processes may freely share data structures without locks; the only
+// scheduling points are the blocking kernel primitives (Sleep, resource
+// acquisition, channel operations, futures).
+//
+// The kernel is the substrate for every hardware and software model in this
+// repository: cluster nodes, network fabrics, disks, and the MPI, OpenMP,
+// OpenSHMEM, MapReduce and RDD runtimes are all built from sim processes and
+// sim resources. All reported "execution times" are virtual time.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration returns the virtual time as a duration since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time offset by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two times.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// procKilled is panicked inside a parked process when the kernel shuts
+// down, so its goroutine unwinds and exits.
+type procKilled struct{}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventQueue
+	ack    chan struct{} // running process -> kernel: parked or finished
+	killed chan struct{} // closed on Shutdown; unblocks parked processes
+	live   int           // processes spawned and not yet finished
+	parked int           // processes parked without a pending event
+	nextID int
+	rng    *rand.Rand
+	ran    bool
+
+	// Trace, when non-nil, receives one line per scheduling decision.
+	// Intended for debugging tests; nil in normal operation.
+	Trace func(format string, args ...any)
+}
+
+// NewKernel returns a kernel with the given deterministic random seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		ack:    make(chan struct{}),
+		killed: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from simulated processes (or before Run), never concurrently.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Proc is a simulated process. A Proc is only valid inside the function it
+// was spawned with, and all of its methods must be called from that
+// function's goroutine.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	resume chan struct{}
+	// pending reports whether the proc has a wake event in the queue.
+	// A proc parked without a pending event must be woken by another
+	// proc via k.wake.
+	pending bool
+}
+
+// ID returns the process's unique id within its kernel.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// event is either a process wake-up or a callback.
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc  // non-nil: wake this process
+	fn  func() // non-nil: run this callback inline (must not block)
+}
+
+// Spawn creates a new simulated process executing body. The process begins
+// running at the current virtual time, after the spawner next yields.
+// Spawn may be called before Run or from any running process.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.nextID++
+	k.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); ok {
+					return
+				}
+				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+			}
+		}()
+		select {
+		case <-p.resume:
+		case <-k.killed:
+			return
+		}
+		body(p)
+		k.live--
+		k.ack <- struct{}{}
+	}()
+	k.schedule(k.now, p)
+	return p
+}
+
+// After schedules fn to run at virtual time now+d. fn executes inline in
+// the kernel loop and must not block on any kernel primitive; it is intended
+// for lightweight completions such as message delivery. fn may wake parked
+// processes and schedule further callbacks.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.events.push(event{t: k.now.Add(d), seq: k.seq, fn: fn})
+	k.seq++
+}
+
+// schedule enqueues a wake event for p.
+func (k *Kernel) schedule(t Time, p *Proc) {
+	if p.pending {
+		panic(fmt.Sprintf("sim: process %q scheduled twice", p.name))
+	}
+	p.pending = true
+	k.events.push(event{t: t, seq: k.seq, p: p})
+	k.seq++
+}
+
+// wake makes a parked process runnable at the current virtual time.
+// It is the low-level primitive used by resources, channels and futures.
+func (k *Kernel) wake(p *Proc) {
+	k.parked--
+	k.schedule(k.now, p)
+}
+
+// park suspends the calling process until the kernel resumes it. The
+// caller must have arranged for a future wake: either a pending event
+// (Sleep) or registration with a waker (resource queue, channel, future).
+func (p *Proc) park() {
+	k := p.k
+	k.ack <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-k.killed:
+		panic(procKilled{})
+	}
+}
+
+// Sleep advances the process's virtual time by d. Negative durations sleep
+// for zero time (still yielding to the scheduler).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now.Add(d), p)
+	p.park()
+}
+
+// Yield lets any other process scheduled at the current time run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// block parks the process with no pending event; some other process or
+// callback must wake it via Kernel.wake.
+func (p *Proc) block() {
+	p.k.parked++
+	p.park()
+}
+
+// Run executes events until the queue is empty, then returns the final
+// virtual time. Processes still parked on resources, channels or futures
+// when the queue drains are deadlocked (or simply never signalled); Run
+// returns anyway and Shutdown reclaims their goroutines.
+func (k *Kernel) Run() Time {
+	if k.ran {
+		panic("sim: Kernel.Run called twice")
+	}
+	k.ran = true
+	for len(k.events) > 0 {
+		e := k.events.pop()
+		if e.t < k.now {
+			panic("sim: event queue went backwards")
+		}
+		k.now = e.t
+		if e.fn != nil {
+			if k.Trace != nil {
+				k.Trace("t=%v callback", k.now)
+			}
+			e.fn()
+			continue
+		}
+		if k.Trace != nil {
+			k.Trace("t=%v run %q", k.now, e.p.name)
+		}
+		e.p.pending = false
+		e.p.resume <- struct{}{}
+		<-k.ack
+	}
+	return k.now
+}
+
+// Blocked returns the number of processes parked with no pending event.
+// After Run returns, a non-zero value means some processes never finished
+// (typically a deliberate simulation cut-off, or a bug in the model).
+func (k *Kernel) Blocked() int { return k.parked }
+
+// Live returns the number of spawned processes that have not finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Shutdown releases the goroutines of any processes still parked. It must
+// be called after Run (typically via defer) when the simulation may end
+// with blocked processes.
+func (k *Kernel) Shutdown() {
+	select {
+	case <-k.killed:
+	default:
+		close(k.killed)
+	}
+}

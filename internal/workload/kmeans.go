@@ -1,0 +1,134 @@
+package workload
+
+// KMeans is the clustering workload of the paper's related work ([38]
+// compared the HPC and Hadoop ecosystems with k-means): deterministic
+// synthetic points drawn around K true centers, with the usual
+// logical/physical split so costs scale to arbitrary dataset sizes.
+type KMeans struct {
+	Seed          int64
+	NumPoints     int   // physical points
+	LogicalPoints int64 // cost-model size
+	Dim           int
+	K             int
+}
+
+// NewKMeans builds the dataset.
+func NewKMeans(seed int64, points int, logicalPoints int64, dim, k int) *KMeans {
+	if points < k {
+		panic("workload: need at least K points")
+	}
+	return &KMeans{Seed: seed, NumPoints: points, LogicalPoints: logicalPoints, Dim: dim, K: k}
+}
+
+// Scale returns logical/physical point ratio.
+func (d *KMeans) Scale() float64 { return float64(d.LogicalPoints) / float64(d.NumPoints) }
+
+// PointBytes is the logical record size of one point.
+func (d *KMeans) PointBytes() int64 { return int64(8 * d.Dim) }
+
+// trueCenter returns coordinate j of true center c: well-separated lattice
+// positions.
+func (d *KMeans) trueCenter(c, j int) float64 {
+	return float64(10 * (int(hash3(d.Seed, int64(c), int64(j))%7) + c*3))
+}
+
+// Point returns point i: its true center plus deterministic noise.
+func (d *KMeans) Point(i int) []float64 {
+	c := i % d.K
+	out := make([]float64, d.Dim)
+	for j := 0; j < d.Dim; j++ {
+		noise := float64(hash3(d.Seed, int64(i)*31+int64(j), 977)%2000)/1000 - 1 // [-1, 1)
+		out[j] = d.trueCenter(c, j) + noise
+	}
+	return out
+}
+
+// Points returns points [lo, hi).
+func (d *KMeans) Points(lo, hi int) [][]float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > d.NumPoints {
+		hi = d.NumPoints
+	}
+	out := make([][]float64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, d.Point(i))
+	}
+	return out
+}
+
+// InitialCenters returns the canonical initialization every implementation
+// must use (the first K points), so results are comparable bit-for-bit up
+// to summation order.
+func (d *KMeans) InitialCenters() [][]float64 {
+	return d.Points(0, d.K)
+}
+
+// Nearest returns the index of the center closest to p (ties to the
+// lowest index).
+func Nearest(p []float64, centers [][]float64) int {
+	best, bestD := 0, distSq(p, centers[0])
+	for c := 1; c < len(centers); c++ {
+		if dd := distSq(p, centers[c]); dd < bestD {
+			best, bestD = c, dd
+		}
+	}
+	return best
+}
+
+func distSq(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		s += diff * diff
+	}
+	return s
+}
+
+// Step folds one Lloyd iteration's partial sums: sums[c][j] accumulates
+// coordinates, counts[c] the membership.
+func Step(points [][]float64, centers [][]float64, sums [][]float64, counts []float64) {
+	for _, p := range points {
+		c := Nearest(p, centers)
+		counts[c]++
+		for j, v := range p {
+			sums[c][j] += v
+		}
+	}
+}
+
+// Finish turns accumulated sums/counts into the next centers; empty
+// clusters keep their previous center (the standard convention).
+func Finish(prev [][]float64, sums [][]float64, counts []float64) [][]float64 {
+	k, dim := len(prev), len(prev[0])
+	next := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		next[c] = make([]float64, dim)
+		if counts[c] == 0 {
+			copy(next[c], prev[c])
+			continue
+		}
+		for j := 0; j < dim; j++ {
+			next[c][j] = sums[c][j] / counts[c]
+		}
+	}
+	return next
+}
+
+// SerialKMeans runs the reference Lloyd iteration — the oracle for every
+// framework implementation.
+func (d *KMeans) SerialKMeans(iters int) [][]float64 {
+	centers := d.InitialCenters()
+	pts := d.Points(0, d.NumPoints)
+	for it := 0; it < iters; it++ {
+		sums := make([][]float64, d.K)
+		counts := make([]float64, d.K)
+		for c := range sums {
+			sums[c] = make([]float64, d.Dim)
+		}
+		Step(pts, centers, sums, counts)
+		centers = Finish(centers, sums, counts)
+	}
+	return centers
+}

@@ -1,0 +1,123 @@
+package workload
+
+// Post is one record of the synthetic StackExchange dump: either a
+// question or an answer referring to its question.
+type Post struct {
+	ID       int64
+	Question bool
+	ParentID int64 // for answers: the question this answers
+	Score    int32
+}
+
+// questionRatio: one record in five is a question, so the expected number
+// of answers per question is 4 — the statistic the AnswersCount benchmark
+// computes.
+const questionRatio = 5
+
+// StackExchange is a deterministic synthetic question/answer dataset.
+type StackExchange struct {
+	Seed        int64
+	NumRecords  int64 // logical record count
+	RecordBytes int64 // logical bytes per record
+	Stride      int64 // sampling stride; physical records = ceil(NumRecords/Stride)
+}
+
+// NewStackExchange builds a dataset of the given logical size. stride
+// controls how many records are physically materialized: stride 1 is the
+// full dataset, stride 1000 keeps every thousandth record. Sampling is by
+// record index, so all partitionings observe the same sample.
+func NewStackExchange(seed, logicalBytes, recordBytes, stride int64) *StackExchange {
+	if recordBytes <= 0 || stride <= 0 {
+		panic("workload: recordBytes and stride must be positive")
+	}
+	return &StackExchange{
+		Seed:        seed,
+		NumRecords:  logicalBytes / recordBytes,
+		RecordBytes: recordBytes,
+		Stride:      stride,
+	}
+}
+
+// LogicalBytes returns the dataset's logical size.
+func (d *StackExchange) LogicalBytes() int64 { return d.NumRecords * d.RecordBytes }
+
+// Post returns record i.
+func (d *StackExchange) Post(i int64) Post {
+	h := hash2(d.Seed, i)
+	p := Post{ID: i, Score: int32(h >> 56)}
+	if h%questionRatio == 0 {
+		p.Question = true
+	} else {
+		// Answers reference an arbitrary (deterministic) question id key.
+		p.ParentID = int64(hash3(d.Seed, i, 1) % uint64(d.NumRecords))
+	}
+	return p
+}
+
+// Records returns the physical sample of the logical record-index range
+// [lo, hi): every record whose index is a multiple of Stride.
+func (d *StackExchange) Records(lo, hi int64) []Post {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > d.NumRecords {
+		hi = d.NumRecords
+	}
+	if lo >= hi {
+		return nil
+	}
+	first := (lo + d.Stride - 1) / d.Stride * d.Stride
+	out := make([]Post, 0, (hi-first+d.Stride-1)/d.Stride)
+	for i := first; i < hi; i += d.Stride {
+		out = append(out, d.Post(i))
+	}
+	return out
+}
+
+// PhysicalRecords returns the number of materialized records.
+func (d *StackExchange) PhysicalRecords() int64 {
+	return (d.NumRecords + d.Stride - 1) / d.Stride
+}
+
+// BytesOf returns the logical size of the record-index range [lo, hi) —
+// what the cost model charges for reading it.
+func (d *StackExchange) BytesOf(lo, hi int64) int64 {
+	if hi > d.NumRecords {
+		hi = d.NumRecords
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return 0
+	}
+	return (hi - lo) * d.RecordBytes
+}
+
+// AnswersCountResult is the statistic the benchmark computes.
+type AnswersCountResult struct {
+	Questions int64
+	Answers   int64
+}
+
+// Average returns answers per question.
+func (r AnswersCountResult) Average() float64 {
+	if r.Questions == 0 {
+		return 0
+	}
+	return float64(r.Answers) / float64(r.Questions)
+}
+
+// SerialAnswersCount computes the reference result over the full physical
+// sample — the oracle every framework implementation must match.
+func (d *StackExchange) SerialAnswersCount() AnswersCountResult {
+	var r AnswersCountResult
+	for _, p := range d.Records(0, d.NumRecords) {
+		if p.Question {
+			r.Questions++
+		} else {
+			r.Answers++
+		}
+	}
+	return r
+}

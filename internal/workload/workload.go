@@ -1,0 +1,29 @@
+// Package workload provides deterministic synthetic datasets standing in
+// for the paper's inputs: the 80 GB StackExchange question/answer dump
+// (Fig 4, Table II) and the BigDataBench/HiBench PageRank graphs (Figs 6
+// and 7).
+//
+// Datasets separate logical size (what the cost model charges for: the
+// paper's gigabytes) from physical size (the records actually materialized
+// in this process: a deterministic sample). Every framework partitions the
+// same logical record-index space, so any tiling of [0, NumRecords) yields
+// exactly the same multiset of physical records regardless of how a
+// framework chooses its splits — MapReduce input splits, RDD partitions
+// and MPI chunks all agree.
+package workload
+
+// splitmix64 is the deterministic hash behind all generators.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hash2(seed int64, i int64) uint64 {
+	return splitmix64(uint64(seed)*0x9e3779b97f4a7c15 ^ splitmix64(uint64(i)))
+}
+
+func hash3(seed int64, i, j int64) uint64 {
+	return splitmix64(hash2(seed, i) ^ splitmix64(uint64(j)+0x632be59bd9b4e019))
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackExchangeDeterministic(t *testing.T) {
+	a := NewStackExchange(1, 1<<20, 512, 4)
+	b := NewStackExchange(1, 1<<20, 512, 4)
+	ra, rb := a.Records(0, a.NumRecords), b.Records(0, b.NumRecords)
+	if len(ra) != len(rb) || len(ra) == 0 {
+		t.Fatalf("lengths %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c := NewStackExchange(2, 1<<20, 512, 4)
+	rc := c.Records(0, c.NumRecords)
+	same := 0
+	for i := range ra {
+		if ra[i] == rc[i] {
+			same++
+		}
+	}
+	if same == len(ra) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestStackExchangeTilingInvariance(t *testing.T) {
+	// Any partitioning of the index space yields the same multiset of
+	// records — the property that makes cross-framework results agree.
+	f := func(seed int64, parts uint8) bool {
+		d := NewStackExchange(seed, 200_000, 100, 3)
+		np := int(parts)%7 + 1
+		var tiled []Post
+		for p := 0; p < np; p++ {
+			lo := int64(p) * d.NumRecords / int64(np)
+			hi := int64(p+1) * d.NumRecords / int64(np)
+			tiled = append(tiled, d.Records(lo, hi)...)
+		}
+		whole := d.Records(0, d.NumRecords)
+		if len(tiled) != len(whole) {
+			return false
+		}
+		for i := range whole {
+			if tiled[i] != whole[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackExchangeQuestionRatio(t *testing.T) {
+	d := NewStackExchange(42, 100<<20, 512, 1)
+	r := d.SerialAnswersCount()
+	if r.Questions+r.Answers != d.NumRecords {
+		t.Fatalf("records %d, want %d", r.Questions+r.Answers, d.NumRecords)
+	}
+	avg := r.Average()
+	if avg < 3.5 || avg > 4.5 {
+		t.Errorf("answers/question %.3f, want ~4", avg)
+	}
+}
+
+func TestStackExchangeStrideSampling(t *testing.T) {
+	d := NewStackExchange(7, 1<<20, 512, 10)
+	recs := d.Records(0, d.NumRecords)
+	if int64(len(recs)) != d.PhysicalRecords() {
+		t.Errorf("physical %d, PhysicalRecords() %d", len(recs), d.PhysicalRecords())
+	}
+	want := (d.NumRecords + 9) / 10
+	if int64(len(recs)) != want {
+		t.Errorf("sampled %d, want %d", len(recs), want)
+	}
+	for _, p := range recs {
+		if p.ID%10 != 0 {
+			t.Fatalf("sampled record %d not on stride", p.ID)
+		}
+	}
+}
+
+func TestBytesOf(t *testing.T) {
+	d := NewStackExchange(1, 1000*512, 512, 1)
+	if got := d.BytesOf(0, d.NumRecords); got != d.LogicalBytes() {
+		t.Errorf("full range %d, want %d", got, d.LogicalBytes())
+	}
+	if got := d.BytesOf(10, 20); got != 10*512 {
+		t.Errorf("10 records = %d bytes, want %d", got, 10*512)
+	}
+	if got := d.BytesOf(-5, 3); got != 3*512 {
+		t.Errorf("clamped range = %d", got)
+	}
+}
+
+func TestGraphDeterministicAndWellFormed(t *testing.T) {
+	g := NewGraph(3, 1000, 1_000_000, 8)
+	h := NewGraph(3, 1000, 1_000_000, 8)
+	if g.NumEdges() != h.NumEdges() {
+		t.Fatal("edge counts differ across builds")
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		ge, he := g.OutEdges(v), h.OutEdges(v)
+		for i := range ge {
+			if ge[i] != he[i] {
+				t.Fatalf("vertex %d edge %d differs", v, i)
+			}
+			if ge[i] < 0 || int(ge[i]) >= g.NumVertices {
+				t.Fatalf("vertex %d has out-of-range target %d", v, ge[i])
+			}
+			if int(ge[i]) == v {
+				t.Fatalf("vertex %d has self loop", v)
+			}
+		}
+		if g.OutDegree(v) < 1 {
+			t.Fatalf("vertex %d has zero out-degree", v)
+		}
+	}
+}
+
+func TestGraphDegreeDistribution(t *testing.T) {
+	g := NewGraph(5, 20000, 1_000_000, 8)
+	avg := float64(g.NumEdges()) / float64(g.NumVertices)
+	if avg < 5 || avg > 12 {
+		t.Errorf("average degree %.2f, want around 8", avg)
+	}
+	// Heavy tail: some vertex should far exceed the mean.
+	maxDeg := 0
+	for v := 0; v < g.NumVertices; v++ {
+		if d := g.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < avg*5 {
+		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", maxDeg, avg)
+	}
+	if s := g.Scale(); s != 50.0 {
+		t.Errorf("scale %.1f, want 50", s)
+	}
+}
+
+func TestSerialPageRankProperties(t *testing.T) {
+	g := NewGraph(9, 2000, 2000, 6)
+	ranks := g.SerialPageRank(10)
+	// All ranks at least the teleport mass.
+	for v, r := range ranks {
+		if r < (1-Damping)-1e-12 {
+			t.Fatalf("vertex %d rank %f below teleport floor", v, r)
+		}
+	}
+	// Skewed targets ⇒ low-id vertices accumulate rank: vertex 0 should
+	// rank above the median vertex.
+	mid := ranks[len(ranks)/2]
+	if ranks[0] <= mid {
+		t.Errorf("rank[0]=%f not above median %f despite in-degree skew", ranks[0], mid)
+	}
+	// Convergence: iterating further changes ranks only slightly.
+	more := g.SerialPageRank(30)
+	var diff, norm float64
+	for v := range ranks {
+		diff += math.Abs(more[v] - ranks[v])
+		norm += more[v]
+	}
+	if diff/norm > 0.05 {
+		t.Errorf("relative change after 10 iters %.4f, want near convergence", diff/norm)
+	}
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Adjacent indices must produce unrelated hashes (no striding
+	// artifacts in question/answer assignment).
+	buckets := make([]int, questionRatio)
+	for i := int64(0); i < 100000; i++ {
+		buckets[hash2(1, i)%questionRatio]++
+	}
+	for b, n := range buckets {
+		if n < 18000 || n > 22000 {
+			t.Errorf("bucket %d has %d of 100000 (want ~20000)", b, n)
+		}
+	}
+}
+
+func TestKMeansDeterministicAndSeparated(t *testing.T) {
+	d := NewKMeans(3, 500, 1_000_000, 4, 5)
+	a, b := d.SerialKMeans(5), d.SerialKMeans(5)
+	for c := range a {
+		for j := range a[c] {
+			if a[c][j] != b[c][j] {
+				t.Fatal("serial k-means not deterministic")
+			}
+		}
+	}
+	// Points of each true cluster should end nearest a center close to
+	// the true center: verify clustering assigns stable labels.
+	centers := a
+	for i := 0; i < 100; i++ {
+		p := d.Point(i)
+		c := Nearest(p, centers)
+		q := d.Point(i + 5*20) // same true cluster (i mod K preserved)
+		if Nearest(q, centers) != c {
+			t.Fatalf("points of the same true cluster split between centers")
+		}
+	}
+}
+
+func TestKMeansFinishEmptyCluster(t *testing.T) {
+	prev := [][]float64{{1, 1}, {9, 9}}
+	sums := [][]float64{{4, 4}, {0, 0}}
+	counts := []float64{2, 0}
+	next := Finish(prev, sums, counts)
+	if next[0][0] != 2 || next[0][1] != 2 {
+		t.Errorf("mean wrong: %v", next[0])
+	}
+	if next[1][0] != 9 || next[1][1] != 9 {
+		t.Errorf("empty cluster moved: %v", next[1])
+	}
+}
