@@ -1,0 +1,31 @@
+# Repro harness. `make verify` is the CI gate: build, vet, the full test
+# suite, and the race detector over the quick configurations.
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench experiments
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+verify: build vet test race
+	@echo "verify: OK"
+
+# Regenerate every paper artifact at full scale (slow).
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+# The §VI-D fault-tolerance sweep at paper scale.
+experiments:
+	$(GO) run ./cmd/chaos-bench

@@ -250,6 +250,38 @@ func BenchmarkAblationMemory(b *testing.B) {
 	}
 }
 
+func BenchmarkChaosSweep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("chaos sweep at quick scale is covered by TestChaosSweep")
+	}
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		a := ChaosSweep(o)
+		r2 := ChaosSweep(o)
+		var bad []string
+		for _, tab := range ChaosTables(a) {
+			emit(tab.ID, tab, nil)
+		}
+		bad = CheckChaosSweep(a, r2)
+		if _, loaded := printOnce.LoadOrStore("chaos-check", true); !loaded {
+			if len(bad) == 0 {
+				fmt.Println("chaos sweep shape check: OK")
+			} else {
+				fmt.Println("chaos sweep shape check VIOLATIONS:")
+				for _, v := range bad {
+					fmt.Println("  " + v)
+				}
+			}
+		}
+		if n := len(a.MPIPR); n > 0 {
+			b.ReportMetric(a.MPIPR[n-1].Seconds/a.MPIPR[0].Seconds, "mpi-worst-overhead-x")
+		}
+		if n := len(a.SparkPR); n > 0 {
+			b.ReportMetric(a.SparkPR[n-1].Seconds/a.SparkPR[0].Seconds, "spark-worst-overhead-x")
+		}
+	}
+}
+
 func BenchmarkAblationConverged(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {

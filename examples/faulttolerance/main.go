@@ -1,33 +1,39 @@
-// Fault tolerance: the paper's §VI-D discussion, executable. Four
+// Fault tolerance: the paper's §VI-D discussion, executable — and
+// reproducible. Faults are injected by the chaos engine from scripted
+// plans (a node crash at a fixed virtual time), not by ad-hoc kill calls,
+// so every run of this program prints exactly the same numbers. Four
 // demonstrations on the same simulated platform:
 //
-//  1. Spark: kill an executor mid-computation; the DAG scheduler rebuilds
-//     lost partitions from lineage and the job finishes with the same
-//     answer.
+//  1. Spark: a node crash mid-job; the heartbeat detector declares the
+//     executor lost, the DAG scheduler rebuilds lost partitions from
+//     lineage, and the job finishes with the same answer.
 //
-//  2. HDFS: kill a datanode; reads fail over to surviving replicas
-//     transparently and replication is restored in the background.
+//  2. HDFS: a node crash under a client; reads fail over to surviving
+//     replicas transparently and replication is restored in the
+//     background after the namenode's timeout.
 //
-//  3. MPI: classical checkpoint/restart — pay defensive I/O up front,
-//     roll back and redo work after a failure.
+//  3. MPI: classical checkpoint/restart via RunResilient — pay defensive
+//     I/O up front; a crash detected at the next barrier rolls the whole
+//     world back to the last checkpoint.
 //
 //  4. RDA (the §VIII convergence prototype): Spark-style lineage recovery
 //     on the HPC runtime, compared with its own checkpoints.
 //
-//     go run ./examples/faulttolerance
+//	go run ./examples/faulttolerance
 package main
 
 import (
 	"fmt"
+	"time"
 
 	"hpcbd"
+	"hpcbd/internal/chaos"
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/dfs"
 	"hpcbd/internal/mpi"
 	"hpcbd/internal/rda"
 	"hpcbd/internal/rdd"
 	"hpcbd/internal/sim"
-	"time"
 )
 
 func main() {
@@ -37,10 +43,15 @@ func main() {
 	rdaPrototype()
 }
 
-func sparkLineage() {
-	fmt.Println("1. Spark: executor death -> lineage recomputation")
+// sparkJob runs a count twice over a persisted shuffle; if crashAt > 0, a
+// scripted plan crashes node 2 that long into the second count (and
+// recovers it later). It returns the duration of the second count.
+func sparkJob(crashAt time.Duration, report bool) time.Duration {
 	c := hpcbd.NewComet(1, 4)
-	ctx := rdd.NewContext(c, rdd.DefaultConfig())
+	conf := rdd.DefaultConfig()
+	conf.HeartbeatTimeout = 10 * time.Millisecond
+	ctx := rdd.NewContext(c, conf)
+	var dur time.Duration
 	c.K.Spawn("driver", func(p *sim.Proc) {
 		data := make([]int, 10000)
 		for i := range data {
@@ -51,32 +62,57 @@ func sparkLineage() {
 		sums := rdd.ReduceByKey(pairs, func(a, b int) int { return a + b }, 8).Persist(rdd.MemoryOnly)
 
 		before, _ := rdd.Count(p, sums)
-		ctx.KillExecutor(2) // lose node 2's cache and shuffle files
+		var eng *chaos.Engine
+		if crashAt > 0 {
+			eng = chaos.Install(c, chaos.Script(
+				chaos.Event{At: crashAt, Node: 2, Kind: chaos.NodeCrash},
+				chaos.Event{At: crashAt + time.Second, Node: 2, Kind: chaos.NodeRecover},
+			))
+		}
+		start := p.Now()
 		after, err := rdd.Count(p, sums)
-		fmt.Printf("   count before kill: %d, after kill: %d (err=%v)\n", before, after, err)
-		fmt.Printf("   partitions recomputed from lineage: %d, tasks retried: %d\n\n",
-			ctx.RecomputedPart, ctx.TasksRetried)
+		dur = p.Now().Sub(start)
+		if report {
+			fmt.Printf("   count before crash: %d, after: %d (err=%v)\n", before, after, err)
+			fmt.Printf("   chaos: %s\n", eng.Summary())
+			fmt.Printf("   executors lost: %d, partitions recomputed from lineage: %d, tasks retried: %d\n\n",
+				ctx.ExecutorsLost, ctx.RecomputedPart, ctx.TasksRetried)
+		}
 	})
 	c.K.Run()
+	return dur
+}
+
+func sparkLineage() {
+	fmt.Println("1. Spark: scripted node crash -> heartbeat loss detection -> lineage recomputation")
+	clean := sparkJob(0, false)
+	fmt.Printf("   clean second count: %v; replaying with node 2 crashing at %v\n", clean, clean/2)
+	sparkJob(clean/2, true)
 }
 
 func dfsFailover() {
-	fmt.Println("2. HDFS: datanode death -> transparent failover + re-replication")
+	fmt.Println("2. HDFS: node crash -> transparent read failover + re-replication")
 	c := hpcbd.NewComet(1, 4)
 	cfg := dfs.DefaultConfig()
 	cfg.Replication = 2
 	cfg.RereplicationDelay = 2 * time.Second
 	fs := dfs.New(c, cluster.IPoIB(), cfg)
 	c.K.Spawn("client", func(p *sim.Proc) {
-		if err := fs.Create(p, 0, "/data", 512<<20); err != nil {
+		// Write from node 1 so node 1 holds the primary replica of every
+		// block, then read from node 0 and crash node 1 mid-read: each
+		// block's preferred replica is suddenly dead and the client must
+		// fail over to the survivor.
+		if err := fs.Create(p, 1, "/data", 512<<20); err != nil {
 			panic(err)
 		}
-		fs.KillDatanode(0)
+		chaos.Install(c, chaos.Script(chaos.Event{At: time.Millisecond, Node: 1, Kind: chaos.NodeCrash}))
 		err := fs.Read(p, 0, "/data", 0, 512<<20)
-		fmt.Printf("   read across the dead datanode: err=%v (remote reads: %d)\n", err, fs.RemoteReads())
-		p.Sleep(time.Minute) // let the namenode re-replicate
+		fmt.Printf("   read across the crash: err=%v (failovers: %d, remote reads: %d)\n",
+			err, fs.ReadFailovers(), fs.RemoteReads())
+		p.Sleep(time.Minute) // let the namenode time out and re-replicate
 		reps, _ := fs.ReplicasOf("/data")
-		fmt.Printf("   live replicas per block after re-replication: %v\n\n", reps)
+		fmt.Printf("   live replicas per block after re-replication: %v (blocks re-replicated: %d, %d MB)\n\n",
+			reps, fs.BlocksRereplicated(), fs.BytesRereplicated()>>20)
 	})
 	c.K.Run()
 }
@@ -84,32 +120,24 @@ func dfsFailover() {
 func mpiCheckpoint() {
 	fmt.Println("3. MPI: checkpoint/restart (classical HPC defensive I/O)")
 	const iters, state = 8, int64(64 << 20)
-	run := func(fail bool) sim.Time {
+	run := func(plan *chaos.Plan) mpi.ResilientStats {
 		c := hpcbd.NewComet(1, 2)
-		return mpi.Run(c, 8, 4, func(r *mpi.Rank) {
-			w := r.World()
-			last := 0
-			for it := 0; it < iters; it++ {
-				r.Compute(0.05)
-				w.Barrier(r)
-				if (it+1)%2 == 0 {
-					mpi.Checkpoint(r, w, state)
-					last = it + 1
-				}
-				if fail && it == iters-2 {
-					mpi.Restore(r, w, state)
-					for redo := last; redo <= it; redo++ {
-						r.Compute(0.05)
-						w.Barrier(r)
-					}
-					fail = false
-				}
-			}
+		if plan != nil {
+			chaos.Install(c, plan)
+		}
+		return mpi.RunResilient(c, 8, 4, mpi.ResilientConfig{
+			Iters: iters, CheckpointEvery: 2, StateBytes: state, RestartPenalty: 100 * time.Millisecond,
+		}, func(r *mpi.Rank, it int) {
+			r.Compute(0.05)
 		})
 	}
-	clean, failed := run(false), run(true)
-	fmt.Printf("   clean run: %v, run with one rollback: %v (overhead %v)\n\n",
-		clean, failed, failed-clean)
+	clean := run(nil)
+	// Crash node 1 three quarters of the way through the clean duration.
+	at := time.Duration(0.75 * clean.Seconds * float64(time.Second))
+	failed := run(chaos.Script(chaos.Event{At: at, Node: 1, Kind: chaos.NodeCrash}))
+	fmt.Printf("   clean run: %.3fs (%d checkpoints)\n", clean.Seconds, clean.Checkpoints)
+	fmt.Printf("   with a crash at %v: %.3fs — %d restart(s), %d iterations redone (overhead %.3fs)\n\n",
+		at, failed.Seconds, failed.Restarts, failed.RedoneIters, failed.Seconds-clean.Seconds)
 }
 
 func rdaPrototype() {

@@ -56,6 +56,12 @@ type (
 	FaultAblation = core.FaultAblation
 	// RDAAblation is the §VIII convergence-prototype comparison.
 	RDAAblation = core.RDAAblation
+	// ChaosSweepResult is the §VI-D chaos-engine fault-tolerance sweep.
+	ChaosSweepResult = core.ChaosSweepResult
+	// ChaosPoint is one MTBF measurement of a ChaosSweepResult series.
+	ChaosPoint = core.ChaosPoint
+	// CkptPoint is one checkpoint-interval measurement of a ChaosSweepResult.
+	CkptPoint = core.CkptPoint
 )
 
 // FullOptions returns the paper-scale experiment configuration.
@@ -117,6 +123,18 @@ func AblationFaults(o Options) FaultAblation { return core.AblationFaults(o) }
 
 // AblationRDA measures the §VIII convergence prototype's recovery models.
 func AblationRDA(o Options) RDAAblation { return core.AblationRDA(o) }
+
+// ChaosSweep runs the §VI-D fault-tolerance sweep: Fig 4 and Fig 6 jobs
+// under seeded chaos plans at increasing failure rates, Spark lineage
+// recovery vs MPI checkpoint/restart, plus a checkpoint-interval study.
+func ChaosSweep(o Options) ChaosSweepResult { return core.ChaosSweep(o) }
+
+// ChaosTables renders a ChaosSweepResult as report tables.
+func ChaosTables(r ChaosSweepResult) []Table { return core.ChaosTables(r) }
+
+// CheckChaosSweep verifies the chaos sweep's documented shapes, including
+// bit-exact determinism between two runs of the same options.
+func CheckChaosSweep(a, b ChaosSweepResult) []string { return core.CheckChaosSweep(a, b) }
 
 // AblationMRMPI reproduces the related-work claims ([36],[37]): MapReduce
 // on MPI vs Hadoop, blocking vs non-blocking exchange.

@@ -1,0 +1,380 @@
+// Package chaos is a deterministic fault-injection engine for the
+// simulated cluster. A Plan is a seeded, fully reproducible schedule of
+// fault events — node crashes, recoveries, straggler slowdowns, NIC
+// degradation and transient disk read errors — that an Engine replays on
+// the sim.Kernel clock by transitioning cluster node health and
+// performance knobs. Because the plan is built once from its own RNG
+// (independent of the kernel's), the same seed always yields the same
+// fault schedule, and therefore the same virtual execution, down to the
+// nanosecond: §VI-D fault tolerance becomes a measured experiment instead
+// of a hand-triggered demo.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"hpcbd/internal/cluster"
+)
+
+// Kind enumerates fault event types.
+type Kind int
+
+const (
+	// NodeCrash kills the node: processes, memory and scratch state are
+	// lost. Runtimes notice via cluster health watchers and epoch checks.
+	NodeCrash Kind = iota
+	// NodeRecover brings a crashed node back as a fresh, empty machine.
+	NodeRecover
+	// SlowStart turns the node into a straggler: compute and scratch-disk
+	// service times are multiplied by Factor and health drops to Degraded.
+	SlowStart
+	// SlowEnd restores the straggler to full speed.
+	SlowEnd
+	// NICDegrade multiplies the node's NIC occupancy by Factor (flapping
+	// link, cable errors); health drops to Degraded.
+	NICDegrade
+	// NICRestore heals the NIC.
+	NICRestore
+	// DiskFaults arms the next Count scratch reads on the node to fail
+	// with a transient error.
+	DiskFaults
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "crash"
+	case NodeRecover:
+		return "recover"
+	case SlowStart:
+		return "slow-start"
+	case SlowEnd:
+		return "slow-end"
+	case NICDegrade:
+		return "nic-degrade"
+	case NICRestore:
+		return "nic-restore"
+	case DiskFaults:
+		return "disk-faults"
+	}
+	return "unknown"
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At     time.Duration // virtual time relative to Install
+	Node   int
+	Kind   Kind
+	Factor float64 // slowdown multiplier for SlowStart / NICDegrade
+	Count  int     // number of faults for DiskFaults
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%8.3fs node%d %s", e.At.Seconds(), e.Node, e.Kind)
+	switch e.Kind {
+	case SlowStart, NICDegrade:
+		s += fmt.Sprintf(" x%.1f", e.Factor)
+	case DiskFaults:
+		s += fmt.Sprintf(" n=%d", e.Count)
+	}
+	return s
+}
+
+// Plan is an ordered fault schedule.
+type Plan struct {
+	Events []Event
+}
+
+// Script builds a plan from an explicit event list — the reproducible
+// replacement for ad-hoc mid-run kill calls.
+func Script(events ...Event) *Plan {
+	p := &Plan{Events: append([]Event(nil), events...)}
+	p.sort()
+	return p
+}
+
+// Add appends events and keeps the plan ordered.
+func (p *Plan) Add(events ...Event) *Plan {
+	p.Events = append(p.Events, events...)
+	p.sort()
+	return p
+}
+
+func (p *Plan) sort() {
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+}
+
+// CrashesWithin counts the NodeCrash events scheduled in [0, d) — the
+// crashes a job that ran for d from Install was exposed to.
+func (p *Plan) CrashesWithin(d time.Duration) int {
+	n := 0
+	for _, e := range p.Events {
+		if e.Kind == NodeCrash && e.At < d {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Plan) String() string {
+	var b strings.Builder
+	for _, e := range p.Events {
+		fmt.Fprintln(&b, e)
+	}
+	return b.String()
+}
+
+// CrashOpts tunes MTBF plan generation.
+type CrashOpts struct {
+	// Spare lists node IDs that never crash (typically node 0, which
+	// hosts the Spark driver and the HDFS namenode — single points of
+	// failure this model does not harden).
+	Spare []int
+	// Downtime is how long a crashed node stays down before recovering
+	// as a fresh machine. Zero means nodes stay dead forever.
+	Downtime time.Duration
+}
+
+// MTBF builds a crash plan with exponentially distributed inter-failure
+// times of the given mean, covering [0, horizon). Victims are chosen
+// uniformly among non-spared nodes.
+//
+// The construction is monotone in the failure rate: arrival i occurs at
+// (sum of the first i unit-rate exponentials from the seed) x mtbf, and
+// victims come from an independent stream. Shrinking mtbf with the seed
+// held fixed therefore only compresses the same arrival sequence — the
+// number of crashes within any horizon is non-decreasing as mtbf
+// decreases, which is what makes "overhead grows with failure rate" a
+// checkable shape rather than a noisy tendency.
+func MTBF(seed int64, nodes int, mtbf, horizon time.Duration, opts CrashOpts) *Plan {
+	p := &Plan{}
+	if mtbf <= 0 || horizon <= 0 || nodes <= 0 {
+		return p
+	}
+	victims := crashVictims(nodes, opts.Spare)
+	if len(victims) == 0 {
+		return p
+	}
+	trng := rand.New(rand.NewSource(seed))
+	vrng := rand.New(rand.NewSource(seed ^ 0x1e3779b97f4a7c15))
+	cum := 0.0 // cumulative unit-rate exponential arrivals
+	for {
+		cum += trng.ExpFloat64()
+		at := time.Duration(cum * float64(mtbf))
+		if at >= horizon {
+			break
+		}
+		n := victims[vrng.Intn(len(victims))]
+		p.Events = append(p.Events, Event{At: at, Node: n, Kind: NodeCrash})
+		if opts.Downtime > 0 {
+			p.Events = append(p.Events, Event{At: at + opts.Downtime, Node: n, Kind: NodeRecover})
+		}
+	}
+	p.sort()
+	return p
+}
+
+// MTBFNested builds one crash plan per requested MTBF such that the crash
+// sets are nested: every crash in the plan for a longer MTBF also appears,
+// at the same time and on the same node, in every plan for a shorter one.
+// Arrivals are generated once at the highest failure rate (the shortest
+// MTBF) and thinned — each arrival draws one uniform coin u and belongs to
+// the plan for mean m iff u < min(mtbfs)/m. Thinning a Poisson process
+// yields a Poisson process, so each plan still has exponential
+// inter-failure times with the right mean; but unlike independently
+// generated plans, raising the failure rate can only add fault events,
+// never move them. That makes "overhead grows with the failure rate" a
+// structural property a shape check can assert exactly, rather than a
+// statistical tendency.
+func MTBFNested(seed int64, nodes int, mtbfs []time.Duration, horizon time.Duration, opts CrashOpts) []*Plan {
+	plans := make([]*Plan, len(mtbfs))
+	for i := range plans {
+		plans[i] = &Plan{}
+	}
+	minM := time.Duration(0)
+	for _, m := range mtbfs {
+		if m > 0 && (minM == 0 || m < minM) {
+			minM = m
+		}
+	}
+	if minM == 0 || horizon <= 0 || nodes <= 0 {
+		return plans
+	}
+	victims := crashVictims(nodes, opts.Spare)
+	if len(victims) == 0 {
+		return plans
+	}
+	trng := rand.New(rand.NewSource(seed))
+	vrng := rand.New(rand.NewSource(seed ^ 0x1e3779b97f4a7c15))
+	cum := 0.0
+	for {
+		cum += trng.ExpFloat64()
+		at := time.Duration(cum * float64(minM))
+		if at >= horizon {
+			break
+		}
+		n := victims[vrng.Intn(len(victims))]
+		u := vrng.Float64() // thinning coin, shared across plans
+		for i, m := range mtbfs {
+			if m <= 0 || u >= float64(minM)/float64(m) {
+				continue
+			}
+			plans[i].Events = append(plans[i].Events, Event{At: at, Node: n, Kind: NodeCrash})
+			if opts.Downtime > 0 {
+				plans[i].Events = append(plans[i].Events, Event{At: at + opts.Downtime, Node: n, Kind: NodeRecover})
+			}
+		}
+	}
+	for _, p := range plans {
+		p.sort()
+	}
+	return plans
+}
+
+// crashVictims returns the crashable nodes: all of them minus the spares.
+func crashVictims(nodes int, spare []int) []int {
+	victims := make([]int, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		spared := false
+		for _, s := range spare {
+			if s == i {
+				spared = true
+				break
+			}
+		}
+		if !spared {
+			victims = append(victims, i)
+		}
+	}
+	return victims
+}
+
+// Stragglers builds a plan that slows `count` distinct nodes by `factor`
+// from `at` for `length` (forever when length is zero), choosing victims
+// deterministically from the seed.
+func Stragglers(seed int64, nodes, count int, factor float64, at, length time.Duration, opts CrashOpts) *Plan {
+	p := &Plan{}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(nodes)
+	picked := 0
+	for _, n := range perm {
+		if picked >= count {
+			break
+		}
+		spared := false
+		for _, s := range opts.Spare {
+			if s == n {
+				spared = true
+				break
+			}
+		}
+		if spared {
+			continue
+		}
+		picked++
+		p.Events = append(p.Events, Event{At: at, Node: n, Kind: SlowStart, Factor: factor})
+		if length > 0 {
+			p.Events = append(p.Events, Event{At: at + length, Node: n, Kind: SlowEnd})
+		}
+	}
+	p.sort()
+	return p
+}
+
+// Engine replays a plan against a cluster and counts what it did.
+type Engine struct {
+	C *cluster.Cluster
+
+	Crashes    int
+	Recoveries int
+	Slowdowns  int
+	NICFaults  int
+	DiskErrors int
+}
+
+// Install schedules every plan event on the cluster's kernel, relative to
+// the current virtual time, and returns the engine for counter inspection.
+// It may be called before Run or from inside a running process (e.g. after
+// input staging, so faults land on the measured region).
+func Install(c *cluster.Cluster, p *Plan) *Engine {
+	e := &Engine{C: c}
+	for _, ev := range p.Events {
+		ev := ev
+		c.K.After(ev.At, func() { e.apply(ev) })
+	}
+	return e
+}
+
+func (e *Engine) apply(ev Event) {
+	c := e.C
+	if ev.Node < 0 || ev.Node >= c.Size() {
+		return
+	}
+	n := c.Node(ev.Node)
+	switch ev.Kind {
+	case NodeCrash:
+		if c.NodeAlive(ev.Node) {
+			c.KillNode(ev.Node)
+			e.Crashes++
+		}
+	case NodeRecover:
+		if !c.NodeAlive(ev.Node) {
+			c.RestoreNode(ev.Node)
+			e.Recoveries++
+		}
+	case SlowStart:
+		f := ev.Factor
+		if f <= 1 || math.IsNaN(f) {
+			return
+		}
+		n.SetComputeScale(f)
+		n.Scratch.SetScale(f)
+		if c.Health(ev.Node) == cluster.Alive {
+			c.SetHealth(ev.Node, cluster.Degraded)
+		}
+		e.Slowdowns++
+	case SlowEnd:
+		n.SetComputeScale(1)
+		n.Scratch.SetScale(1)
+		e.clearDegraded(ev.Node)
+	case NICDegrade:
+		f := ev.Factor
+		if f <= 1 || math.IsNaN(f) {
+			return
+		}
+		n.SetNICScale(f)
+		if c.Health(ev.Node) == cluster.Alive {
+			c.SetHealth(ev.Node, cluster.Degraded)
+		}
+		e.NICFaults++
+	case NICRestore:
+		n.SetNICScale(1)
+		e.clearDegraded(ev.Node)
+	case DiskFaults:
+		if ev.Count > 0 {
+			n.Scratch.InjectReadFaults(ev.Count)
+			e.DiskErrors += ev.Count
+		}
+	}
+}
+
+// clearDegraded returns a Degraded node to Alive once neither its compute,
+// disk nor NIC is impaired any more.
+func (e *Engine) clearDegraded(node int) {
+	c := e.C
+	n := c.Node(node)
+	if c.Health(node) == cluster.Degraded && n.ComputeScale() == 1 && n.NICScale() == 1 {
+		c.SetHealth(node, cluster.Alive)
+	}
+}
+
+// Summary formats the engine counters on one line.
+func (e *Engine) Summary() string {
+	return fmt.Sprintf("crashes=%d recoveries=%d slowdowns=%d nic=%d diskerr=%d",
+		e.Crashes, e.Recoveries, e.Slowdowns, e.NICFaults, e.DiskErrors)
+}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+func TestScriptOrdersEvents(t *testing.T) {
+	p := Script(
+		Event{At: 3 * time.Second, Node: 1, Kind: NodeCrash},
+		Event{At: time.Second, Node: 2, Kind: SlowStart, Factor: 2},
+	)
+	if p.Events[0].At != time.Second || p.Events[1].At != 3*time.Second {
+		t.Errorf("events not sorted: %v", p.Events)
+	}
+}
+
+func TestMTBFDeterministic(t *testing.T) {
+	opts := CrashOpts{Spare: []int{0}, Downtime: 10 * time.Second}
+	a := MTBF(42, 8, time.Minute, time.Hour, opts)
+	b := MTBF(42, 8, time.Minute, time.Hour, opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("hour-long horizon at one-minute MTBF produced no events")
+	}
+	c := MTBF(43, 8, time.Minute, time.Hour, opts)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestMTBFMonotoneInFailureRate(t *testing.T) {
+	horizon := time.Hour
+	prev := -1
+	for _, mtbf := range []time.Duration{8 * time.Minute, 4 * time.Minute, 2 * time.Minute, time.Minute} {
+		n := MTBF(7, 8, mtbf, horizon, CrashOpts{}).CrashesWithin(horizon)
+		if n < prev {
+			t.Errorf("mtbf %v: %d crashes, fewer than %d at the lower rate", mtbf, n, prev)
+		}
+		prev = n
+	}
+	if prev == 0 {
+		t.Fatal("highest rate produced no crashes")
+	}
+}
+
+func TestMTBFSparesNodes(t *testing.T) {
+	p := MTBF(11, 4, time.Minute, time.Hour, CrashOpts{Spare: []int{0, 2}})
+	for _, e := range p.Events {
+		if e.Node == 0 || e.Node == 2 {
+			t.Fatalf("spared node crashed: %v", e)
+		}
+	}
+}
+
+// TestMTBFNestedIsNested asserts the structural property the §VI-D sweep
+// leans on: the crash set of every lower-rate plan is a subset — same
+// times, same victims — of every higher-rate plan's, so raising the
+// failure rate only adds faults, never moves them.
+func TestMTBFNestedIsNested(t *testing.T) {
+	mtbfs := []time.Duration{4 * time.Minute, 2 * time.Minute, time.Minute}
+	plans := MTBFNested(99, 8, mtbfs, time.Hour, CrashOpts{Spare: []int{0}, Downtime: time.Minute})
+	if len(plans) != len(mtbfs) {
+		t.Fatalf("got %d plans for %d mtbfs", len(plans), len(mtbfs))
+	}
+	key := func(e Event) [3]int64 { return [3]int64{int64(e.At), int64(e.Node), int64(e.Kind)} }
+	for i := 0; i+1 < len(plans); i++ {
+		// plans[i+1] has the shorter MTBF, so it must contain plans[i].
+		super := map[[3]int64]bool{}
+		for _, e := range plans[i+1].Events {
+			super[key(e)] = true
+		}
+		for _, e := range plans[i].Events {
+			if !super[key(e)] {
+				t.Errorf("event %v of the %v plan missing from the %v plan", e, mtbfs[i], mtbfs[i+1])
+			}
+		}
+		if len(plans[i].Events) > len(plans[i+1].Events) {
+			t.Errorf("%v plan has more events (%d) than the %v plan (%d)",
+				mtbfs[i], len(plans[i].Events), mtbfs[i+1], len(plans[i+1].Events))
+		}
+	}
+	last := plans[len(plans)-1]
+	if last.CrashesWithin(time.Hour) == 0 {
+		t.Fatal("shortest-MTBF plan has no crashes")
+	}
+	for _, e := range last.Events {
+		if e.Node == 0 {
+			t.Fatalf("spared node 0 crashed: %v", e)
+		}
+	}
+}
+
+func TestCrashesWithin(t *testing.T) {
+	p := Script(
+		Event{At: time.Second, Node: 1, Kind: NodeCrash},
+		Event{At: 2 * time.Second, Node: 1, Kind: NodeRecover},
+		Event{At: 3 * time.Second, Node: 2, Kind: NodeCrash},
+	)
+	if got := p.CrashesWithin(2 * time.Second); got != 1 {
+		t.Errorf("CrashesWithin(2s) = %d, want 1", got)
+	}
+	if got := p.CrashesWithin(time.Hour); got != 2 {
+		t.Errorf("CrashesWithin(1h) = %d, want 2", got)
+	}
+}
+
+func TestStragglersDistinctNonSparedVictims(t *testing.T) {
+	p := Stragglers(5, 8, 3, 4.0, time.Second, time.Minute, CrashOpts{Spare: []int{0}})
+	seen := map[int]bool{}
+	starts := 0
+	for _, e := range p.Events {
+		if e.Kind != SlowStart {
+			continue
+		}
+		starts++
+		if e.Node == 0 {
+			t.Fatalf("spared node slowed: %v", e)
+		}
+		if seen[e.Node] {
+			t.Fatalf("node %d slowed twice", e.Node)
+		}
+		seen[e.Node] = true
+		if e.Factor != 4.0 {
+			t.Errorf("factor %v, want 4.0", e.Factor)
+		}
+	}
+	if starts != 3 {
+		t.Errorf("%d stragglers, want 3", starts)
+	}
+}
+
+// TestEngineAppliesTransitions replays one of each fault kind and checks
+// the cluster ends in the state the plan describes, with the engine
+// counters matching.
+func TestEngineAppliesTransitions(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := cluster.Comet(k, 4)
+	eng := Install(c, Script(
+		Event{At: 1 * time.Second, Node: 1, Kind: NodeCrash},
+		Event{At: 2 * time.Second, Node: 1, Kind: NodeRecover},
+		Event{At: 3 * time.Second, Node: 2, Kind: SlowStart, Factor: 3},
+		Event{At: 4 * time.Second, Node: 3, Kind: NICDegrade, Factor: 2},
+		Event{At: 5 * time.Second, Node: 3, Kind: NICRestore},
+		Event{At: 6 * time.Second, Node: 0, Kind: DiskFaults, Count: 2},
+	))
+	var mid struct {
+		deadDuringCrash bool
+		downCount       int
+		diskErrs        int
+	}
+	k.Spawn("observer", func(p *sim.Proc) {
+		p.Sleep(1500 * time.Millisecond)
+		mid.deadDuringCrash = !c.NodeAlive(1)
+		p.Sleep(time.Second) // t=2.5s, after recovery
+		mid.downCount = c.DownCount(1)
+		p.Sleep(4 * time.Second) // t=6.5s, after the disk faults armed
+		for i := 0; i < 3; i++ {
+			if c.Node(0).Scratch.ReadChecked(p, 1<<20, 1) != nil {
+				mid.diskErrs++
+			}
+		}
+	})
+	k.Run()
+	if !mid.deadDuringCrash {
+		t.Error("node 1 not dead between crash and recovery")
+	}
+	if mid.downCount != 1 {
+		t.Errorf("down count %d, want 1", mid.downCount)
+	}
+	if !c.NodeAlive(1) || c.Health(1) != cluster.Alive {
+		t.Error("node 1 not restored")
+	}
+	if c.Health(2) != cluster.Degraded || c.Node(2).ComputeScale() != 3 {
+		t.Errorf("node 2: health %v scale %v, want degraded x3", c.Health(2), c.Node(2).ComputeScale())
+	}
+	if c.Health(3) != cluster.Alive || c.Node(3).NICScale() != 1 {
+		t.Errorf("node 3 NIC not restored: health %v scale %v", c.Health(3), c.Node(3).NICScale())
+	}
+	want := Engine{C: c, Crashes: 1, Recoveries: 1, Slowdowns: 1, NICFaults: 1, DiskErrors: 2}
+	if *eng != want {
+		t.Errorf("counters %+v, want %+v", *eng, want)
+	}
+	// The armed disk faults surfaced as ErrDiskFault on exactly the next
+	// two checked reads.
+	if mid.diskErrs != 2 {
+		t.Errorf("%d injected disk errors surfaced, want 2", mid.diskErrs)
+	}
+}
+
+// TestInstallMidRun checks that a plan installed from inside a running
+// process schedules relative to the current virtual time — the staging
+// idiom the sweep uses so faults land on the measured region only.
+func TestInstallMidRun(t *testing.T) {
+	k := sim.NewKernel(3)
+	c := cluster.Comet(k, 2)
+	var aliveAtTen, aliveAtTwelve bool
+	k.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(10 * time.Second) // "staging"
+		aliveAtTen = c.NodeAlive(1)
+		Install(c, Script(Event{At: time.Second, Node: 1, Kind: NodeCrash}))
+		p.Sleep(2 * time.Second)
+		aliveAtTwelve = c.NodeAlive(1)
+	})
+	k.Run()
+	if !aliveAtTen {
+		t.Error("node 1 dead before the plan was installed")
+	}
+	if aliveAtTwelve {
+		t.Error("crash scheduled at install+1s had not fired by install+2s")
+	}
+}

@@ -52,6 +52,11 @@ type Node struct {
 	tx, rx  *sim.Resource // NIC port occupancy, full duplex
 
 	memUsed int64
+
+	// Chaos performance knobs (see health.go): multipliers on compute
+	// time and NIC occupancy. Zero means 1 (full speed).
+	computeScale float64
+	nicScale     float64
 }
 
 // MemUsed returns currently-accounted memory on the node.
@@ -96,6 +101,13 @@ type Cluster struct {
 	Oversubscription float64
 	uplinks          []*sim.Resource // per rack, capacity = concurrent uplink streams
 
+	// Node-health state (see health.go): per-node liveness, death
+	// counters and transition watchers shared by every runtime.
+	health     []Health
+	downCount  []int
+	crashEpoch int
+	watchers   []func(node int, h Health)
+
 	bytesSent int64
 	messages  int64
 }
@@ -122,6 +134,8 @@ func New(k *sim.Kernel, n int, spec NodeSpec, fabric FabricSpec, cost CostModel)
 			rx:      sim.NewResource(k, fmt.Sprintf("node%d.rx", i), 1),
 		})
 	}
+	c.health = make([]Health, n)
+	c.downCount = make([]int, n)
 	return c
 }
 
@@ -197,6 +211,9 @@ func (c *Cluster) Xfer(p *sim.Proc, src, dst int, bytes int64, f FabricSpec) {
 	p.Sleep(f.SendOverhead)
 	occ := f.Occupancy(bytes)
 	if src != dst {
+		if st := c.nicStretch(src, dst); st != 1 {
+			occ = time.Duration(float64(occ) * st)
+		}
 		s, d := c.Nodes[src], c.Nodes[dst]
 		var uplink *sim.Resource
 		if sr, dr := c.rackOf(src), c.rackOf(dst); sr >= 0 && sr != dr {
@@ -233,6 +250,9 @@ func (c *Cluster) XferAsync(p *sim.Proc, src, dst int, bytes int64, f FabricSpec
 	p.Sleep(f.SendOverhead)
 	occ := f.Occupancy(bytes)
 	if src != dst {
+		if st := c.Nodes[src].NICScale(); st != 1 {
+			occ = time.Duration(float64(occ) * st)
+		}
 		s := c.Nodes[src]
 		s.tx.Acquire(p, 1)
 		p.Sleep(occ)

@@ -1,10 +1,16 @@
 package cluster
 
 import (
+	"errors"
 	"time"
 
 	"hpcbd/internal/sim"
 )
+
+// ErrDiskFault is the transient read error injected by the chaos engine:
+// a checksum mismatch or medium error on one request. Retrying (possibly
+// on another replica) is expected to succeed.
+var ErrDiskFault = errors.New("disk: transient read error")
 
 // DiskSpec describes a storage device.
 type DiskSpec struct {
@@ -47,10 +53,14 @@ type Disk struct {
 	Spec DiskSpec
 	ch   *sim.Resource
 
+	scale         float64 // service-time multiplier (chaos straggler knob), 0 == 1
+	pendingFaults int     // reads that will fail with ErrDiskFault
+
 	bytesRead    int64
 	bytesWritten int64
 	reads        int64
 	writes       int64
+	faultsHit    int64
 }
 
 // NewDisk creates a disk attached to the given kernel.
@@ -78,7 +88,53 @@ func (d *Disk) ReadEff(p *sim.Proc, n int64, eff float64) {
 	}
 	d.reads++
 	d.bytesRead += n
-	d.ch.UseFor(p, 1, d.Spec.Latency+time.Duration(float64(n)/(d.Spec.ReadBW*eff)*1e9))
+	d.ch.UseFor(p, 1, d.stretch(d.Spec.Latency+time.Duration(float64(n)/(d.Spec.ReadBW*eff)*1e9)))
+}
+
+// ReadChecked is ReadEff with fault visibility: when the chaos engine has
+// armed transient faults on this disk, the read fails partway through
+// (charging the seek plus half the transfer — the point where the bad
+// checksum surfaces) and returns ErrDiskFault. Callers retry or fail over
+// to another replica.
+func (d *Disk) ReadChecked(p *sim.Proc, n int64, eff float64) error {
+	if n <= 0 {
+		return nil
+	}
+	if d.pendingFaults > 0 {
+		d.pendingFaults--
+		d.faultsHit++
+		if eff <= 0 || eff > 1 {
+			eff = 1
+		}
+		partial := time.Duration(float64(n) / (d.Spec.ReadBW * eff) * 1e9 / 2)
+		d.ch.UseFor(p, 1, d.stretch(d.Spec.Latency+partial))
+		return ErrDiskFault
+	}
+	d.ReadEff(p, n, eff)
+	return nil
+}
+
+// SetScale sets the service-time multiplier for all requests (>= 1 slows
+// the device — a sick disk or a straggler node's saturated SSD).
+func (d *Disk) SetScale(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	d.scale = f
+}
+
+// InjectReadFaults arms the next n ReadChecked calls to fail with
+// ErrDiskFault.
+func (d *Disk) InjectReadFaults(n int) { d.pendingFaults += n }
+
+// FaultsHit returns how many injected read faults have fired.
+func (d *Disk) FaultsHit() int64 { return d.faultsHit }
+
+func (d *Disk) stretch(t time.Duration) time.Duration {
+	if d.scale <= 0 || d.scale == 1 {
+		return t
+	}
+	return time.Duration(float64(t) * d.scale)
 }
 
 // Write charges the process for writing n bytes sequentially.
@@ -88,7 +144,7 @@ func (d *Disk) Write(p *sim.Proc, n int64) {
 	}
 	d.writes++
 	d.bytesWritten += n
-	d.ch.UseFor(p, 1, d.Spec.Latency+time.Duration(float64(n)/d.Spec.WriteBW*1e9))
+	d.ch.UseFor(p, 1, d.stretch(d.Spec.Latency+time.Duration(float64(n)/d.Spec.WriteBW*1e9)))
 }
 
 // BytesRead returns the cumulative bytes read.

@@ -1,0 +1,127 @@
+package cluster
+
+// Health is the externally visible liveness state of a node. The cluster
+// is the single source of truth: the chaos engine transitions node health,
+// and every runtime (rdd, dfs, mpi) observes the same state through
+// heartbeat-style queries (NodeAlive) or change notifications (Watch).
+type Health int
+
+const (
+	Alive    Health = iota // node up, full performance
+	Degraded               // node up but impaired (straggler, sick NIC)
+	Dead                   // node crashed: processes, memory and scratch contents lost
+)
+
+func (h Health) String() string {
+	switch h {
+	case Alive:
+		return "alive"
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Health returns the current health of node i.
+func (c *Cluster) Health(i int) Health { return c.health[i] }
+
+// NodeAlive reports whether node i is not Dead. Degraded nodes still
+// answer heartbeats — that is precisely why stragglers are hard to handle.
+func (c *Cluster) NodeAlive(i int) bool { return c.health[i] != Dead }
+
+// DownCount returns how many times node i has died so far. Runtimes use
+// it to detect a crash-and-recover cycle that happened entirely within
+// one task or heartbeat interval: any state the node held is gone even if
+// the node answers heartbeats again.
+func (c *Cluster) DownCount(i int) int { return c.downCount[i] }
+
+// CrashEpoch returns the total number of node deaths across the cluster.
+// MPI-style runtimes compare it across synchronization points: a changed
+// epoch means some rank's node failed since the last barrier.
+func (c *Cluster) CrashEpoch() int { return c.crashEpoch }
+
+// Watch registers fn to be invoked on every health transition, in
+// registration order, from the kernel context that performed the
+// transition. Callbacks must not block.
+func (c *Cluster) Watch(fn func(node int, h Health)) {
+	c.watchers = append(c.watchers, fn)
+}
+
+// SetHealth transitions node i to h and notifies watchers. Transitions to
+// the current state are no-ops.
+func (c *Cluster) SetHealth(i int, h Health) {
+	if c.health[i] == h {
+		return
+	}
+	if h == Dead {
+		c.downCount[i]++
+		c.crashEpoch++
+	}
+	c.health[i] = h
+	for _, fn := range c.watchers {
+		fn(i, h)
+	}
+}
+
+// KillNode crashes node i: everything running there is lost. In-flight
+// simulated work on the node still drains through its resources (the sim
+// has no preemption), but runtimes detect the death via DownCount/epoch
+// checks and discard those results as zombie output.
+func (c *Cluster) KillNode(i int) { c.SetHealth(i, Dead) }
+
+// RestoreNode brings node i back as a fresh machine: full speed, empty
+// state. Runtimes re-admit it via their Watch callbacks.
+func (c *Cluster) RestoreNode(i int) {
+	n := c.Nodes[i]
+	n.computeScale = 1
+	n.nicScale = 1
+	n.Scratch.SetScale(1)
+	c.SetHealth(i, Alive)
+}
+
+// SetComputeScale sets the node's compute-time multiplier (>= 1 slows the
+// node down — a straggler). All per-record and per-flop charges on the
+// node are stretched by this factor.
+func (n *Node) SetComputeScale(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	n.computeScale = f
+}
+
+// ComputeScale returns the node's current compute-time multiplier.
+func (n *Node) ComputeScale() float64 {
+	if n.computeScale <= 0 {
+		return 1
+	}
+	return n.computeScale
+}
+
+// SetNICScale sets the node's NIC occupancy multiplier (>= 1 models a
+// degraded link: flapping port, cable errors, congested uplink port).
+func (n *Node) SetNICScale(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	n.nicScale = f
+}
+
+// NICScale returns the node's current NIC occupancy multiplier.
+func (n *Node) NICScale() float64 {
+	if n.nicScale <= 0 {
+		return 1
+	}
+	return n.nicScale
+}
+
+// nicStretch returns the occupancy multiplier for a transfer between two
+// nodes: the slower end dominates.
+func (c *Cluster) nicStretch(src, dst int) float64 {
+	s, d := c.Nodes[src].NICScale(), c.Nodes[dst].NICScale()
+	if s > d {
+		return s
+	}
+	return d
+}

@@ -1,0 +1,19 @@
+package core
+
+import "testing"
+
+// TestChaosSweep runs the §VI-D fault-tolerance sweep twice at test scale
+// and validates every documented shape: determinism across runs, Spark
+// recovery completing correctly within the overhead bound, MPI overhead
+// monotone in failure rate, and rework monotone in checkpoint interval.
+func TestChaosSweep(t *testing.T) {
+	o := Quick()
+	a := ChaosSweep(o)
+	b := ChaosSweep(o)
+	for _, msg := range CheckChaosSweep(a, b) {
+		t.Error(msg)
+	}
+	for _, tab := range ChaosTables(a) {
+		t.Log("\n" + tab.String())
+	}
+}

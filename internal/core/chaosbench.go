@@ -1,0 +1,385 @@
+package core
+
+// The §VI-D fault-tolerance sweep: the same workloads the paper times in
+// Figs 4 and 6, re-run under a seeded chaos plan that crashes nodes at an
+// MTBF-controlled rate, for Spark (lineage + DFS re-replication recovery)
+// and MPI (coordinated checkpoint/restart via RunResilient). A second
+// series varies the MPI checkpoint interval under a fixed failure script.
+// Everything is deterministic: the same Options produce bit-identical
+// results, which CheckChaosSweep verifies by comparing two runs.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hpcbd/internal/chaos"
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/dfs"
+	"hpcbd/internal/mpi"
+	"hpcbd/internal/rdd"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/workload"
+)
+
+// SparkChaosOverheadBound is the documented ceiling on Spark completion
+// time under chaos relative to the failure-free run: lineage recovery must
+// finish every job, with a bit-correct result, within this factor at every
+// injected failure rate — including the harshest point of the sweep,
+// MTBF = T/4, where the cluster expects four node failures per
+// failure-free job duration and each crash cascades (the delayed job is
+// exposed to yet more crashes).
+const SparkChaosOverheadBound = 16.0
+
+// The sweep's failure-handling knobs scale with the measured failure-free
+// duration T of each workload, so the experiment keeps the same shape
+// whether T is half a second (Quick) or minutes (Full): crashed nodes
+// rejoin after T/8, failure detectors (Spark heartbeat, DFS namenode
+// timeout) fire after T/20, and an MPI restart costs T/16. The ratios
+// mirror production settings (10s heartbeats, minute-scale reboots)
+// relative to jobs that run tens of minutes.
+func chaosDowntime(cleanT time.Duration) time.Duration   { return atLeast(cleanT/8, time.Millisecond) }
+func chaosDetect(cleanT time.Duration) time.Duration     { return atLeast(cleanT/20, time.Millisecond) }
+func chaosRestartPen(cleanT time.Duration) time.Duration { return atLeast(cleanT/16, time.Millisecond) }
+
+func atLeast(d, floor time.Duration) time.Duration {
+	if d < floor {
+		return floor
+	}
+	return d
+}
+
+// ChaosPoint is one (workload, failure rate) cell of the sweep.
+type ChaosPoint struct {
+	MTBFSeconds float64 // mean time between node crashes; 0 = no injection
+	Seconds     float64 // virtual completion time
+	Completed   bool    // job finished AND its result matches the serial oracle
+	Crashes     int     // node crashes the chaos engine actually injected
+
+	// Spark / DFS recovery counters.
+	ExecutorsLost   int64
+	RecomputedParts int64
+	ReadFailovers   int64
+	Rereplicated    int64
+
+	// MPI checkpoint/restart counters.
+	Restarts    int
+	Checkpoints int
+	RedoneIters int
+}
+
+// CkptPoint is one cell of the checkpoint-interval series: the same fixed
+// failure script replayed while only CheckpointEvery varies.
+type CkptPoint struct {
+	Every       int // iterations between checkpoints
+	Seconds     float64
+	Completed   bool
+	Restarts    int
+	Checkpoints int
+	RedoneIters int
+}
+
+// ChaosSweepResult holds the full §VI-D sweep.
+type ChaosSweepResult struct {
+	Nodes   int
+	SparkAC []ChaosPoint // AnswersCount on the DFS (Fig 4 workload)
+	SparkPR []ChaosPoint // tuned PageRank (Fig 6 workload)
+	MPIPR   []ChaosPoint // PageRank-shaped resilient MPI job
+	Ckpt    []CkptPoint  // checkpoint-interval series, fixed failure script
+}
+
+// ChaosSweep measures completion time versus failure rate for the Spark
+// and MPI recovery models. Each series starts failure-free to establish
+// the clean duration T, then injects crashes at MTBF = T, T/2 and T/4 so
+// every job sees a comparable expected failure count regardless of scale.
+func ChaosSweep(o Options) ChaosSweepResult {
+	nodes := o.PRNodes[len(o.PRNodes)-1]
+	if nodes < 4 {
+		nodes = 4
+	}
+	res := ChaosSweepResult{Nodes: nodes}
+
+	// Each chaotic point gets a nested MTBF plan: the T crashes are a
+	// subset of the T/2 crashes, which are a subset of the T/4 crashes,
+	// all at identical times — so raising the failure rate can only add
+	// faults, making overhead monotonicity exactly checkable.
+	sweep := func(spare []int, run func(mtbf, cleanT time.Duration, plan *chaos.Plan) ChaosPoint) []ChaosPoint {
+		clean := run(0, 0, nil)
+		pts := []ChaosPoint{clean}
+		T := time.Duration(clean.Seconds * float64(time.Second))
+		mtbfs := []time.Duration{T, T / 2, T / 4}
+		plans := chaos.MTBFNested(o.Seed, nodes, mtbfs, 64*T,
+			chaos.CrashOpts{Spare: spare, Downtime: chaosDowntime(T)})
+		for i, m := range mtbfs {
+			pts = append(pts, run(m, T, plans[i]))
+		}
+		return pts
+	}
+	spare := []int{0} // node 0 hosts the Spark driver and the namenode
+	res.SparkAC = sweep(spare, func(mtbf, cleanT time.Duration, plan *chaos.Plan) ChaosPoint {
+		return sparkACChaos(o, nodes, mtbf, cleanT, plan)
+	})
+	res.SparkPR = sweep(spare, func(mtbf, cleanT time.Duration, plan *chaos.Plan) ChaosPoint {
+		return sparkPRChaos(o, nodes, mtbf, cleanT, plan)
+	})
+
+	iters := 8 * o.PRIters
+	ckptEvery := o.PRIters
+	res.MPIPR = sweep(nil, func(mtbf, cleanT time.Duration, plan *chaos.Plan) ChaosPoint {
+		return mpiPRChaos(o, nodes, iters, ckptEvery, mtbf, plan, chaosRestartPen(cleanT))
+	})
+
+	// Checkpoint-interval series: three crashes at fixed virtual times
+	// (fractions of the clean duration), replayed for each interval.
+	cleanT := time.Duration(res.MPIPR[0].Seconds * float64(time.Second))
+	script := chaos.Script(
+		chaos.Event{At: 3 * cleanT / 10, Node: 1, Kind: chaos.NodeCrash},
+		chaos.Event{At: 6 * cleanT / 10, Node: 2, Kind: chaos.NodeCrash},
+		chaos.Event{At: 9 * cleanT / 10, Node: 3, Kind: chaos.NodeCrash},
+	)
+	for _, every := range []int{iters, ckptEvery, (ckptEvery + 1) / 2, 1} {
+		pt := mpiPRChaos(o, nodes, iters, every, 0, script, chaosRestartPen(cleanT))
+		res.Ckpt = append(res.Ckpt, CkptPoint{
+			Every: every, Seconds: pt.Seconds, Completed: pt.Completed,
+			Restarts: pt.Restarts, Checkpoints: pt.Checkpoints, RedoneIters: pt.RedoneIters,
+		})
+	}
+	return res
+}
+
+// sparkACChaos runs the Fig 4 Spark AnswersCount job on the DFS with an
+// MTBF crash plan installed after staging (so data loading, which the
+// paper excludes from measurements, is not disturbed). Node 0 is spared:
+// it hosts the driver and the staged file's primary replicas.
+func sparkACChaos(o Options, nodes int, mtbf, cleanT time.Duration, plan *chaos.Plan) ChaosPoint {
+	pt := ChaosPoint{MTBFSeconds: mtbf.Seconds()}
+	c := newCluster(o.Seed, nodes)
+	cfg := dfs.DefaultConfig()
+	if mtbf > 0 {
+		cfg.RereplicationDelay = chaosDetect(cleanT)
+	}
+	fs := dfs.New(c, cluster.IPoIB(), cfg)
+	d := workload.NewStackExchange(o.Seed, o.ACBytes, o.ACRecordBytes, o.ACStride)
+	conf := rdd.DefaultConfig()
+	conf.CoresPerExecutor = o.ACPPN
+	conf.Scale = float64(d.Stride)
+	if mtbf > 0 {
+		conf.HeartbeatTimeout = chaosDetect(cleanT)
+	}
+	ctx := rdd.NewContext(c, conf)
+	want := d.SerialAnswersCount()
+	var eng *chaos.Engine
+	c.K.Spawn("spark-driver", func(p *sim.Proc) {
+		ensureFile(p, fs, "/stackexchange", d.LogicalBytes()) // staging, untimed
+		if plan != nil {
+			eng = chaos.Install(c, plan)
+		}
+		start := p.Now()
+		posts := DFSTextRDD(ctx, fs, "/stackexchange", d)
+		counts := rdd.MapPartitions(posts, func(in []workload.Post) []workload.AnswersCountResult {
+			var acc workload.AnswersCountResult
+			for _, post := range in {
+				if post.Question {
+					acc.Questions++
+				} else {
+					acc.Answers++
+				}
+			}
+			return []workload.AnswersCountResult{acc}
+		})
+		total, err := rdd.Reduce(p, counts, func(a, b workload.AnswersCountResult) workload.AnswersCountResult {
+			return workload.AnswersCountResult{Questions: a.Questions + b.Questions, Answers: a.Answers + b.Answers}
+		})
+		if err != nil {
+			return
+		}
+		pt.Completed = total.Questions == want.Questions && total.Answers == want.Answers
+		pt.Seconds = p.Now().Sub(start).Seconds()
+		// Counters are read here, at job completion, so chaos events that
+		// fire after the job (the plan outlives it) are not attributed.
+		pt.ExecutorsLost = ctx.ExecutorsLost
+		pt.RecomputedParts = ctx.RecomputedPart
+		pt.ReadFailovers = fs.ReadFailovers()
+		pt.Rereplicated = fs.BlocksRereplicated()
+		if eng != nil {
+			pt.Crashes = eng.Crashes
+		}
+	})
+	c.K.Run()
+	return pt
+}
+
+// sparkPRChaos runs the Fig 6 tuned Spark PageRank (partitioned +
+// persisted links and ranks) under an MTBF crash plan. Losing an executor
+// here costs cached partitions, so recovery exercises lineage recompute
+// through the iteration chain, not just source re-reads.
+func sparkPRChaos(o Options, nodes int, mtbf, cleanT time.Duration, plan *chaos.Plan) ChaosPoint {
+	pt := ChaosPoint{MTBFSeconds: mtbf.Seconds()}
+	c := newCluster(o.Seed, nodes)
+	g := workload.NewGraph(o.Seed, o.PRPhysVertices, o.PRLogicalVertices, o.PRAvgDegree)
+	want := g.SerialPageRank(o.PRIters)
+	conf := rdd.DefaultConfig()
+	conf.CoresPerExecutor = o.PRPPN
+	conf.Scale = g.Scale()
+	if mtbf > 0 {
+		conf.HeartbeatTimeout = chaosDetect(cleanT)
+	}
+	ctx := rdd.NewContext(c, conf)
+	nparts := nodes * o.PRPPN
+	avgDeg := float64(g.NumEdges()) / float64(g.NumVertices)
+	adjBytes := int64(48 + 16*avgDeg)
+	var eng *chaos.Engine
+	c.K.Spawn("spark-driver", func(p *sim.Proc) {
+		if plan != nil {
+			eng = chaos.Install(c, plan)
+		}
+		start := p.Now()
+		n := g.NumVertices
+		links := rdd.FromSource(ctx, "links", nparts, nil,
+			func(tv rdd.TaskView, part int) []rdd.KV[int32, []int32] {
+				lo, hi := part*n/nparts, (part+1)*n/nparts
+				tv.Proc().ReadScratch(int64(float64(hi-lo) * ctx.Conf.Scale * float64(adjBytes)))
+				out := make([]rdd.KV[int32, []int32], 0, hi-lo)
+				for v := lo; v < hi; v++ {
+					out = append(out, rdd.KV[int32, []int32]{K: int32(v), V: g.OutEdges(v)})
+				}
+				return out
+			}, adjBytes)
+		links = rdd.PartitionBy(links, nparts).Persist(rdd.MemoryOnly)
+		ranks := rdd.MapValues(links, func([]int32) float64 { return 1.0 })
+		for it := 0; it < o.PRIters; it++ {
+			joined := rdd.Join(links, ranks, nparts)
+			contribs := rdd.FlatMap(joined, func(kv rdd.KV[int32, rdd.JoinPair[[]int32, float64]]) []rdd.KV[int32, float64] {
+				urls, rank := kv.V.Left, kv.V.Right
+				share := rank / float64(len(urls))
+				out := make([]rdd.KV[int32, float64], len(urls))
+				for i, u := range urls {
+					out[i] = rdd.KV[int32, float64]{K: u, V: share}
+				}
+				return out
+			}).WithRecordBytes(12)
+			contribs.Persist(rdd.MemoryAndDisk)
+			sums := rdd.ReduceByKey(contribs, func(a, b float64) float64 { return a + b }, nparts)
+			ranks = rdd.MapValues(sums, func(s float64) float64 {
+				return (1 - workload.Damping) + workload.Damping*s
+			})
+			ranks.Persist(rdd.MemoryAndDisk)
+		}
+		final, err := rdd.Collect(p, ranks)
+		if err != nil {
+			return
+		}
+		pt.Seconds = p.Now().Sub(start).Seconds()
+		got := make([]float64, n)
+		for i := range got {
+			got[i] = 1 - workload.Damping
+		}
+		for _, kv := range final {
+			got[kv.K] = kv.V
+		}
+		pt.Completed = ranksAgree(got, want)
+		pt.ExecutorsLost = ctx.ExecutorsLost
+		pt.RecomputedParts = ctx.RecomputedPart
+		if eng != nil {
+			pt.Crashes = eng.Crashes
+		}
+	})
+	c.K.Run()
+	return pt
+}
+
+// mpiPRChaos runs a PageRank-shaped iterative MPI job (the Fig 6
+// per-iteration compute volume plus one allreduce) under RunResilient
+// with the given chaos plan. Node crashes are detected at iteration
+// barriers and roll the whole world back to the last checkpoint.
+func mpiPRChaos(o Options, nodes, iters, every int, mtbf time.Duration, plan *chaos.Plan, penalty time.Duration) ChaosPoint {
+	pt := ChaosPoint{MTBFSeconds: mtbf.Seconds()}
+	c := newCluster(o.Seed, nodes)
+	g := workload.NewGraph(o.Seed, o.PRPhysVertices, o.PRLogicalVertices, o.PRAvgDegree)
+	np := nodes * o.PRPPN
+	perRank := float64(g.NumEdges()) * g.Scale() * c.Cost.PerEdgeC.Seconds() / float64(np)
+	stateBytes := int64(float64(g.NumVertices) * g.Scale() * 8 / float64(np))
+	if plan != nil {
+		chaos.Install(c, plan)
+	}
+	st := mpi.RunResilient(c, np, o.PRPPN,
+		mpi.ResilientConfig{Iters: iters, CheckpointEvery: every, StateBytes: stateBytes, RestartPenalty: penalty},
+		func(r *mpi.Rank, it int) {
+			r.Compute(perRank)
+			r.World().Allreduce(r, []float64{1}, mpi.OpSum, 8)
+		})
+	pt.Seconds = st.Seconds
+	pt.Completed = st.Completed
+	pt.Restarts = st.Restarts
+	pt.Checkpoints = st.Checkpoints
+	pt.RedoneIters = st.RedoneIters
+	if plan != nil {
+		// The plan outlives the job (the kernel drains the remaining
+		// events); report only the crashes the job was exposed to.
+		pt.Crashes = plan.CrashesWithin(time.Duration(st.Seconds * float64(time.Second)))
+	}
+	return pt
+}
+
+// ranksAgree compares a PageRank vector against the serial oracle with
+// the same tolerance the figure checks use.
+func ranksAgree(got, want []float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtInt(v int64) string { return fmt.Sprintf("%d", v) }
+
+// ChaosTables renders the sweep as report tables.
+func ChaosTables(r ChaosSweepResult) []Table {
+	mtbf := func(s float64) string {
+		if s == 0 {
+			return "none"
+		}
+		return fmtSeconds(s)
+	}
+	spark := func(id, title string, pts []ChaosPoint, dfsCols bool) Table {
+		t := Table{ID: id, Title: title,
+			Columns: []string{"MTBF", "time", "x clean", "crashes", "exec lost", "parts recomputed"}}
+		if dfsCols {
+			t.Columns = append(t.Columns, "read failovers", "blocks rereplicated")
+		}
+		clean := pts[0].Seconds
+		for _, p := range pts {
+			row := []string{mtbf(p.MTBFSeconds), fmtSeconds(p.Seconds),
+				fmtRatio(p.Seconds / clean), fmtInt(int64(p.Crashes)),
+				fmtInt(p.ExecutorsLost), fmtInt(p.RecomputedParts)}
+			if dfsCols {
+				row = append(row, fmtInt(p.ReadFailovers), fmtInt(p.Rereplicated))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	}
+	out := []Table{
+		spark("chaos-spark-ac", "Spark AnswersCount under node crashes (lineage + DFS recovery)", r.SparkAC, true),
+		spark("chaos-spark-pr", "Spark PageRank (tuned) under node crashes (lineage recovery)", r.SparkPR, false),
+	}
+	mt := Table{ID: "chaos-mpi", Title: "MPI resilient PageRank under node crashes (checkpoint/restart)",
+		Columns: []string{"MTBF", "time", "x clean", "crashes", "restarts", "checkpoints", "iters redone"}}
+	clean := r.MPIPR[0].Seconds
+	for _, p := range r.MPIPR {
+		mt.Rows = append(mt.Rows, []string{mtbf(p.MTBFSeconds), fmtSeconds(p.Seconds),
+			fmtRatio(p.Seconds / clean), fmtInt(int64(p.Crashes)), fmtInt(int64(p.Restarts)),
+			fmtInt(int64(p.Checkpoints)), fmtInt(int64(p.RedoneIters))})
+	}
+	ct := Table{ID: "chaos-ckpt", Title: "MPI checkpoint interval vs rework (fixed 3-crash script)",
+		Columns: []string{"ckpt every", "time", "restarts", "checkpoints", "iters redone"}}
+	for _, p := range r.Ckpt {
+		ct.Rows = append(ct.Rows, []string{fmtInt(int64(p.Every)), fmtSeconds(p.Seconds),
+			fmtInt(int64(p.Restarts)), fmtInt(int64(p.Checkpoints)), fmtInt(int64(p.RedoneIters))})
+	}
+	return append(out, mt, ct)
+}

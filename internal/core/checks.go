@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"reflect"
 
 	"hpcbd/internal/workload"
 )
@@ -203,6 +204,99 @@ func CheckFig7(f Figure, ranks map[string][]float64) []string {
 			gaps[0]*100, gaps[len(gaps)-1]*100))
 	}
 	bad = append(bad, checkRanks("fig7", ranks)...)
+	return bad
+}
+
+// CheckChaosSweep verifies the §VI-D fault-tolerance findings on two
+// independently executed sweeps:
+//
+//   - determinism: identical seeds produce bit-identical completion times
+//     and recovery counters (a == b);
+//   - Spark: lineage + DFS recovery completes every job with the correct
+//     result at every failure rate, within SparkChaosOverheadBound of the
+//     failure-free time, and the recovery machinery demonstrably engaged;
+//   - MPI: checkpoint/restart overhead (restarts and completion time)
+//     grows monotonically as MTBF shrinks;
+//   - checkpoint interval: re-executed work shrinks monotonically as
+//     checkpoints become more frequent, under a fixed failure script.
+func CheckChaosSweep(a, b ChaosSweepResult) []string {
+	var bad []string
+	if !reflect.DeepEqual(a, b) {
+		bad = append(bad, "chaos: two sweeps with identical seeds differ (determinism broken)")
+	}
+	bad = append(bad, checkChaosSpark("spark-ac", a.SparkAC)...)
+	bad = append(bad, checkChaosSpark("spark-pr", a.SparkPR)...)
+
+	m := a.MPIPR
+	if len(m) > 0 && (m[0].Restarts != 0 || m[0].RedoneIters != 0) {
+		bad = append(bad, "chaos: failure-free MPI run restarted")
+	}
+	for i, p := range m {
+		if !p.Completed {
+			bad = append(bad, fmt.Sprintf("chaos: MPI run %d (MTBF %s) did not complete", i, fmtSeconds(p.MTBFSeconds)))
+		}
+		if i == 0 {
+			continue
+		}
+		q := m[i-1]
+		if p.Seconds < q.Seconds {
+			bad = append(bad, fmt.Sprintf("chaos: MPI time fell from %s to %s as MTBF shrank %s->%s",
+				fmtSeconds(q.Seconds), fmtSeconds(p.Seconds), fmtSeconds(q.MTBFSeconds), fmtSeconds(p.MTBFSeconds)))
+		}
+		if p.Restarts < q.Restarts {
+			bad = append(bad, fmt.Sprintf("chaos: MPI restarts fell from %d to %d as MTBF shrank", q.Restarts, p.Restarts))
+		}
+	}
+	if len(m) > 0 && m[len(m)-1].Restarts == 0 {
+		bad = append(bad, "chaos: highest MPI failure rate never forced a restart (sweep tested nothing)")
+	}
+
+	for i, p := range a.Ckpt {
+		if !p.Completed {
+			bad = append(bad, fmt.Sprintf("chaos: checkpoint series (every=%d) did not complete", p.Every))
+		}
+		if i == 0 {
+			continue
+		}
+		q := a.Ckpt[i-1]
+		if p.RedoneIters > q.RedoneIters {
+			bad = append(bad, fmt.Sprintf("chaos: redone iters rose from %d to %d as checkpoint interval shrank %d->%d",
+				q.RedoneIters, p.RedoneIters, q.Every, p.Every))
+		}
+		if p.Checkpoints < q.Checkpoints {
+			bad = append(bad, fmt.Sprintf("chaos: checkpoints fell from %d to %d as interval shrank", q.Checkpoints, p.Checkpoints))
+		}
+	}
+	return bad
+}
+
+// checkChaosSpark validates one Spark series of the chaos sweep.
+func checkChaosSpark(name string, pts []ChaosPoint) []string {
+	var bad []string
+	if len(pts) == 0 {
+		return []string{"chaos: " + name + " series empty"}
+	}
+	clean := pts[0]
+	if clean.MTBFSeconds != 0 || !clean.Completed || clean.Seconds <= 0 {
+		bad = append(bad, "chaos: "+name+" has no valid failure-free baseline")
+	}
+	if clean.ExecutorsLost != 0 || clean.RecomputedParts != 0 || clean.Crashes != 0 {
+		bad = append(bad, "chaos: "+name+" failure-free run saw recovery activity")
+	}
+	for i, p := range pts[1:] {
+		if !p.Completed {
+			bad = append(bad, fmt.Sprintf("chaos: %s run %d (MTBF %s) failed or produced a wrong result", name, i+1, fmtSeconds(p.MTBFSeconds)))
+			continue
+		}
+		if over := p.Seconds / clean.Seconds; over > SparkChaosOverheadBound {
+			bad = append(bad, fmt.Sprintf("chaos: %s at MTBF %s took %.2fx the clean run (bound %.1fx)",
+				name, fmtSeconds(p.MTBFSeconds), over, SparkChaosOverheadBound))
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Crashes == 0 || last.ExecutorsLost == 0 {
+		bad = append(bad, "chaos: "+name+" highest failure rate never killed an executor (sweep tested nothing)")
+	}
 	return bad
 }
 

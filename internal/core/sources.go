@@ -26,15 +26,15 @@ func DFSTextRDD(ctx *rdd.Context, fs *dfs.DFS, file string, d *workload.StackExc
 		panic(err)
 	}
 	prefs := func(part int) []int { return locs[part].Nodes }
-	return rdd.FromSource(ctx, "dfs:"+file, len(locs), prefs,
-		func(tv rdd.TaskView, part int) []workload.Post {
+	return rdd.FromSourceErr(ctx, "dfs:"+file, len(locs), prefs,
+		func(tv rdd.TaskView, part int) ([]workload.Post, error) {
 			b := locs[part]
 			if err := fs.Read(tv.SimProc(), tv.Node(), file, b.Offset, b.Size); err != nil {
-				panic(err)
+				return nil, err
 			}
 			tv.Proc().Charge(float64(b.Size) / ctx.C.Cost.JVMScanBW())
 			lo, hi := recordRange(d, b.Offset, b.Size)
-			return d.Records(lo, hi)
+			return d.Records(lo, hi), nil
 		}, d.RecordBytes)
 }
 

@@ -1,0 +1,131 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/chaos"
+	"hpcbd/internal/sim"
+)
+
+// TestNodeCrashReadBeforeDetection crashes a whole node (chaos plan, not
+// a datanode kill) and reads while the namenode still believes the
+// datanode is healthy. The client's stream setup to the dead machine
+// fails, so the read must fail over immediately — the detection window
+// must not manufacture successful reads from a dead node.
+func TestNodeCrashReadBeforeDetection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	cfg.RereplicationDelay = time.Hour // namenode will not notice in time
+	k, c, d := setup(4, cfg)
+	var err error
+	k.Spawn("client", func(p *sim.Proc) {
+		// Write from node 1 so node 1 holds a replica of every block.
+		if cerr := d.Create(p, 1, "/f", 256<<20); cerr != nil {
+			t.Error(cerr)
+		}
+		chaos.Install(c, chaos.Script(chaos.Event{At: time.Millisecond, Node: 1, Kind: chaos.NodeCrash}))
+		p.Sleep(2 * time.Millisecond)
+		// Client on node 3 holds no replica, so placement order applies
+		// and the dead writer node is every block's preferred replica.
+		err = d.Read(p, 3, "/f", 0, 256<<20)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("read during the detection window failed: %v", err)
+	}
+	if d.ReadFailovers() == 0 {
+		t.Error("reads served from a crashed, undetected node without failover")
+	}
+}
+
+// TestNodeCrashHeartbeatRereplication crashes a node and waits out the
+// namenode timeout: the blocks it held must be re-replicated from the
+// survivors, with the counters recording the work.
+func TestNodeCrashHeartbeatRereplication(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	cfg.RereplicationDelay = time.Second
+	k, c, d := setup(4, cfg)
+	k.Spawn("client", func(p *sim.Proc) {
+		if err := d.Create(p, 1, "/f", 256<<20); err != nil {
+			t.Error(err)
+		}
+		chaos.Install(c, chaos.Script(chaos.Event{At: time.Millisecond, Node: 1, Kind: chaos.NodeCrash}))
+		p.Sleep(time.Minute)
+	})
+	k.Run()
+	reps, err := d.ReplicasOf("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reps {
+		if r != 2 {
+			t.Errorf("block %d has %d live replicas after re-replication, want 2", i, r)
+		}
+	}
+	if d.BlocksRereplicated() != 2 || d.BytesRereplicated() != 256<<20 {
+		t.Errorf("re-replication counters: %d blocks, %d bytes; want 2, %d",
+			d.BlocksRereplicated(), d.BytesRereplicated(), 256<<20)
+	}
+	if d.UnderReplicated() != 0 {
+		t.Errorf("%d blocks still under-replicated", d.UnderReplicated())
+	}
+}
+
+// TestNodeBounceLosesScratch crashes a node and recovers it within the
+// detection window. The machine is back, but its scratch contents died
+// with it, so the namenode must still scrub and re-replicate its blocks
+// rather than trust phantom copies.
+func TestNodeBounceLosesScratch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	cfg.RereplicationDelay = 10 * time.Second
+	k, c, d := setup(4, cfg)
+	k.Spawn("client", func(p *sim.Proc) {
+		if err := d.Create(p, 1, "/f", 128<<20); err != nil {
+			t.Error(err)
+		}
+		chaos.Install(c, chaos.Script(
+			chaos.Event{At: time.Millisecond, Node: 1, Kind: chaos.NodeCrash},
+			chaos.Event{At: time.Second, Node: 1, Kind: chaos.NodeRecover}, // inside the window
+		))
+		p.Sleep(time.Minute)
+	})
+	k.Run()
+	if d.BlocksRereplicated() == 0 {
+		t.Error("bounced node's lost scratch was never re-replicated")
+	}
+	if d.UnderReplicated() != 0 {
+		t.Errorf("%d blocks under-replicated after the bounce", d.UnderReplicated())
+	}
+}
+
+// TestTransientDiskFaultRetries arms transient read faults on the replica
+// the client would use first: the stream aborts and the client retries
+// against the next replica, counting retries and failovers but never
+// surfacing an error.
+func TestTransientDiskFaultRetries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	k, c, d := setup(4, cfg)
+	var err error
+	k.Spawn("client", func(p *sim.Proc) {
+		if cerr := d.Create(p, 0, "/f", 128<<20); cerr != nil {
+			t.Error(cerr)
+		}
+		// One block, local replica on node 0 preferred: fault it.
+		c.Node(0).Scratch.InjectReadFaults(1)
+		err = d.Read(p, 0, "/f", 0, 128<<20)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("read with a transient fault failed: %v", err)
+	}
+	if d.ReadRetries() != 1 || d.ReadFailovers() != 1 {
+		t.Errorf("retries=%d failovers=%d, want 1 and 1", d.ReadRetries(), d.ReadFailovers())
+	}
+	if d.RemoteReads() != 1 {
+		t.Errorf("remote reads %d: the retry should have gone to the surviving remote replica", d.RemoteReads())
+	}
+}

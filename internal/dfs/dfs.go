@@ -56,9 +56,10 @@ type fileMeta struct {
 }
 
 type datanode struct {
-	node   int
-	alive  bool
-	blocks map[int64]*blockMeta
+	node       int
+	alive      bool
+	blocks     map[int64]*blockMeta
+	downByNode bool // node death observed, loss pending/attributed
 }
 
 // Errors returned by filesystem operations.
@@ -81,6 +82,12 @@ type DFS struct {
 
 	remoteReads int64
 	localReads  int64
+
+	// Recovery counters (chaos hardening)
+	readFailovers      int64 // block reads that skipped a dead/faulty replica
+	readRetries        int64 // replica read attempts that hit a transient disk error
+	blocksRereplicated int64
+	bytesRereplicated  int64
 }
 
 // New creates a filesystem over the cluster, speaking the given socket
@@ -102,7 +109,56 @@ func New(c *cluster.Cluster, fabric cluster.FabricSpec, cfg Config) *DFS {
 	for i := 0; i < c.Size(); i++ {
 		d.dns = append(d.dns, &datanode{node: i, alive: true, blocks: map[int64]*blockMeta{}})
 	}
+	// Subscribe to cluster node health: a dead node's datanode stops
+	// heartbeating and the namenode declares it lost RereplicationDelay
+	// later, re-replicating its blocks from surviving replicas. A
+	// recovered node rejoins as an empty datanode (its scratch died with
+	// it). This shares the liveness channel with rdd and mpi.
+	c.Watch(func(node int, h cluster.Health) {
+		if node >= len(d.dns) {
+			return
+		}
+		dn := d.dns[node]
+		switch h {
+		case cluster.Dead:
+			if !dn.alive || dn.downByNode {
+				return
+			}
+			dn.downByNode = true
+			c.K.After(cfg.RereplicationDelay, func() {
+				if dn.downByNode && dn.alive && !c.NodeAlive(node) {
+					d.datanodeDied(node)
+				}
+			})
+		case cluster.Alive:
+			if !dn.downByNode {
+				return
+			}
+			dn.downByNode = false
+			if dn.alive {
+				// The node bounced back within the heartbeat window, but
+				// its on-disk block copies died with it.
+				d.datanodeDied(node)
+			}
+			dn.alive = true
+		}
+	})
 	return d
+}
+
+// datanodeDied is the heartbeat-timeout path: the namenode has concluded
+// the datanode is gone, so its blocks are scrubbed and re-replication
+// starts immediately (the timeout already elapsed before the conclusion).
+func (d *DFS) datanodeDied(node int) {
+	lost := d.markDead(node)
+	if len(lost) == 0 {
+		return
+	}
+	d.c.K.Spawn("dfs.rereplicate", func(p *sim.Proc) {
+		for _, b := range lost {
+			d.rereplicate(p, b)
+		}
+	})
 }
 
 // Config returns the active configuration.
@@ -113,6 +169,49 @@ func (d *DFS) Config() Config { return d.cfg }
 // statistic behind the paper's §V-B2 observation.
 func (d *DFS) LocalReads() int64  { return d.localReads }
 func (d *DFS) RemoteReads() int64 { return d.remoteReads }
+
+// ReadFailovers counts block reads that had to skip a dead or faulting
+// replica before succeeding.
+func (d *DFS) ReadFailovers() int64 { return d.readFailovers }
+
+// ReadRetries counts replica read attempts aborted by transient disk
+// errors.
+func (d *DFS) ReadRetries() int64 { return d.readRetries }
+
+// BlocksRereplicated and BytesRereplicated report background
+// re-replication progress after datanode deaths.
+func (d *DFS) BlocksRereplicated() int64 { return d.blocksRereplicated }
+func (d *DFS) BytesRereplicated() int64  { return d.bytesRereplicated }
+
+// UnderReplicated returns how many blocks currently have fewer live
+// replicas than the target factor (clamped to the live datanode count).
+func (d *DFS) UnderReplicated() int {
+	target := d.cfg.Replication
+	liveDNs := 0
+	for _, dn := range d.dns {
+		if dn.alive {
+			liveDNs++
+		}
+	}
+	if target > liveDNs {
+		target = liveDNs
+	}
+	under := 0
+	for _, f := range d.files {
+		for _, b := range f.blocks {
+			live := 0
+			for _, r := range b.replicas {
+				if d.dns[r].alive {
+					live++
+				}
+			}
+			if live < target {
+				under++
+			}
+		}
+	}
+	return under
+}
 
 // nnRPC charges one metadata round trip from the client to the namenode.
 func (d *DFS) nnRPC(p *sim.Proc, clientNode int) {
@@ -234,61 +333,72 @@ func (d *DFS) Read(p *sim.Proc, clientNode int, name string, offset, length int6
 		hi := min64(end, b.offset+b.size)
 		n := hi - lo
 		d.nnRPC(p, clientNode)
-		rep, local := d.chooseReplica(b, clientNode)
-		if rep < 0 {
+		served := -1
+		failover := false
+		for _, rep := range d.replicaOrder(b, clientNode) {
+			// A datanode the namenode already declared dead, or one on a
+			// crashed node the namenode has not noticed yet: either way
+			// the client's stream setup fails and it moves on.
+			if !d.dns[rep].alive || !d.c.NodeAlive(rep) {
+				failover = true
+				continue
+			}
+			p.Sleep(d.c.Cost.DFSStreamSetup)
+			// The datanode path — a JVM stream plus a local socket hop
+			// and inline checksumming — realizes well under raw device
+			// bandwidth. A transient disk fault aborts the stream; the
+			// client retries against the next replica.
+			if err := d.c.Node(rep).Scratch.ReadChecked(p, n, d.c.Cost.DFSReadFactor); err != nil {
+				d.readRetries++
+				failover = true
+				continue
+			}
+			served = rep
+			break
+		}
+		if served < 0 {
 			return fmt.Errorf("%w: block %d of %s", ErrUnavailable, b.id, name)
 		}
-		p.Sleep(d.c.Cost.DFSStreamSetup)
-		// The datanode path — a JVM stream plus a local socket hop and
-		// inline checksumming — realizes well under raw device bandwidth.
-		d.c.Node(rep).Scratch.ReadEff(p, n, d.c.Cost.DFSReadFactor)
-		if local {
+		if failover {
+			d.readFailovers++
+		}
+		if served == clientNode {
 			d.localReads++
 		} else {
 			d.remoteReads++
-			d.c.Xfer(p, rep, clientNode, n, d.fabric)
+			d.c.Xfer(p, served, clientNode, n, d.fabric)
 		}
 		p.Sleep(cluster.ScanCost(n, d.c.Cost.DFSChecksumBW))
 	}
 	return nil
 }
 
-// chooseReplica prefers a replica on the client's node, then the first
-// live replica in placement order.
-func (d *DFS) chooseReplica(b *blockMeta, clientNode int) (node int, local bool) {
+// replicaOrder lists a block's replicas in client preference order: the
+// client's own node first, then placement order.
+func (d *DFS) replicaOrder(b *blockMeta, clientNode int) []int {
+	out := make([]int, 0, len(b.replicas))
 	for _, r := range b.replicas {
-		if r == clientNode && d.dns[r].alive {
-			return r, true
+		if r == clientNode {
+			out = append(out, r)
 		}
 	}
 	for _, r := range b.replicas {
-		if d.dns[r].alive {
-			return r, false
+		if r != clientNode {
+			out = append(out, r)
 		}
 	}
-	return -1, false
+	return out
 }
 
-// KillDatanode marks a datanode dead. Blocks it held survive on other
-// replicas; after the heartbeat timeout the namenode re-replicates under-
-// replicated blocks in the background.
+// KillDatanode kills a datanode process directly (the node stays up) —
+// the reproducible equivalent of stopping one datanode daemon. Blocks it
+// held survive on other replicas; after the heartbeat timeout the
+// namenode re-replicates under-replicated blocks in the background. Node
+// crashes take the same markDead path via the cluster health watcher.
 func (d *DFS) KillDatanode(node int) {
-	dn := d.dns[node]
-	if !dn.alive {
+	lost := d.markDead(node)
+	if len(lost) == 0 {
 		return
-	}
-	dn.alive = false
-	lost := make([]*blockMeta, 0, len(dn.blocks))
-	for _, b := range dn.blocks {
-		lost = append(lost, b)
-	}
-	// Deterministic order for the re-replication pass.
-	for i := 0; i < len(lost); i++ {
-		for j := i + 1; j < len(lost); j++ {
-			if lost[j].id < lost[i].id {
-				lost[i], lost[j] = lost[j], lost[i]
-			}
-		}
 	}
 	d.c.K.After(d.cfg.RereplicationDelay, func() {
 		d.c.K.Spawn("dfs.rereplicate", func(p *sim.Proc) {
@@ -299,41 +409,74 @@ func (d *DFS) KillDatanode(node int) {
 	})
 }
 
-// rereplicate copies a block from a live replica to a node that lacks it.
-func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
-	src := -1
-	have := map[int]bool{}
-	var alive []int
-	for _, r := range b.replicas {
-		if d.dns[r].alive {
-			if src < 0 {
-				src = r
+// markDead is the single datanode-death path: the datanode goes offline,
+// its node is scrubbed from every block's replica list (so a later
+// revival does not resurrect stale copies) and the lost blocks are
+// returned in deterministic id order for re-replication.
+func (d *DFS) markDead(node int) []*blockMeta {
+	dn := d.dns[node]
+	if !dn.alive {
+		return nil
+	}
+	dn.alive = false
+	lost := make([]*blockMeta, 0, len(dn.blocks))
+	for _, b := range dn.blocks {
+		lost = append(lost, b)
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].id < lost[j].id })
+	for _, b := range lost {
+		keep := b.replicas[:0]
+		for _, r := range b.replicas {
+			if r != node {
+				keep = append(keep, r)
 			}
-			have[r] = true
-			alive = append(alive, r)
 		}
+		b.replicas = keep
 	}
-	if src < 0 || len(alive) >= d.cfg.Replication {
-		b.replicas = alive
-		return
-	}
-	dst := -1
-	for i := 0; i < d.c.Size(); i++ {
-		cand := (src + 1 + i) % d.c.Size()
-		if d.dns[cand].alive && !have[cand] {
-			dst = cand
-			break
+	dn.blocks = map[int64]*blockMeta{}
+	return lost
+}
+
+// rereplicate copies a block from a live replica to nodes that lack it
+// until the replication factor is restored (or no candidates remain).
+func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
+	for {
+		src := -1
+		have := map[int]bool{}
+		var alive []int
+		for _, r := range b.replicas {
+			if d.dns[r].alive {
+				if src < 0 {
+					src = r
+				}
+				have[r] = true
+				alive = append(alive, r)
+			}
 		}
+		if src < 0 || len(alive) >= d.cfg.Replication {
+			b.replicas = alive
+			return
+		}
+		dst := -1
+		for i := 0; i < d.c.Size(); i++ {
+			cand := (src + 1 + i) % d.c.Size()
+			if d.dns[cand].alive && !have[cand] {
+				dst = cand
+				break
+			}
+		}
+		if dst < 0 {
+			b.replicas = alive
+			return
+		}
+		d.c.Node(src).Scratch.Read(p, b.size)
+		d.c.Xfer(p, src, dst, b.size, d.fabric)
+		d.c.Node(dst).Scratch.Write(p, b.size)
+		d.dns[dst].blocks[b.id] = b
+		b.replicas = append(alive, dst)
+		d.blocksRereplicated++
+		d.bytesRereplicated += b.size
 	}
-	if dst < 0 {
-		b.replicas = alive
-		return
-	}
-	d.c.Node(src).Scratch.Read(p, b.size)
-	d.c.Xfer(p, src, dst, b.size, d.fabric)
-	d.c.Node(dst).Scratch.Write(p, b.size)
-	d.dns[dst].blocks[b.id] = b
-	b.replicas = append(alive, dst)
 }
 
 // ReplicasOf returns the live replica count of every block of a file (for

@@ -15,6 +15,7 @@ package mpi
 
 import (
 	"fmt"
+	"time"
 
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/sim"
@@ -115,9 +116,14 @@ func (r *Rank) Proc() *sim.Proc { return r.p }
 // Now returns the current virtual time.
 func (r *Rank) Now() sim.Time { return r.p.Now() }
 
-// Compute charges local single-core compute time to the rank.
+// Compute charges local single-core compute time to the rank (stretched
+// on straggler nodes).
 func (r *Rank) Compute(d float64) { // seconds
-	r.p.Sleep(secs(d))
+	t := secs(d)
+	if cs := r.world.Cluster.Node(r.node).ComputeScale(); cs != 1 {
+		t = time.Duration(float64(t) * cs)
+	}
+	r.p.Sleep(t)
 }
 
 // World returns the world communicator, MPI_COMM_WORLD.

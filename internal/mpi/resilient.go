@@ -1,0 +1,109 @@
+package mpi
+
+import (
+	"time"
+
+	"hpcbd/internal/cluster"
+)
+
+// ResilientConfig tunes RunResilient's checkpoint/restart loop.
+type ResilientConfig struct {
+	// Iters is the number of application iterations to complete.
+	Iters int
+	// CheckpointEvery writes a coordinated checkpoint after every k
+	// completed iterations (0 disables checkpointing: any failure rolls
+	// back to iteration 0).
+	CheckpointEvery int
+	// StateBytes is the per-rank checkpoint size (defensive I/O volume).
+	StateBytes int64
+	// RestartPenalty is the fixed cost of one restart: failure detection
+	// beyond the barrier, scheduler re-queue and job relaunch on healthy
+	// nodes. Default 5s — far below a real batch-queue wait, so it favors
+	// MPI in the comparison.
+	RestartPenalty time.Duration
+	// MaxRestarts aborts the job after this many restarts (default 1000).
+	MaxRestarts int
+}
+
+// ResilientStats reports what one resilient run did.
+type ResilientStats struct {
+	Completed   bool
+	Restarts    int
+	Checkpoints int
+	RedoneIters int     // iterations re-executed after rollbacks
+	Seconds     float64 // virtual wall time of the whole job
+}
+
+// RunResilient executes an iterative MPI application under the classic
+// HPC fault-tolerance model the paper describes in §VI-D: coordinated
+// periodic checkpoints to scratch, and on any node failure a rollback of
+// the whole world to the last checkpoint plus re-execution of everything
+// since. Failures are detected at iteration barriers by comparing the
+// cluster's crash epoch (a sleeping simulated rank cannot be interrupted,
+// so detection-at-synchronization is also the faithful model: real MPI
+// jobs discover failures when communication with the dead rank fails).
+// Rank 0 decides and broadcasts the verdict so every rank acts uniformly.
+//
+// step runs one application iteration on one rank and must be
+// deterministic; any collectives it issues must be matched across ranks.
+func RunResilient(c *cluster.Cluster, np, ppn int, cfg ResilientConfig, step func(r *Rank, it int)) ResilientStats {
+	if cfg.RestartPenalty <= 0 {
+		cfg.RestartPenalty = 5 * time.Second
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 1000
+	}
+	var st ResilientStats
+	Launch(c, np, ppn, func(r *Rank) {
+		w := r.World()
+		w.Barrier(r)
+		start := r.Now()
+		seenEpoch := c.CrashEpoch()
+		lastCkpt := 0
+		restarts := 0
+		it := 0
+		for it < cfg.Iters {
+			step(r, it)
+			w.Barrier(r)
+			// Rank 0 checks for failures since the last sync and
+			// broadcasts the verdict (1 byte of control traffic).
+			failed := 0.0
+			if r.Rank() == 0 {
+				if e := c.CrashEpoch(); e != seenEpoch {
+					seenEpoch = e
+					failed = 1
+				}
+			}
+			if w.Bcast(r, 0, failed, 1).(float64) != 0 {
+				restarts++
+				if restarts > cfg.MaxRestarts {
+					return
+				}
+				r.p.Sleep(cfg.RestartPenalty)
+				if lastCkpt > 0 {
+					Restore(r, w, cfg.StateBytes)
+				}
+				if r.Rank() == 0 {
+					st.Restarts++
+					st.RedoneIters += it + 1 - lastCkpt
+				}
+				it = lastCkpt
+				continue
+			}
+			it++
+			if cfg.CheckpointEvery > 0 && it%cfg.CheckpointEvery == 0 && it < cfg.Iters {
+				Checkpoint(r, w, cfg.StateBytes)
+				lastCkpt = it
+				if r.Rank() == 0 {
+					st.Checkpoints++
+				}
+			}
+		}
+		if r.Rank() == 0 {
+			st.Completed = true
+			st.Seconds = (r.Now() - start).Seconds()
+		}
+	})
+	c.K.Run()
+	return st
+}

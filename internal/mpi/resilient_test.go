@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/chaos"
+)
+
+func resilientRun(t *testing.T, plan *chaos.Plan, every int) ResilientStats {
+	t.Helper()
+	c := testCluster(2)
+	if plan != nil {
+		chaos.Install(c, plan)
+	}
+	return RunResilient(c, 8, 4, ResilientConfig{
+		Iters: 8, CheckpointEvery: every, StateBytes: 32 << 20, RestartPenalty: 50 * time.Millisecond,
+	}, func(r *Rank, it int) {
+		r.Compute(0.05)
+		r.World().Allreduce(r, []float64{1}, OpSum, 8)
+	})
+}
+
+func TestResilientCleanRun(t *testing.T) {
+	st := resilientRun(t, nil, 2)
+	if !st.Completed {
+		t.Fatal("clean run did not complete")
+	}
+	if st.Restarts != 0 || st.RedoneIters != 0 {
+		t.Errorf("clean run: %d restarts, %d redone iters", st.Restarts, st.RedoneIters)
+	}
+	if st.Checkpoints != 3 {
+		// 8 iterations, every 2: checkpoints after iters 2, 4, 6 (none
+		// after the last — the job is done).
+		t.Errorf("checkpoints %d, want 3", st.Checkpoints)
+	}
+}
+
+func TestResilientRecoversFromCrash(t *testing.T) {
+	clean := resilientRun(t, nil, 2)
+	at := time.Duration(0.6 * clean.Seconds * float64(time.Second))
+	st := resilientRun(t, chaos.Script(chaos.Event{At: at, Node: 1, Kind: chaos.NodeCrash}), 2)
+	if !st.Completed {
+		t.Fatal("crashed run did not complete")
+	}
+	if st.Restarts < 1 {
+		t.Fatal("crash mid-run caused no restart")
+	}
+	if st.RedoneIters < 1 || st.RedoneIters > 2*st.Restarts {
+		// Rollback re-executes at most CheckpointEvery iterations per
+		// restart.
+		t.Errorf("redone iters %d with %d restarts and checkpoints every 2", st.RedoneIters, st.Restarts)
+	}
+	if st.Seconds <= clean.Seconds {
+		t.Errorf("crashed run (%.3fs) not slower than clean (%.3fs)", st.Seconds, clean.Seconds)
+	}
+}
+
+func TestResilientDeterministic(t *testing.T) {
+	plan := chaos.Script(chaos.Event{At: 100 * time.Millisecond, Node: 1, Kind: chaos.NodeCrash})
+	a := resilientRun(t, plan, 2)
+	b := resilientRun(t, plan, 2)
+	if a != b {
+		t.Errorf("identical chaotic runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestResilientNoCheckpointsRestartsFromScratch(t *testing.T) {
+	// CheckpointEvery >= Iters means no checkpoint is ever taken; a crash
+	// rolls all completed work back.
+	clean := resilientRun(t, nil, 8)
+	if clean.Checkpoints != 0 {
+		t.Fatalf("checkpoints %d with interval >= iters, want 0", clean.Checkpoints)
+	}
+	at := time.Duration(0.9 * clean.Seconds * float64(time.Second))
+	st := resilientRun(t, chaos.Script(chaos.Event{At: at, Node: 1, Kind: chaos.NodeCrash}), 8)
+	if !st.Completed || st.Restarts < 1 {
+		t.Fatalf("run: %+v", st)
+	}
+	ck := resilientRun(t, chaos.Script(chaos.Event{At: at, Node: 1, Kind: chaos.NodeCrash}), 2)
+	if st.RedoneIters <= ck.RedoneIters {
+		t.Errorf("no-checkpoint rework (%d iters) not worse than checkpointed (%d)",
+			st.RedoneIters, ck.RedoneIters)
+	}
+}

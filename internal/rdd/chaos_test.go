@@ -1,0 +1,152 @@
+package rdd
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/chaos"
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// slowSource builds a source RDD whose every partition charges `each` of
+// virtual compute — long enough that faults injected mid-job land on
+// running tasks.
+func slowSource(ctx *Context, nparts int, each float64) *RDD[int] {
+	return FromSource(ctx, "slow", nparts, nil, func(tv TaskView, part int) []int {
+		tv.Proc().Charge(each)
+		return []int{part}
+	}, 8)
+}
+
+// TestHeartbeatDetectsCrashedNode kills a node (not just the executor
+// process) mid-job via a chaos plan. Nobody tells the driver: it must
+// notice the silence through the heartbeat timeout, write the executor
+// off, and reschedule — the §VI-D detection path.
+func TestHeartbeatDetectsCrashedNode(t *testing.T) {
+	conf := DefaultConfig()
+	conf.HeartbeatTimeout = 20 * time.Millisecond
+	k := sim.NewKernel(17)
+	c := cluster.Comet(k, 4)
+	ctx := NewContext(c, conf)
+	chaos.Install(c, chaos.Script(chaos.Event{At: 50 * time.Millisecond, Node: 2, Kind: chaos.NodeCrash}))
+	var n int64
+	var err error
+	k.Spawn("driver", func(p *sim.Proc) {
+		r := slowSource(ctx, 16, 0.2)
+		n, err = Count(p, r)
+	})
+	k.Run()
+	if err != nil || n != 16 {
+		t.Fatalf("count = %d, %v; want 16, nil", n, err)
+	}
+	if ctx.ExecutorsLost == 0 {
+		t.Error("node crash went undetected: no executor declared lost")
+	}
+	if ctx.TasksLaunched <= 16 {
+		t.Errorf("tasks launched %d: lost tasks were not rescheduled", ctx.TasksLaunched)
+	}
+}
+
+// TestSpeculationRescuesStraggler slows one node 20x via a chaos plan.
+// With speculation on, duplicate copies on healthy nodes must win and the
+// job must finish far sooner than the straggler would allow.
+func TestSpeculationRescuesStraggler(t *testing.T) {
+	run := func(speculation bool) (sim.Time, *Context) {
+		conf := DefaultConfig()
+		conf.Speculation = speculation
+		conf.SpeculationInterval = 10 * time.Millisecond
+		k := sim.NewKernel(17)
+		c := cluster.Comet(k, 4)
+		ctx := NewContext(c, conf)
+		chaos.Install(c, chaos.Script(chaos.Event{At: 0, Node: 3, Kind: chaos.SlowStart, Factor: 20}))
+		var done sim.Time
+		k.Spawn("driver", func(p *sim.Proc) {
+			if _, err := Count(p, slowSource(ctx, 16, 0.1)); err != nil {
+				t.Error(err)
+			}
+			done = p.Now() // job completion; abandoned straggler copies drain later
+		})
+		k.Run()
+		return done, ctx
+	}
+	without, _ := run(false)
+	with, ctx := run(true)
+	if ctx.SpeculativeLaunched == 0 || ctx.SpeculativeWins == 0 {
+		t.Fatalf("launched=%d wins=%d: speculation never rescued the straggler",
+			ctx.SpeculativeLaunched, ctx.SpeculativeWins)
+	}
+	if float64(with) > 0.6*float64(without) {
+		t.Errorf("speculation: %v, without: %v — straggler still dominates", with, without)
+	}
+}
+
+// TestBlacklistingExcludesFlakyExecutor makes every task on node 1 fail
+// with a genuine (non-loss) error. After BlacklistThreshold failures the
+// scheduler must stop picking that executor and the job must finish on
+// the healthy ones.
+func TestBlacklistingExcludesFlakyExecutor(t *testing.T) {
+	conf := DefaultConfig()
+	conf.BlacklistThreshold = 2
+	k := sim.NewKernel(17)
+	c := cluster.Comet(k, 4)
+	ctx := NewContext(c, conf)
+	failed := 0
+	src := FromSourceErr(ctx, "flaky", 32, nil, func(tv TaskView, part int) ([]int, error) {
+		tv.Proc().Charge(0.01)
+		if tv.Node() == 1 {
+			failed++
+			return nil, cluster.ErrDiskFault
+		}
+		return []int{part}, nil
+	}, 8)
+	var n int64
+	var err error
+	k.Spawn("driver", func(p *sim.Proc) {
+		n, err = Count(p, src)
+	})
+	k.Run()
+	if err != nil || n != 32 {
+		t.Fatalf("count = %d, %v; want 32, nil", n, err)
+	}
+	if ctx.ExecutorsBlacklisted != 1 {
+		t.Errorf("executors blacklisted %d, want 1", ctx.ExecutorsBlacklisted)
+	}
+	// The whole first wave (32 tasks over 4 executors, so 8 on the flaky
+	// one) may already be in flight when its first failure lands; after
+	// those drain, retries must avoid the blacklisted executor.
+	if failed > 32/4 {
+		t.Errorf("%d tasks failed on the flaky node: retries landed back on the blacklisted executor", failed)
+	}
+}
+
+// TestChaosJobDeterminism runs the same chaotic job twice: identical seed
+// and plan must give identical virtual completion times and counters.
+func TestChaosJobDeterminism(t *testing.T) {
+	run := func() (sim.Time, int64, int64) {
+		conf := DefaultConfig()
+		conf.HeartbeatTimeout = 20 * time.Millisecond
+		k := sim.NewKernel(23)
+		c := cluster.Comet(k, 4)
+		ctx := NewContext(c, conf)
+		chaos.Install(c, chaos.Script(
+			chaos.Event{At: 60 * time.Millisecond, Node: 1, Kind: chaos.NodeCrash},
+			chaos.Event{At: 90 * time.Millisecond, Node: 3, Kind: chaos.NodeCrash},
+		))
+		k.Spawn("driver", func(p *sim.Proc) {
+			if _, err := Count(p, slowSource(ctx, 24, 0.15)); err != nil {
+				t.Error(err)
+			}
+		})
+		return k.Run(), ctx.ExecutorsLost, ctx.TasksLaunched
+	}
+	t1, lost1, launched1 := run()
+	t2, lost2, launched2 := run()
+	if t1 != t2 || lost1 != lost2 || launched1 != launched2 {
+		t.Errorf("two identical chaotic runs diverged: (%v,%d,%d) vs (%v,%d,%d)",
+			t1, lost1, launched1, t2, lost2, launched2)
+	}
+	if lost1 == 0 {
+		t.Error("plan crashed two nodes but no executor was lost")
+	}
+}

@@ -72,6 +72,29 @@ type Config struct {
 	Scale float64
 	// MaxTaskRetries bounds per-task rescheduling on executor failure.
 	MaxTaskRetries int
+
+	// HeartbeatTimeout is how long after a node death the driver declares
+	// its executor lost (spark.network.timeout). Until it expires the
+	// scheduler keeps assigning tasks to the dead executor and their
+	// output is discarded as zombie work — exactly the detection-latency
+	// cost real Spark pays.
+	HeartbeatTimeout time.Duration
+
+	// Speculation enables straggler mitigation: once SpeculationQuantile
+	// of a stage's tasks have finished, any task running longer than
+	// SpeculationMultiplier x the median duration gets a second copy on a
+	// different executor; the first copy to finish wins. Off by default
+	// (as in Spark) so fault-free timings are unchanged.
+	Speculation           bool
+	SpeculationInterval   time.Duration
+	SpeculationQuantile   float64
+	SpeculationMultiplier float64
+
+	// BlacklistThreshold excludes an executor from scheduling after this
+	// many genuine (non-loss) task failures; 0 disables blacklisting.
+	// Blacklisted executors are still used as a last resort when every
+	// other executor is gone.
+	BlacklistThreshold int
 }
 
 // DefaultConfig returns the configuration used by the experiments: 8
@@ -86,6 +109,8 @@ func DefaultConfig() Config {
 		CtrlTransport:      cluster.IPoIB(),
 		Scale:              1,
 		MaxTaskRetries:     4,
+		HeartbeatTimeout:   time.Second,
+		BlacklistThreshold: 3,
 	}
 }
 
@@ -109,6 +134,12 @@ type Context struct {
 	JobsRun        int64
 	ShuffleBytes   int64 // logical bytes fetched across the network
 	RecomputedPart int64 // partitions rebuilt from lineage
+
+	// Recovery stats (chaos hardening)
+	ExecutorsLost        int64 // executors declared dead (manual kill or heartbeat timeout)
+	ExecutorsBlacklisted int64 // executors excluded after repeated task failures
+	SpeculativeLaunched  int64 // duplicate copies started for stragglers
+	SpeculativeWins      int64 // stragglers where the duplicate finished first
 }
 
 // NewContext creates a Spark application over the cluster. The driver
@@ -125,6 +156,18 @@ func NewContext(c *cluster.Cluster, conf Config) *Context {
 	}
 	if conf.MaxTaskRetries <= 0 {
 		conf.MaxTaskRetries = 4
+	}
+	if conf.HeartbeatTimeout <= 0 {
+		conf.HeartbeatTimeout = time.Second
+	}
+	if conf.SpeculationInterval <= 0 {
+		conf.SpeculationInterval = 100 * time.Millisecond
+	}
+	if conf.SpeculationQuantile <= 0 || conf.SpeculationQuantile > 1 {
+		conf.SpeculationQuantile = 0.75
+	}
+	if conf.SpeculationMultiplier <= 1 {
+		conf.SpeculationMultiplier = 1.5
 	}
 	if conf.ShuffleTransport.Bandwidth == 0 {
 		conf.ShuffleTransport = cluster.IPoIB()
@@ -145,6 +188,40 @@ func NewContext(c *cluster.Cluster, conf Config) *Context {
 			bm:    newBlockManager(conf.ExecutorMemory),
 		})
 	}
+	// Subscribe to cluster node health: when a node dies, the executor's
+	// heartbeats stop and the driver declares it lost HeartbeatTimeout
+	// later; when the node comes back, a fresh executor is re-registered.
+	// This is the single liveness channel shared with dfs and mpi, so all
+	// layers agree on who is dead.
+	c.Watch(func(node int, h cluster.Health) {
+		if node >= len(ctx.executors) {
+			return
+		}
+		e := ctx.executors[node]
+		switch h {
+		case cluster.Dead:
+			if !e.alive || e.downByNode {
+				return
+			}
+			e.downByNode = true
+			c.K.After(ctx.Conf.HeartbeatTimeout, func() {
+				if e.downByNode && e.alive && !c.NodeAlive(e.node) {
+					ctx.loseExecutor(e.id)
+				}
+			})
+		case cluster.Alive:
+			if !e.downByNode {
+				return
+			}
+			e.downByNode = false
+			if e.alive {
+				// The node bounced back within the heartbeat timeout,
+				// but the executor process still died with it.
+				ctx.loseExecutor(e.id)
+			}
+			ctx.RestartExecutor(e.id)
+		}
+	})
 	return ctx
 }
 
@@ -158,17 +235,34 @@ type executor struct {
 
 	// broadcast ids already resident on this executor
 	bcSeen map[int]bool
+
+	epoch       int  // incremented on every loss; tasks detect restarts
+	failures    int  // genuine task failures charged to this executor
+	blacklisted bool // excluded from scheduling after repeated failures
+	downByNode  bool // node death observed, loss pending/attributed
 }
 
-// KillExecutor marks an executor dead: its cached blocks and shuffle
-// outputs are lost, and future tasks avoid it. Cached data and shuffle
-// files it held will be recomputed from lineage on demand.
+// KillExecutor kills an executor process directly (the node stays up) —
+// the reproducible equivalent of `kill -9` on one worker JVM. It routes
+// through the same loss path the node-health watcher uses, so rdd, dfs
+// and cluster agree on liveness; the only difference from a node crash is
+// that there is no heartbeat-detection delay (the process exit is
+// observed immediately, as in real Spark).
 func (ctx *Context) KillExecutor(id int) {
+	ctx.loseExecutor(id)
+}
+
+// loseExecutor is the single executor-death path: cached blocks and
+// shuffle outputs are dropped and future tasks avoid the executor.
+// Everything it held will be recomputed from lineage on demand.
+func (ctx *Context) loseExecutor(id int) {
 	e := ctx.executors[id]
 	if !e.alive {
 		return
 	}
 	e.alive = false
+	e.epoch++
+	ctx.ExecutorsLost++
 	e.bm.dropAll()
 	for _, ss := range ctx.shuffles {
 		for m, out := range ss.outputs {
@@ -180,12 +274,15 @@ func (ctx *Context) KillExecutor(id int) {
 }
 
 // RestartExecutor brings a fresh executor up on the same node (empty
-// caches).
+// caches, clean failure record).
 func (ctx *Context) RestartExecutor(id int) {
 	e := ctx.executors[id]
 	e.alive = true
 	e.bm = newBlockManager(ctx.Conf.ExecutorMemory)
 	e.bcSeen = nil
+	e.failures = 0
+	e.blacklisted = false
+	e.downByNode = false
 }
 
 // aliveExecutors returns live executor ids in deterministic order.
@@ -204,6 +301,15 @@ type taskContext struct {
 	ctx  *Context
 	exec *executor
 	p    *sim.Proc
+	// epoch is the executor incarnation the task started under; shuffle
+	// registration checks it so zombie tasks can't publish outputs into a
+	// restarted executor.
+	epoch int
+}
+
+// live reports whether the task's executor incarnation is still current.
+func (tc *taskContext) live() bool {
+	return tc.exec.alive && tc.exec.epoch == tc.epoch
 }
 
 // chargeRecords charges framework per-record cost for n physical records,
@@ -213,7 +319,15 @@ func (tc *taskContext) chargeRecords(n int) {
 		return
 	}
 	d := time.Duration(float64(tc.ctx.C.Cost.SparkPerRecord) * float64(n) * tc.ctx.Conf.Scale)
-	tc.p.Sleep(d)
+	tc.p.Sleep(tc.stretch(d))
+}
+
+// stretch applies the executor node's straggler compute multiplier.
+func (tc *taskContext) stretch(d time.Duration) time.Duration {
+	if cs := tc.ctx.C.Node(tc.exec.node).ComputeScale(); cs != 1 {
+		return time.Duration(float64(d) * cs)
+	}
+	return d
 }
 
 // chargeCompute charges user compute: n physical records at per-record
@@ -222,7 +336,7 @@ func (tc *taskContext) chargeCompute(n int, d time.Duration) {
 	if n <= 0 || d <= 0 {
 		return
 	}
-	tc.p.Sleep(time.Duration(float64(d) * float64(n) * tc.ctx.Conf.Scale))
+	tc.p.Sleep(tc.stretch(time.Duration(float64(d) * float64(n) * tc.ctx.Conf.Scale)))
 }
 
 // logicalBytes converts a physical record count and per-record logical

@@ -149,6 +149,27 @@ func FromSource[T any](ctx *Context, name string, nparts int,
 	return r
 }
 
+// FromSourceErr is FromSource for sources that can fail (a DFS read
+// hitting a dead datanode or a transient disk error): the error becomes a
+// task failure, so the stage's retry/blacklist machinery engages instead
+// of the source panicking.
+func FromSourceErr[T any](ctx *Context, name string, nparts int,
+	prefs func(part int) []int,
+	read func(tc TaskView, part int) ([]T, error), recBytes int64) *RDD[T] {
+	m := newMeta(ctx, name, nparts)
+	m.prefs = prefs
+	r := &RDD[T]{m: m, recBytes: recBytes}
+	r.compute = func(tc *taskContext, part int) ([]T, error) {
+		out, err := read(TaskView{tc}, part)
+		if err != nil {
+			return nil, fmt.Errorf("rdd: source %s partition %d: %w", name, part, err)
+		}
+		tc.chargeRecords(len(out))
+		return out, nil
+	}
+	return r
+}
+
 // TaskView is the limited task-side interface exposed to data sources:
 // where the task runs and how to charge I/O.
 type TaskView struct{ tc *taskContext }
@@ -173,9 +194,9 @@ func (ph *procHandle) ReadScratch(n int64) {
 	ph.tc.ctx.C.Node(ph.tc.exec.node).Scratch.ReadEff(ph.tc.p, n, ph.tc.ctx.C.Cost.JVMIOFactor)
 }
 
-// Charge sleeps d seconds of task compute.
+// Charge sleeps d seconds of task compute (stretched on straggler nodes).
 func (ph *procHandle) Charge(seconds float64) {
-	ph.tc.p.Sleep(secsToDur(seconds))
+	ph.tc.p.Sleep(ph.tc.stretch(secsToDur(seconds)))
 }
 
 // Parallelize distributes an in-memory collection from the driver. Like

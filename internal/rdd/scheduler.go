@@ -3,10 +3,20 @@ package rdd
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"hpcbd/internal/sim"
 )
+
+// executorLost marks task output discarded because its executor died (or
+// was restarted) while the task ran — zombie work. Loss errors are always
+// retried and never charged against the executor's failure record or the
+// stage's retry budget; heartbeat detection bounds how long the scheduler
+// can keep feeding a dead executor.
+type executorLost struct{ exec int }
+
+func (e executorLost) Error() string { return fmt.Sprintf("rdd: executor %d lost", e.exec) }
 
 // collectShuffles gathers every shuffle dependency reachable from m in
 // dependency-first (post) order, deduplicated — the DAG scheduler's stage
@@ -41,19 +51,25 @@ func collectShuffles(m *meta) []*shuffleDep {
 	return out
 }
 
-// pickExecutor chooses an executor for a task: the least-loaded live
-// executor among the preferred nodes (Spark spreads work over a block's
-// replicas), falling back to the least-loaded live executor overall.
-// Ties rotate by task index for determinism without pile-up.
-func (ctx *Context) pickExecutor(prefs []int, taskIdx int) (*executor, error) {
-	best := func(cands []int) *executor {
+// pickExecutor chooses an executor for a task: the least-loaded live,
+// non-blacklisted executor among the preferred nodes (Spark spreads work
+// over a block's replicas), falling back to the least-loaded live executor
+// overall. Ties rotate by task index for determinism without pile-up.
+// Blacklisted executors are used only when nothing else is alive;
+// `exclude` names an executor id to avoid (speculative copies must not
+// land next to the original), -1 for none.
+func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int) (*executor, error) {
+	best := func(cands []int, allowBlacklisted bool) *executor {
 		var pick *executor
 		var pickLoad int64
 		for _, id := range cands {
-			if id < 0 || id >= len(ctx.executors) || !ctx.executors[id].alive {
+			if id < 0 || id >= len(ctx.executors) || id == exclude {
 				continue
 			}
 			e := ctx.executors[id]
+			if !e.alive || (e.blacklisted && !allowBlacklisted) {
+				continue
+			}
 			load := e.cores.InUse() + int64(e.cores.QueueLen())
 			if pick == nil || load < pickLoad {
 				pick, pickLoad = e, load
@@ -67,7 +83,7 @@ func (ctx *Context) pickExecutor(prefs []int, taskIdx int) (*executor, error) {
 		for i := 0; i < len(prefs); i++ {
 			rot = append(rot, prefs[(i+taskIdx)%len(prefs)])
 		}
-		if e := best(rot); e != nil {
+		if e := best(rot, false); e != nil {
 			return e, nil
 		}
 	}
@@ -79,49 +95,184 @@ func (ctx *Context) pickExecutor(prefs []int, taskIdx int) (*executor, error) {
 	for i := 0; i < len(alive); i++ {
 		rot = append(rot, alive[(i+taskIdx)%len(alive)])
 	}
-	return best(rot), nil
+	if e := best(rot, false); e != nil {
+		return e, nil
+	}
+	// Everything usable is blacklisted (or excluded): fall back rather
+	// than strand the stage.
+	if e := best(rot, true); e != nil {
+		return e, nil
+	}
+	return nil, errors.New("rdd: no live executors")
+}
+
+// noteTaskFailure charges a genuine task failure to an executor and
+// blacklists it past the threshold. Loss and fetch failures are not the
+// executor's fault and go uncharged.
+func (ctx *Context) noteTaskFailure(e *executor, err error) {
+	var el executorLost
+	var ff fetchFailure
+	if errors.As(err, &el) || errors.As(err, &ff) {
+		return
+	}
+	e.failures++
+	if th := ctx.Conf.BlacklistThreshold; th > 0 && e.failures >= th && !e.blacklisted {
+		e.blacklisted = true
+		ctx.ExecutorsBlacklisted++
+	}
+}
+
+// taskState tracks one logical task of a stage across its (possibly
+// speculative) attempt copies. All mutation happens under the
+// single-threaded sim kernel, so no locking is needed.
+type taskState struct {
+	part       int
+	idx        int // index into the stage's parts/errs slices
+	copies     int // attempts in flight
+	resolved   bool
+	speculated bool
+	firstExec  *executor
+	started    sim.Time
+	finished   sim.Time
 }
 
 // runTasks dispatches one task per entry of parts and waits for all of
 // them. The driver serializes dispatch work (its real bottleneck); tasks
 // execute concurrently on executor cores. Returned errors are indexed
 // like parts (nil = success).
+//
+// Two hardening layers ride on the basic dispatch loop. Zombie detection:
+// a task whose executor died or restarted while it ran has its output
+// discarded and reports executorLost. Speculation (when enabled): a
+// monitor process re-launches straggling tasks on a second executor and
+// the first copy to finish wins.
 func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 	prefs func(part int) []int, run func(tc *taskContext, part int) error) []error {
 
 	cm := ctx.C.Cost
 	errs := make([]error, len(parts))
 	wg := sim.NewWaitGroup(ctx.C.K)
+	var states []*taskState
+
+	launch := func(t *taskState, exec *executor, speculative bool) {
+		t.copies++
+		ctx.TasksLaunched++
+		startEpoch := exec.epoch
+		startDown := ctx.C.DownCount(exec.node)
+		ctx.C.K.Spawn(fmt.Sprintf("task.%s.%d", name, t.part), func(tp *sim.Proc) {
+			// Task descriptor travels driver -> executor over sockets.
+			ctx.C.Xfer(tp, ctx.driverNode, exec.node, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
+			exec.cores.Acquire(tp, 1)
+			tp.Sleep(cm.SparkTaskLaunch) // deserialize + start the closure
+			tc := &taskContext{ctx: ctx, exec: exec, p: tp, epoch: startEpoch}
+			err := run(tc, t.part)
+			exec.cores.Release(1)
+			if exec.epoch != startEpoch || !exec.alive || ctx.C.DownCount(exec.node) != startDown {
+				// The executor (or its node) died while the task ran:
+				// whatever it produced is zombie output.
+				err = executorLost{exec: exec.id}
+			} else {
+				// Status update back to the driver (lost executors go
+				// silent; the driver learns via the heartbeat timeout).
+				ctx.C.Xfer(tp, exec.node, ctx.driverNode, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
+			}
+			t.copies--
+			if t.resolved {
+				return
+			}
+			if err == nil {
+				t.resolved = true
+				t.finished = tp.Now()
+				errs[t.idx] = nil
+				if speculative {
+					ctx.SpeculativeWins++
+				}
+				wg.Done()
+				return
+			}
+			ctx.noteTaskFailure(exec, err)
+			if t.copies == 0 {
+				// Last attempt in flight failed: the task fails.
+				t.resolved = true
+				t.finished = tp.Now()
+				errs[t.idx] = err
+				wg.Done()
+			}
+		})
+	}
+
 	for i, part := range parts {
-		i, part := i, part
 		var pf []int
 		if prefs != nil {
 			pf = prefs(part)
 		}
-		exec, err := ctx.pickExecutor(pf, i)
+		exec, err := ctx.pickExecutor(pf, i, -1)
 		if err != nil {
 			errs[i] = err
 			continue
 		}
 		// Driver-side scheduling cost is serial in the driver.
 		p.Sleep(cm.SparkTaskDispatch)
-		ctx.TasksLaunched++
 		wg.Add(1)
-		ctx.C.K.Spawn(fmt.Sprintf("task.%s.%d", name, part), func(tp *sim.Proc) {
-			defer wg.Done()
-			// Task descriptor travels driver -> executor over sockets.
-			ctx.C.Xfer(tp, ctx.driverNode, exec.node, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
-			exec.cores.Acquire(tp, 1)
-			tp.Sleep(cm.SparkTaskLaunch) // deserialize + start the closure
-			tc := &taskContext{ctx: ctx, exec: exec, p: tp}
-			errs[i] = run(tc, part)
-			exec.cores.Release(1)
-			// Status update back to the driver.
-			ctx.C.Xfer(tp, exec.node, ctx.driverNode, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
-		})
+		t := &taskState{part: part, idx: i, firstExec: exec, started: p.Now()}
+		states = append(states, t)
+		launch(t, exec, false)
+	}
+	if ctx.Conf.Speculation && len(states) > 1 {
+		ctx.speculate(name, states, launch)
 	}
 	wg.Wait(p)
 	return errs
+}
+
+// speculate runs the straggler monitor for one stage: every interval it
+// checks whether at least SpeculationQuantile of the tasks have finished,
+// and if so launches a duplicate of any task running longer than
+// SpeculationMultiplier x the median completed duration on a different
+// executor.
+func (ctx *Context) speculate(name string, states []*taskState,
+	launch func(t *taskState, exec *executor, speculative bool)) {
+
+	ctx.C.K.Spawn("speculate."+name, func(mp *sim.Proc) {
+		for {
+			mp.Sleep(ctx.Conf.SpeculationInterval)
+			done := 0
+			var durs []time.Duration
+			for _, t := range states {
+				if t.resolved {
+					done++
+					durs = append(durs, time.Duration(t.finished-t.started))
+				}
+			}
+			if done == len(states) {
+				return
+			}
+			if float64(done) < ctx.Conf.SpeculationQuantile*float64(len(states)) {
+				continue
+			}
+			sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+			threshold := time.Duration(float64(durs[len(durs)/2]) * ctx.Conf.SpeculationMultiplier)
+			if threshold <= 0 {
+				continue
+			}
+			for _, t := range states {
+				if t.resolved || t.speculated {
+					continue
+				}
+				if time.Duration(mp.Now()-t.started) < threshold {
+					continue
+				}
+				exec, err := ctx.pickExecutor(nil, t.idx+1, t.firstExec.id)
+				if err != nil {
+					continue
+				}
+				t.speculated = true
+				ctx.SpeculativeLaunched++
+				mp.Sleep(ctx.C.Cost.SparkTaskDispatch)
+				launch(t, exec, true)
+			}
+		}
+	})
 }
 
 // ensureShuffle makes every map output of dep available, running (or
@@ -129,7 +280,8 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 // own missing ancestors when map tasks hit fetch failures.
 func (ctx *Context) ensureShuffle(p *sim.Proc, dep *shuffleDep) error {
 	ss := ctx.shuffles[dep.shuffleID]
-	for retry := 0; ; retry++ {
+	retry := 0
+	for attempt := 0; ; attempt++ {
 		missing := ss.missingParts(ctx)
 		if len(missing) == 0 {
 			ss.everComplete = true
@@ -143,22 +295,30 @@ func (ctx *Context) ensureShuffle(p *sim.Proc, dep *shuffleDep) error {
 			// this is lineage-driven recomputation.
 			ctx.RecomputedPart += int64(len(missing))
 		}
-		if retry > 0 {
+		if attempt > 0 {
 			ctx.TasksRetried += int64(len(missing))
 		}
 		ctx.StagesRun++
 		p.Sleep(ctx.C.Cost.SparkStageOverhead)
 		prefs := dep.parent.prefs
 		errs := ctx.runTasks(p, fmt.Sprintf("shufmap%d", dep.shuffleID), missing, prefs, dep.runMapTask)
-		if err := ctx.repairFetchFailures(p, errs); err != nil {
+		countable, err := ctx.repairFailures(p, errs)
+		if err != nil {
 			return err
+		}
+		if countable || !anyFailed(errs) {
+			retry++
 		}
 	}
 }
 
-// repairFetchFailures reruns ancestor shuffles named in fetch failures;
-// other errors are returned as-is.
-func (ctx *Context) repairFetchFailures(p *sim.Proc, errs []error) error {
+// repairFailures reruns ancestor shuffles named in fetch failures and
+// absorbs executor-loss errors (the surrounding retry loops simply re-run
+// those tasks). It reports whether any failure should count against the
+// stage's retry budget: losses do not — Spark, too, only counts genuine
+// task failures, and heartbeat detection bounds how long dead executors
+// can keep eating tasks.
+func (ctx *Context) repairFailures(p *sim.Proc, errs []error) (countable bool, _ error) {
 	for _, err := range errs {
 		if err == nil {
 			continue
@@ -167,13 +327,17 @@ func (ctx *Context) repairFetchFailures(p *sim.Proc, errs []error) error {
 		if errors.As(err, &ff) {
 			ctx.RecomputedPart++
 			if e := ctx.ensureShuffle(p, ctx.shuffles[ff.shuffleID].dep); e != nil {
-				return e
+				return countable, e
 			}
 			continue
 		}
-		return err
+		var el executorLost
+		if errors.As(err, &el) {
+			continue
+		}
+		countable = true
 	}
-	return nil
+	return countable, nil
 }
 
 func anyFailed(errs []error) bool {
@@ -206,7 +370,8 @@ func runJob[T any](p *sim.Proc, r *RDD[T], each func(part int, data []T)) error 
 		parts[i] = i
 	}
 	results := make([][]T, r.m.nparts)
-	for retry := 0; ; retry++ {
+	retry := 0
+	for {
 		if retry >= ctx.Conf.MaxTaskRetries {
 			return fmt.Errorf("rdd: result stage of %s failed after %d retries", r.m.name, retry)
 		}
@@ -228,8 +393,12 @@ func runJob[T any](p *sim.Proc, r *RDD[T], each func(part int, data []T)) error 
 		if !anyFailed(errs) {
 			break
 		}
-		if err := ctx.repairFetchFailures(p, errs); err != nil {
+		countable, err := ctx.repairFailures(p, errs)
+		if err != nil {
 			return err
+		}
+		if countable {
+			retry++
 		}
 		// Retry only the failed partitions.
 		var failedParts []int

@@ -113,7 +113,9 @@ func writeShuffle[K comparable, V any](tc *taskContext, dep *shuffleDep, part in
 	}
 	tc.p.Sleep(tc.ctx.C.Cost.SerTime(total))
 	tc.ctx.C.Node(tc.exec.node).Scratch.Write(tc.p, total)
-	ss.outputs[part] = out
+	if tc.live() {
+		ss.outputs[part] = out
+	}
 }
 
 // fetchShuffle charges a reduce task's fetch of bucket `reducePart` from
