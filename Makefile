@@ -1,9 +1,11 @@
 # Repro harness. `make verify` is the CI gate: build, vet, the full test
-# suite, and the race detector over the quick configurations.
+# suite, the race detector over the quick configurations (with a
+# repeated-run soak of the schedulers and the reliable transport), and
+# the quick fault-injection sweeps.
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench experiments
+.PHONY: all build test vet race chaos verify bench experiments
 
 all: verify
 
@@ -18,8 +20,14 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/...
 
-verify: build vet test race
+# Both fault-injection sweeps (node crashes + lossy network) at test
+# scale, with their determinism and shape checks.
+chaos:
+	$(GO) run ./cmd/chaos-bench -quick
+
+verify: build vet test race chaos
 	@echo "verify: OK"
 
 # Regenerate every paper artifact at full scale (slow).

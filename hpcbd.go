@@ -62,6 +62,11 @@ type (
 	ChaosPoint = core.ChaosPoint
 	// CkptPoint is one checkpoint-interval measurement of a ChaosSweepResult.
 	CkptPoint = core.CkptPoint
+	// TransportSweepResult is the lossy-network & integrity sweep.
+	TransportSweepResult = core.TransportSweepResult
+	// TransportPoint is one (runtime, fault rate) measurement of a
+	// TransportSweepResult series.
+	TransportPoint = core.TransportPoint
 )
 
 // FullOptions returns the paper-scale experiment configuration.
@@ -135,6 +140,21 @@ func ChaosTables(r ChaosSweepResult) []Table { return core.ChaosTables(r) }
 // CheckChaosSweep verifies the chaos sweep's documented shapes, including
 // bit-exact determinism between two runs of the same options.
 func CheckChaosSweep(a, b ChaosSweepResult) []string { return core.CheckChaosSweep(a, b) }
+
+// TransportSweep runs the lossy-network & integrity sweep: the Fig 4
+// workload per runtime under message loss, silent corruption and a
+// network partition, riding the reliable transport and the DFS's
+// end-to-end checksums, with plain MPI as the transport-fragile contrast.
+func TransportSweep(o Options) TransportSweepResult { return core.TransportSweep(o) }
+
+// TransportTables renders a TransportSweepResult as report tables.
+func TransportTables(r TransportSweepResult) []Table { return core.TransportTables(r) }
+
+// CheckTransportSweep verifies the transport sweep's documented shapes,
+// including bit-exact determinism between two runs of the same options.
+func CheckTransportSweep(a, b TransportSweepResult) []string {
+	return core.CheckTransportSweep(a, b)
+}
 
 // AblationMRMPI reproduces the related-work claims ([36],[37]): MapReduce
 // on MPI vs Hadoop, blocking vs non-blocking exchange.

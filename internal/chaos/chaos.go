@@ -43,6 +43,18 @@ const (
 	// DiskFaults arms the next Count scratch reads on the node to fail
 	// with a transient error.
 	DiskFaults
+	// MsgLoss sets the cluster-wide message loss probability to Factor
+	// (zero clears it). Node is ignored: loss is a fabric property.
+	MsgLoss
+	// MsgCorrupt sets the cluster-wide in-flight corruption probability
+	// to Factor (zero clears it).
+	MsgCorrupt
+	// PartitionStart splits the network into the event's Groups (nodes
+	// not listed form one implicit extra group) — a heal-able
+	// split-brain.
+	PartitionStart
+	// PartitionHeal reconnects all partition groups.
+	PartitionHeal
 )
 
 func (k Kind) String() string {
@@ -61,6 +73,14 @@ func (k Kind) String() string {
 		return "nic-restore"
 	case DiskFaults:
 		return "disk-faults"
+	case MsgLoss:
+		return "msg-loss"
+	case MsgCorrupt:
+		return "msg-corrupt"
+	case PartitionStart:
+		return "partition"
+	case PartitionHeal:
+		return "heal"
 	}
 	return "unknown"
 }
@@ -70,11 +90,32 @@ type Event struct {
 	At     time.Duration // virtual time relative to Install
 	Node   int
 	Kind   Kind
-	Factor float64 // slowdown multiplier for SlowStart / NICDegrade
+	Factor float64 // slowdown multiplier, or a probability for MsgLoss / MsgCorrupt
 	Count  int     // number of faults for DiskFaults
+	Groups [][]int // partition groups for PartitionStart
+}
+
+// netLevel reports whether the event targets the fabric rather than one
+// node.
+func (e Event) netLevel() bool {
+	switch e.Kind {
+	case MsgLoss, MsgCorrupt, PartitionStart, PartitionHeal:
+		return true
+	}
+	return false
 }
 
 func (e Event) String() string {
+	if e.netLevel() {
+		s := fmt.Sprintf("%8.3fs net %s", e.At.Seconds(), e.Kind)
+		switch e.Kind {
+		case MsgLoss, MsgCorrupt:
+			s += fmt.Sprintf(" p=%.4f", e.Factor)
+		case PartitionStart:
+			s += fmt.Sprintf(" groups=%v", e.Groups)
+		}
+		return s
+	}
 	s := fmt.Sprintf("%8.3fs node%d %s", e.At.Seconds(), e.Node, e.Kind)
 	switch e.Kind {
 	case SlowStart, NICDegrade:
@@ -254,6 +295,39 @@ func crashVictims(nodes int, spare []int) []int {
 	return victims
 }
 
+// LossWindow returns events raising the message loss probability to rate
+// during [from, to); a `to` at or before `from` makes the loss permanent.
+func LossWindow(rate float64, from, to time.Duration) []Event {
+	evs := []Event{{At: from, Kind: MsgLoss, Factor: rate}}
+	if to > from {
+		evs = append(evs, Event{At: to, Kind: MsgLoss, Factor: 0})
+	}
+	return evs
+}
+
+// CorruptWindow returns events raising the in-flight corruption
+// probability to rate during [from, to); `to` at or before `from` makes
+// it permanent.
+func CorruptWindow(rate float64, from, to time.Duration) []Event {
+	evs := []Event{{At: from, Kind: MsgCorrupt, Factor: rate}}
+	if to > from {
+		evs = append(evs, Event{At: to, Kind: MsgCorrupt, Factor: 0})
+	}
+	return evs
+}
+
+// Partition returns events splitting the network into groups during
+// [from, to) — a transient split-brain. Nodes not listed in any group
+// form one implicit extra group. A `to` at or before `from` leaves the
+// partition in place forever.
+func Partition(groups [][]int, from, to time.Duration) []Event {
+	evs := []Event{{At: from, Kind: PartitionStart, Groups: groups}}
+	if to > from {
+		evs = append(evs, Event{At: to, Kind: PartitionHeal})
+	}
+	return evs
+}
+
 // Stragglers builds a plan that slows `count` distinct nodes by `factor`
 // from `at` for `length` (forever when length is zero), choosing victims
 // deterministically from the seed.
@@ -295,6 +369,12 @@ type Engine struct {
 	Slowdowns  int
 	NICFaults  int
 	DiskErrors int
+
+	// Fabric-level event counters.
+	LossChanges    int
+	CorruptChanges int
+	Partitions     int
+	Heals          int
 }
 
 // Install schedules every plan event on the cluster's kernel, relative to
@@ -312,6 +392,27 @@ func Install(c *cluster.Cluster, p *Plan) *Engine {
 
 func (e *Engine) apply(ev Event) {
 	c := e.C
+	if ev.netLevel() {
+		// Fabric events are cluster-wide; Node is ignored. SetMsgLoss and
+		// friends auto-enable the fault model with a default seed —
+		// benches that care about coin reproducibility call
+		// c.EnableNetFaults(seed) before Install.
+		switch ev.Kind {
+		case MsgLoss:
+			c.SetMsgLoss(ev.Factor)
+			e.LossChanges++
+		case MsgCorrupt:
+			c.SetMsgCorrupt(ev.Factor)
+			e.CorruptChanges++
+		case PartitionStart:
+			c.SetPartition(ev.Groups)
+			e.Partitions++
+		case PartitionHeal:
+			c.HealPartition()
+			e.Heals++
+		}
+		return
+	}
 	if ev.Node < 0 || ev.Node >= c.Size() {
 		return
 	}
@@ -375,6 +476,7 @@ func (e *Engine) clearDegraded(node int) {
 
 // Summary formats the engine counters on one line.
 func (e *Engine) Summary() string {
-	return fmt.Sprintf("crashes=%d recoveries=%d slowdowns=%d nic=%d diskerr=%d",
-		e.Crashes, e.Recoveries, e.Slowdowns, e.NICFaults, e.DiskErrors)
+	return fmt.Sprintf("crashes=%d recoveries=%d slowdowns=%d nic=%d diskerr=%d loss=%d corrupt=%d partitions=%d heals=%d",
+		e.Crashes, e.Recoveries, e.Slowdowns, e.NICFaults, e.DiskErrors,
+		e.LossChanges, e.CorruptChanges, e.Partitions, e.Heals)
 }

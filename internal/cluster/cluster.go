@@ -108,6 +108,10 @@ type Cluster struct {
 	crashEpoch int
 	watchers   []func(node int, h Health)
 
+	// Message-fault state (see netfault.go): loss/corruption rates and
+	// partition groups applied to every fabric. Nil until enabled.
+	net *netFaults
+
 	bytesSent int64
 	messages  int64
 }

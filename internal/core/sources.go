@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/dfs"
@@ -30,6 +31,9 @@ func DFSTextRDD(ctx *rdd.Context, fs *dfs.DFS, file string, d *workload.StackExc
 		func(tv rdd.TaskView, part int) ([]workload.Post, error) {
 			b := locs[part]
 			if err := fs.Read(tv.SimProc(), tv.Node(), file, b.Offset, b.Size); err != nil {
+				// Pace the scheduler's task retry so a transient
+				// partition is waited out rather than burned through.
+				tv.SimProc().Sleep(250 * time.Millisecond)
 				return nil, err
 			}
 			tv.Proc().Charge(float64(b.Size) / ctx.C.Cost.JVMScanBW())
@@ -85,11 +89,18 @@ func (in *dfsMRInput) Splits() []mapred.Split {
 func (in *dfsMRInput) Read(p *sim.Proc, node int, s mapred.Split) []workload.Post {
 	locs, _ := in.fs.Locations(in.file)
 	b := locs[s.ID]
-	if err := in.fs.Read(p, node, in.file, b.Offset, b.Size); err != nil {
-		panic(err)
+	// A transient partition can cut the map task off from the namenode or
+	// every replica; back off and retry so the task outlives the cut
+	// rather than killing the job.
+	var err error
+	for attempt := 0; attempt < 1200; attempt++ {
+		if err = in.fs.Read(p, node, in.file, b.Offset, b.Size); err == nil {
+			lo, hi := recordRange(in.d, b.Offset, b.Size)
+			return in.d.Records(lo, hi)
+		}
+		p.Sleep(250 * time.Millisecond)
 	}
-	lo, hi := recordRange(in.d, b.Offset, b.Size)
-	return in.d.Records(lo, hi)
+	panic(err)
 }
 
 // ensureFile stages the dataset file on the DFS from within the calling

@@ -1,0 +1,21 @@
+package core
+
+import "testing"
+
+// TestTransportSweep runs the lossy-network & integrity sweep twice at
+// test scale and validates every documented shape: determinism across
+// runs, oracle-correct completion for the Big Data stacks at every loss
+// rate, monotone overhead, end-to-end integrity (no corrupt byte reaches
+// a consumer), plain MPI deadlocking on loss while resilient MPI
+// retransmits, and partition-window survival per runtime.
+func TestTransportSweep(t *testing.T) {
+	o := Quick()
+	a := TransportSweep(o)
+	b := TransportSweep(o)
+	for _, msg := range CheckTransportSweep(a, b) {
+		t.Error(msg)
+	}
+	for _, tab := range TransportTables(a) {
+		t.Log("\n" + tab.String())
+	}
+}

@@ -1,0 +1,600 @@
+package core
+
+// The lossy-network & integrity sweep: the Fig 4 AnswersCount workload
+// re-run over a fabric that drops, corrupts or partitions messages, for
+// every runtime in the comparison. The Big Data stacks ride the reliable
+// transport (retry + verify + breaker) and the DFS's end-to-end
+// checksums, so they complete with oracle-correct results and pay a
+// measurable, monotone overhead; plain MPI is transport-fragile (§VI-D:
+// a lost message deadlocks the job), while RunResilient's retransmission
+// and partition-triggered rollback recover at checkpoint/restart cost.
+// Everything is deterministic: CheckTransportSweep compares two runs.
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"hpcbd/internal/chaos"
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/dfs"
+	"hpcbd/internal/mapred"
+	"hpcbd/internal/mpi"
+	"hpcbd/internal/rdd"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/transport"
+	"hpcbd/internal/workload"
+)
+
+// TransportOverheadBound is the documented ceiling on Spark/Hadoop
+// completion time under message loss relative to the loss-free run. The
+// reliable transport turns each lost frame into a timeout plus a
+// retransmission, so even the harshest point of the sweep (5% loss)
+// must stay within this factor.
+const TransportOverheadBound = 8.0
+
+// TransportLossRates and TransportCorruptRates are the per-message fault
+// probabilities the sweep injects (index 0 is the fault-free baseline).
+var (
+	TransportLossRates    = []float64{0, 0.001, 0.01, 0.05}
+	TransportCorruptRates = []float64{0, 0.02, 0.1}
+)
+
+// TransportPoint is one (runtime, fault rate) cell of the sweep.
+type TransportPoint struct {
+	LossPct    float64 // message loss probability, percent
+	CorruptPct float64 // message corruption probability, percent
+	Partition  bool    // a partition window was injected
+	Seconds    float64 // virtual completion time
+	Completed  bool    // job finished AND its result matches the serial oracle
+
+	// Reliable-transport counters, summed over the run's verified flows
+	// (DFS metadata/read streams, shuffle fetches); bulk-flow counters
+	// are folded in too, minus CorruptDelivered — an unverified write
+	// pipeline legitimately delivers corrupt frames, which the DFS's
+	// at-rest checksums catch instead.
+	Sent, Retries, Timeouts, Duplicates int64
+	BreakerTrips, FastFails             int64
+	CorruptDropped, CorruptDelivered    int64
+	PartitionDrops                      int64 // cluster-wide attempts swallowed by the cut
+
+	// Engine-level recovery counters.
+	FetchFailures   int64 // shuffle fetches that exhausted transport retries
+	RecomputedParts int64 // partitions rebuilt through lineage
+	Quarantined     int64 // corrupt DFS replicas detected and dropped
+	Repaired        int64 // DFS blocks re-replicated after quarantine
+	CorruptServed   int64 // corrupt bytes a DFS read returned (must stay 0)
+
+	// MPI counters.
+	LostMsgs    int64 // messages a plain world lost with no retry
+	CommFaults  int64 // retransmissions a resilient world performed
+	Restarts    int   // resilient rollbacks (partition-triggered here)
+	RedoneIters int
+}
+
+// TransportSweepResult holds the full lossy-network sweep.
+type TransportSweepResult struct {
+	Nodes       int
+	LossPcts    []float64        // percent, aligned with the loss series below
+	CorruptPcts []float64        // percent, aligned with Corrupt
+	SparkAC     []TransportPoint // Spark AnswersCount vs message loss
+	HadoopAC    []TransportPoint // Hadoop MapReduce AnswersCount vs message loss
+	MPIPlain    []TransportPoint // plain MPI (no delivery guarantee) vs loss
+	MPIResil    []TransportPoint // RunResilient MPI (retransmit + rollback) vs loss
+	Corrupt     []TransportPoint // Spark AnswersCount vs silent corruption
+
+	// One partition window ([0.3T, 0.6T] of each runtime's clean T,
+	// cutting off the last node) per runtime.
+	PartSpark, PartHadoop, PartMPIPlain, PartMPIResil TransportPoint
+}
+
+// netSpec is one injected network condition.
+type netSpec struct {
+	loss, corrupt    float64
+	partFrom, partTo time.Duration // partition window, relative to job start
+	minority         int           // node cut off during the window
+}
+
+func (s netSpec) active() bool { return s.loss > 0 || s.corrupt > 0 || s.partTo > 0 }
+
+func (s netSpec) point() TransportPoint {
+	return TransportPoint{LossPct: s.loss * 100, CorruptPct: s.corrupt * 100, Partition: s.partTo > 0}
+}
+
+// install arms the cluster's message-fault model from inside the job's
+// driving process, after staging: constant rates take effect immediately,
+// and a partition window is scheduled through the chaos engine so the
+// cut opens and heals at reproducible virtual times.
+func (s netSpec) install(c *cluster.Cluster) {
+	if s.loss > 0 {
+		c.SetMsgLoss(s.loss)
+	}
+	if s.partTo > 0 {
+		chaos.Install(c, chaos.Script(chaos.Partition([][]int{{s.minority}}, s.partFrom, s.partTo)...))
+	}
+}
+
+// seedAtRestRot injects one deterministic at-rest corruption event for
+// the corruption series: block 0's replica on node 1 is bit-rotted, and
+// a scrubber-style probe read issued from that node (the client-preferred
+// replica is always tried first) detects it, quarantining the copy and
+// kicking off the background repair — so the integrity machinery engages
+// at every corruption rate, independent of where the workload's
+// locality-scheduled tasks happen to land.
+func seedAtRestRot(p *sim.Proc, fs *dfs.DFS, spec netSpec) {
+	if spec.corrupt <= 0 {
+		return
+	}
+	fs.CorruptReplica("/stackexchange", 0, 1)
+	_ = fs.Read(p, 1, "/stackexchange", 0, 1)
+}
+
+func (pt *TransportPoint) addStats(ss ...transport.Stats) {
+	for _, s := range ss {
+		pt.Sent += s.Sent
+		pt.Retries += s.Retries
+		pt.Timeouts += s.Timeouts
+		pt.Duplicates += s.Duplicates
+		pt.BreakerTrips += s.BreakerTrips
+		pt.FastFails += s.FastFails
+		pt.CorruptDropped += s.CorruptDropped
+		pt.CorruptDelivered += s.CorruptDelivered
+	}
+}
+
+func (pt *TransportPoint) addBulk(s transport.Stats) {
+	s.CorruptDelivered = 0 // unverified flow; caught by DFS checksums instead
+	pt.addStats(s)
+}
+
+// TransportSweep measures completion time and recovery activity for each
+// runtime under message loss, silent corruption and a network partition.
+// Fault coins attach to logical message sequence numbers, so raising a
+// rate strictly grows the fault set and overhead monotonicity is exactly
+// checkable, point by point.
+func TransportSweep(o Options) TransportSweepResult {
+	nodes := o.PRNodes[len(o.PRNodes)-1]
+	if nodes < 4 {
+		nodes = 4
+	}
+	res := TransportSweepResult{Nodes: nodes}
+	for _, r := range TransportLossRates {
+		res.LossPcts = append(res.LossPcts, r*100)
+		res.SparkAC = append(res.SparkAC, sparkACTransport(o, nodes, netSpec{loss: r}))
+		res.HadoopAC = append(res.HadoopAC, hadoopACTransport(o, nodes, netSpec{loss: r}))
+		res.MPIPlain = append(res.MPIPlain, mpiTransportPoint(o, nodes, netSpec{loss: r}, false, 0))
+	}
+	resilClean := mpiTransportPoint(o, nodes, netSpec{}, true, 0)
+	penalty := chaosRestartPen(time.Duration(resilClean.Seconds * float64(time.Second)))
+	res.MPIResil = []TransportPoint{resilClean}
+	for _, r := range TransportLossRates[1:] {
+		res.MPIResil = append(res.MPIResil, mpiTransportPoint(o, nodes, netSpec{loss: r}, true, penalty))
+	}
+
+	// Corruption series: the clean point is the same run as the loss
+	// series' baseline, so it is reused rather than re-measured.
+	res.CorruptPcts = append([]float64(nil), 0)
+	res.Corrupt = []TransportPoint{res.SparkAC[0]}
+	for _, r := range TransportCorruptRates[1:] {
+		res.CorruptPcts = append(res.CorruptPcts, r*100)
+		res.Corrupt = append(res.Corrupt, sparkACTransport(o, nodes, netSpec{corrupt: r}))
+	}
+
+	// The window is placed where each runtime actually talks (in
+	// twentieths of the clean run). Spark front-loads its network
+	// activity — namenode RPCs at task start, then local disk and
+	// compute — so its cut opens with the job and heals at T/2: a job
+	// submitted into a split cluster. Hadoop spends seconds in job
+	// submission before any task runs, so its cut spans the map/shuffle
+	// phase at [0.55T, 0.9T]. MPI communicates every iteration; a
+	// mid-job window [0.3T, 0.6T] crosses its traffic while staying
+	// clear of the resilient world's initial epoch snapshot.
+	window := func(cleanSeconds float64, from20, to20 int) netSpec {
+		T := time.Duration(cleanSeconds * float64(time.Second))
+		return netSpec{partFrom: time.Duration(from20) * T / 20,
+			partTo: time.Duration(to20) * T / 20, minority: nodes - 1}
+	}
+	res.PartSpark = sparkACTransport(o, nodes, window(res.SparkAC[0].Seconds, 0, 10))
+	res.PartHadoop = hadoopACTransport(o, nodes, window(res.HadoopAC[0].Seconds, 11, 18))
+	res.PartMPIPlain = mpiTransportPoint(o, nodes, window(res.MPIPlain[0].Seconds, 6, 12), false, 0)
+	res.PartMPIResil = mpiTransportPoint(o, nodes, window(res.MPIResil[0].Seconds, 6, 12), true, penalty)
+	return res
+}
+
+// sparkACTransport runs the Fig 4 Spark AnswersCount job under one
+// network condition. Corruption is armed before staging so the DFS write
+// pipeline (an unverified bulk flow, like real HDFS write checksum gaps
+// on faulty NICs) seeds silently rotted replicas for the read path's
+// checksums to catch; loss and partitions start after staging, which the
+// paper's methodology excludes from measurement.
+func sparkACTransport(o Options, nodes int, spec netSpec) TransportPoint {
+	pt := spec.point()
+	c := newCluster(o.Seed, nodes)
+	if spec.active() {
+		c.EnableNetFaults(o.Seed)
+	}
+	if spec.corrupt > 0 {
+		c.SetMsgCorrupt(spec.corrupt)
+	}
+	fs := dfs.New(c, cluster.IPoIB(), dfs.DefaultConfig())
+	d := workload.NewStackExchange(o.Seed, o.ACBytes, o.ACRecordBytes, o.ACStride)
+	conf := rdd.DefaultConfig()
+	conf.CoresPerExecutor = o.ACPPN
+	conf.Scale = float64(d.Stride)
+	if spec.partTo > 0 {
+		// A partitioned executor fails reads until the cut heals or the
+		// blacklist moves its tasks; don't let the retry budget kill the job.
+		conf.MaxTaskRetries = 1 << 20
+	}
+	ctx := rdd.NewContext(c, conf)
+	want := d.SerialAnswersCount()
+	c.K.Spawn("spark-driver", func(p *sim.Proc) {
+		ensureFile(p, fs, "/stackexchange", d.LogicalBytes()) // staging, untimed
+		seedAtRestRot(p, fs, spec)
+		spec.install(c)
+		start := p.Now()
+		posts := DFSTextRDD(ctx, fs, "/stackexchange", d)
+		counts := rdd.MapPartitions(posts, func(in []workload.Post) []workload.AnswersCountResult {
+			var acc workload.AnswersCountResult
+			for _, post := range in {
+				if post.Question {
+					acc.Questions++
+				} else {
+					acc.Answers++
+				}
+			}
+			return []workload.AnswersCountResult{acc}
+		})
+		total, err := rdd.Reduce(p, counts, func(a, b workload.AnswersCountResult) workload.AnswersCountResult {
+			return workload.AnswersCountResult{Questions: a.Questions + b.Questions, Answers: a.Answers + b.Answers}
+		})
+		if err != nil {
+			return
+		}
+		pt.Completed = total.Questions == want.Questions && total.Answers == want.Answers
+		pt.Seconds = p.Now().Sub(start).Seconds()
+	})
+	c.K.Run()
+	// Counters are read after the kernel drains so background repairs the
+	// quarantine spawned are included.
+	pt.FetchFailures = ctx.FetchFailures
+	pt.RecomputedParts = ctx.RecomputedPart
+	pt.Quarantined = fs.Quarantined()
+	pt.Repaired = fs.BlocksRereplicated()
+	pt.CorruptServed = fs.CorruptServed()
+	meta, bulk := fs.TransportStats()
+	pt.addStats(meta, ctx.ShuffleTransportStats())
+	pt.addBulk(bulk)
+	pt.PartitionDrops = c.PartitionDrops()
+	return pt
+}
+
+// hadoopACTransport runs the Hadoop MapReduce AnswersCount job under one
+// network condition: map-side DFS reads ride the verified metadata
+// transport, reduce-side shuffle fetches ride the job's own transport and
+// re-attempt the task when retries are exhausted.
+func hadoopACTransport(o Options, nodes int, spec netSpec) TransportPoint {
+	pt := spec.point()
+	c := newCluster(o.Seed, nodes)
+	if spec.active() {
+		c.EnableNetFaults(o.Seed)
+	}
+	if spec.corrupt > 0 {
+		c.SetMsgCorrupt(spec.corrupt)
+	}
+	fs := dfs.New(c, cluster.IPoIB(), dfs.DefaultConfig())
+	d := workload.NewStackExchange(o.Seed, o.ACBytes, o.ACRecordBytes, o.ACStride)
+	want := d.SerialAnswersCount()
+	mc := mapred.DefaultConfig(c.Size())
+	mc.SlotsPerNode = o.ACPPN
+	mc.PairBytes = 16 * d.Stride
+	if spec.partTo > 0 {
+		// A reducer pinned to the minority node stalls until the heal;
+		// every stalled fetch burns an attempt, so the budget must not
+		// run out before the window closes.
+		mc.MaxAttempts = 1 << 20
+	}
+	job := &mapred.Job[workload.Post, string, int64]{
+		Cluster: c,
+		Fabric:  cluster.IPoIB(),
+		Name:    "answerscount-net",
+		Input:   &dfsMRInput{c: c, fs: fs, file: "/stackexchange", d: d},
+		Map: func(post workload.Post, emit func(string, int64)) {
+			if post.Question {
+				emit("q", 1)
+			} else {
+				emit("a", 1)
+			}
+		},
+		Reduce: func(key string, vals []int64, emit func(string, int64)) {
+			var s int64
+			for _, v := range vals {
+				s += v
+			}
+			emit(key, s)
+		},
+		Conf: mc,
+	}
+	c.K.Spawn("hadoop-client", func(p *sim.Proc) {
+		ensureFile(p, fs, "/stackexchange", d.LogicalBytes()) // staging, untimed
+		seedAtRestRot(p, fs, spec)
+		spec.install(c)
+		out, st := job.Run(p)
+		var got workload.AnswersCountResult
+		for _, kv := range out {
+			if kv.Key == "q" {
+				got.Questions = kv.Val
+			} else {
+				got.Answers = kv.Val
+			}
+		}
+		pt.Completed = got.Questions == want.Questions && got.Answers == want.Answers
+		pt.Seconds = st.Elapsed.Seconds()
+		pt.FetchFailures = int64(st.FetchFailures)
+	})
+	c.K.Run()
+	pt.Quarantined = fs.Quarantined()
+	pt.Repaired = fs.BlocksRereplicated()
+	pt.CorruptServed = fs.CorruptServed()
+	meta, bulk := fs.TransportStats()
+	pt.addStats(meta, job.Transport.Stats)
+	pt.addBulk(bulk)
+	pt.PartitionDrops = c.PartitionDrops()
+	return pt
+}
+
+// mpiTransportPoint runs the PageRank-shaped iterative MPI job (per-rank
+// compute plus one allreduce per iteration) under one network condition.
+// A plain world has no delivery guarantee: the first lost message parks
+// a receiver forever and the job never finishes — the kernel simply runs
+// out of runnable work. A resilient world retransmits dropped sends and
+// treats a partition seen at a barrier as a rollback-worthy failure.
+func mpiTransportPoint(o Options, nodes int, spec netSpec, resilient bool, penalty time.Duration) TransportPoint {
+	pt := spec.point()
+	c := newCluster(o.Seed, nodes)
+	if spec.active() {
+		c.EnableNetFaults(o.Seed)
+	}
+	if spec.loss > 0 {
+		c.SetMsgLoss(spec.loss)
+	}
+	if spec.corrupt > 0 {
+		c.SetMsgCorrupt(spec.corrupt)
+	}
+	if spec.partTo > 0 {
+		chaos.Install(c, chaos.Script(chaos.Partition([][]int{{spec.minority}}, spec.partFrom, spec.partTo)...))
+	}
+	g := workload.NewGraph(o.Seed, o.PRPhysVertices, o.PRLogicalVertices, o.PRAvgDegree)
+	np := nodes * o.PRPPN
+	iters := 8 * o.PRIters
+	perRank := float64(g.NumEdges()) * g.Scale() * c.Cost.PerEdgeC.Seconds() / float64(np)
+
+	if resilient {
+		stateBytes := int64(float64(g.NumVertices) * g.Scale() * 8 / float64(np))
+		st := mpi.RunResilient(c, np, o.PRPPN,
+			mpi.ResilientConfig{Iters: iters, CheckpointEvery: o.PRIters, StateBytes: stateBytes, RestartPenalty: penalty},
+			func(r *mpi.Rank, it int) {
+				r.Compute(perRank)
+				r.World().Allreduce(r, []float64{1}, mpi.OpSum, 8)
+			})
+		pt.Seconds = st.Seconds
+		pt.Completed = st.Completed
+		pt.Restarts = st.Restarts
+		pt.RedoneIters = st.RedoneIters
+		pt.CommFaults = st.CommFaults
+		pt.PartitionDrops = c.PartitionDrops()
+		return pt
+	}
+
+	var okRank0 bool
+	var dur float64
+	w := mpi.Launch(c, np, o.PRPPN, func(r *mpi.Rank) {
+		start := r.Now()
+		var last []float64
+		for it := 0; it < iters; it++ {
+			r.Compute(perRank)
+			last = r.World().Allreduce(r, []float64{1}, mpi.OpSum, 8)
+		}
+		if r.Rank() == 0 {
+			okRank0 = last[0] == float64(np)
+			dur = r.Now().Sub(start).Seconds()
+		}
+	})
+	end := c.K.Run()
+	if w.Done() {
+		pt.Seconds = dur
+	} else {
+		// Deadlocked: report the time the last runnable process parked.
+		pt.Seconds = end.Seconds()
+	}
+	pt.Completed = w.Done() && okRank0
+	pt.LostMsgs = w.LostMsgs()
+	pt.PartitionDrops = c.PartitionDrops()
+	return pt
+}
+
+// CheckTransportSweep verifies the lossy-network findings on two
+// independently executed sweeps:
+//
+//   - determinism: identical seeds produce bit-identical times and counters;
+//   - integrity: no corrupt byte ever reaches a consumer — verified flows
+//     deliver nothing corrupt, and DFS reads never serve a rotted replica;
+//   - Spark and Hadoop complete with oracle-correct results at every loss
+//     rate, with monotone nondecreasing overhead within the bound, and the
+//     retry machinery demonstrably engaged at the top rate;
+//   - plain MPI completes loss-free but deadlocks once messages vanish;
+//   - resilient MPI always completes; loss costs retransmissions, a
+//     partition forces at least one rollback.
+func CheckTransportSweep(a, b TransportSweepResult) []string {
+	var bad []string
+	if !reflect.DeepEqual(a, b) {
+		bad = append(bad, "net: two sweeps with identical seeds differ (determinism broken)")
+	}
+	bad = append(bad, checkNetSeries("spark-ac", a.SparkAC)...)
+	bad = append(bad, checkNetSeries("hadoop-ac", a.HadoopAC)...)
+
+	for _, set := range [][]TransportPoint{a.SparkAC, a.HadoopAC, a.MPIPlain, a.MPIResil, a.Corrupt,
+		{a.PartSpark, a.PartHadoop, a.PartMPIPlain, a.PartMPIResil}} {
+		for _, p := range set {
+			if p.CorruptServed != 0 {
+				bad = append(bad, fmt.Sprintf("net: a DFS read served %d corrupt replicas", p.CorruptServed))
+			}
+			if p.CorruptDelivered != 0 {
+				bad = append(bad, fmt.Sprintf("net: a verified flow delivered %d corrupt frames", p.CorruptDelivered))
+			}
+		}
+	}
+
+	m := a.MPIPlain
+	if len(m) > 0 {
+		if !m[0].Completed {
+			bad = append(bad, "net: loss-free plain MPI did not complete")
+		}
+		for i, p := range m[1:] {
+			if p.LossPct >= 1 && p.Completed {
+				bad = append(bad, fmt.Sprintf("net: plain MPI completed at %.1f%% loss (should deadlock)", p.LossPct))
+			}
+			if p.LostMsgs > 0 && p.Completed {
+				bad = append(bad, fmt.Sprintf("net: plain MPI run %d lost %d messages yet completed", i+1, p.LostMsgs))
+			}
+			if p.LossPct >= 1 && p.LostMsgs == 0 {
+				bad = append(bad, fmt.Sprintf("net: plain MPI at %.1f%% loss lost no messages (sweep tested nothing)", p.LossPct))
+			}
+		}
+	}
+
+	r := a.MPIResil
+	for i, p := range r {
+		if !p.Completed {
+			bad = append(bad, fmt.Sprintf("net: resilient MPI run %d (loss %.1f%%) did not complete", i, p.LossPct))
+		}
+		if p.Restarts != 0 {
+			bad = append(bad, fmt.Sprintf("net: resilient MPI rolled back %d times under loss alone", p.Restarts))
+		}
+		if i > 0 && p.Seconds < r[i-1].Seconds {
+			bad = append(bad, fmt.Sprintf("net: resilient MPI time fell from %s to %s as loss rose",
+				fmtSeconds(r[i-1].Seconds), fmtSeconds(p.Seconds)))
+		}
+	}
+	if len(r) > 0 && r[len(r)-1].CommFaults == 0 {
+		bad = append(bad, "net: highest loss rate never forced an MPI retransmission (sweep tested nothing)")
+	}
+
+	for i, p := range a.Corrupt {
+		if !p.Completed {
+			bad = append(bad, fmt.Sprintf("net: corruption run %d (%.1f%%) failed or returned a wrong result", i, p.CorruptPct))
+		}
+		if i == 0 {
+			continue
+		}
+		if p.Quarantined == 0 || p.Repaired == 0 {
+			bad = append(bad, fmt.Sprintf("net: corruption at %.1f%% never exercised quarantine+repair (q=%d r=%d)",
+				p.CorruptPct, p.Quarantined, p.Repaired))
+		}
+	}
+	if n := len(a.Corrupt); n > 1 && a.Corrupt[n-1].CorruptDropped == 0 {
+		bad = append(bad, "net: highest corruption rate never tripped transport verification")
+	}
+
+	if !a.PartSpark.Completed || a.PartSpark.PartitionDrops == 0 {
+		bad = append(bad, "net: Spark did not ride out the partition window")
+	}
+	if !a.PartHadoop.Completed || a.PartHadoop.PartitionDrops == 0 {
+		bad = append(bad, "net: Hadoop did not ride out the partition window")
+	}
+	if a.PartMPIPlain.Completed || a.PartMPIPlain.LostMsgs == 0 {
+		bad = append(bad, "net: plain MPI survived the partition (it must deadlock)")
+	}
+	if !a.PartMPIResil.Completed || a.PartMPIResil.Restarts == 0 {
+		bad = append(bad, "net: resilient MPI did not roll back across the partition")
+	}
+	return bad
+}
+
+// checkNetSeries validates one Big Data loss series.
+func checkNetSeries(name string, pts []TransportPoint) []string {
+	var bad []string
+	if len(pts) == 0 {
+		return []string{"net: " + name + " series empty"}
+	}
+	clean := pts[0]
+	if clean.LossPct != 0 || !clean.Completed || clean.Seconds <= 0 {
+		bad = append(bad, "net: "+name+" has no valid loss-free baseline")
+	}
+	if clean.Retries != 0 || clean.Timeouts != 0 {
+		bad = append(bad, "net: "+name+" loss-free run saw transport recovery activity")
+	}
+	for i, p := range pts[1:] {
+		if !p.Completed {
+			bad = append(bad, fmt.Sprintf("net: %s run %d (loss %.1f%%) failed or produced a wrong result", name, i+1, p.LossPct))
+			continue
+		}
+		if over := p.Seconds / clean.Seconds; over > TransportOverheadBound {
+			bad = append(bad, fmt.Sprintf("net: %s at %.1f%% loss took %.2fx the clean run (bound %.1fx)",
+				name, p.LossPct, over, TransportOverheadBound))
+		}
+		// Fault coins attach to message sequence numbers, so a higher
+		// rate's fault set contains the lower rate's and time cannot
+		// fall (beyond scheduling noise at the same fault set).
+		if prev := pts[i]; p.Seconds < prev.Seconds*0.999 {
+			bad = append(bad, fmt.Sprintf("net: %s time fell from %s to %s as loss rose %.1f%%->%.1f%%",
+				name, fmtSeconds(prev.Seconds), fmtSeconds(p.Seconds), prev.LossPct, p.LossPct))
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Retries == 0 {
+		bad = append(bad, "net: "+name+" highest loss rate never forced a retry (sweep tested nothing)")
+	}
+	return bad
+}
+
+// TransportTables renders the sweep as report tables.
+func TransportTables(r TransportSweepResult) []Table {
+	rate := func(pct float64, part bool) string {
+		if part {
+			return "partition"
+		}
+		if pct == 0 {
+			return "none"
+		}
+		return fmt.Sprintf("%g%%", pct)
+	}
+	series := func(id, title string, pts []TransportPoint, part TransportPoint) Table {
+		t := Table{ID: id, Title: title,
+			Columns: []string{"fault", "time", "x clean", "done", "sent", "retries", "dup dropped", "fetch fails", "part drops"}}
+		clean := pts[0].Seconds
+		for _, p := range append(append([]TransportPoint(nil), pts...), part) {
+			t.Rows = append(t.Rows, []string{rate(p.LossPct, p.Partition), fmtSeconds(p.Seconds),
+				fmtRatio(p.Seconds / clean), fmt.Sprintf("%v", p.Completed),
+				fmtInt(p.Sent), fmtInt(p.Retries), fmtInt(p.Duplicates),
+				fmtInt(p.FetchFailures), fmtInt(p.PartitionDrops)})
+		}
+		return t
+	}
+	out := []Table{
+		series("net-spark-ac", "Spark AnswersCount under message loss (reliable transport + lineage)", r.SparkAC, r.PartSpark),
+		series("net-hadoop-ac", "Hadoop AnswersCount under message loss (fetch retry + task re-attempt)", r.HadoopAC, r.PartHadoop),
+	}
+	mt := Table{ID: "net-mpi", Title: "MPI under message loss: plain (fragile) vs resilient (retransmit + rollback)",
+		Columns: []string{"fault", "plain time", "plain done", "msgs lost", "resil time", "resil done", "retransmits", "rollbacks"}}
+	for i := range r.MPIPlain {
+		p, q := r.MPIPlain[i], r.MPIResil[i]
+		mt.Rows = append(mt.Rows, []string{rate(p.LossPct, false), fmtSeconds(p.Seconds),
+			fmt.Sprintf("%v", p.Completed), fmtInt(p.LostMsgs),
+			fmtSeconds(q.Seconds), fmt.Sprintf("%v", q.Completed), fmtInt(q.CommFaults), fmtInt(int64(q.Restarts))})
+	}
+	pp, pq := r.PartMPIPlain, r.PartMPIResil
+	mt.Rows = append(mt.Rows, []string{"partition", fmtSeconds(pp.Seconds),
+		fmt.Sprintf("%v", pp.Completed), fmtInt(pp.LostMsgs),
+		fmtSeconds(pq.Seconds), fmt.Sprintf("%v", pq.Completed), fmtInt(pq.CommFaults), fmtInt(int64(pq.Restarts))})
+	out = append(out, mt)
+
+	ct := Table{ID: "net-corrupt", Title: "Spark AnswersCount under silent corruption (checksums + quarantine + repair)",
+		Columns: []string{"corrupt", "time", "done", "verify drops", "quarantined", "repaired", "corrupt served"}}
+	for _, p := range r.Corrupt {
+		ct.Rows = append(ct.Rows, []string{rate(p.CorruptPct, false), fmtSeconds(p.Seconds),
+			fmt.Sprintf("%v", p.Completed), fmtInt(p.CorruptDropped),
+			fmtInt(p.Quarantined), fmtInt(p.Repaired), fmtInt(p.CorruptServed)})
+	}
+	return append(out, ct)
+}

@@ -10,14 +10,17 @@
 package dfs
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"strings"
 	"time"
 
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/sim"
+	"hpcbd/internal/transport"
 )
 
 // Config controls filesystem behaviour.
@@ -27,6 +30,9 @@ type Config struct {
 	// RereplicationDelay is how long after a datanode death the namenode
 	// starts restoring replication (heartbeat timeout).
 	RereplicationDelay time.Duration
+	// Retry tunes the reliable transport under the metadata RPCs and
+	// block streams; zero fields take the transport defaults.
+	Retry transport.Config
 }
 
 // DefaultConfig returns HDFS-era defaults (128 MiB blocks, 3 replicas).
@@ -42,11 +48,55 @@ type BlockLoc struct {
 	Nodes  []int // replica nodes, alive ones only
 }
 
+// castagnoli is the CRC32C polynomial table — the checksum HDFS stores
+// per 512-byte chunk; here one checksum stands in for the block's worth.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 type blockMeta struct {
 	id       int64
 	offset   int64
 	size     int64
 	replicas []int
+	crc      uint32       // CRC32C of the block's (modelled) contents
+	corrupt  map[int]bool // replicas holding a silently bit-rotted copy
+}
+
+// blockCRC derives the block's content checksum from its identity (the
+// simulation carries no real payload bytes, but the checksum algebra —
+// matching means intact — is the real CRC32C).
+func blockCRC(id int64) uint32 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(id))
+	return crc32.Checksum(b[:], castagnoli)
+}
+
+// replicaCRC is the checksum a client computes over the bytes this
+// replica actually serves: a bit-rotted copy hashes differently.
+func (b *blockMeta) replicaCRC(rep int) uint32 {
+	if b.corrupt[rep] {
+		return crc32.Update(b.crc, castagnoli, []byte{0xff})
+	}
+	return b.crc
+}
+
+func (b *blockMeta) setCorrupt(rep int) {
+	if b.corrupt == nil {
+		b.corrupt = map[int]bool{}
+	}
+	b.corrupt[rep] = true
+}
+
+// dropReplica removes rep from the block's replica list and forgets its
+// corruption state (the copy no longer exists).
+func (b *blockMeta) dropReplica(rep int) {
+	keep := b.replicas[:0]
+	for _, r := range b.replicas {
+		if r != rep {
+			keep = append(keep, r)
+		}
+	}
+	b.replicas = keep
+	delete(b.corrupt, rep)
 }
 
 type fileMeta struct {
@@ -80,6 +130,12 @@ type DFS struct {
 	dns    []*datanode
 	nextID int64
 
+	// meta carries metadata RPCs and read block streams end-to-end
+	// verified; bulk carries the write/repair pipeline unverified, the
+	// channel through which silent corruption reaches disk.
+	meta *transport.Transport
+	bulk *transport.Transport
+
 	remoteReads int64
 	localReads  int64
 
@@ -88,6 +144,11 @@ type DFS struct {
 	readRetries        int64 // replica read attempts that hit a transient disk error
 	blocksRereplicated int64
 	bytesRereplicated  int64
+
+	// Integrity counters
+	corruptDetected int64 // checksum mismatches caught at read time
+	quarantined     int64 // corrupt replicas pulled from service
+	corruptServed   int64 // tripwire: corrupt blocks handed to a client (must stay 0)
 }
 
 // New creates a filesystem over the cluster, speaking the given socket
@@ -106,6 +167,10 @@ func New(c *cluster.Cluster, fabric cluster.FabricSpec, cfg Config) *DFS {
 		cfg.RereplicationDelay = 5 * time.Second
 	}
 	d := &DFS{c: c, cfg: cfg, fabric: fabric, files: map[string]*fileMeta{}}
+	d.meta = transport.New(c, fabric, cfg.Retry, transport.StreamDFSMeta, 0xd5f)
+	bulkCfg := cfg.Retry
+	bulkCfg.NoVerify = true
+	d.bulk = transport.New(c, fabric, bulkCfg, transport.StreamDFSBulk, 0xd5f)
 	for i := 0; i < c.Size(); i++ {
 		d.dns = append(d.dns, &datanode{node: i, alive: true, blocks: map[int64]*blockMeta{}})
 	}
@@ -183,6 +248,20 @@ func (d *DFS) ReadRetries() int64 { return d.readRetries }
 func (d *DFS) BlocksRereplicated() int64 { return d.blocksRereplicated }
 func (d *DFS) BytesRereplicated() int64  { return d.bytesRereplicated }
 
+// CorruptDetected counts read-time checksum mismatches; Quarantined
+// counts replicas pulled from service because of them. CorruptServed is
+// a tripwire — it counts corrupt blocks handed to a client and must stay
+// zero as long as read-side verification is on.
+func (d *DFS) CorruptDetected() int64 { return d.corruptDetected }
+func (d *DFS) Quarantined() int64     { return d.quarantined }
+func (d *DFS) CorruptServed() int64   { return d.corruptServed }
+
+// TransportStats exposes the delivery statistics of the verified
+// (metadata + read streams) and unverified (write pipeline) transports.
+func (d *DFS) TransportStats() (meta, bulk transport.Stats) {
+	return d.meta.Stats, d.bulk.Stats
+}
+
 // UnderReplicated returns how many blocks currently have fewer live
 // replicas than the target factor (clamped to the live datanode count).
 func (d *DFS) UnderReplicated() int {
@@ -214,10 +293,18 @@ func (d *DFS) UnderReplicated() int {
 }
 
 // nnRPC charges one metadata round trip from the client to the namenode.
-func (d *DFS) nnRPC(p *sim.Proc, clientNode int) {
-	d.c.Xfer(p, clientNode, d.nnNode, 256, d.fabric)
+// Under a network partition that separates the client from the namenode
+// the RPC times out and the operation fails: HDFS offers no service to
+// the minority side of a split-brain.
+func (d *DFS) nnRPC(p *sim.Proc, clientNode int) error {
+	if _, err := d.meta.Send(p, clientNode, d.nnNode, 256); err != nil {
+		return fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
+	}
 	p.Sleep(d.c.Cost.DFSBlockRPC)
-	d.c.Xfer(p, d.nnNode, clientNode, 256, d.fabric)
+	if _, err := d.meta.Send(p, d.nnNode, clientNode, 256); err != nil {
+		return fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
+	}
+	return nil
 }
 
 // placeReplicas picks replica nodes for a new block: first on the writer's
@@ -256,23 +343,37 @@ func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error
 		if off+bsz > size {
 			bsz = size - off
 		}
-		d.nnRPC(p, clientNode)
-		b := &blockMeta{id: d.nextID, offset: off, size: bsz, replicas: d.placeReplicas(clientNode, d.nextID)}
+		if err := d.nnRPC(p, clientNode); err != nil {
+			return err
+		}
+		b := &blockMeta{id: d.nextID, offset: off, size: bsz,
+			replicas: d.placeReplicas(clientNode, d.nextID), crc: blockCRC(d.nextID)}
 		d.nextID++
 		f.blocks = append(f.blocks, b)
 		// Pipelined replica writes: all replicas work concurrently; the
-		// client waits for the slowest.
+		// client waits for the slowest. The pipeline is the unverified
+		// channel — a frame corrupted in flight lands on disk as a
+		// silently bit-rotted copy, caught only by read-time checksums.
 		wg := sim.NewWaitGroup(d.c.K)
-		for _, rep := range b.replicas {
+		for _, rep := range append([]int(nil), b.replicas...) {
 			rep := rep
 			wg.Add(1)
 			d.c.K.Spawn("dfs.write", func(wp *sim.Proc) {
+				defer wg.Done()
 				if rep != clientNode {
-					d.c.Xfer(wp, clientNode, rep, bsz, d.fabric)
+					res, err := d.bulk.Send(wp, clientNode, rep, bsz)
+					if err != nil {
+						// The stream never reached the datanode: the
+						// file is born under-replicated at this block.
+						b.dropReplica(rep)
+						return
+					}
+					if res.Corrupted {
+						b.setCorrupt(rep)
+					}
 				}
 				d.c.Node(rep).Scratch.Write(wp, bsz)
 				d.dns[rep].blocks[b.id] = b
-				wg.Done()
 			})
 		}
 		p.Sleep(d.c.Cost.DFSStreamSetup)
@@ -332,14 +433,17 @@ func (d *DFS) Read(p *sim.Proc, clientNode int, name string, offset, length int6
 		lo := max64(offset, b.offset)
 		hi := min64(end, b.offset+b.size)
 		n := hi - lo
-		d.nnRPC(p, clientNode)
+		if err := d.nnRPC(p, clientNode); err != nil {
+			return err
+		}
 		served := -1
 		failover := false
 		for _, rep := range d.replicaOrder(b, clientNode) {
-			// A datanode the namenode already declared dead, or one on a
-			// crashed node the namenode has not noticed yet: either way
-			// the client's stream setup fails and it moves on.
-			if !d.dns[rep].alive || !d.c.NodeAlive(rep) {
+			// A datanode the namenode already declared dead, one on a
+			// crashed node the namenode has not noticed yet, or one cut
+			// off by a network partition: either way the client's stream
+			// setup fails and it moves on to the next replica.
+			if !d.dns[rep].alive || !d.c.NodeAlive(rep) || !d.c.Reachable(clientNode, rep) {
 				failover = true
 				continue
 			}
@@ -353,11 +457,34 @@ func (d *DFS) Read(p *sim.Proc, clientNode int, name string, offset, length int6
 				failover = true
 				continue
 			}
+			if rep != clientNode {
+				// Remote stream rides the verified transport: wire-level
+				// loss and corruption are retried; a partition or
+				// sustained loss fails the stream over to another replica.
+				if _, err := d.meta.Send(p, rep, clientNode, n); err != nil {
+					failover = true
+					continue
+				}
+			}
+			// Client-side CRC32C pass over the received bytes, then the
+			// verdict: a checksum mismatch means this replica's on-disk
+			// copy is bit-rotted — quarantine it, repair in the
+			// background, and fail over rather than deliver bad bytes.
+			p.Sleep(cluster.ScanCost(n, d.c.Cost.DFSChecksumBW))
+			if b.replicaCRC(rep) != b.crc {
+				d.corruptDetected++
+				d.quarantine(b, rep)
+				failover = true
+				continue
+			}
 			served = rep
 			break
 		}
 		if served < 0 {
 			return fmt.Errorf("%w: block %d of %s", ErrUnavailable, b.id, name)
+		}
+		if b.corrupt[served] {
+			d.corruptServed++ // unreachable while verification is on
 		}
 		if failover {
 			d.readFailovers++
@@ -366,11 +493,40 @@ func (d *DFS) Read(p *sim.Proc, clientNode int, name string, offset, length int6
 			d.localReads++
 		} else {
 			d.remoteReads++
-			d.c.Xfer(p, served, clientNode, n, d.fabric)
 		}
-		p.Sleep(cluster.ScanCost(n, d.c.Cost.DFSChecksumBW))
 	}
 	return nil
+}
+
+// quarantine pulls a silently corrupted replica out of service and
+// schedules a background repair from an intact copy — the same
+// re-replication machinery that handles datanode death, triggered here
+// by integrity loss rather than liveness loss.
+func (d *DFS) quarantine(b *blockMeta, rep int) {
+	b.dropReplica(rep)
+	delete(d.dns[rep].blocks, b.id)
+	d.quarantined++
+	d.c.K.Spawn("dfs.repair", func(p *sim.Proc) {
+		d.rereplicate(p, b)
+	})
+}
+
+// CorruptReplica flips the stored copy of block blockIdx of name on the
+// given node to a silently bit-rotted state — the test/chaos hook for
+// at-rest corruption. Returns false if no such replica exists.
+func (d *DFS) CorruptReplica(name string, blockIdx, node int) bool {
+	f, ok := d.files[name]
+	if !ok || blockIdx < 0 || blockIdx >= len(f.blocks) {
+		return false
+	}
+	b := f.blocks[blockIdx]
+	for _, r := range b.replicas {
+		if r == node {
+			b.setCorrupt(node)
+			return true
+		}
+	}
+	return false
 }
 
 // replicaOrder lists a block's replicas in client preference order: the
@@ -437,8 +593,10 @@ func (d *DFS) markDead(node int) []*blockMeta {
 	return lost
 }
 
-// rereplicate copies a block from a live replica to nodes that lack it
-// until the replication factor is restored (or no candidates remain).
+// rereplicate copies a block from a live, intact replica to nodes that
+// lack it until the replication factor is restored (or no candidates
+// remain). Corrupt replicas still count toward placement (they occupy a
+// datanode) but are never used as a copy source.
 func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
 	for {
 		src := -1
@@ -446,7 +604,7 @@ func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
 		var alive []int
 		for _, r := range b.replicas {
 			if d.dns[r].alive {
-				if src < 0 {
+				if src < 0 && !b.corrupt[r] {
 					src = r
 				}
 				have[r] = true
@@ -470,9 +628,22 @@ func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
 			return
 		}
 		d.c.Node(src).Scratch.Read(p, b.size)
-		d.c.Xfer(p, src, dst, b.size, d.fabric)
+		res, err := d.bulk.Send(p, src, dst, b.size)
+		if err != nil {
+			// The copy never landed (partition or sustained loss); leave
+			// the block under-replicated rather than spin. The next
+			// quarantine or death trigger retries the repair.
+			b.replicas = alive
+			return
+		}
 		d.c.Node(dst).Scratch.Write(p, b.size)
 		d.dns[dst].blocks[b.id] = b
+		if res.Corrupted {
+			// Repair traffic is as vulnerable as the original write
+			// pipeline: the fresh copy can itself be bit-rotted, to be
+			// caught (and re-quarantined) by a future read.
+			b.setCorrupt(dst)
+		}
 		b.replicas = append(alive, dst)
 		d.blocksRereplicated++
 		d.bytesRereplicated += b.size
@@ -520,7 +691,9 @@ func (d *DFS) Delete(p *sim.Proc, clientNode int, name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	d.nnRPC(p, clientNode)
+	if err := d.nnRPC(p, clientNode); err != nil {
+		return err
+	}
 	for _, b := range f.blocks {
 		for _, r := range b.replicas {
 			delete(d.dns[r].blocks, b.id)
@@ -540,7 +713,9 @@ func (d *DFS) Rename(p *sim.Proc, clientNode int, from, to string) error {
 	if _, dup := d.files[to]; dup {
 		return fmt.Errorf("%w: %s", ErrExists, to)
 	}
-	d.nnRPC(p, clientNode)
+	if err := d.nnRPC(p, clientNode); err != nil {
+		return err
+	}
 	delete(d.files, from)
 	f.name = to
 	d.files[to] = f

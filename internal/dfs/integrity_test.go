@@ -1,0 +1,114 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// A bit-rotted replica is caught by the read-time checksum, quarantined,
+// and the read is served intact from another replica. The quarantine
+// triggers background re-replication that restores the factor.
+func TestCorruptReplicaQuarantineAndRepair(t *testing.T) {
+	k, _, d := setup(6, DefaultConfig())
+	var readErr error
+	k.Spawn("client", func(p *sim.Proc) {
+		if err := d.Create(p, 1, "/data", 64<<20); err != nil {
+			t.Error(err)
+		}
+		// Rot the copy on the reader's own node — the one the client
+		// prefers — so the read must detect, quarantine, and fail over.
+		if !d.CorruptReplica("/data", 0, 1) {
+			t.Error("no replica on node 1 to corrupt")
+		}
+		readErr = d.Read(p, 1, "/data", 0, 64<<20)
+	})
+	k.Run()
+	if readErr != nil {
+		t.Fatalf("read after corruption: %v", readErr)
+	}
+	if d.CorruptDetected() != 1 || d.Quarantined() != 1 {
+		t.Errorf("detected=%d quarantined=%d, want 1/1", d.CorruptDetected(), d.Quarantined())
+	}
+	if d.CorruptServed() != 0 {
+		t.Errorf("corrupt blocks served: %d", d.CorruptServed())
+	}
+	// Background repair converged: full factor restored, no block
+	// under-replicated, and the repair counter moved.
+	if under := d.UnderReplicated(); under != 0 {
+		t.Errorf("under-replicated blocks after repair: %d", under)
+	}
+	reps, err := d.ReplicasOf("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range reps {
+		if n != d.Config().Replication {
+			t.Errorf("block %d has %d replicas, want %d", i, n, d.Config().Replication)
+		}
+	}
+	if d.BlocksRereplicated() != 1 {
+		t.Errorf("blocks rereplicated = %d, want 1", d.BlocksRereplicated())
+	}
+}
+
+// Every replica of a block rotted: the read must fail with
+// ErrUnavailable rather than deliver corrupt bytes — integrity beats
+// availability.
+func TestAllReplicasCorruptIsUnavailable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	k, _, d := setup(4, cfg)
+	var readErr error
+	k.Spawn("client", func(p *sim.Proc) {
+		if err := d.Create(p, 0, "/doomed", 1<<20); err != nil {
+			t.Error(err)
+		}
+		for n := 0; n < 4; n++ {
+			d.CorruptReplica("/doomed", 0, n)
+		}
+		readErr = d.Read(p, 0, "/doomed", 0, 1<<20)
+	})
+	k.Run()
+	if readErr == nil {
+		t.Fatal("read of fully-corrupt block succeeded")
+	}
+	if d.CorruptServed() != 0 {
+		t.Errorf("corrupt blocks served: %d", d.CorruptServed())
+	}
+}
+
+// A partition separating the client from the namenode fails the RPC
+// (bounded, not hung); reads from the majority side fail over to
+// reachable replicas. After the heal, service is restored.
+func TestPartitionAwareness(t *testing.T) {
+	k := sim.NewKernel(13)
+	c := cluster.Comet(k, 4)
+	c.EnableNetFaults(13)
+	d := New(c, cluster.IPoIB(), DefaultConfig())
+	var minorityErr, majorityErr, healedErr error
+	k.Spawn("client", func(p *sim.Proc) {
+		if err := d.Create(p, 0, "/part", 1<<20); err != nil {
+			t.Error(err)
+		}
+		// Cut node 3 off from the namenode side.
+		c.SetPartition([][]int{{0, 1, 2}, {3}})
+		minorityErr = d.Read(p, 3, "/part", 0, 1<<20)
+		majorityErr = d.Read(p, 1, "/part", 0, 1<<20)
+		c.HealPartition()
+		p.Sleep(200 * time.Millisecond)
+		healedErr = d.Read(p, 3, "/part", 0, 1<<20)
+	})
+	k.Run()
+	if minorityErr == nil {
+		t.Error("minority-side read reached the namenode across the cut")
+	}
+	if majorityErr != nil {
+		t.Errorf("majority-side read failed: %v", majorityErr)
+	}
+	if healedErr != nil {
+		t.Errorf("post-heal read failed: %v", healedErr)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/sim"
+	"hpcbd/internal/transport"
 )
 
 // Pair is an intermediate or output key-value pair.
@@ -53,6 +54,13 @@ type Config struct {
 	// makes the attempt fail after doing half its work. Used to exercise
 	// the re-execution path.
 	FailureInjector func(task string, attempt int) bool
+	// FetchRetry tunes the reliable transport under shuffle fetches; zero
+	// fields take the transport defaults.
+	FetchRetry transport.Config
+	// FetchRetryWait is the pause after an exhausted shuffle fetch before
+	// the reduce attempt is failed and rescheduled (Hadoop's fetch-retry
+	// backoff). Only fault paths pay it.
+	FetchRetryWait time.Duration
 }
 
 // DefaultConfig mirrors common Hadoop settings.
@@ -74,6 +82,7 @@ type Stats struct {
 	SpilledBytes  int64 // map-side sorted spills (logical)
 	ShuffledBytes int64 // moved between map and reduce nodes (logical)
 	Retries       int
+	FetchFailures int // shuffle fetches that exhausted transport retries
 	Elapsed       time.Duration
 }
 
@@ -92,6 +101,11 @@ type Job[In any, K comparable, V any] struct {
 	Combine func(key K, vals []V) V
 	Reduce  func(key K, vals []V, emit func(K, V))
 	Conf    Config
+
+	// Transport is the reliable delivery layer under the shuffle; Run
+	// creates one over Fabric when nil. Readable after Run for delivery
+	// statistics.
+	Transport *transport.Transport
 }
 
 // mapOutput is one map task's partitioned, sorted spill.
@@ -121,6 +135,12 @@ func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
 	}
 	if conf.MaxAttempts <= 0 {
 		conf.MaxAttempts = 4
+	}
+	if conf.FetchRetryWait <= 0 {
+		conf.FetchRetryWait = 50 * time.Millisecond
+	}
+	if j.Transport == nil {
+		j.Transport = transport.New(c, j.Fabric, conf.FetchRetry, transport.StreamMapRed, 0x6a9d)
 	}
 	var st Stats
 	start := p.Now()
@@ -279,7 +299,15 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 		}
 		c.Node(mo.node).Scratch.Read(tp, b) // map-side spill read
 		if mo.node != node {
-			c.Xfer(tp, mo.node, node, b, j.Fabric)
+			// Lost or corrupted frames are retried by the transport; a
+			// fetch that exhausts its ladder (sustained loss, partition)
+			// fails this reduce attempt, which the attempt loop
+			// reschedules — Hadoop's fetch-failure path.
+			if _, err := j.Transport.Send(tp, mo.node, node, b); err != nil {
+				st.FetchFailures++
+				tp.Sleep(conf.FetchRetryWait)
+				return nil, false
+			}
 			st.ShuffledBytes += b
 		}
 		tp.Sleep(cm.DeserTime(b))

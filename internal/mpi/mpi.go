@@ -37,6 +37,38 @@ type World struct {
 	comm0   *Comm
 	nextCID int
 	windows map[string]*Win
+
+	finished int // ranks whose body returned
+
+	// Network-fault posture. A plain world is transport-fragile: a lost
+	// message is simply gone and the job deadlocks at the next matching
+	// receive (§VI-D — MPI offers no delivery guarantee of its own). A
+	// world with netRetry set (RunResilient) retransmits on a timeout.
+	netRetry    bool
+	commTimeout time.Duration
+	lostMsgs    int64 // messages dropped with no retry (plain world)
+	commFaults  int64 // retransmissions performed (resilient world)
+}
+
+// Done reports whether every rank has returned from its body — false
+// after the kernel runs out of work means the job deadlocked (e.g. a
+// lost message was never received).
+func (w *World) Done() bool { return w.finished == w.NP }
+
+// LostMsgs counts messages the network ate with no retransmission;
+// CommFaults counts retransmissions a resilient world performed.
+func (w *World) LostMsgs() int64   { return w.lostMsgs }
+func (w *World) CommFaults() int64 { return w.commFaults }
+
+// EnableNetRetry puts the world in resilient-communication mode: sends
+// that the network drops are retransmitted after timeout (doubling,
+// capped at 16x) until delivered. RunResilient enables this.
+func (w *World) EnableNetRetry(timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = 5 * time.Millisecond
+	}
+	w.netRetry = true
+	w.commTimeout = timeout
 }
 
 // Rank is one MPI process. Its methods must be called from the rank's own
@@ -84,6 +116,7 @@ func Launch(c *cluster.Cluster, np, ppn int, body func(r *Rank)) *World {
 		c.K.Spawn(fmt.Sprintf("mpi.rank%d", i), func(p *sim.Proc) {
 			r.p = p
 			body(r)
+			w.finished++
 			w.wg.Done()
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hpcbd/internal/cluster"
 	"hpcbd/internal/sim"
 )
 
@@ -61,6 +62,47 @@ func (r *Rank) deliver(e *envelope) {
 // rtsBytes is the size of the rendezvous control messages.
 const rtsBytes = 64
 
+// mpiStream is the fate-coin stream id for MPI point-to-point traffic
+// (transport.StreamMPI; the literal avoids an import cycle concern and
+// keeps package mpi free of the transport layer it pointedly lacks).
+const mpiStream int64 = 5
+
+// clearNetwork consults the message-fault model for a cross-node send
+// and returns true once a transmission attempt gets through. On a plain
+// world the first drop is final: the bytes are injected and lost, and
+// the sender returns as if the send completed — the receiver will block
+// forever, which is exactly the transport fragility of native MPI the
+// paper's §VI-D worries about. On a resilient world (RunResilient) the
+// send retransmits on a doubling timeout until a copy is delivered;
+// corrupt frames count as drops (verbs CRC discards them).
+func (c *Comm) clearNetwork(r *Rank, dr *Rank, bytes int64, f cluster.FabricSpec) bool {
+	cl := c.world.Cluster
+	if !cl.NetFaultsEnabled() || r.node == dr.node {
+		return true
+	}
+	seq := cl.NextMsgSeq(mpiStream, r.node, dr.node)
+	if cl.FateOf(r.node, dr.node, mpiStream, seq, 0) == cluster.FateDeliver {
+		return true
+	}
+	if !c.world.netRetry {
+		c.world.lostMsgs++
+		cl.XferInject(r.p, r.node, dr.node, bytes, f)
+		return false
+	}
+	timeout := c.world.commTimeout
+	for attempt := 1; ; attempt++ {
+		c.world.commFaults++
+		cl.XferInject(r.p, r.node, dr.node, bytes, f)
+		r.p.Sleep(timeout)
+		if timeout < 16*c.world.commTimeout {
+			timeout *= 2
+		}
+		if cl.FateOf(r.node, dr.node, mpiStream, seq, attempt) == cluster.FateDeliver {
+			return true
+		}
+	}
+}
+
 // Send performs a blocking standard-mode send of a message of the given
 // logical size to dst on communicator c. Payload travels by reference —
 // the simulated cost is determined by bytes, not by the Go value.
@@ -81,6 +123,9 @@ func (c *Comm) Send(r *Rank, dst, tag int, payload any, bytes int64) {
 	src := c.rankOf(r)
 
 	if bytes <= cm.MPIEagerThreshold {
+		if !c.clearNetwork(r, dr, bytes+rtsBytes, f) {
+			return // eager frame lost; the receiver will wait forever
+		}
 		e := &envelope{cid: c.cid, src: src, tag: tag, bytes: bytes, payload: payload, eager: true}
 		c.world.Cluster.XferAsync(r.p, r.node, dr.node, bytes+rtsBytes, f, func() {
 			dr.deliver(e)
@@ -88,7 +133,13 @@ func (c *Comm) Send(r *Rank, dst, tag int, payload any, bytes int64) {
 		return
 	}
 
-	// Rendezvous: RTS, wait for CTS, then transfer payload.
+	// Rendezvous: RTS, wait for CTS, then transfer payload. Losing the
+	// RTS kills the whole exchange: without it the receiver never sends
+	// CTS, so the fragile sender parks forever too.
+	if !c.clearNetwork(r, dr, rtsBytes, f) {
+		c.world.lostRendezvous(r)
+		return
+	}
 	k := c.world.Cluster.K
 	e := &envelope{
 		cid: c.cid, src: src, tag: tag, bytes: bytes,
@@ -101,6 +152,13 @@ func (c *Comm) Send(r *Rank, dst, tag int, payload any, bytes int64) {
 	e.cts.Wait(r.p)
 	c.world.Cluster.Xfer(r.p, r.node, dr.node, bytes, f)
 	e.data.Complete(Message{Src: src, Tag: tag, Bytes: bytes, Payload: payload})
+}
+
+// lostRendezvous parks the sending process forever: a rendezvous send
+// whose RTS vanished never receives a CTS, and a fragile MPI_Send has
+// nothing else to wake it.
+func (w *World) lostRendezvous(r *Rank) {
+	sim.NewFuture[struct{}](w.Cluster.K).Wait(r.p)
 }
 
 // Recv performs a blocking receive matching (src, tag) on communicator c.

@@ -23,6 +23,10 @@ type ResilientConfig struct {
 	RestartPenalty time.Duration
 	// MaxRestarts aborts the job after this many restarts (default 1000).
 	MaxRestarts int
+	// CommTimeout is the retransmission timeout for sends the network
+	// drops (default 5ms, doubling per retry capped at 16x). Plain
+	// Launch/Run worlds have no such recovery at all.
+	CommTimeout time.Duration
 }
 
 // ResilientStats reports what one resilient run did.
@@ -31,6 +35,7 @@ type ResilientStats struct {
 	Restarts    int
 	Checkpoints int
 	RedoneIters int     // iterations re-executed after rollbacks
+	CommFaults  int64   // retransmissions of dropped messages
 	Seconds     float64 // virtual wall time of the whole job
 }
 
@@ -54,11 +59,12 @@ func RunResilient(c *cluster.Cluster, np, ppn int, cfg ResilientConfig, step fun
 		cfg.MaxRestarts = 1000
 	}
 	var st ResilientStats
-	Launch(c, np, ppn, func(r *Rank) {
+	world := Launch(c, np, ppn, func(r *Rank) {
 		w := r.World()
 		w.Barrier(r)
 		start := r.Now()
 		seenEpoch := c.CrashEpoch()
+		seenPart := c.PartitionEpoch()
 		lastCkpt := 0
 		restarts := 0
 		it := 0
@@ -66,11 +72,20 @@ func RunResilient(c *cluster.Cluster, np, ppn int, cfg ResilientConfig, step fun
 			step(r, it)
 			w.Barrier(r)
 			// Rank 0 checks for failures since the last sync and
-			// broadcasts the verdict (1 byte of control traffic).
+			// broadcasts the verdict (1 byte of control traffic). A
+			// network partition that opened since the last sync is
+			// treated like a failure: the sends it stalled may have
+			// crossed iteration boundaries inconsistently, so the world
+			// rolls back to the last checkpoint — the paper's point that
+			// MPI recovery is all-or-nothing even when no rank died.
 			failed := 0.0
 			if r.Rank() == 0 {
 				if e := c.CrashEpoch(); e != seenEpoch {
 					seenEpoch = e
+					failed = 1
+				}
+				if pe := c.PartitionEpoch(); pe != seenPart {
+					seenPart = pe
 					failed = 1
 				}
 			}
@@ -104,6 +119,8 @@ func RunResilient(c *cluster.Cluster, np, ppn int, cfg ResilientConfig, step fun
 			st.Seconds = (r.Now() - start).Seconds()
 		}
 	})
+	world.EnableNetRetry(cfg.CommTimeout)
 	c.K.Run()
+	st.CommFaults = world.CommFaults()
 	return st
 }

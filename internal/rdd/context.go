@@ -24,6 +24,7 @@ import (
 
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/sim"
+	"hpcbd/internal/transport"
 )
 
 // StorageLevel mirrors Spark's persistence levels.
@@ -95,6 +96,14 @@ type Config struct {
 	// Blacklisted executors are still used as a last resort when every
 	// other executor is gone.
 	BlacklistThreshold int
+
+	// ShuffleRetry tunes the reliable transport under shuffle fetches;
+	// zero fields take the transport defaults.
+	ShuffleRetry transport.Config
+	// FetchRetryWait is the pause after an exhausted fetch before the
+	// failure is reported and lineage recomputation kicks in
+	// (spark.shuffle.io.retryWait's role). Only fault paths pay it.
+	FetchRetryWait time.Duration
 }
 
 // DefaultConfig returns the configuration used by the experiments: 8
@@ -126,6 +135,7 @@ type Context struct {
 	nextShuf   int
 	shuffles   map[int]*shuffleState
 	broadcasts int
+	shuffleNet *transport.Transport
 
 	// Stats
 	TasksLaunched  int64
@@ -134,6 +144,7 @@ type Context struct {
 	JobsRun        int64
 	ShuffleBytes   int64 // logical bytes fetched across the network
 	RecomputedPart int64 // partitions rebuilt from lineage
+	FetchFailures  int64 // shuffle fetches that exhausted transport retries
 
 	// Recovery stats (chaos hardening)
 	ExecutorsLost        int64 // executors declared dead (manual kill or heartbeat timeout)
@@ -175,7 +186,11 @@ func NewContext(c *cluster.Cluster, conf Config) *Context {
 	if conf.CtrlTransport.Bandwidth == 0 {
 		conf.CtrlTransport = cluster.IPoIB()
 	}
+	if conf.FetchRetryWait <= 0 {
+		conf.FetchRetryWait = 100 * time.Millisecond
+	}
 	ctx := &Context{C: c, Conf: conf, shuffles: map[int]*shuffleState{}}
+	ctx.shuffleNet = transport.New(c, conf.ShuffleTransport, conf.ShuffleRetry, transport.StreamShuffle, 0x5a7c)
 	if conf.DefaultParallelism <= 0 {
 		ctx.Conf.DefaultParallelism = c.Size() * conf.CoresPerExecutor
 	}
@@ -391,6 +406,12 @@ func (e ExecutorStats) CacheHits() int64 { return e.bm.Hits }
 
 // CacheMisses returns block-manager misses.
 func (e ExecutorStats) CacheMisses() int64 { return e.bm.Misses }
+
+// ShuffleTransportStats exposes the reliable-delivery statistics of the
+// shuffle fetch path (retries, timeouts, corrupt frames dropped).
+func (ctx *Context) ShuffleTransportStats() transport.Stats {
+	return ctx.shuffleNet.Stats
+}
 
 // Executors returns stats handles for all executors.
 func (ctx *Context) Executors() []ExecutorStats {

@@ -121,7 +121,11 @@ func writeShuffle[K comparable, V any](tc *taskContext, dep *shuffleDep, part in
 // fetchShuffle charges a reduce task's fetch of bucket `reducePart` from
 // every map output and returns the typed buckets in map-partition order.
 // Shuffle payloads travel over Conf.ShuffleTransport — the one path the
-// RDMA plugin accelerates.
+// RDMA plugin accelerates — under the reliable transport: frames lost or
+// corrupted on the wire are retried with checksum verification, and a
+// fetch that exhausts its retry ladder (sustained loss, partition) is
+// reported as a fetch failure, which the scheduler repairs by
+// recomputing the map output from lineage.
 func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart int) ([][]KV[K, V], error) {
 	ctx := tc.ctx
 	ss := ctx.shuffles[shuffleID]
@@ -135,7 +139,11 @@ func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart in
 		if b > 0 {
 			ctx.C.Node(srcNode).Scratch.Read(tc.p, b) // map-side spill read
 			if srcNode != tc.exec.node {
-				ctx.C.Xfer(tc.p, srcNode, tc.exec.node, b, ctx.Conf.ShuffleTransport)
+				if _, err := ctx.shuffleNet.Send(tc.p, srcNode, tc.exec.node, b); err != nil {
+					ctx.FetchFailures++
+					tc.p.Sleep(ctx.Conf.FetchRetryWait)
+					return nil, fetchFailure{shuffleID: shuffleID, mapPart: m}
+				}
 				ctx.ShuffleBytes += b
 			}
 			tc.p.Sleep(ctx.C.Cost.DeserTime(b))

@@ -1,0 +1,364 @@
+// Package transport is a reliable-delivery layer over the simulated
+// cluster fabrics — the piece of the Big Data stacks the paper's §VI-D
+// resilience story quietly depends on. Netty-era shuffle services and
+// HDFS data streams run over TCP, which turns a lossy, occasionally
+// partitioned network into either delivered-intact bytes or a clean
+// error; MPI's verbs transport assumes a lossless fabric and offers no
+// such contract. This package models the TCP-ish contract explicitly:
+//
+//   - per-message delivery timeouts sized from the fabric's expected
+//     round trip;
+//   - bounded retries with exponential backoff and deterministic,
+//     seeded jitter, all on the sim clock;
+//   - duplicate suppression by per-flow sequence number (a retry whose
+//     original did arrive is detected and dropped at the receiver);
+//   - optional CRC verification: corrupt frames are dropped and resent,
+//     so no corrupt byte is ever delivered on a verified flow;
+//   - a per-peer circuit breaker that trips to fast-fail after repeated
+//     timeouts and half-opens on a single probe — the guard that keeps a
+//     partition from stalling every caller for a full retry ladder.
+//
+// On a fault-free cluster (cluster.NetFaultsEnabled() == false) Send
+// degenerates to exactly one plain Xfer: acks piggyback, no timer fires,
+// and every fault-free experiment in the repository stays bit-identical.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// Stream identifiers decorrelate the fate-coin streams of the subsystems
+// sharing one cluster: the same (src, dst, seq) on different streams are
+// independent messages.
+const (
+	StreamDFSMeta int64 = 1 // namenode RPCs + verified block reads
+	StreamDFSBulk int64 = 2 // write-pipeline block streams
+	StreamShuffle int64 = 3 // rdd shuffle fetches
+	StreamMapRed  int64 = 4 // mapred reduce-side fetches
+	StreamMPI     int64 = 5 // mpi point-to-point (used by package mpi)
+)
+
+// ackBytes is the wire size of a delivery acknowledgement.
+const ackBytes = 32
+
+// Errors returned by Send.
+var (
+	// ErrTimeout: every transmission attempt timed out.
+	ErrTimeout = errors.New("transport: delivery timed out")
+	// ErrCircuitOpen: the per-peer breaker is open (or its half-open
+	// probe is already in flight) and the call fast-failed locally.
+	ErrCircuitOpen = errors.New("transport: circuit breaker open")
+)
+
+// Config tunes a Transport. Zero fields take the defaults below.
+type Config struct {
+	// AckTimeout is the grace allowed beyond the expected transfer round
+	// trip before an attempt is declared lost.
+	AckTimeout time.Duration
+	// MaxRetries bounds re-transmissions after the first attempt.
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the exponential backoff between
+	// attempts; JitterFrac adds up to that fraction of seeded jitter so
+	// synchronized senders decorrelate (deterministically).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	JitterFrac  float64
+	// NoVerify disables receiver-side CRC checking. Verified flows (the
+	// default) drop corrupt frames and retry them, so no corrupt byte is
+	// ever delivered. Flows that carry their own end-to-end checksums
+	// (the DFS write pipeline) set NoVerify and inspect Result.Corrupted
+	// themselves.
+	NoVerify bool
+	// BreakerThreshold consecutive timeouts to one peer trip its breaker;
+	// BreakerCooldown later one probe half-opens it. FastFailCost is the
+	// local cost of a fast-failed call (an EHOSTUNREACH, essentially).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	FastFailCost     time.Duration
+}
+
+// DefaultConfig returns the shuffle-service-flavored defaults.
+func DefaultConfig() Config {
+	return Config{
+		AckTimeout:       2 * time.Millisecond,
+		MaxRetries:       6,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       64 * time.Millisecond,
+		JitterFrac:       0.2,
+		BreakerThreshold: 4,
+		BreakerCooldown:  50 * time.Millisecond,
+		FastFailCost:     10 * time.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = d.AckTimeout
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = d.BackoffMax
+	}
+	if c.JitterFrac <= 0 {
+		c.JitterFrac = d.JitterFrac
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = d.BreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
+	if c.FastFailCost <= 0 {
+		c.FastFailCost = d.FastFailCost
+	}
+	return c
+}
+
+// Stats counts what a transport did. All fields are cumulative.
+type Stats struct {
+	Sent      int64 // logical messages submitted
+	Delivered int64 // messages acknowledged delivered
+	Retries   int64 // re-transmission attempts
+	Timeouts  int64 // attempts that timed out (lost data or lost ack)
+	Losses    int64 // data frames the network ate
+	AckLosses int64 // delivered frames whose ack was lost (duplicate risk)
+	Duplicates int64 // retransmissions the receiver recognized and dropped
+
+	CorruptDropped   int64 // corrupt frames caught by Verify and discarded
+	CorruptDelivered int64 // corrupt frames delivered on unverified flows
+
+	PartitionDrops int64 // attempts swallowed by a network partition
+	BreakerTrips   int64 // breaker transitions to open
+	FastFails      int64 // calls rejected locally while a breaker was open
+}
+
+// Result reports one successful Send.
+type Result struct {
+	Attempts  int
+	Corrupted bool // unverified flow delivered a corrupt frame
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// peerState is the per-directed-pair reliability state: breaker on the
+// sender side, delivered-sequence set on the receiver side.
+type peerState struct {
+	state    breakerState
+	fails    int // consecutive timed-out attempts
+	openedAt sim.Time
+	probing  bool
+
+	delivered map[int64]bool // accepted seq -> that copy was corrupt
+}
+
+// Transport is one reliable channel configuration over a cluster fabric.
+// Create one per subsystem with New; it is not safe for concurrent use
+// outside the sim kernel's one-process-at-a-time discipline.
+type Transport struct {
+	c      *cluster.Cluster
+	fabric cluster.FabricSpec
+	cfg    Config
+	stream int64
+	rng    *rand.Rand
+	peers  map[[2]int]*peerState
+
+	Stats
+}
+
+// New creates a transport speaking fabric f on stream id stream, with
+// jitter drawn from the given seed.
+func New(c *cluster.Cluster, f cluster.FabricSpec, cfg Config, stream, seed int64) *Transport {
+	return &Transport{
+		c: c, fabric: f, cfg: cfg.withDefaults(), stream: stream,
+		rng:   rand.New(rand.NewSource(seed ^ stream)),
+		peers: map[[2]int]*peerState{},
+	}
+}
+
+// Fabric returns the fabric this transport charges.
+func (t *Transport) Fabric() cluster.FabricSpec { return t.fabric }
+
+func (t *Transport) peer(src, dst int) *peerState {
+	k := [2]int{src, dst}
+	p := t.peers[k]
+	if p == nil {
+		p = &peerState{delivered: map[int64]bool{}}
+		t.peers[k] = p
+	}
+	return p
+}
+
+// timeout returns the per-attempt delivery deadline: the expected data +
+// ack round trip plus the configured grace.
+func (t *Transport) timeout(bytes int64) time.Duration {
+	return t.fabric.TransferTime(bytes) + t.fabric.TransferTime(ackBytes) + t.cfg.AckTimeout
+}
+
+// backoff returns the pause before retry `attempt` (1-based), with
+// deterministic jitter.
+func (t *Transport) backoff(attempt int) time.Duration {
+	d := t.cfg.BackoffBase << uint(attempt-1)
+	if d > t.cfg.BackoffMax || d <= 0 {
+		d = t.cfg.BackoffMax
+	}
+	return time.Duration(float64(d) * (1 + t.cfg.JitterFrac*t.rng.Float64()))
+}
+
+// sleepRemainder sleeps p to `start + timeout` — the point where the
+// sender's retransmission timer fires.
+func sleepRemainder(p *sim.Proc, start sim.Time, timeout time.Duration) {
+	if d := timeout - p.Now().Sub(start); d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// Send moves bytes from src to dst with at-least-once delivery and
+// duplicate suppression: it returns nil exactly when the receiver
+// acknowledged one accepted copy. On error the message may or may not
+// have arrived (the classic two-generals residue); callers treat errors
+// as failure and recover at their own layer (lineage recompute, replica
+// failover, task retry).
+func (t *Transport) Send(p *sim.Proc, src, dst int, bytes int64) (Result, error) {
+	if !t.c.NetFaultsEnabled() || src == dst {
+		// Perfect fabric (or loopback): the reliability machinery is pure
+		// bookkeeping — acks piggyback, no timer ever fires — so the cost
+		// is exactly one plain transfer.
+		t.c.Xfer(p, src, dst, bytes, t.fabric)
+		t.Sent++
+		t.Delivered++
+		return Result{Attempts: 1}, nil
+	}
+
+	pr := t.peer(src, dst)
+	switch pr.state {
+	case breakerOpen:
+		if p.Now().Sub(pr.openedAt) < t.cfg.BreakerCooldown {
+			t.FastFails++
+			p.Sleep(t.cfg.FastFailCost)
+			return Result{}, fmt.Errorf("%w: node %d -> node %d", ErrCircuitOpen, src, dst)
+		}
+		pr.state = breakerHalfOpen
+		pr.probing = false
+	}
+	if pr.state == breakerHalfOpen {
+		if pr.probing {
+			t.FastFails++
+			p.Sleep(t.cfg.FastFailCost)
+			return Result{}, fmt.Errorf("%w: node %d -> node %d (probe in flight)", ErrCircuitOpen, src, dst)
+		}
+		pr.probing = true
+		defer func() { pr.probing = false }()
+	}
+
+	seq := t.c.NextMsgSeq(t.stream, src, dst)
+	timeout := t.timeout(bytes)
+	t.Sent++
+	var res Result
+	for attempt := 0; ; attempt++ {
+		res.Attempts++
+		if attempt > 0 {
+			t.Retries++
+		}
+		ok, corrupted := t.attempt(p, pr, src, dst, bytes, seq, attempt, timeout)
+		if ok {
+			pr.state = breakerClosed
+			pr.fails = 0
+			t.Delivered++
+			if corrupted {
+				res.Corrupted = true
+				t.CorruptDelivered++
+			}
+			return res, nil
+		}
+		t.Timeouts++
+		pr.fails++
+		if pr.state == breakerHalfOpen || pr.fails >= t.cfg.BreakerThreshold {
+			pr.state = breakerOpen
+			pr.openedAt = p.Now()
+			t.BreakerTrips++
+			return res, fmt.Errorf("%w: node %d -> node %d after %d attempts (breaker tripped)",
+				ErrTimeout, src, dst, res.Attempts)
+		}
+		if attempt >= t.cfg.MaxRetries {
+			return res, fmt.Errorf("%w: node %d -> node %d after %d attempts", ErrTimeout, src, dst, res.Attempts)
+		}
+		p.Sleep(t.backoff(attempt + 1))
+	}
+}
+
+// attempt plays out one transmission: data frame, receiver-side accept,
+// ack frame. It reports whether the sender saw the ack, and whether the
+// accepted frame was corrupt (unverified flows only).
+func (t *Transport) attempt(p *sim.Proc, pr *peerState, src, dst int, bytes, seq int64,
+	attempt int, timeout time.Duration) (acked, corrupted bool) {
+	start := p.Now()
+	switch t.c.FateOf(src, dst, t.stream, seq, attempt) {
+	case cluster.FatePartitioned:
+		// The cut swallows the frame; the sender still injects it (the
+		// local NIC has no idea) and waits out its timer.
+		t.PartitionDrops++
+		t.c.XferInject(p, src, dst, bytes, t.fabric)
+		sleepRemainder(p, start, timeout)
+		return false, false
+	case cluster.FateLost:
+		t.Losses++
+		t.c.XferInject(p, src, dst, bytes, t.fabric)
+		sleepRemainder(p, start, timeout)
+		return false, false
+	case cluster.FateCorrupt:
+		t.c.Xfer(p, src, dst, bytes, t.fabric)
+		if !t.cfg.NoVerify {
+			// The receiver's CRC rejects the frame; no ack, sender times
+			// out and resends. This is the guarantee that no corrupt byte
+			// is ever delivered on a verified flow.
+			t.CorruptDropped++
+			sleepRemainder(p, start, timeout)
+			return false, false
+		}
+		corrupted = true
+	default:
+		t.c.Xfer(p, src, dst, bytes, t.fabric)
+	}
+
+	// Frame accepted. Retransmissions of an already-accepted seq are
+	// recognized and dropped — but still acked, so the sender stops. The
+	// first accepted copy stands, including its corruption state.
+	if wasCorrupt, seen := pr.delivered[seq]; seen {
+		t.Duplicates++
+		corrupted = wasCorrupt
+	} else {
+		pr.delivered[seq] = corrupted
+	}
+
+	// The ack rides the reverse path and takes its own chances.
+	switch t.c.FateOf(dst, src, t.stream, seq, attempt) {
+	case cluster.FateDeliver, cluster.FateCorrupt:
+		// A corrupt ack still tells the sender the frame landed (acks
+		// carry no payload worth protecting).
+		t.c.Xfer(p, dst, src, ackBytes, t.fabric)
+		return true, corrupted
+	default:
+		t.AckLosses++
+		t.c.XferInject(p, dst, src, ackBytes, t.fabric)
+		sleepRemainder(p, start, timeout)
+		return false, false
+	}
+}
