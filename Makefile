@@ -20,7 +20,7 @@ test:
 
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/...
+	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/... ./internal/sim/... ./internal/exec/...
 
 # Both fault-injection sweeps (node crashes + lossy network) at test
 # scale, with their determinism and shape checks.
@@ -30,9 +30,19 @@ chaos:
 verify: build vet test race chaos
 	@echo "verify: OK"
 
-# Regenerate every paper artifact at full scale (slow).
+# Regenerate every paper artifact at full scale (slow), recording host
+# performance (ns/op, allocs, sim-events/sec) to a dated JSON file that
+# `make benchcmp` can diff against a later run.
+BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -json -run '^$$' -bench=. -benchtime=1x -benchmem . > $(BENCH_FILE)
+	@echo "wrote $(BENCH_FILE)"
+
+# Diff two `make bench` recordings; fails if a full-scale figure
+# benchmark's wall clock regressed more than 10%.
+# Usage: make benchcmp OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-05.json
+benchcmp:
+	$(GO) run ./cmd/benchcmp -max-regress 10 $(OLD) $(NEW)
 
 # The §VI-D fault-tolerance sweep at paper scale.
 experiments:

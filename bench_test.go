@@ -15,9 +15,22 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"hpcbd/internal/sim"
 )
 
 var printOnce sync.Map
+
+// reportHostPerf attaches host-side performance metrics to a benchmark:
+// simulator throughput (kernel events retired per wall-clock second) and
+// allocation counts. startEvents is sim.TotalEvents() sampled before the
+// benchmark loop.
+func reportHostPerf(b *testing.B, startEvents int64) {
+	b.ReportAllocs()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(sim.TotalEvents()-startEvents)/s, "sim-events/sec")
+	}
+}
 
 // emit prints an artifact once per benchmark name, keeping -bench output
 // readable across b.N calibration runs.
@@ -87,6 +100,8 @@ func BenchmarkTable2FileRead(b *testing.B) {
 
 func BenchmarkFig4AnswersCount(b *testing.B) {
 	o := benchOptions()
+	ev0 := sim.TotalEvents()
+	defer func() { reportHostPerf(b, ev0) }()
 	for i := 0; i < b.N; i++ {
 		fig, results := Fig4(o)
 		emit("fig4", fig, CheckFig4(fig, results, o.ACBytes))
@@ -101,6 +116,8 @@ func BenchmarkFig4AnswersCount(b *testing.B) {
 
 func BenchmarkFig6PageRankBigDataBench(b *testing.B) {
 	o := benchOptions()
+	ev0 := sim.TotalEvents()
+	defer func() { reportHostPerf(b, ev0) }()
 	for i := 0; i < b.N; i++ {
 		fig, ranks := Fig6(o)
 		emit("fig6", fig, CheckFig6(fig, ranks))
@@ -115,6 +132,8 @@ func BenchmarkFig6PageRankBigDataBench(b *testing.B) {
 
 func BenchmarkFig7PageRankHiBench(b *testing.B) {
 	o := benchOptions()
+	ev0 := sim.TotalEvents()
+	defer func() { reportHostPerf(b, ev0) }()
 	for i := 0; i < b.N; i++ {
 		fig, ranks := Fig7(o)
 		emit("fig7", fig, CheckFig7(fig, ranks))

@@ -9,13 +9,16 @@ import (
 	"os"
 
 	"hpcbd"
+	"hpcbd/internal/exec"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run the scaled-down test configuration")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	gb := flag.Float64("gb", 0, "override dataset size in decimal GB")
+	pool := flag.Int("pool", 0, "host worker pool size for simulated-task payloads (0 = GOMAXPROCS); results are identical for every size")
 	flag.Parse()
+	exec.SetDefaultSize(*pool)
 
 	o := hpcbd.FullOptions()
 	if *quick {

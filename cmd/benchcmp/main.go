@@ -1,0 +1,136 @@
+// Command benchcmp diffs two benchmark result files produced by `make
+// bench` (go test -json output, plain `go test -bench` text also
+// accepted) and fails when a gated benchmark's wall-clock regresses
+// beyond the allowed percentage. It is the repo's guard against host
+// performance backsliding:
+//
+//	make bench                                 # writes BENCH_<date>.json
+//	go run ./cmd/benchcmp OLD.json NEW.json    # diff, gate at 10%
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json stream benchcmp cares about.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+	nsValue   = regexp.MustCompile(`([0-9.]+) ns/op`)
+	cpuSuffix = regexp.MustCompile(`-\d+$`) // the -GOMAXPROCS name suffix
+)
+
+// parseFile extracts benchmark name -> ns/op from a result file. For
+// test2json files the event's Test field names the benchmark — necessary
+// because benchmarks that print artifacts get their result line split
+// across output events. Plain `go test -bench` text is also accepted.
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	record := func(name string, ns float64) {
+		name = cpuSuffix.ReplaceAllString(name, "")
+		if _, dup := out[name]; !dup {
+			out[name] = ns
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if json.Unmarshal([]byte(line), &ev) != nil || ev.Action != "output" || ev.Test == "" {
+				continue
+			}
+			m := nsValue.FindStringSubmatch(ev.Output)
+			if m == nil {
+				continue
+			}
+			if ns, err := strconv.ParseFloat(m[1], 64); err == nil {
+				record(ev.Test, ns)
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
+			record(m[1], ns)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 10,
+		"fail when a gated benchmark's ns/op grows by more than this percentage")
+	gate := flag.String("gate", "Fig4AnswersCount|Fig6PageRankBigDataBench|Fig7PageRankHiBench",
+		"regexp of benchmark names whose regressions fail the run")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-regress pct] [-gate regexp] OLD NEW")
+		os.Exit(2)
+	}
+	gateRE, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: bad -gate:", err)
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old))
+	for name := range old {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no common benchmarks between the two files")
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-42s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := old[name], cur[name]
+		delta := 100 * (n - o) / o
+		mark := ""
+		if gateRE.MatchString(name) && delta > *maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-42s %14.0f %14.0f %+7.1f%%%s\n", name, o, n, delta, mark)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: gated benchmark regressed more than %.1f%%\n", *maxRegress)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"hpcbd"
+	"hpcbd/internal/exec"
 )
 
 func main() {
@@ -18,7 +19,9 @@ func main() {
 	plot := flag.Bool("plot", false, "also render an ASCII chart")
 	impl := flag.String("impl", "both", "bigdatabench (Fig 6), hibench (Fig 7), or both")
 	ablate := flag.Bool("ablate", false, "also run the persist ablation")
+	pool := flag.Int("pool", 0, "host worker pool size for simulated-task payloads (0 = GOMAXPROCS); results are identical for every size")
 	flag.Parse()
+	exec.SetDefaultSize(*pool)
 
 	o := hpcbd.FullOptions()
 	if *quick {

@@ -1,0 +1,67 @@
+package hpcbd
+
+// Pool-invariance regression tests for the deterministic parallel compute
+// engine: simulated results — virtual times, counters, ranks — must be
+// bit-identical whether offloaded payloads run inline (pool size 1) or on
+// a pool of host workers (pool size 8). The engine's contract is that
+// offloading only overlaps host work with the virtual-time charge; it
+// never changes what the simulation computes.
+
+import (
+	"reflect"
+	"testing"
+
+	"hpcbd/internal/exec"
+)
+
+// withPool runs fn with the process-wide default worker pool pinned to n,
+// restoring the GOMAXPROCS-derived default afterwards.
+func withPool(t *testing.T, n int, fn func()) {
+	t.Helper()
+	exec.SetDefaultSize(n)
+	defer exec.SetDefaultSize(0)
+	fn()
+}
+
+func TestFig4PoolInvariance(t *testing.T) {
+	o := QuickOptions()
+	var fig1, fig8 Figure
+	var res1, res8 map[string]AnswersCountResult
+	withPool(t, 1, func() { fig1, res1 = Fig4(o) })
+	withPool(t, 8, func() { fig8, res8 = Fig4(o) })
+	if !reflect.DeepEqual(fig1, fig8) {
+		t.Errorf("Fig4 series differ between pool sizes 1 and 8:\npool1: %v\npool8: %v", fig1, fig8)
+	}
+	if !reflect.DeepEqual(res1, res8) {
+		t.Errorf("Fig4 results differ between pool sizes 1 and 8:\npool1: %v\npool8: %v", res1, res8)
+	}
+}
+
+func TestFig6PoolInvariance(t *testing.T) {
+	o := QuickOptions()
+	var fig1, fig8 Figure
+	var ranks1, ranks8 map[string][]float64
+	withPool(t, 1, func() { fig1, ranks1 = Fig6(o) })
+	withPool(t, 8, func() { fig8, ranks8 = Fig6(o) })
+	if !reflect.DeepEqual(fig1, fig8) {
+		t.Errorf("Fig6 series differ between pool sizes 1 and 8:\npool1: %v\npool8: %v", fig1, fig8)
+	}
+	if !reflect.DeepEqual(ranks1, ranks8) {
+		t.Errorf("Fig6 PageRank vectors differ between pool sizes 1 and 8")
+	}
+}
+
+func TestTransportSweepPoolInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transport sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var a, b TransportSweepResult
+	withPool(t, 1, func() { a = TransportSweep(o) })
+	withPool(t, 8, func() { b = TransportSweep(o) })
+	// CheckTransportSweep includes the bit-exact determinism comparison
+	// between its two arguments, here produced under different pool sizes.
+	for _, v := range CheckTransportSweep(a, b) {
+		t.Errorf("transport sweep pool invariance: %s", v)
+	}
+}

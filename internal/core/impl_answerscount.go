@@ -57,12 +57,15 @@ func OMPAnswersCount(c *cluster.Cluster, d *workload.StackExchange, nthreads int
 					rhi := min64(rlo+chunkRecs, d.NumRecords)
 					bytes := d.BytesOf(rlo, rhi)
 					t.ReadScratch(bytes)
-					t.ComputeScan(c.Cost, bytes)
-					for _, post := range d.Records(rlo, rhi) {
-						if post.Question {
-							questions++
+					questions += omp.Offload(t, float64(bytes)/c.Cost.ScanBW, func() float64 {
+						var q float64
+						for _, post := range d.Records(rlo, rhi) {
+							if post.Question {
+								q++
+							}
 						}
-					}
+						return q
+					})
 				}
 				return questions
 			}, func(a, b float64) float64 { return a + b })

@@ -1,0 +1,162 @@
+// Package exec provides the host-side worker pool that runs the pure
+// compute payloads of simulated tasks in parallel with the discrete-event
+// kernel.
+//
+// The simulation kernel in internal/sim executes exactly one simulated
+// process at a time, which pins the whole suite to a single host core no
+// matter how many records the workloads crunch. The pool closes that gap:
+// a payload — a side-effect-free function over record slices — is
+// submitted when its simulated task starts computing and joined exactly at
+// the task's virtual-time completion event, so the kernel keeps dispatching
+// other processes (and their payloads) while host workers chew through the
+// real work. Determinism is unaffected by construction: payloads are pure,
+// results are joined at fixed virtual times, and the kernel's event
+// sequence is identical whatever the pool size (see sim.OffloadTimed).
+package exec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size host worker pool with an unbounded FIFO queue.
+// Submit never blocks, which is essential: it is called from the kernel
+// goroutine, and a blocking submit would stall virtual time behind host
+// compute. A pool of size <= 1 runs work inline in Submit — the serial
+// engine — so "pool size 1" and "no pool" are the same execution and form
+// the baseline the determinism tests compare against.
+type Pool struct {
+	size int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+}
+
+// NewPool creates a pool with n workers. n <= 1 creates an inline pool
+// with no goroutines.
+func NewPool(n int) *Pool {
+	p := &Pool{size: n}
+	if n <= 1 {
+		p.size = 1
+		return p
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Size returns the worker count (1 for an inline pool).
+func (p *Pool) Size() int { return p.size }
+
+// Submit enqueues fn. It never blocks; for inline pools it runs fn before
+// returning. fn must handle its own panics (sim.OffloadStart captures them
+// and re-panics in the submitting process) — a panic escaping into a
+// worker would kill the process.
+func (p *Pool) Submit(fn func()) {
+	if p.size <= 1 {
+		fn()
+		return
+	}
+	p.mu.Lock()
+	p.queue = append(p.queue, fn)
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// Close stops the workers once the queue drains. Pools are normally
+// process-lived and never closed; Close exists for tests.
+func (p *Pool) Close() {
+	if p.size <= 1 {
+		return
+	}
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *Pool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		fn := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		if len(p.queue) == 0 {
+			p.queue = nil // let the backing array go once drained
+		}
+		p.mu.Unlock()
+		fn()
+	}
+}
+
+var (
+	sharedMu    sync.Mutex
+	sharedPools = map[int]*Pool{}
+	defaultSize int // 0 = GOMAXPROCS at first use
+)
+
+// Shared returns the process-wide pool of the given size, creating it on
+// first use. Worker goroutines are cheap and process-lived, so pools are
+// cached per size rather than created per kernel.
+func Shared(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	p, ok := sharedPools[n]
+	if !ok {
+		p = NewPool(n)
+		sharedPools[n] = p
+	}
+	return p
+}
+
+// Default returns the shared pool sized by SetDefaultSize, or by
+// GOMAXPROCS capped at the physical CPU count when unset — the pool
+// every new kernel attaches to. The cap matters on constrained hosts
+// (containers exposing fewer CPUs than GOMAXPROCS): payloads are
+// CPU-bound, so workers beyond physical cores add queue and wake-up
+// overhead without any overlap. SetDefaultSize bypasses the cap.
+//
+// Default also right-sizes the Go scheduler itself: with more Ps than
+// physical CPUs, every direct handoff between simulated processes turns
+// from a same-P goroutine switch into a cross-thread futex wake, and the
+// extra Ps can never overlap useful work. The P count is only ever
+// lowered to the CPU count, never raised above what the user configured.
+func Default() *Pool {
+	if gm, c := runtime.GOMAXPROCS(0), runtime.NumCPU(); gm > c {
+		runtime.GOMAXPROCS(c)
+	}
+	sharedMu.Lock()
+	n := defaultSize
+	sharedMu.Unlock()
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+		if c := runtime.NumCPU(); c < n {
+			n = c
+		}
+	}
+	return Shared(n)
+}
+
+// SetDefaultSize overrides the size Default uses (0 restores GOMAXPROCS).
+// Kernels capture their pool at construction, so the override applies to
+// kernels created afterwards — the hook the determinism regression tests
+// use to run the same experiment on the serial and parallel engines.
+func SetDefaultSize(n int) {
+	sharedMu.Lock()
+	defaultSize = n
+	sharedMu.Unlock()
+}

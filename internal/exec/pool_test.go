@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestInlinePoolRunsInSubmit(t *testing.T) {
+	p := NewPool(1)
+	ran := false
+	p.Submit(func() { ran = true })
+	if !ran {
+		t.Fatal("inline pool must run the payload inside Submit")
+	}
+	if p.Size() != 1 {
+		t.Fatalf("Size() = %d", p.Size())
+	}
+}
+
+func TestPoolRunsAllSubmissions(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	const n = 1000
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.Submit(func() {
+			done.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if got := done.Load(); got != n {
+		t.Fatalf("ran %d of %d submissions", got, n)
+	}
+}
+
+func TestSharedPoolsCachedBySize(t *testing.T) {
+	if Shared(2) != Shared(2) {
+		t.Fatal("Shared must cache pools per size")
+	}
+	if Shared(2) == Shared(3) {
+		t.Fatal("different sizes must get different pools")
+	}
+}
+
+func TestSetDefaultSize(t *testing.T) {
+	defer SetDefaultSize(0)
+	SetDefaultSize(2)
+	if Default() != Shared(2) {
+		t.Fatal("Default must honor SetDefaultSize")
+	}
+	SetDefaultSize(0)
+	if Default().Size() < 1 {
+		t.Fatal("GOMAXPROCS default must be >= 1")
+	}
+}

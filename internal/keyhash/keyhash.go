@@ -1,0 +1,130 @@
+// Package keyhash provides the deterministic key hashing shared by the
+// shuffle partitioners of the rdd and mapred engines.
+//
+// The hash sits on the per-record hot path of every shuffle: each emitted
+// pair is hashed at least once on the map side and again on the reduce
+// side. The typed fast paths below avoid the fmt.Fprintf-into-fnv
+// fallback, which costs a format-string parse and at least two heap
+// allocations per record; for the common key types (all int/uint widths,
+// strings, []byte) hashing is allocation-free, which the package
+// benchmarks assert with testing.AllocsPerRun.
+package keyhash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// String hashes a string with FNV-1a, allocation-free (no []byte
+// conversion, no hash.Hash64 box).
+func String(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Bytes hashes a byte slice with FNV-1a, allocation-free.
+func Bytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Uint64 finalizes an integer key (splitmix-style avalanche) so
+// sequential ids spread across partitions.
+func Uint64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// Hash returns the deterministic hash of any comparable key. All integer
+// widths, strings, bools and floats take an allocation-free fast path;
+// fmt.Stringer keys hash their String() form; anything else falls back to
+// the formatted representation (the only allocating path).
+func Hash[K comparable](k K) uint64 {
+	switch v := any(k).(type) {
+	case int:
+		return Uint64(uint64(v))
+	case int8:
+		return Uint64(uint64(v))
+	case int16:
+		return Uint64(uint64(v))
+	case int32:
+		return Uint64(uint64(v))
+	case int64:
+		return Uint64(uint64(v))
+	case uint:
+		return Uint64(uint64(v))
+	case uint8:
+		return Uint64(uint64(v))
+	case uint16:
+		return Uint64(uint64(v))
+	case uint32:
+		return Uint64(uint64(v))
+	case uint64:
+		return Uint64(v)
+	case uintptr:
+		return Uint64(uint64(v))
+	case string:
+		return String(v)
+	case bool:
+		if v {
+			return Uint64(1)
+		}
+		return Uint64(0)
+	case float64:
+		return Uint64(math.Float64bits(v))
+	case float32:
+		return Uint64(uint64(math.Float32bits(v)))
+	default:
+		// Out-of-line so the interface conversion above never escapes:
+		// every case in this switch only reads the value, keeping the box
+		// on the stack and the fast paths allocation-free.
+		return slowOf(k)
+	}
+}
+
+// slowOf handles key types without a fast path: fmt.Stringer keys hash
+// their String() form, everything else the formatted fallback. The
+// interface conversions here escape (method call, fmt), which is why
+// this lives outside Hash's switch.
+func slowOf[K comparable](k K) uint64 {
+	if s, ok := any(k).(fmt.Stringer); ok {
+		return String(s.String())
+	}
+	return slow(any(k))
+}
+
+// HashAny is Hash for callers holding the key as an interface already
+// (mapred's partitionOf); it adds a []byte fast path, which cannot be a
+// comparable type parameter.
+func HashAny(k any) uint64 {
+	switch v := k.(type) {
+	case []byte:
+		return Bytes(v)
+	default:
+		return Hash(k)
+	}
+}
+
+// slow is the formatted fallback for exotic key types.
+func slow(v any) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", v)
+	return h.Sum64()
+}

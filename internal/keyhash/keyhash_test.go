@@ -1,0 +1,117 @@
+package keyhash
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHashDeterministicAndSpread(t *testing.T) {
+	if Hash(42) != Hash(42) || Hash("q") != Hash("q") {
+		t.Fatal("hash must be deterministic")
+	}
+	if Hash(1) == Hash(2) {
+		t.Fatal("adjacent ints should not collide")
+	}
+	if Hash("q") == Hash("a") {
+		t.Fatal("distinct strings should not collide")
+	}
+	// Partition spread: sequential ids must not all land in one bucket.
+	buckets := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		buckets[Hash(i)%8]++
+	}
+	for b, n := range buckets {
+		if n == 0 || n == 1000 {
+			t.Fatalf("degenerate spread: bucket %d has %d of 1000", b, n)
+		}
+	}
+}
+
+func TestHashAgreesAcrossEntryPoints(t *testing.T) {
+	if Hash("key") != HashAny("key") || Hash(7) != HashAny(7) {
+		t.Fatal("Hash and HashAny must agree")
+	}
+	if HashAny([]byte("key")) != String("key") {
+		t.Fatal("[]byte must hash like the equivalent string")
+	}
+	if Hash(uint64(9)) != Uint64(9) {
+		t.Fatal("Hash(uint64) must equal Uint64")
+	}
+}
+
+type stringerKey struct{ a, b int }
+
+func (s stringerKey) String() string { return fmt.Sprintf("%d/%d", s.a, s.b) }
+
+func TestStringerAndFallback(t *testing.T) {
+	if Hash(stringerKey{1, 2}) != String("1/2") {
+		t.Fatal("fmt.Stringer keys must hash their String() form")
+	}
+	type opaque struct{ x, y int }
+	if Hash(opaque{1, 2}) == Hash(opaque{2, 1}) {
+		t.Fatal("fallback must distinguish field order")
+	}
+}
+
+// TestZeroAllocFastPaths is the satellite acceptance check: int and
+// string keys (the repo's shuffle key types) hash with zero allocations.
+func TestZeroAllocFastPaths(t *testing.T) {
+	keys := []string{"q", "a", "some-longer-shuffle-key"}
+	var sink uint64
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			sink += Hash(i)
+		}
+	}); n != 0 {
+		t.Errorf("Hash(int): %v allocs/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			sink += Hash(k)
+		}
+	}); n != 0 {
+		t.Errorf("Hash(string): %v allocs/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sink += Hash(int64(1<<40)) + Hash(uint32(7)) + Hash(3.5)
+	}); n != 0 {
+		t.Errorf("Hash(numeric): %v allocs/run, want 0", n)
+	}
+	bk := any([]byte{1, 2, 3}) // pre-boxed, as a partitioner holding `any` keys would
+	if n := testing.AllocsPerRun(100, func() {
+		sink += HashAny(bk)
+	}); n != 0 {
+		t.Errorf("HashAny(boxed []byte): %v allocs/run, want 0", n)
+	}
+	_ = sink
+}
+
+func BenchmarkHashInt(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Hash(i)
+	}
+	_ = sink
+}
+
+func BenchmarkHashString(b *testing.B) {
+	b.ReportAllocs()
+	keys := [4]string{"q", "a", "page-rank", "stackexchange"}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Hash(keys[i&3])
+	}
+	_ = sink
+}
+
+// BenchmarkHashFallbackFmt measures the old fmt path for contrast.
+func BenchmarkHashFallbackFmt(b *testing.B) {
+	b.ReportAllocs()
+	type opaque struct{ x, y int }
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Hash(opaque{i, i})
+	}
+	_ = sink
+}

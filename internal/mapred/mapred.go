@@ -235,6 +235,45 @@ func (j *Job[In, K, V]) runMapAttempt(tp *sim.Proc, task string, attempt, node i
 	records := j.Input.Read(tp, node, s)
 	st.InputRecords += int64(len(records))
 
+	// The whole map-side record pipeline — emit, combine, per-partition
+	// sort, size accounting — is a pure payload overlapped with the
+	// per-record and scan charges below (both known up front), so the
+	// event footprint is identical to running it inline. Failed attempts
+	// never reach user code, as before.
+	type mapRes struct {
+		mo         *mapOutput[K, V]
+		totalPairs int64
+	}
+	var pd *sim.Pending[mapRes]
+	if !fail {
+		pd = sim.OffloadStart(tp, func() mapRes {
+			parts := make([][]Pair[K, V], conf.NumReduces)
+			emit := func(k K, v V) {
+				h := partitionOf(k, conf.NumReduces)
+				parts[h] = append(parts[h], Pair[K, V]{k, v})
+			}
+			for _, rec := range records {
+				j.Map(rec, emit)
+			}
+			// Map-side combine shrinks each partition before it is spilled.
+			if j.Combine != nil {
+				for pi, part := range parts {
+					parts[pi] = combinePairs(part, j.Combine)
+				}
+			}
+			// Sort each partition by key hash (Hadoop sorts spills).
+			mo := &mapOutput[K, V]{node: node, partitions: parts, partBytes: make([]int64, conf.NumReduces)}
+			var totalPairs int64
+			for pi, part := range parts {
+				sortByKeyHash(part)
+				b := int64(len(part)) * conf.PairBytes
+				mo.partBytes[pi] = b
+				totalPairs += int64(len(part))
+			}
+			return mapRes{mo, totalPairs}
+		})
+	}
+
 	// Record processing: framework per-record cost plus JVM-rate scan of
 	// the split's logical bytes.
 	tp.Sleep(time.Duration(len(records)) * cm.HadoopPerRecord)
@@ -243,40 +282,19 @@ func (j *Job[In, K, V]) runMapAttempt(tp *sim.Proc, task string, attempt, node i
 	if fail {
 		return false // half-done attempt wasted the time above
 	}
+	res := pd.Join()
 
-	parts := make([][]Pair[K, V], conf.NumReduces)
-	emit := func(k K, v V) {
-		h := partitionOf(k, conf.NumReduces)
-		parts[h] = append(parts[h], Pair[K, V]{k, v})
-	}
-	for _, rec := range records {
-		j.Map(rec, emit)
-	}
-
-	// Map-side combine shrinks each partition before it is spilled.
-	if j.Combine != nil {
-		for pi, part := range parts {
-			parts[pi] = combinePairs(part, j.Combine)
-		}
-	}
-
-	// Sort each partition by key hash (Hadoop sorts spills) and charge
-	// n log n comparisons plus the disk write of the spill.
-	mo := &mapOutput[K, V]{node: node, partitions: parts, partBytes: make([]int64, conf.NumReduces)}
-	var totalPairs, totalBytes int64
-	for pi, part := range parts {
-		sortByKeyHash(part)
-		b := int64(len(part)) * conf.PairBytes
-		mo.partBytes[pi] = b
-		totalPairs += int64(len(part))
+	// Charge n log n spill-sort comparisons plus the disk write.
+	var totalBytes int64
+	for _, b := range res.mo.partBytes {
 		totalBytes += b
 	}
-	if totalPairs > 0 {
-		tp.Sleep(time.Duration(float64(totalPairs)*math.Log2(float64(totalPairs)+1)) * perCompare / 1)
+	if res.totalPairs > 0 {
+		tp.Sleep(time.Duration(float64(res.totalPairs)*math.Log2(float64(res.totalPairs)+1)) * perCompare / 1)
 	}
 	st.SpilledBytes += totalBytes
 	c.Node(node).Scratch.Write(tp, totalBytes)
-	outputs[ti] = mo
+	outputs[ti] = res.mo
 	return true
 }
 
@@ -290,7 +308,13 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 	fail := conf.FailureInjector != nil && conf.FailureInjector(task, attempt)
 
 	// Shuffle: fetch this reducer's partition from every map output.
-	var fetched []Pair[K, V]
+	nIn := 0
+	for _, mo := range outputs {
+		if mo.partBytes[r] > 0 {
+			nIn += len(mo.partitions[r])
+		}
+	}
+	fetched := make([]Pair[K, V], 0, nIn)
 	for _, mo := range outputs {
 		part := mo.partitions[r]
 		b := mo.partBytes[r]
@@ -317,28 +341,32 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 		return nil, false
 	}
 
-	// Merge (sort) and group.
-	sortByKeyHash(fetched)
+	// Merge (sort), group and reduce as a payload over the sort-compare
+	// and per-record charges (both functions of len(fetched), known now).
+	pd := sim.OffloadStart(tp, func() []Pair[K, V] {
+		sortByKeyHash(fetched)
+		vals := make([]V, len(fetched)) // one backing array for all groups
+		for i := range fetched {
+			vals[i] = fetched[i].Val
+		}
+		var out []Pair[K, V]
+		emit := func(k K, v V) { out = append(out, Pair[K, V]{k, v}) }
+		i := 0
+		for i < len(fetched) {
+			jx := i + 1
+			for jx < len(fetched) && fetched[jx].Key == fetched[i].Key {
+				jx++
+			}
+			j.Reduce(fetched[i].Key, vals[i:jx], emit)
+			i = jx
+		}
+		return out
+	})
 	if n := len(fetched); n > 0 {
 		tp.Sleep(time.Duration(float64(n)*math.Log2(float64(n)+1)) * perCompare)
 	}
 	tp.Sleep(time.Duration(len(fetched)) * cm.HadoopPerRecord)
-
-	var out []Pair[K, V]
-	emit := func(k K, v V) { out = append(out, Pair[K, V]{k, v}) }
-	i := 0
-	for i < len(fetched) {
-		jx := i + 1
-		for jx < len(fetched) && fetched[jx].Key == fetched[i].Key {
-			jx++
-		}
-		vals := make([]V, 0, jx-i)
-		for _, pr := range fetched[i:jx] {
-			vals = append(vals, pr.Val)
-		}
-		j.Reduce(fetched[i].Key, vals, emit)
-		i = jx
-	}
+	out := pd.Join()
 
 	// Reduce output is persisted to disk (Hadoop writes to HDFS; charge
 	// the local-replica write).

@@ -2,84 +2,133 @@ package mapred
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
+
+	"hpcbd/internal/keyhash"
+	"hpcbd/internal/scratch"
 )
 
-// keyHash produces a deterministic hash for any comparable key; common key
-// types avoid the reflection path.
-func keyHash(k any) uint64 {
-	switch v := k.(type) {
-	case int:
-		return mix(uint64(v))
-	case int32:
-		return mix(uint64(v))
-	case int64:
-		return mix(uint64(v))
-	case uint64:
-		return mix(v)
-	case string:
-		h := fnv.New64a()
-		h.Write([]byte(v))
-		return h.Sum64()
-	default:
-		h := fnv.New64a()
-		fmt.Fprintf(h, "%v", v)
-		return h.Sum64()
-	}
-}
-
-func mix(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	return x ^ (x >> 33)
-}
+// keyHash produces a deterministic hash for any comparable key; the typed
+// fast paths in internal/keyhash make the common key types (integers,
+// strings) allocation-free.
+func keyHash[K comparable](k K) uint64 { return keyhash.Hash(k) }
 
 // partitionOf maps a key to one of n reduce partitions.
-func partitionOf(k any, n int) int {
-	return int(keyHash(k) % uint64(n))
+func partitionOf[K comparable](k K, n int) int {
+	return int(keyhash.Hash(k) % uint64(n))
+}
+
+// hashSorter sorts pairs with their precomputed hashes in lockstep, so
+// each comparison is two uint64 loads instead of two key hashes.
+type hashSorter[K comparable, V any] struct {
+	pairs []Pair[K, V]
+	h     []uint64
+}
+
+func (s *hashSorter[K, V]) Len() int { return len(s.pairs) }
+
+func (s *hashSorter[K, V]) Swap(i, j int) {
+	s.pairs[i], s.pairs[j] = s.pairs[j], s.pairs[i]
+	s.h[i], s.h[j] = s.h[j], s.h[i]
+}
+
+func (s *hashSorter[K, V]) Less(i, j int) bool {
+	if s.h[i] != s.h[j] {
+		return s.h[i] < s.h[j]
+	}
+	if s.pairs[i].Key == s.pairs[j].Key {
+		return false
+	}
+	// Hash collision between distinct keys: break the tie on the
+	// formatted key so equal keys stay adjacent deterministically.
+	return fmt.Sprint(s.pairs[i].Key) < fmt.Sprint(s.pairs[j].Key)
 }
 
 // sortByKeyHash sorts pairs so equal keys are adjacent, with a
 // deterministic total order (hash, then formatted key for the rare
-// collisions).
+// collisions). Hashes are computed once per record into pooled scratch,
+// not twice per comparison.
 func sortByKeyHash[K comparable, V any](pairs []Pair[K, V]) {
 	if len(pairs) < 2 {
 		return
 	}
-	sort.SliceStable(pairs, func(i, j int) bool {
-		hi, hj := keyHash(pairs[i].Key), keyHash(pairs[j].Key)
-		if hi != hj {
-			return hi < hj
-		}
-		if pairs[i].Key == pairs[j].Key {
-			return false
-		}
-		// Hash collision between distinct keys: break the tie on the
-		// formatted key so equal keys stay adjacent deterministically.
-		return fmt.Sprint(pairs[i].Key) < fmt.Sprint(pairs[j].Key)
-	})
+	hp := scratch.U64(len(pairs))
+	h := *hp
+	for i := range pairs {
+		h[i] = keyHash(pairs[i].Key)
+	}
+	sort.Stable(&hashSorter[K, V]{pairs, h})
+	scratch.PutU64(hp)
 }
 
 // combinePairs groups equal keys and folds their values with the
-// combiner, preserving first-seen key order.
+// combiner, preserving first-seen key order. An open-addressing table of
+// group positions (pooled) replaces the map[K][]V, and all values land in
+// one flat backing array: two allocations total.
 func combinePairs[K comparable, V any](pairs []Pair[K, V], combine func(K, []V) V) []Pair[K, V] {
 	if len(pairs) < 2 {
 		return pairs
 	}
-	groups := map[K][]V{}
-	var order []K
-	for _, p := range pairs {
-		if _, seen := groups[p.Key]; !seen {
-			order = append(order, p.Key)
+	n := len(pairs)
+	ts := scratch.TableSize(n)
+	tp := scratch.I32Fill(ts, -1)
+	table := *tp
+	mask := uint64(ts - 1)
+	hp := scratch.U64(n)
+	hashes := *hp
+	pp := scratch.I32(n)
+	posAt := *pp // per pair: its group index
+	rp := scratch.I32(n)
+	rep := *rp // per group: first pair index (for key compares)
+	cp := scratch.I32Zero(n)
+	cnt := *cp // per group: value count
+	groups := 0
+	for i := range pairs {
+		h := keyHash(pairs[i].Key)
+		hashes[i] = h
+		slot := h & mask
+		for {
+			g := table[slot]
+			if g < 0 {
+				table[slot] = int32(groups)
+				rep[groups] = int32(i)
+				posAt[i] = int32(groups)
+				cnt[groups]++
+				groups++
+				break
+			}
+			if hashes[rep[g]] == h && pairs[rep[g]].Key == pairs[i].Key {
+				posAt[i] = g
+				cnt[g]++
+				break
+			}
+			slot = (slot + 1) & mask
 		}
-		groups[p.Key] = append(groups[p.Key], p.Val)
 	}
-	out := make([]Pair[K, V], 0, len(order))
-	for _, k := range order {
-		out = append(out, Pair[K, V]{k, combine(k, groups[k])})
+	op := scratch.I32(groups)
+	off := *op
+	sum := int32(0)
+	for g := 0; g < groups; g++ {
+		off[g] = sum
+		sum += cnt[g]
+		cnt[g] = 0 // reuse as the fill cursor
 	}
+	flat := make([]V, n)
+	for i := range pairs {
+		g := posAt[i]
+		flat[off[g]+cnt[g]] = pairs[i].Val
+		cnt[g]++
+	}
+	out := make([]Pair[K, V], groups)
+	for g := 0; g < groups; g++ {
+		k := pairs[rep[g]].Key
+		out[g] = Pair[K, V]{k, combine(k, flat[off[g]:off[g]+cnt[g]])}
+	}
+	scratch.PutI32(tp)
+	scratch.PutU64(hp)
+	scratch.PutI32(pp)
+	scratch.PutI32(rp)
+	scratch.PutI32(cp)
+	scratch.PutI32(op)
 	return out
 }

@@ -186,7 +186,7 @@ func (c *Comm) Isend(r *Rank, dst, tag int, payload any, bytes int64) *Request {
 	// The background proc inherits the rank's identity for matching
 	// purposes but runs on its own virtual thread, as a real MPI progress
 	// engine would.
-	k.Spawn(fmt.Sprintf("mpi.isend.%d->%d", c.rankOf(r), dst), func(p *sim.Proc) {
+	k.Spawn("mpi.isend", func(p *sim.Proc) { // static name: one progress proc per message makes Sprintf a hot-path alloc
 		shadow := &Rank{world: r.world, rank: r.rank, node: r.node, p: p}
 		c.Send(shadow, dst, tag, payload, bytes)
 		r.sends++
@@ -201,7 +201,7 @@ func (c *Comm) Isend(r *Rank, dst, tag int, payload any, bytes int64) *Request {
 func (c *Comm) Irecv(r *Rank, src, tag int) *Request {
 	k := c.world.Cluster.K
 	req := &Request{done: sim.NewFuture[Message](k)}
-	k.Spawn(fmt.Sprintf("mpi.irecv.%d", c.rankOf(r)), func(p *sim.Proc) {
+	k.Spawn("mpi.irecv", func(p *sim.Proc) {
 		// The shadow runs on its own virtual thread but matches against
 		// the real rank's queues.
 		shadow := &Rank{world: r.world, rank: r.rank, node: r.node, p: p}

@@ -132,6 +132,21 @@ func (t *Thread) ComputeScan(cm cluster.CostModel, n int64) {
 	t.Compute(float64(n) / cm.ScanBW)
 }
 
+// Offload charges the thread `seconds` of single-core compute — holding a
+// core, exactly like Compute — while fn runs on the host worker pool; the
+// result is returned when the virtual charge elapses. The event footprint
+// is identical to `v := fn(); t.Compute(seconds)`, so virtual times are
+// unchanged by pool size. fn must be a pure payload (no kernel
+// primitives, no shared-state writes — see sim.OffloadStart). A package
+// function rather than a method because Go methods cannot add type
+// parameters.
+func Offload[T any](t *Thread, seconds float64, fn func() T) T {
+	t.team.node.Cores.Acquire(t.p, 1)
+	v := sim.OffloadTimed(t.p, time.Duration(seconds*1e9), fn)
+	t.team.node.Cores.Release(1)
+	return v
+}
+
 // ReadScratch charges a read of n bytes from the node's local scratch
 // disk; concurrent threads contend for its channels — the single-node I/O
 // bottleneck visible in the OpenMP AnswersCount results.

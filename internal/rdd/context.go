@@ -330,11 +330,20 @@ func (tc *taskContext) live() bool {
 // chargeRecords charges framework per-record cost for n physical records,
 // scaled to logical volume.
 func (tc *taskContext) chargeRecords(n int) {
+	if d := tc.recordsDur(n); d > 0 {
+		tc.p.Sleep(d)
+	}
+}
+
+// recordsDur is the virtual duration chargeRecords(n) sleeps — exposed so
+// offloaded payloads can overlap host work with exactly that accounting
+// window (identical event footprint either way).
+func (tc *taskContext) recordsDur(n int) time.Duration {
 	if n <= 0 {
-		return
+		return 0
 	}
 	d := time.Duration(float64(tc.ctx.C.Cost.SparkPerRecord) * float64(n) * tc.ctx.Conf.Scale)
-	tc.p.Sleep(tc.stretch(d))
+	return tc.stretch(d)
 }
 
 // stretch applies the executor node's straggler compute multiplier.

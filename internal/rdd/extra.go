@@ -55,6 +55,9 @@ func SortBy[T any](r *RDD[T], key func(T) float64, nOut int) *RDD[T] {
 		if err != nil {
 			return err
 		}
+		// Runs inline on the kernel thread: boundsFor mutates the shared
+		// bounds slice on first use, so this closure is not a pure payload
+		// and must not be offloaded to the host pool.
 		b := boundsFor(in)
 		buckets := make([][]KV[int, T], nOut)
 		for _, v := range in {
@@ -74,17 +77,21 @@ func SortBy[T any](r *RDD[T], key func(T) float64, nOut int) *RDD[T] {
 		if err != nil {
 			return nil, err
 		}
-		var res []T
-		for _, b := range buckets {
-			for _, p := range b {
-				res = append(res, p.V)
+		n := totalLen(buckets)
+		w := 0
+		if n > 1 {
+			w = n + n/2 // sort roughly revisits each record ~1.5x at JVM rates
+		}
+		res := offloadRecords(tc, w, func() []T {
+			res := make([]T, 0, n)
+			for _, b := range buckets {
+				for _, p := range b {
+					res = append(res, p.V)
+				}
 			}
-		}
-		sort.SliceStable(res, func(i, j int) bool { return key(res[i]) < key(res[j]) })
-		// n log n comparison cost.
-		if n := len(res); n > 1 {
-			tc.chargeRecords(n + n/2) // sort roughly revisits each record ~1.5x at JVM rates
-		}
+			sort.SliceStable(res, func(i, j int) bool { return key(res[i]) < key(res[j]) })
+			return res
+		})
 		return res, nil
 	}
 	return out
@@ -139,14 +146,16 @@ func Sample[T any](r *RDD[T], fraction float64, seed int64) *RDD[T] {
 		if err != nil {
 			return nil, err
 		}
-		var res []T
-		for i, v := range in {
-			h := mix64(uint64(seed) ^ uint64(part)<<32 ^ uint64(i))
-			if h>>1 <= threshold {
-				res = append(res, v)
+		res := offloadRecords(tc, len(in), func() []T {
+			var res []T
+			for i, v := range in {
+				h := mix64(uint64(seed) ^ uint64(part)<<32 ^ uint64(i))
+				if h>>1 <= threshold {
+					res = append(res, v)
+				}
 			}
-		}
-		tc.chargeRecords(len(in))
+			return res
+		})
 		return res, nil
 	}
 	return out
@@ -241,10 +250,12 @@ func MapPartitionsWithCost[T, U any](r *RDD[T], perRecordNs int64, f func(in []T
 		if err != nil {
 			return nil, err
 		}
-		res := f(in)
+		// Both accounting sleeps are known from the input size, so the
+		// payload overlaps the full window.
+		pd := sim.OffloadStart(tc.p, func() []U { return f(in) })
 		tc.chargeRecords(len(in))
 		tc.chargeCompute(len(in), nsToDur(perRecordNs))
-		return res, nil
+		return pd.Join(), nil
 	}
 	return out
 }

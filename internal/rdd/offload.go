@@ -1,0 +1,26 @@
+package rdd
+
+import "hpcbd/internal/sim"
+
+// offloadMin is the partition size below which a payload runs inline on
+// the kernel thread: tiny partitions cost less than a pool handoff.
+const offloadMin = 256
+
+// offloadRecords runs fn as a host-pool payload overlapped with the
+// chargeRecords(n) accounting window. The event footprint is identical to
+// `v := fn(); tc.chargeRecords(n)` — zero events when n <= 0, exactly one
+// timer otherwise — so virtual times are bit-identical across pool sizes;
+// only the host wall-clock changes. fn must be pure: no kernel
+// primitives, no writes to shared state (see sim.OffloadStart).
+func offloadRecords[T any](tc *taskContext, n int, fn func() T) T {
+	d := tc.recordsDur(n)
+	if d <= 0 {
+		return fn()
+	}
+	if n < offloadMin {
+		v := fn()
+		tc.p.Sleep(d)
+		return v
+	}
+	return sim.OffloadTimed(tc.p, d, fn)
+}

@@ -237,11 +237,13 @@ func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
 		if err != nil {
 			return nil, err
 		}
-		res := make([]U, len(in))
-		for i, v := range in {
-			res[i] = f(v)
-		}
-		tc.chargeRecords(len(in))
+		res := offloadRecords(tc, len(in), func() []U {
+			res := make([]U, len(in))
+			for i, v := range in {
+				res[i] = f(v)
+			}
+			return res
+		})
 		return res, nil
 	}
 	return out
@@ -275,13 +277,15 @@ func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
 		if err != nil {
 			return nil, err
 		}
-		var res []T
-		for _, v := range in {
-			if pred(v) {
-				res = append(res, v)
+		res := offloadRecords(tc, len(in), func() []T {
+			var res []T
+			for _, v := range in {
+				if pred(v) {
+					res = append(res, v)
+				}
 			}
-		}
-		tc.chargeRecords(len(in))
+			return res
+		})
 		return res, nil
 	}
 	return out
@@ -298,11 +302,31 @@ func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
 		if err != nil {
 			return nil, err
 		}
-		var res []U
-		for _, v := range in {
-			res = append(res, f(v)...)
-		}
-		tc.chargeRecords(len(in) + len(res))
+		// The input-side charge is a fixed window the payload overlaps; the
+		// output-side charge is only known once the payload has run.
+		pd := sim.OffloadStart(tc.p, func() []U {
+			// Two-phase concat: collecting the per-record slices first
+			// makes the result an exact single allocation instead of an
+			// append-growth chain (flatMap output dominated the Fig 6
+			// allocation profile).
+			chunks := make([][]U, 0, len(in))
+			total := 0
+			for _, v := range in {
+				if o := f(v); len(o) > 0 {
+					chunks = append(chunks, o)
+					total += len(o)
+				}
+			}
+			res := make([]U, total)
+			pos := 0
+			for _, o := range chunks {
+				pos += copy(res[pos:], o)
+			}
+			return res
+		})
+		tc.chargeRecords(len(in))
+		res := pd.Join()
+		tc.chargeRecords(len(res))
 		return res, nil
 	}
 	return out
@@ -319,8 +343,7 @@ func MapPartitions[T, U any](r *RDD[T], f func([]T) []U) *RDD[U] {
 		if err != nil {
 			return nil, err
 		}
-		res := f(in)
-		tc.chargeRecords(len(in))
+		res := offloadRecords(tc, len(in), func() []U { return f(in) })
 		return res, nil
 	}
 	return out
@@ -357,11 +380,13 @@ func MapValues[K comparable, V, W any](r *RDD[KV[K, V]], f func(V) W) *RDD[KV[K,
 		if err != nil {
 			return nil, err
 		}
-		res := make([]KV[K, W], len(in))
-		for i, p := range in {
-			res[i] = KV[K, W]{p.K, f(p.V)}
-		}
-		tc.chargeRecords(len(in))
+		res := offloadRecords(tc, len(in), func() []KV[K, W] {
+			res := make([]KV[K, W], len(in))
+			for i, p := range in {
+				res[i] = KV[K, W]{p.K, f(p.V)}
+			}
+			return res
+		})
 		return res, nil
 	}
 	return out

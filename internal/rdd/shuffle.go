@@ -2,7 +2,10 @@ package rdd
 
 import (
 	"fmt"
-	"hash/fnv"
+
+	"hpcbd/internal/keyhash"
+	"hpcbd/internal/scratch"
+	"hpcbd/internal/sim"
 )
 
 // shuffleState tracks one shuffle's map outputs (the MapOutputTracker).
@@ -56,33 +59,13 @@ func (f fetchFailure) Error() string {
 	return fmt.Sprintf("rdd: fetch failure: shuffle %d map partition %d", f.shuffleID, f.mapPart)
 }
 
-// keyHash is the deterministic partitioner hash.
-func keyHash(k any) uint64 {
-	switch v := k.(type) {
-	case int:
-		return mix64(uint64(v))
-	case int32:
-		return mix64(uint64(v))
-	case int64:
-		return mix64(uint64(v))
-	case string:
-		h := fnv.New64a()
-		h.Write([]byte(v))
-		return h.Sum64()
-	default:
-		h := fnv.New64a()
-		fmt.Fprintf(h, "%v", v)
-		return h.Sum64()
-	}
-}
+// keyHash is the deterministic partitioner hash. The typed fast paths
+// (all integer widths, strings) live in internal/keyhash and are
+// allocation-free; only exotic key types pay the formatted fallback.
+func keyHash[K comparable](k K) uint64 { return keyhash.Hash(k) }
 
-func mix64(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	return x ^ (x >> 33)
-}
+// mix64 finalizes integer keys (kept for samplers that hash indices).
+func mix64(x uint64) uint64 { return keyhash.Uint64(x) }
 
 // newShuffle registers a shuffle dependency over parent with a typed map
 // task and returns the dependency.
@@ -130,6 +113,11 @@ func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart in
 	ctx := tc.ctx
 	ss := ctx.shuffles[shuffleID]
 	out := make([][]KV[K, V], 0, len(ss.outputs))
+	// Deserialization is a pure local CPU charge at a fixed rate, so it is
+	// accumulated across map outputs and charged as one sleep: the task's
+	// virtual completion time is unchanged (DeserTime is linear in bytes)
+	// and the kernel processes one event instead of one per map output.
+	var deserBytes int64
 	for m, mo := range ss.outputs {
 		if mo == nil || !ctx.executors[mo.exec].alive {
 			return nil, fetchFailure{shuffleID: shuffleID, mapPart: m}
@@ -146,38 +134,310 @@ func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart in
 				}
 				ctx.ShuffleBytes += b
 			}
-			tc.p.Sleep(ctx.C.Cost.DeserTime(b))
+			deserBytes += b
 		}
 		out = append(out, mo.buckets[reducePart].([]KV[K, V]))
+	}
+	if deserBytes > 0 {
+		tc.p.Sleep(ctx.C.Cost.DeserTime(deserBytes))
 	}
 	return out, nil
 }
 
 // bucketize partitions pairs by key hash into n buckets, optionally
 // combining values per key on the map side (insertion-order deterministic).
+//
+// Allocation-lean: two counted passes place records into exact-size
+// buckets carved out of one flat backing array (two allocations total
+// regardless of n), with per-record hashes and per-bucket counts held in
+// pooled scratch. The combine path replaces the per-bucket map[K]int with
+// a single open-addressing table of record indices, so map-side combining
+// allocates nothing beyond the output itself. Buckets are never appended
+// to after construction (they share backing), which writeShuffle and the
+// reduce-side merges respect by treating fetched buckets as read-only.
 func bucketize[K comparable, V any](pairs []KV[K, V], n int, combine func(V, V) V) [][]KV[K, V] {
 	buckets := make([][]KV[K, V], n)
-	if combine == nil {
-		for _, p := range pairs {
-			b := int(keyHash(p.K) % uint64(n))
-			buckets[b] = append(buckets[b], p)
-		}
+	if len(pairs) == 0 {
 		return buckets
 	}
-	idx := make([]map[K]int, n)
-	for _, p := range pairs {
-		b := int(keyHash(p.K) % uint64(n))
-		if idx[b] == nil {
-			idx[b] = map[K]int{}
+	nb := uint64(n)
+	hp := scratch.U64(len(pairs))
+	hashes := *hp
+	cp := scratch.I32Zero(n)
+	counts := *cp
+
+	if combine == nil {
+		for i := range pairs {
+			h := keyHash(pairs[i].K)
+			hashes[i] = h
+			counts[h%nb]++
 		}
-		if at, ok := idx[b][p.K]; ok {
-			buckets[b][at].V = combine(buckets[b][at].V, p.V)
-		} else {
-			idx[b][p.K] = len(buckets[b])
-			buckets[b] = append(buckets[b], p)
+		flat := make([]KV[K, V], len(pairs))
+		off := 0
+		for b, c := range counts {
+			buckets[b] = flat[off : off : off+int(c)]
+			off += int(c)
+		}
+		for i := range pairs {
+			b := hashes[i] % nb
+			buckets[b] = append(buckets[b], pairs[i])
+		}
+		scratch.PutU64(hp)
+		scratch.PutI32(cp)
+		return buckets
+	}
+
+	// Pass 1: dedup keys via open addressing (table holds record indices;
+	// first occurrence is the representative and fixes the slot within its
+	// bucket, preserving the map version's insertion order).
+	ts := scratch.TableSize(len(pairs))
+	tp := scratch.I32Fill(ts, -1)
+	table := *tp
+	mask := uint64(ts - 1)
+	rp := scratch.I32(len(pairs))
+	reps := *rp
+	pp := scratch.I32(len(pairs))
+	pos := *pp
+	distinct := 0
+	for i := range pairs {
+		h := keyHash(pairs[i].K)
+		hashes[i] = h
+		slot := h & mask
+		for {
+			r := table[slot]
+			if r < 0 {
+				table[slot] = int32(i)
+				reps[i] = int32(i)
+				b := h % nb
+				pos[i] = counts[b]
+				counts[b]++
+				distinct++
+				break
+			}
+			if hashes[r] == h && pairs[r].K == pairs[i].K {
+				reps[i] = r
+				break
+			}
+			slot = (slot + 1) & mask
 		}
 	}
+
+	// Pass 2: place representatives, fold duplicates in encounter order
+	// (combine(acc, new), exactly as the map version did).
+	flat := make([]KV[K, V], distinct)
+	off := 0
+	for b, c := range counts {
+		buckets[b] = flat[off : off+int(c)]
+		off += int(c)
+	}
+	for i := range pairs {
+		b := hashes[i] % nb
+		if r := reps[i]; int(r) == i {
+			buckets[b][pos[i]] = pairs[i]
+		} else {
+			at := pos[r]
+			buckets[b][at].V = combine(buckets[b][at].V, pairs[i].V)
+		}
+	}
+	scratch.PutU64(hp)
+	scratch.PutI32(cp)
+	scratch.PutI32(tp)
+	scratch.PutI32(rp)
+	scratch.PutI32(pp)
 	return buckets
+}
+
+// totalLen sums fetched bucket lengths (the reduce-side record count n,
+// known before any merge runs — it fixes the accounting window).
+func totalLen[T any](buckets [][]T) int {
+	n := 0
+	for _, b := range buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// mergeCombine folds fetched buckets into one record per key (first
+// occurrence fixes order, values combined in encounter order — identical
+// to the map-based merge it replaces). A pooled open-addressing table
+// keyed by result position replaces the map[K]int.
+func mergeCombine[K comparable, V any](buckets [][]KV[K, V], op func(V, V) V) []KV[K, V] {
+	total := totalLen(buckets)
+	if total == 0 {
+		return nil
+	}
+	ts := scratch.TableSize(total)
+	tp := scratch.I32Fill(ts, -1)
+	table := *tp
+	mask := uint64(ts - 1)
+	hp := scratch.U64(total)
+	hashOf := *hp // hash of the key at each result position
+	var res []KV[K, V]
+	for _, b := range buckets {
+		for i := range b {
+			h := keyHash(b[i].K)
+			slot := h & mask
+			for {
+				pos := table[slot]
+				if pos < 0 {
+					table[slot] = int32(len(res))
+					hashOf[len(res)] = h
+					res = append(res, b[i])
+					break
+				}
+				if hashOf[pos] == h && res[pos].K == b[i].K {
+					res[pos].V = op(res[pos].V, b[i].V)
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+		}
+	}
+	scratch.PutI32(tp)
+	scratch.PutU64(hp)
+	return res
+}
+
+// mergeGroup gathers all values per key across fetched buckets
+// (first-occurrence key order, values in encounter order).
+func mergeGroup[K comparable, V any](buckets [][]KV[K, V]) []KV[K, []V] {
+	total := totalLen(buckets)
+	if total == 0 {
+		return nil
+	}
+	ts := scratch.TableSize(total)
+	tp := scratch.I32Fill(ts, -1)
+	table := *tp
+	mask := uint64(ts - 1)
+	hp := scratch.U64(total)
+	hashOf := *hp
+	pp := scratch.I32(total) // group of record i, in encounter order
+	pos := *pp
+	cp := scratch.I32Zero(total) // records per group
+	cnt := *cp
+	var res []KV[K, []V]
+	ri := 0
+	for _, b := range buckets {
+		for i := range b {
+			h := keyHash(b[i].K)
+			slot := h & mask
+			for {
+				g := table[slot]
+				if g < 0 {
+					g = int32(len(res))
+					table[slot] = g
+					hashOf[g] = h
+					res = append(res, KV[K, []V]{K: b[i].K})
+				} else if hashOf[g] != h || res[g].K != b[i].K {
+					slot = (slot + 1) & mask
+					continue
+				}
+				pos[ri] = g
+				cnt[g]++
+				ri++
+				break
+			}
+		}
+	}
+	// One flat backing for every group's values: res[g].V is a
+	// zero-length, exactly-capped subslice, so the append pass below
+	// fills in place without per-group allocations.
+	flat := make([]V, 0, total)
+	off := 0
+	for g := range res {
+		c := int(cnt[g])
+		res[g].V = flat[off:off:off+c]
+		off += c
+	}
+	ri = 0
+	for _, b := range buckets {
+		for i := range b {
+			g := pos[ri]
+			res[g].V = append(res[g].V, b[i].V)
+			ri++
+		}
+	}
+	scratch.PutI32(tp)
+	scratch.PutU64(hp)
+	scratch.PutI32(pp)
+	scratch.PutI32(cp)
+	return res
+}
+
+// mergeJoin hash-joins fetched (or narrow) buckets: build the left side,
+// stream the right. The right is streamed twice — once to count matches
+// so the result is allocated exactly once, once to emit — with per-record
+// hashes and build positions held in pooled scratch. Output order matches
+// the map-based join it replaces: right stream order, left values in
+// insertion order.
+func mergeJoin[K comparable, V, W any](left [][]KV[K, V], right [][]KV[K, W]) []KV[K, JoinPair[V, W]] {
+	lhs := mergeGroup(left)
+	nr := totalLen(right)
+	if nr == 0 || len(lhs) == 0 {
+		return nil
+	}
+	ts := scratch.TableSize(len(lhs))
+	tp := scratch.I32Fill(ts, -1)
+	table := *tp
+	mask := uint64(ts - 1)
+	hp := scratch.U64(len(lhs))
+	hashOf := *hp
+	for pos := range lhs {
+		h := keyHash(lhs[pos].K)
+		hashOf[pos] = h
+		slot := h & mask
+		for table[slot] >= 0 {
+			slot = (slot + 1) & mask
+		}
+		table[slot] = int32(pos)
+	}
+	// Pass 1 over the right: resolve each record's build position and
+	// count output records.
+	rp := scratch.I32(nr)
+	posR := *rp
+	rh := scratch.U64(nr)
+	rhash := *rh
+	nOut := 0
+	k := 0
+	for _, b := range right {
+		for i := range b {
+			h := keyHash(b[i].K)
+			rhash[k] = h
+			posR[k] = -1
+			slot := h & mask
+			for {
+				pos := table[slot]
+				if pos < 0 {
+					break
+				}
+				if hashOf[pos] == h && lhs[pos].K == b[i].K {
+					posR[k] = pos
+					nOut += len(lhs[pos].V)
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+			k++
+		}
+	}
+	// Pass 2: emit into an exact-size result.
+	res := make([]KV[K, JoinPair[V, W]], 0, nOut)
+	k = 0
+	for _, b := range right {
+		for i := range b {
+			if pos := posR[k]; pos >= 0 {
+				for _, lv := range lhs[pos].V {
+					res = append(res, KV[K, JoinPair[V, W]]{b[i].K, JoinPair[V, W]{lv, b[i].V}})
+				}
+			}
+			k++
+		}
+	}
+	scratch.PutI32(tp)
+	scratch.PutU64(hp)
+	scratch.PutI32(rp)
+	scratch.PutU64(rh)
+	return res
 }
 
 // ---- wide transformations ----
@@ -197,8 +457,9 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], op func(V, V) V, nOut in
 		if err != nil {
 			return err
 		}
-		buckets := bucketize(in, nOut, op)
-		tc.chargeRecords(len(in))
+		buckets := offloadRecords(tc, len(in), func() [][]KV[K, V] {
+			return bucketize(in, nOut, op)
+		})
 		writeShuffle(tc, dep, part, buckets, recBytes)
 		return nil
 	})
@@ -212,21 +473,9 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], op func(V, V) V, nOut in
 		if err != nil {
 			return nil, err
 		}
-		var res []KV[K, V]
-		idx := map[K]int{}
-		n := 0
-		for _, b := range buckets {
-			for _, p := range b {
-				n++
-				if at, ok := idx[p.K]; ok {
-					res[at].V = op(res[at].V, p.V)
-				} else {
-					idx[p.K] = len(res)
-					res = append(res, p)
-				}
-			}
-		}
-		tc.chargeRecords(n)
+		res := offloadRecords(tc, totalLen(buckets), func() []KV[K, V] {
+			return mergeCombine(buckets, op)
+		})
 		return res, nil
 	}
 	return out
@@ -246,8 +495,9 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, []V]
 		if err != nil {
 			return err
 		}
-		buckets := bucketize[K, V](in, nOut, nil)
-		tc.chargeRecords(len(in))
+		buckets := offloadRecords(tc, len(in), func() [][]KV[K, V] {
+			return bucketize[K, V](in, nOut, nil)
+		})
 		writeShuffle(tc, dep, part, buckets, recBytes)
 		return nil
 	})
@@ -261,21 +511,9 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, []V]
 		if err != nil {
 			return nil, err
 		}
-		var res []KV[K, []V]
-		idx := map[K]int{}
-		n := 0
-		for _, b := range buckets {
-			for _, p := range b {
-				n++
-				if at, ok := idx[p.K]; ok {
-					res[at].V = append(res[at].V, p.V)
-				} else {
-					idx[p.K] = len(res)
-					res = append(res, KV[K, []V]{p.K, []V{p.V}})
-				}
-			}
-		}
-		tc.chargeRecords(n)
+		res := offloadRecords(tc, totalLen(buckets), func() []KV[K, []V] {
+			return mergeGroup(buckets)
+		})
 		return res, nil
 	}
 	return out
@@ -295,8 +533,9 @@ func PartitionBy[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, V]]
 		if err != nil {
 			return err
 		}
-		buckets := bucketize[K, V](in, nOut, nil)
-		tc.chargeRecords(len(in))
+		buckets := offloadRecords(tc, len(in), func() [][]KV[K, V] {
+			return bucketize[K, V](in, nOut, nil)
+		})
 		writeShuffle(tc, dep, part, buckets, recBytes)
 		return nil
 	})
@@ -309,11 +548,14 @@ func PartitionBy[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, V]]
 		if err != nil {
 			return nil, err
 		}
-		var res []KV[K, V]
-		for _, b := range buckets {
-			res = append(res, b...)
-		}
-		tc.chargeRecords(len(res))
+		n := totalLen(buckets)
+		res := offloadRecords(tc, n, func() []KV[K, V] {
+			res := make([]KV[K, V], 0, n)
+			for _, b := range buckets {
+				res = append(res, b...)
+			}
+			return res
+		})
 		return res, nil
 	}
 	return out
@@ -345,8 +587,9 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], nOut int) 
 		if err != nil {
 			return err
 		}
-		buckets := bucketize[K, V](in, nOut, nil)
-		tc.chargeRecords(len(in))
+		buckets := offloadRecords(tc, len(in), func() [][]KV[K, V] {
+			return bucketize[K, V](in, nOut, nil)
+		})
 		writeShuffle(tc, depA, part, buckets, a.recBytes)
 		return nil
 	})
@@ -355,8 +598,9 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], nOut int) 
 		if err != nil {
 			return err
 		}
-		buckets := bucketize[K, W](in, nOut, nil)
-		tc.chargeRecords(len(in))
+		buckets := offloadRecords(tc, len(in), func() [][]KV[K, W] {
+			return bucketize[K, W](in, nOut, nil)
+		})
 		writeShuffle(tc, depB, part, buckets, b.recBytes)
 		return nil
 	})
@@ -375,25 +619,16 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], nOut int) 
 			return nil, err
 		}
 		// Hash the left side, stream the right (insertion order on the
-		// right keeps results deterministic).
-		lh := map[K][]V{}
-		n := 0
-		for _, b := range left {
-			for _, p := range b {
-				n++
-				lh[p.K] = append(lh[p.K], p.V)
-			}
-		}
-		var res []KV[K, JoinPair[V, W]]
-		for _, b := range right {
-			for _, p := range b {
-				n++
-				for _, lv := range lh[p.K] {
-					res = append(res, KV[K, JoinPair[V, W]]{p.K, JoinPair[V, W]{lv, p.V}})
-				}
-			}
-		}
-		tc.chargeRecords(n + len(res))
+		// right keeps results deterministic). The per-record work runs as a
+		// payload over the fixed n-record window; the output-dependent part
+		// of the charge follows the join.
+		n := totalLen(left) + totalLen(right)
+		pd := sim.OffloadStart(tc.p, func() []KV[K, JoinPair[V, W]] {
+			return mergeJoin(left, right)
+		})
+		tc.chargeRecords(n)
+		res := pd.Join()
+		tc.chargeRecords(len(res))
 		return res, nil
 	}
 	return out
@@ -416,17 +651,12 @@ func narrowJoin[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]]) *RDD
 		if err != nil {
 			return nil, err
 		}
-		lh := map[K][]V{}
-		for _, p := range left {
-			lh[p.K] = append(lh[p.K], p.V)
-		}
-		var res []KV[K, JoinPair[V, W]]
-		for _, p := range right {
-			for _, lv := range lh[p.K] {
-				res = append(res, KV[K, JoinPair[V, W]]{p.K, JoinPair[V, W]{lv, p.V}})
-			}
-		}
-		tc.chargeRecords(len(left) + len(right) + len(res))
+		pd := sim.OffloadStart(tc.p, func() []KV[K, JoinPair[V, W]] {
+			return mergeJoin([][]KV[K, V]{left}, [][]KV[K, W]{right})
+		})
+		tc.chargeRecords(len(left) + len(right))
+		res := pd.Join()
+		tc.chargeRecords(len(res))
 		return res, nil
 	}
 	return out

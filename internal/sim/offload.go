@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Payload offloading: the deterministic parallel compute engine.
+//
+// A simulated task's real work splits into two halves. The *payload* is
+// pure host compute — mapping, filtering, bucketizing record slices —
+// with no side effects and no kernel calls. The *accounting* is the
+// virtual-time charge for that work (Sleep on the cost model). The kernel
+// serializes accounting; payloads need not be serialized at all.
+//
+// OffloadStart hands a payload to the kernel's worker pool and returns
+// immediately; Join blocks the *host* goroutine (never virtual time)
+// until the result is ready. The canonical shape, OffloadTimed, fuses the
+// join with the task's virtual-time charge:
+//
+//	res := sim.OffloadTimed(p, chargeDur, func() R { ...pure work... })
+//
+// submits the payload, sleeps the charge (so the kernel runs other
+// processes — which submit their own payloads — during the window), and
+// joins at the wake. The event footprint is exactly one Sleep, the same
+// as the serial "compute then charge" code it replaces, so virtual times,
+// RNG draws and outputs are bit-identical for every pool size including 1
+// (where the payload runs inline at submission).
+//
+// Contract for payloads: no kernel primitives (Sleep, resources,
+// channels, futures — the kernel is not re-entrant from workers), no
+// writes to shared state, no reads of state another process may mutate
+// before the join. Read-only sharing (cached partitions, CSR adjacency,
+// registered shuffle buckets) is safe: publication and consumption are
+// both kernel-ordered and the pool's queue/done channels carry the
+// happens-before edges.
+
+// Pending is an in-flight offloaded payload.
+type Pending[T any] struct {
+	res  T
+	pv   any
+	done chan struct{} // nil: ran inline, res already set
+}
+
+// OffloadStart runs fn on p's kernel worker pool (inline when the pool is
+// serial) and returns a handle to join on. It consumes no kernel events.
+func OffloadStart[T any](p *Proc, fn func() T) *Pending[T] {
+	pd := &Pending[T]{}
+	pool := p.k.pool
+	if pool == nil || pool.Size() <= 1 {
+		func() {
+			defer func() { pd.pv = recover() }()
+			pd.res = fn()
+		}()
+		return pd
+	}
+	pd.done = make(chan struct{})
+	pool.Submit(func() {
+		defer close(pd.done)
+		defer func() { pd.pv = recover() }()
+		pd.res = fn()
+	})
+	return pd
+}
+
+// Join waits (host-side, at the current virtual time) for the payload and
+// returns its result. A payload panic is re-raised here, in the simulated
+// process that submitted it, so task-level recovery sees it exactly as if
+// the work had run inline; the worker itself never dies.
+func (pd *Pending[T]) Join() T {
+	if pd.done != nil {
+		<-pd.done
+	}
+	if pd.pv != nil {
+		panic(fmt.Sprintf("sim: offloaded payload panicked: %v", pd.pv))
+	}
+	return pd.res
+}
+
+// OffloadTimed runs fn on the worker pool while p sleeps the virtual-time
+// charge d for that work, joining at the wake: submit, Sleep(d), Join.
+func OffloadTimed[T any](p *Proc, d time.Duration, fn func() T) T {
+	pd := OffloadStart(p, fn)
+	p.Sleep(d)
+	return pd.Join()
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcbd/internal/exec"
+)
+
+// runOffloadWorkload runs a deterministic mix of offloaded payloads and
+// sim primitives on a kernel with the given pool, returning the final
+// virtual time and the payload results in completion order.
+func runOffloadWorkload(t *testing.T, pool *exec.Pool) (Time, []int) {
+	t.Helper()
+	k := NewKernel(7)
+	k.SetPool(pool)
+	defer k.Shutdown()
+	var got []int
+	for i := 0; i < 20; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Microsecond)
+			sum := OffloadTimed(p, time.Duration(100+i)*time.Microsecond, func() int {
+				s := 0
+				for j := 0; j < 50_000; j++ {
+					s += (i + j) % 7
+				}
+				return s
+			})
+			p.Sleep(time.Microsecond)
+			pd := OffloadStart(p, func() int { return sum + i })
+			p.Sleep(time.Duration(i%3) * time.Microsecond)
+			got = append(got, pd.Join())
+		})
+	}
+	return k.Run(), got
+}
+
+// TestOffloadDeterministicAcrossPoolSizes is the engine's core contract:
+// virtual times and outputs are bit-identical for pool sizes 1 and N.
+func TestOffloadDeterministicAcrossPoolSizes(t *testing.T) {
+	baseT, baseRes := runOffloadWorkload(t, exec.NewPool(1))
+	for _, n := range []int{2, 8} {
+		gotT, gotRes := runOffloadWorkload(t, exec.Shared(n))
+		if gotT != baseT {
+			t.Errorf("pool %d: final time %v, serial %v", n, gotT, baseT)
+		}
+		if len(gotRes) != len(baseRes) {
+			t.Fatalf("pool %d: %d results, serial %d", n, len(gotRes), len(baseRes))
+		}
+		for i := range gotRes {
+			if gotRes[i] != baseRes[i] {
+				t.Errorf("pool %d: result[%d] = %d, serial %d", n, i, gotRes[i], baseRes[i])
+			}
+		}
+	}
+}
+
+// TestOffloadPanicPropagates verifies a payload panic re-raises in the
+// submitting process (where task-level recovery can see it) and does not
+// wedge the kernel or kill a worker.
+func TestOffloadPanicPropagates(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		k := NewKernel(1)
+		k.SetPool(exec.Shared(n))
+		defer k.Shutdown()
+		var caught any
+		survived := false
+		k.Spawn("panicky", func(p *Proc) {
+			func() {
+				defer func() { caught = recover() }()
+				OffloadTimed(p, time.Microsecond, func() int { panic("payload boom") })
+			}()
+			// The proc (and kernel) must still be fully usable.
+			p.Sleep(time.Microsecond)
+			survived = OffloadTimed(p, time.Microsecond, func() bool { return true })
+		})
+		k.Run()
+		if caught == nil || !strings.Contains(fmt.Sprint(caught), "payload boom") {
+			t.Fatalf("pool %d: expected propagated payload panic, got %v", n, caught)
+		}
+		if !survived {
+			t.Fatalf("pool %d: kernel wedged after payload panic", n)
+		}
+	}
+}
+
+// TestOffloadStressOverSubscribed floods a small pool with far more
+// concurrent payloads than workers, a deterministic subset of which
+// panic; every panic must land in its own submitter and all other
+// payloads must complete with correct results. Run under -race -count=5
+// by `make verify`, this is the engine's soak test.
+func TestOffloadStressOverSubscribed(t *testing.T) {
+	pool := exec.Shared(4)
+	k := NewKernel(99)
+	k.SetPool(pool)
+	defer k.Shutdown()
+	const n = 64 // 16x the pool size in-flight
+	oks, booms := 0, 0
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("s%d", i), func(p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					if !strings.Contains(fmt.Sprint(r), fmt.Sprintf("boom%d", i)) {
+						t.Errorf("proc %d caught foreign panic: %v", i, r)
+					}
+					booms++
+				}
+			}()
+			v := OffloadTimed(p, time.Duration(i%5)*time.Microsecond, func() int {
+				if i%7 == 3 {
+					panic(fmt.Sprintf("boom%d", i))
+				}
+				s := 0
+				for j := 0; j < 10_000; j++ {
+					s += j % (i + 2)
+				}
+				return s*0 + i
+			})
+			if v != i {
+				t.Errorf("proc %d got %d", i, v)
+			}
+			oks++
+		})
+	}
+	k.Run()
+	wantBooms := 0
+	for i := 0; i < n; i++ {
+		if i%7 == 3 {
+			wantBooms++
+		}
+	}
+	if booms != wantBooms || oks != n-wantBooms {
+		t.Fatalf("oks=%d booms=%d, want %d/%d", oks, booms, n-wantBooms, wantBooms)
+	}
+}

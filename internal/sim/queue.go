@@ -1,26 +1,32 @@
 package sim
 
-// eventQueue is a binary min-heap of events ordered by (time, seq).
+// eventQueue is a 4-ary min-heap of events ordered by (time, seq).
 // A hand-rolled heap avoids container/heap's interface boxing on the
-// simulator's hottest path.
+// simulator's hottest path; the 4-ary layout halves the tree depth of a
+// binary heap, trading slightly more comparisons per level for fewer
+// cache-missing swap chains on pop. The (t, seq) key is a total order
+// (seq is unique), so pop order — and therefore simulation determinism —
+// is independent of the heap's internal arrangement.
 type eventQueue []event
 
-func (q eventQueue) less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+// before reports whether a sorts before b in (t, seq) order.
+func before(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
 func (q *eventQueue) push(e event) {
-	*q = append(*q, e)
-	i := len(*q) - 1
+	h := append(*q, e)
+	*q = h
+	i := len(h) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		parent := (i - 1) / 4
+		if !before(&h[i], &h[parent]) {
 			break
 		}
-		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
 }
@@ -31,27 +37,30 @@ func (q *eventQueue) pop() event {
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = event{} // clear for GC of fn closures
-	*q = h[:n]
-	q.siftDown(0)
-	return top
-}
-
-func (q *eventQueue) siftDown(i int) {
-	h := *q
-	n := len(h)
+	h = h[:n]
+	*q = h
+	// Sift down the displaced element.
+	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
+		first := 4*i + 1
+		if first >= n {
+			break
 		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
+		smallest := first
+		last := first + 4
+		if last > n {
+			last = n
 		}
-		if smallest == i {
-			return
+		for c := first + 1; c < last; c++ {
+			if before(&h[c], &h[smallest]) {
+				smallest = c
+			}
+		}
+		if !before(&h[smallest], &h[i]) {
+			break
 		}
 		h[i], h[smallest] = h[smallest], h[i]
 		i = smallest
 	}
+	return top
 }

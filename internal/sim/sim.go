@@ -18,7 +18,10 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
+
+	"hpcbd/internal/exec"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -49,13 +52,17 @@ type Kernel struct {
 	now    Time
 	seq    uint64
 	events eventQueue
-	ack    chan struct{} // running process -> kernel: parked or finished
-	killed chan struct{} // closed on Shutdown; unblocks parked processes
+	ack    chan struct{} // queue drained -> Run may return
+	killed chan struct{} // closed on Shutdown (external observers)
+	dead   bool          // set by Shutdown before closing resume channels
+	procs  []*Proc       // spawned, not yet finished (for Shutdown)
 	live   int           // processes spawned and not yet finished
 	parked int           // processes parked without a pending event
 	nextID int
 	rng    *rand.Rand
 	ran    bool
+	nev    int64      // events processed by Run
+	pool   *exec.Pool // host workers for offloaded payloads (see offload.go)
 
 	// Trace, when non-nil, receives one line per scheduling decision.
 	// Intended for debugging tests; nil in normal operation.
@@ -63,13 +70,21 @@ type Kernel struct {
 }
 
 // NewKernel returns a kernel with the given deterministic random seed.
+// The kernel attaches to the process-wide default worker pool
+// (exec.Default) for payload offloading; SetPool overrides it.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
 		ack:    make(chan struct{}),
 		killed: make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
+		pool:   exec.Default(),
 	}
 }
+
+// SetPool attaches a specific worker pool (nil or size 1 = serial
+// payload execution). Virtual times and outputs are identical for every
+// pool size; only host wall-clock changes.
+func (k *Kernel) SetPool(p *exec.Pool) { k.pool = p }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -90,6 +105,9 @@ type Proc struct {
 	// A proc parked without a pending event must be woken by another
 	// proc via k.wake.
 	pending bool
+	// finished marks the body as returned, so Shutdown skips its resume
+	// channel.
+	finished bool
 }
 
 // ID returns the process's unique id within its kernel.
@@ -120,7 +138,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		k:      k,
 		id:     k.nextID,
 		name:   name,
-		resume: make(chan struct{}),
+		resume: make(chan struct{}, 1),
 	}
 	k.nextID++
 	k.live++
@@ -133,15 +151,21 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
 			}
 		}()
-		select {
-		case <-p.resume:
-		case <-k.killed:
+		// Plain receive, not a select: the shutdown path closes resume
+		// after setting k.dead, keeping the per-event handoff free of
+		// selectgo overhead (it runs millions of times per simulation).
+		<-p.resume
+		if k.dead {
 			return
 		}
 		body(p)
 		k.live--
-		k.ack <- struct{}{}
+		p.finished = true
+		if !k.dispatch() {
+			k.ack <- struct{}{}
+		}
 	}()
+	k.procs = append(k.procs, p)
 	k.schedule(k.now, p)
 	return p
 }
@@ -175,15 +199,25 @@ func (k *Kernel) wake(p *Proc) {
 	k.schedule(k.now, p)
 }
 
-// park suspends the calling process until the kernel resumes it. The
-// caller must have arranged for a future wake: either a pending event
-// (Sleep) or registration with a waker (resource queue, channel, future).
+// park suspends the calling process until it is resumed. The caller must
+// have arranged for a future wake: either a pending event (Sleep) or
+// registration with a waker (resource queue, channel, future).
+//
+// Scheduling is by direct handoff: the parking process dispatches the
+// next event itself, delivering a token straight to the next process's
+// buffered resume channel — one goroutine switch per handoff instead of
+// bouncing through a central scheduler goroutine, and zero switches when
+// the next event wakes the parking process itself. If the queue drains,
+// the kernel's Run is signalled instead. Shutdown wakes parked processes
+// by closing resume (after setting k.dead), so the hot path is a plain
+// receive rather than a select.
 func (p *Proc) park() {
 	k := p.k
-	k.ack <- struct{}{}
-	select {
-	case <-p.resume:
-	case <-k.killed:
+	if !k.dispatch() {
+		k.ack <- struct{}{}
+	}
+	<-p.resume
+	if k.dead {
 		panic(procKilled{})
 	}
 }
@@ -208,16 +242,16 @@ func (p *Proc) block() {
 	p.park()
 }
 
-// Run executes events until the queue is empty, then returns the final
-// virtual time. Processes still parked on resources, channels or futures
-// when the queue drains are deadlocked (or simply never signalled); Run
-// returns anyway and Shutdown reclaims their goroutines.
-func (k *Kernel) Run() Time {
-	if k.ran {
-		panic("sim: Kernel.Run called twice")
-	}
-	k.ran = true
+// dispatch advances the event loop: callbacks run inline; the first
+// process-wake event hands a token to that process and returns true.
+// Returns false when the queue drains without a handoff. It is called by
+// whichever goroutine is ceding control — Run to start the chain, then
+// each parking or finishing process — so exactly one goroutine executes
+// model code at any moment (the token transfer is the synchronization
+// point; the ceding goroutine touches no kernel state after the send).
+func (k *Kernel) dispatch() bool {
 	for len(k.events) > 0 {
+		k.nev++
 		e := k.events.pop()
 		if e.t < k.now {
 			panic("sim: event queue went backwards")
@@ -235,10 +269,39 @@ func (k *Kernel) Run() Time {
 		}
 		e.p.pending = false
 		e.p.resume <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, then returns the final
+// virtual time. Processes still parked on resources, channels or futures
+// when the queue drains are deadlocked (or simply never signalled); Run
+// returns anyway and Shutdown reclaims their goroutines.
+func (k *Kernel) Run() Time {
+	if k.ran {
+		panic("sim: Kernel.Run called twice")
+	}
+	k.ran = true
+	defer func() { totalEvents.Add(k.nev) }()
+	if k.dispatch() {
 		<-k.ack
 	}
 	return k.now
 }
+
+// Events returns the number of events this kernel's Run has processed —
+// the simulator's unit of work for throughput metrics.
+func (k *Kernel) Events() int64 { return k.nev }
+
+// totalEvents accumulates events across all kernels in the process; each
+// Run adds its count once on return, so the per-event cost is nil.
+var totalEvents atomic.Int64
+
+// TotalEvents returns the number of events processed by all completed
+// kernel runs in this process. Benchmarks report deltas of this as
+// sim-events/sec.
+func TotalEvents() int64 { return totalEvents.Load() }
 
 // Blocked returns the number of processes parked with no pending event.
 // After Run returns, a non-zero value means some processes never finished
@@ -254,7 +317,15 @@ func (k *Kernel) Live() int { return k.live }
 func (k *Kernel) Shutdown() {
 	select {
 	case <-k.killed:
+		return
 	default:
 		close(k.killed)
 	}
+	k.dead = true
+	for _, p := range k.procs {
+		if !p.finished {
+			close(p.resume) // unblocks the plain receive in park/Spawn
+		}
+	}
+	k.procs = nil
 }
