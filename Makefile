@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos verify bench experiments
+.PHONY: all build test vet race chaos verify bench benchcmp bench-quick profile experiments
 
 all: verify
 
@@ -39,10 +39,29 @@ bench:
 	@echo "wrote $(BENCH_FILE)"
 
 # Diff two `make bench` recordings; fails if a full-scale figure
-# benchmark's wall clock regressed more than 10%.
+# benchmark's wall clock regressed more than 10% or its allocs/op more
+# than 15%.
 # Usage: make benchcmp OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-05.json
 benchcmp:
-	$(GO) run ./cmd/benchcmp -max-regress 10 $(OLD) $(NEW)
+	$(GO) run ./cmd/benchcmp -max-regress 10 -max-alloc-regress 15 $(OLD) $(NEW)
+
+# Test-scale figure benchmarks diffed against the committed baseline
+# (bench/baseline-quick.txt), so perf regressions surface in seconds
+# instead of after a full-scale run. Allocation counts are deterministic
+# and machine-independent, so they gate tightly (15%); wall clock at
+# quick scale is noisy and only catastrophic slowdowns (>75%) fail.
+bench-quick:
+	$(GO) test -run '^$$' -bench 'Fig4AnswersCount|Fig6PageRankBigDataBench|Fig7PageRankHiBench' -short -benchtime 1x -benchmem . | tee bench-quick-latest.txt
+	$(GO) run ./cmd/benchcmp -max-regress 75 -max-alloc-regress 15 bench/baseline-quick.txt bench-quick-latest.txt
+
+# Host CPU and allocation profiles of the full-scale PageRank and
+# AnswersCount regenerations — the starting point for perf work.
+# Inspect with: $(GO) tool pprof profiles/pagerank.cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/pagerank-bench -cpuprofile profiles/pagerank.cpu.pprof -memprofile profiles/pagerank.mem.pprof
+	$(GO) run ./cmd/answerscount-bench -cpuprofile profiles/answerscount.cpu.pprof -memprofile profiles/answerscount.mem.pprof
+	@echo "profiles written to profiles/"
 
 # The §VI-D fault-tolerance sweep at paper scale.
 experiments:

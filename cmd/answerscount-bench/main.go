@@ -10,6 +10,8 @@ import (
 
 	"hpcbd"
 	"hpcbd/internal/exec"
+	"hpcbd/internal/gctune"
+	"hpcbd/internal/profiling"
 )
 
 func main() {
@@ -17,8 +19,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	gb := flag.Float64("gb", 0, "override dataset size in decimal GB")
 	pool := flag.Int("pool", 0, "host worker pool size for simulated-task payloads (0 = GOMAXPROCS); results are identical for every size")
+	profiling.Flags()
 	flag.Parse()
 	exec.SetDefaultSize(*pool)
+	gctune.Apply()
+	profiling.Start()
 
 	o := hpcbd.FullOptions()
 	if *quick {
@@ -40,7 +45,9 @@ func main() {
 		for _, b := range bad {
 			fmt.Fprintln(os.Stderr, "  "+b)
 		}
+		profiling.Stop()
 		os.Exit(1)
 	}
+	profiling.Stop()
 	fmt.Println("shape check: OK (Hadoop > Spark; MPI needs >=40 procs at 80 GB; OpenMP single-node)")
 }

@@ -1,11 +1,11 @@
 // Command benchcmp diffs two benchmark result files produced by `make
 // bench` (go test -json output, plain `go test -bench` text also
-// accepted) and fails when a gated benchmark's wall-clock regresses
-// beyond the allowed percentage. It is the repo's guard against host
-// performance backsliding:
+// accepted) and fails when a gated benchmark's wall-clock or allocation
+// count regresses beyond the allowed percentage. It is the repo's guard
+// against host performance backsliding:
 //
 //	make bench                                 # writes BENCH_<date>.json
-//	go run ./cmd/benchcmp OLD.json NEW.json    # diff, gate at 10%
+//	go run ./cmd/benchcmp OLD.json NEW.json    # diff, gate at 10% / 15%
 package main
 
 import (
@@ -28,26 +28,49 @@ type testEvent struct {
 }
 
 var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
-	nsValue   = regexp.MustCompile(`([0-9.]+) ns/op`)
-	cpuSuffix = regexp.MustCompile(`-\d+$`) // the -GOMAXPROCS name suffix
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+	nsValue    = regexp.MustCompile(`([0-9.]+) ns/op`)
+	allocValue = regexp.MustCompile(`([0-9.]+) allocs/op`)
+	cpuSuffix  = regexp.MustCompile(`-\d+$`) // the -GOMAXPROCS name suffix
 )
 
-// parseFile extracts benchmark name -> ns/op from a result file. For
-// test2json files the event's Test field names the benchmark — necessary
-// because benchmarks that print artifacts get their result line split
-// across output events. Plain `go test -bench` text is also accepted.
-func parseFile(path string) (map[string]float64, error) {
+// result is one benchmark's measurements. allocs is -1 when the file was
+// recorded without -benchmem.
+type result struct {
+	ns     float64
+	allocs float64
+}
+
+// parseFile extracts benchmark name -> measurements from a result file.
+// For test2json files the event's Test field names the benchmark —
+// necessary because benchmarks that print artifacts get their result line
+// split across output events. Plain `go test -bench` text is also
+// accepted.
+func parseFile(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := map[string]float64{}
-	record := func(name string, ns float64) {
+	out := map[string]result{}
+	record := func(name, line string) {
+		m := nsValue.FindStringSubmatch(line)
+		if m == nil {
+			return
+		}
+		ns, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			return
+		}
+		allocs := -1.0
+		if a := allocValue.FindStringSubmatch(line); a != nil {
+			if v, err := strconv.ParseFloat(a[1], 64); err == nil {
+				allocs = v
+			}
+		}
 		name = cpuSuffix.ReplaceAllString(name, "")
 		if _, dup := out[name]; !dup {
-			out[name] = ns
+			out[name] = result{ns: ns, allocs: allocs}
 		}
 	}
 	sc := bufio.NewScanner(f)
@@ -59,21 +82,11 @@ func parseFile(path string) (map[string]float64, error) {
 			if json.Unmarshal([]byte(line), &ev) != nil || ev.Action != "output" || ev.Test == "" {
 				continue
 			}
-			m := nsValue.FindStringSubmatch(ev.Output)
-			if m == nil {
-				continue
-			}
-			if ns, err := strconv.ParseFloat(m[1], 64); err == nil {
-				record(ev.Test, ns)
-			}
+			record(ev.Test, ev.Output)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
-		}
-		if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
-			record(m[1], ns)
+		if m := benchLine.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			record(m[1], line)
 		}
 	}
 	return out, sc.Err()
@@ -82,11 +95,13 @@ func parseFile(path string) (map[string]float64, error) {
 func main() {
 	maxRegress := flag.Float64("max-regress", 10,
 		"fail when a gated benchmark's ns/op grows by more than this percentage")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 15,
+		"fail when a gated benchmark's allocs/op grows by more than this percentage")
 	gate := flag.String("gate", "Fig4AnswersCount|Fig6PageRankBigDataBench|Fig7PageRankHiBench",
 		"regexp of benchmark names whose regressions fail the run")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-regress pct] [-gate regexp] OLD NEW")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-regress pct] [-max-alloc-regress pct] [-gate regexp] OLD NEW")
 		os.Exit(2)
 	}
 	gateRE, err := regexp.Compile(*gate)
@@ -117,20 +132,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	pct := func(o, n float64) float64 { return 100 * (n - o) / o }
 	failed := false
-	fmt.Printf("%-42s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Printf("%-42s %14s %14s %8s %14s %14s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	for _, name := range names {
 		o, n := old[name], cur[name]
-		delta := 100 * (n - o) / o
+		gated := gateRE.MatchString(name)
+		nsDelta := pct(o.ns, n.ns)
 		mark := ""
-		if gateRE.MatchString(name) && delta > *maxRegress {
-			mark = "  REGRESSION"
+		if gated && nsDelta > *maxRegress {
+			mark = "  REGRESSION(time)"
 			failed = true
 		}
-		fmt.Printf("%-42s %14.0f %14.0f %+7.1f%%%s\n", name, o, n, delta, mark)
+		allocCols := fmt.Sprintf("%14s %14s %8s", "-", "-", "-")
+		if o.allocs >= 0 && n.allocs >= 0 {
+			aDelta := 0.0
+			if o.allocs > 0 {
+				aDelta = pct(o.allocs, n.allocs)
+			} else if n.allocs > 0 {
+				aDelta = 100
+			}
+			if gated && aDelta > *maxAllocRegress {
+				mark += "  REGRESSION(allocs)"
+				failed = true
+			}
+			allocCols = fmt.Sprintf("%14.0f %14.0f %+7.1f%%", o.allocs, n.allocs, aDelta)
+		}
+		fmt.Printf("%-42s %14.0f %14.0f %+7.1f%% %s%s\n", name, o.ns, n.ns, nsDelta, allocCols, mark)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchcmp: gated benchmark regressed more than %.1f%%\n", *maxRegress)
+		fmt.Fprintf(os.Stderr, "benchcmp: gated benchmark regressed (time >%.1f%% or allocs >%.1f%%)\n",
+			*maxRegress, *maxAllocRegress)
 		os.Exit(1)
 	}
 }

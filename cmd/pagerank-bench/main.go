@@ -11,6 +11,8 @@ import (
 
 	"hpcbd"
 	"hpcbd/internal/exec"
+	"hpcbd/internal/gctune"
+	"hpcbd/internal/profiling"
 )
 
 func main() {
@@ -20,8 +22,11 @@ func main() {
 	impl := flag.String("impl", "both", "bigdatabench (Fig 6), hibench (Fig 7), or both")
 	ablate := flag.Bool("ablate", false, "also run the persist ablation")
 	pool := flag.Int("pool", 0, "host worker pool size for simulated-task payloads (0 = GOMAXPROCS); results are identical for every size")
+	profiling.Flags()
 	flag.Parse()
 	exec.SetDefaultSize(*pool)
+	gctune.Apply()
+	profiling.Start()
 
 	o := hpcbd.FullOptions()
 	if *quick {
@@ -61,6 +66,7 @@ func main() {
 		fmt.Printf("persist ablation @%d nodes: tuned=%.2fs untuned=%.2fs speedup=%.2fx (paper: ~3x)\n",
 			nodes, tuned, untuned, untuned/tuned)
 	}
+	profiling.Stop()
 	if fail {
 		os.Exit(1)
 	}

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"hpcbd/internal/exec"
+	"hpcbd/internal/rdd"
 )
 
 // withPool runs fn with the process-wide default worker pool pinned to n,
@@ -48,6 +49,50 @@ func TestFig6PoolInvariance(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ranks1, ranks8) {
 		t.Errorf("Fig6 PageRank vectors differ between pool sizes 1 and 8")
+	}
+}
+
+func TestFig7PoolInvariance(t *testing.T) {
+	o := QuickOptions()
+	var fig1, fig8 Figure
+	var ranks1, ranks8 map[string][]float64
+	withPool(t, 1, func() { fig1, ranks1 = Fig7(o) })
+	withPool(t, 8, func() { fig8, ranks8 = Fig7(o) })
+	if !reflect.DeepEqual(fig1, fig8) {
+		t.Errorf("Fig7 series differ between pool sizes 1 and 8:\npool1: %v\npool8: %v", fig1, fig8)
+	}
+	if !reflect.DeepEqual(ranks1, ranks8) {
+		t.Errorf("Fig7 PageRank vectors differ between pool sizes 1 and 8")
+	}
+}
+
+func TestFig3PoolInvariance(t *testing.T) {
+	o := QuickOptions()
+	var fig1, fig8 Figure
+	withPool(t, 1, func() { fig1 = Fig3(o) })
+	withPool(t, 8, func() { fig8 = Fig3(o) })
+	if !reflect.DeepEqual(fig1, fig8) {
+		t.Errorf("Fig3 reduce microbenchmark differs between pool sizes 1 and 8:\npool1: %v\npool8: %v", fig1, fig8)
+	}
+}
+
+// TestFig7FusionInvariance is the fused-vs-unfused golden test: the fused
+// narrow-stage pipeline and its charge coalescing must be a pure host
+// optimization. Running the shuffle-heavy Fig 7 regeneration with fusion
+// disabled (every narrow operator materializing its own partition and
+// charging its own kernel event) must produce bit-identical PageRank
+// vectors AND bit-identical virtual times in the figure series.
+func TestFig7FusionInvariance(t *testing.T) {
+	o := QuickOptions()
+	figF, ranksF := Fig7(o)
+	prev := rdd.SetFusion(false)
+	defer rdd.SetFusion(prev)
+	figU, ranksU := Fig7(o)
+	if !reflect.DeepEqual(figF, figU) {
+		t.Errorf("Fig7 virtual times differ between fused and unfused execution:\nfused:   %v\nunfused: %v", figF, figU)
+	}
+	if !reflect.DeepEqual(ranksF, ranksU) {
+		t.Errorf("Fig7 PageRank vectors differ between fused and unfused execution")
 	}
 }
 

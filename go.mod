@@ -1,3 +1,3 @@
 module hpcbd
 
-go 1.22
+go 1.23

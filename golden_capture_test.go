@@ -1,0 +1,73 @@
+// Temporary golden-capture harness for the fused-pipeline PR: dumps every
+// simulated output to a file so the post-rewrite tree can be compared
+// bit-for-bit against the pre-rewrite tree. Driven by env vars so normal
+// `go test` runs skip it:
+//
+//	HPCBD_GOLDEN=/tmp/golden.txt go test -run TestGoldenCapture -timeout 30m
+//	HPCBD_GOLDEN_CMP=/tmp/golden.txt go test -run TestGoldenCapture -timeout 30m
+package hpcbd_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"hpcbd"
+)
+
+func goldenDump() string {
+	var sb strings.Builder
+	q := hpcbd.QuickOptions()
+	f := hpcbd.FullOptions()
+
+	fig3 := hpcbd.Fig3(f)
+	fmt.Fprintf(&sb, "fig3: %#v\n", fig3)
+	fmt.Fprintf(&sb, "table2: %#v\n", hpcbd.Table2Values(f))
+	fig4, res4 := hpcbd.Fig4(f)
+	fmt.Fprintf(&sb, "fig4: %#v\nfig4res: %#v\n", fig4, res4)
+	fig6, ranks6 := hpcbd.Fig6(f)
+	fmt.Fprintf(&sb, "fig6: %#v\nfig6ranks: %v\n", fig6, ranks6)
+	fig7, ranks7 := hpcbd.Fig7(f)
+	fmt.Fprintf(&sb, "fig7: %#v\nfig7ranks: %v\n", fig7, ranks7)
+
+	fmt.Fprintf(&sb, "chaos-quick: %#v\n", hpcbd.ChaosSweep(q))
+	fmt.Fprintf(&sb, "transport-quick: %#v\n", hpcbd.TransportSweep(q))
+	return sb.String()
+}
+
+func TestGoldenCapture(t *testing.T) {
+	if path := os.Getenv("HPCBD_GOLDEN"); path != "" {
+		if err := os.WriteFile(path, []byte(goldenDump()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	path := os.Getenv("HPCBD_GOLDEN_CMP")
+	if path == "" {
+		t.Skip("set HPCBD_GOLDEN or HPCBD_GOLDEN_CMP")
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenDump()
+	if string(want) != got {
+		wl := strings.Split(string(want), "\n")
+		gl := strings.Split(got, "\n")
+		for i := 0; i < len(wl) && i < len(gl); i++ {
+			if wl[i] != gl[i] {
+				a, b := wl[i], gl[i]
+				if len(a) > 400 {
+					a = a[:400]
+				}
+				if len(b) > 400 {
+					b = b[:400]
+				}
+				t.Errorf("golden mismatch at line %d:\nwant: %s\ngot:  %s", i, a, b)
+				break
+			}
+		}
+		t.Fatal("simulated outputs differ from golden")
+	}
+}

@@ -208,35 +208,35 @@ func (c *Cluster) fabricFor(src, dst int, f FabricSpec) FabricSpec {
 // latency and receiver overhead. It returns at delivery time.
 func (c *Cluster) Xfer(p *sim.Proc, src, dst int, bytes int64, f FabricSpec) {
 	f = c.fabricFor(src, dst, f)
-	if src != dst {
-		c.bytesSent += bytes
-		c.messages++
+	if src == dst {
+		// Intra-node: no NIC contention, no chaos NIC stretch — the whole
+		// path is a fixed duration, charged as a single event.
+		p.Sleep(f.SendOverhead + f.Occupancy(bytes) + f.Latency + f.RecvOverhead)
+		return
 	}
+	c.bytesSent += bytes
+	c.messages++
 	p.Sleep(f.SendOverhead)
 	occ := f.Occupancy(bytes)
-	if src != dst {
-		if st := c.nicStretch(src, dst); st != 1 {
-			occ = time.Duration(float64(occ) * st)
-		}
-		s, d := c.Nodes[src], c.Nodes[dst]
-		var uplink *sim.Resource
-		if sr, dr := c.rackOf(src), c.rackOf(dst); sr >= 0 && sr != dr {
-			uplink = c.uplinks[sr]
-		}
-		s.tx.Acquire(p, 1)
-		if uplink != nil {
-			uplink.Acquire(p, 1)
-		}
-		d.rx.Acquire(p, 1)
-		p.Sleep(occ)
-		d.rx.Release(1)
-		if uplink != nil {
-			uplink.Release(1)
-		}
-		s.tx.Release(1)
-	} else {
-		p.Sleep(occ)
+	if st := c.nicStretch(src, dst); st != 1 {
+		occ = time.Duration(float64(occ) * st)
 	}
+	s, d := c.Nodes[src], c.Nodes[dst]
+	var uplink *sim.Resource
+	if sr, dr := c.rackOf(src), c.rackOf(dst); sr >= 0 && sr != dr {
+		uplink = c.uplinks[sr]
+	}
+	s.tx.Acquire(p, 1)
+	if uplink != nil {
+		uplink.Acquire(p, 1)
+	}
+	d.rx.Acquire(p, 1)
+	p.Sleep(occ)
+	d.rx.Release(1)
+	if uplink != nil {
+		uplink.Release(1)
+	}
+	s.tx.Release(1)
 	p.Sleep(f.Latency + f.RecvOverhead)
 }
 
@@ -247,23 +247,23 @@ func (c *Cluster) Xfer(p *sim.Proc, src, dst int, bytes int64, f FabricSpec) {
 // caller of deliver if appropriate.
 func (c *Cluster) XferAsync(p *sim.Proc, src, dst int, bytes int64, f FabricSpec, deliver func()) {
 	f = c.fabricFor(src, dst, f)
-	if src != dst {
-		c.bytesSent += bytes
-		c.messages++
+	if src == dst {
+		// Intra-node: fixed-cost injection, one event.
+		p.Sleep(f.SendOverhead + f.Occupancy(bytes))
+		c.K.After(f.Latency, deliver)
+		return
 	}
+	c.bytesSent += bytes
+	c.messages++
 	p.Sleep(f.SendOverhead)
 	occ := f.Occupancy(bytes)
-	if src != dst {
-		if st := c.Nodes[src].NICScale(); st != 1 {
-			occ = time.Duration(float64(occ) * st)
-		}
-		s := c.Nodes[src]
-		s.tx.Acquire(p, 1)
-		p.Sleep(occ)
-		s.tx.Release(1)
-	} else {
-		p.Sleep(occ)
+	if st := c.Nodes[src].NICScale(); st != 1 {
+		occ = time.Duration(float64(occ) * st)
 	}
+	s := c.Nodes[src]
+	s.tx.Acquire(p, 1)
+	p.Sleep(occ)
+	s.tx.Release(1)
 	c.K.After(f.Latency, deliver)
 }
 

@@ -1,0 +1,29 @@
+// Package gctune holds the GC configuration shared by the
+// figure-regeneration entry points (the benchmark harness and the cmd/
+// CLIs). With the fused pipelines and partition-buffer recycling in
+// place, the regeneration workloads allocate a fraction of what they
+// used to but still retire hundreds of megabytes per figure; at the
+// default GOGC=100 the collector runs a cycle every time the modest live
+// set doubles, and those cycles are the largest remaining host cost.
+// Raising the target to 300% trades bounded extra heap headroom (the
+// live set itself is unchanged) for markedly fewer cycles.
+package gctune
+
+import (
+	"os"
+	"runtime/debug"
+)
+
+// Percent is the GC target applied by Apply when the user has not set
+// GOGC themselves.
+const Percent = 300
+
+// Apply raises the GC percent to Percent unless the GOGC environment
+// variable is set, so an explicit user choice (including GOGC=100 or
+// GOGC=off) always wins. It returns the previous setting.
+func Apply() int {
+	if os.Getenv("GOGC") != "" {
+		return debug.SetGCPercent(debug.SetGCPercent(-1)) // read without changing
+	}
+	return debug.SetGCPercent(Percent)
+}

@@ -275,22 +275,22 @@ func (j *Job[In, K, V]) runMapAttempt(tp *sim.Proc, task string, attempt, node i
 	}
 
 	// Record processing: framework per-record cost plus JVM-rate scan of
-	// the split's logical bytes.
-	tp.Sleep(time.Duration(len(records)) * cm.HadoopPerRecord)
-	tp.Sleep(cluster.ScanCost(s.Bytes, cm.JVMScanBW()))
+	// the split's logical bytes — both known up front, one kernel event.
+	tp.Sleep(time.Duration(len(records))*cm.HadoopPerRecord + cluster.ScanCost(s.Bytes, cm.JVMScanBW()))
 
 	if fail {
 		return false // half-done attempt wasted the time above
 	}
 	res := pd.Join()
 
-	// Charge n log n spill-sort comparisons plus the disk write.
+	// Charge n log n spill-sort comparisons plus the disk write. The sort
+	// charge elapses when the spill write acquires the disk.
 	var totalBytes int64
 	for _, b := range res.mo.partBytes {
 		totalBytes += b
 	}
 	if res.totalPairs > 0 {
-		tp.Sleep(time.Duration(float64(res.totalPairs)*math.Log2(float64(res.totalPairs)+1)) * perCompare / 1)
+		tp.Charge(time.Duration(float64(res.totalPairs)*math.Log2(float64(res.totalPairs)+1)) * perCompare)
 	}
 	st.SpilledBytes += totalBytes
 	c.Node(node).Scratch.Write(tp, totalBytes)
@@ -334,10 +334,14 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 			}
 			st.ShuffledBytes += b
 		}
-		tp.Sleep(cm.DeserTime(b))
+		// Deserialization accumulates across map outputs and elapses at the
+		// next fetch's disk acquire (or the merge charge below) — no
+		// dedicated event per output.
+		tp.Charge(cm.DeserTime(b))
 		fetched = append(fetched, part...)
 	}
 	if fail {
+		tp.FlushCharge() // the wasted attempt still pays its pending charges
 		return nil, false
 	}
 
@@ -362,10 +366,11 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 		}
 		return out
 	})
+	merge := time.Duration(len(fetched)) * cm.HadoopPerRecord
 	if n := len(fetched); n > 0 {
-		tp.Sleep(time.Duration(float64(n)*math.Log2(float64(n)+1)) * perCompare)
+		merge += time.Duration(float64(n)*math.Log2(float64(n)+1)) * perCompare
 	}
-	tp.Sleep(time.Duration(len(fetched)) * cm.HadoopPerRecord)
+	tp.Sleep(merge) // one event: sort comparisons + per-record cost
 	out := pd.Join()
 
 	// Reduce output is persisted to disk (Hadoop writes to HDFS; charge

@@ -25,14 +25,15 @@ type envelope struct {
 	bytes   int64
 	payload any
 	eager   bool
-	// rendezvous state
-	cts  *sim.Future[struct{}] // completed when the receiver matches (clear-to-send)
-	data *sim.Future[Message]  // completed by the sender when payload lands
+	// rendezvous state, embedded by value: one envelope allocation per
+	// message instead of three (zero-value futures are valid).
+	cts  sim.Future[struct{}] // completed when the receiver matches (clear-to-send)
+	data sim.Future[Message]  // completed by the sender when payload lands
 }
 
 type postedRecv struct {
 	cid, src, tag int
-	fut           *sim.Future[*envelope]
+	fut           sim.Future[*envelope]
 }
 
 func match(cid, src, tag int, e *envelope) bool {
@@ -115,6 +116,11 @@ func (c *Comm) Send(r *Rank, dst, tag int, payload any, bytes int64) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (comm size %d)", dst, c.Size()))
 	}
 	cm := r.cost()
+	// Per-call overhead stays a Sleep, not a coalesced Charge: MPI ranks
+	// run in barrier-synchronized lockstep, so removing the intermediate
+	// wake event renumbers same-timestamp events and flips (time, seq)
+	// tie-breaks at contended NIC/scratch resources — observable virtual-
+	// time divergence in the resilient sweeps.
 	r.p.Sleep(cm.MPIPerCallOverhead)
 	r.sends++
 	r.sentBytes += bytes
@@ -140,12 +146,7 @@ func (c *Comm) Send(r *Rank, dst, tag int, payload any, bytes int64) {
 		c.world.lostRendezvous(r)
 		return
 	}
-	k := c.world.Cluster.K
-	e := &envelope{
-		cid: c.cid, src: src, tag: tag, bytes: bytes,
-		cts:  sim.NewFuture[struct{}](k),
-		data: sim.NewFuture[Message](k),
-	}
+	e := &envelope{cid: c.cid, src: src, tag: tag, bytes: bytes}
 	c.world.Cluster.XferAsync(r.p, r.node, dr.node, rtsBytes, f, func() {
 		dr.deliver(e)
 	})
@@ -158,7 +159,8 @@ func (c *Comm) Send(r *Rank, dst, tag int, payload any, bytes int64) {
 // whose RTS vanished never receives a CTS, and a fragile MPI_Send has
 // nothing else to wake it.
 func (w *World) lostRendezvous(r *Rank) {
-	sim.NewFuture[struct{}](w.Cluster.K).Wait(r.p)
+	var never sim.Future[struct{}]
+	never.Wait(r.p)
 }
 
 // Recv performs a blocking receive matching (src, tag) on communicator c.
@@ -170,7 +172,7 @@ func (c *Comm) Recv(r *Rank, src, tag int) Message {
 
 // Request is a handle to a non-blocking operation.
 type Request struct {
-	done *sim.Future[Message]
+	done sim.Future[Message]
 }
 
 // Wait blocks until the operation completes and returns the message (zero
@@ -182,7 +184,7 @@ func (q *Request) Wait(r *Rank) Message { return q.done.Wait(r.p) }
 // simulated process.
 func (c *Comm) Isend(r *Rank, dst, tag int, payload any, bytes int64) *Request {
 	k := c.world.Cluster.K
-	req := &Request{done: sim.NewFuture[Message](k)}
+	req := &Request{}
 	// The background proc inherits the rank's identity for matching
 	// purposes but runs on its own virtual thread, as a real MPI progress
 	// engine would.
@@ -200,7 +202,7 @@ func (c *Comm) Isend(r *Rank, dst, tag int, payload any, bytes int64) *Request {
 // Irecv starts a non-blocking receive.
 func (c *Comm) Irecv(r *Rank, src, tag int) *Request {
 	k := c.world.Cluster.K
-	req := &Request{done: sim.NewFuture[Message](k)}
+	req := &Request{}
 	k.Spawn("mpi.irecv", func(p *sim.Proc) {
 		// The shadow runs on its own virtual thread but matches against
 		// the real rank's queues.
@@ -225,7 +227,7 @@ func (c *Comm) recvOn(owner, exec *Rank, src, tag int) Message {
 		}
 	}
 	if e == nil {
-		pr := &postedRecv{cid: c.cid, src: src, tag: tag, fut: sim.NewFuture[*envelope](c.world.Cluster.K)}
+		pr := &postedRecv{cid: c.cid, src: src, tag: tag}
 		owner.posted = append(owner.posted, pr)
 		e = pr.fut.Wait(exec.p)
 	}

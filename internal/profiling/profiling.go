@@ -1,0 +1,69 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into the figure-regeneration CLIs, so a regeneration run can be fed
+// straight to `go tool pprof` without hand-rolling the boilerplate in
+// every command.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuprofile *string
+	memprofile *string
+	cpuFile    *os.File
+)
+
+// Flags registers -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse.
+func Flags() {
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+}
+
+// Start begins CPU profiling if requested. Call after flag.Parse; pair
+// with a deferred Stop.
+func Start() {
+	if *cpuprofile == "" {
+		return
+	}
+	f, err := os.Create(*cpuprofile)
+	if err != nil {
+		fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fatal(err)
+	}
+	cpuFile = f
+}
+
+// Stop finishes the CPU profile and writes the allocation profile, if
+// either was requested.
+func Stop() {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		cpuFile = nil
+	}
+	if *memprofile == "" {
+		return
+	}
+	f, err := os.Create(*memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile reflects live + cumulative allocs accurately
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profiling:", err)
+	os.Exit(1)
+}

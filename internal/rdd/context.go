@@ -20,6 +20,7 @@ package rdd
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"hpcbd/internal/cluster"
@@ -136,6 +137,14 @@ type Context struct {
 	shuffles   map[int]*shuffleState
 	broadcasts int
 	shuffleNet *transport.Transport
+	// pools holds per-record-type free lists of retired partition
+	// buffers (see recycle.go); values are *[][]T keyed by reflect type.
+	pools map[reflect.Type]any
+	// fusedLen remembers the last fused output length per record type —
+	// the capacity hint for the next fused compute of that type, which
+	// expanding operators (FlatMap) need because their output overruns
+	// the base-length hint on every partition.
+	fusedLen map[reflect.Type]int
 
 	// Stats
 	TasksLaunched  int64
@@ -189,7 +198,8 @@ func NewContext(c *cluster.Cluster, conf Config) *Context {
 	if conf.FetchRetryWait <= 0 {
 		conf.FetchRetryWait = 100 * time.Millisecond
 	}
-	ctx := &Context{C: c, Conf: conf, shuffles: map[int]*shuffleState{}}
+	ctx := &Context{C: c, Conf: conf, shuffles: map[int]*shuffleState{},
+		pools: map[reflect.Type]any{}, fusedLen: map[reflect.Type]int{}}
 	ctx.shuffleNet = transport.New(c, conf.ShuffleTransport, conf.ShuffleRetry, transport.StreamShuffle, 0x5a7c)
 	if conf.DefaultParallelism <= 0 {
 		ctx.Conf.DefaultParallelism = c.Size() * conf.CoresPerExecutor
@@ -335,6 +345,16 @@ func (tc *taskContext) chargeRecords(n int) {
 	}
 }
 
+// deferRecords accumulates the framework per-record cost for n records
+// into the process's charge accumulator instead of sleeping immediately:
+// the duration (computed now, so straggler stretch reads the same state
+// chargeRecords would) elapses in full at the task's next kernel event.
+// Use it wherever the charge is immediately followed by more task work —
+// consecutive accounting sleeps collapse into one kernel event.
+func (tc *taskContext) deferRecords(n int) {
+	tc.p.Charge(tc.recordsDur(n))
+}
+
 // recordsDur is the virtual duration chargeRecords(n) sleeps — exposed so
 // offloaded payloads can overlap host work with exactly that accounting
 // window (identical event footprint either way).
@@ -355,12 +375,14 @@ func (tc *taskContext) stretch(d time.Duration) time.Duration {
 }
 
 // chargeCompute charges user compute: n physical records at per-record
-// cost d (already a JVM-rate figure), scaled to logical volume.
+// cost d (already a JVM-rate figure), scaled to logical volume. The charge
+// is deferred to the next kernel event so it merges with adjacent
+// accounting sleeps.
 func (tc *taskContext) chargeCompute(n int, d time.Duration) {
 	if n <= 0 || d <= 0 {
 		return
 	}
-	tc.p.Sleep(tc.stretch(time.Duration(float64(d) * float64(n) * tc.ctx.Conf.Scale)))
+	tc.p.Charge(tc.stretch(time.Duration(float64(d) * float64(n) * tc.ctx.Conf.Scale)))
 }
 
 // logicalBytes converts a physical record count and per-record logical
@@ -395,7 +417,7 @@ func (b *Broadcast[T]) Get(tc *taskContext) T {
 	if !e.bcSeen[b.id] {
 		e.bcSeen[b.id] = true
 		tc.ctx.C.Xfer(tc.p, tc.ctx.driverNode, e.node, b.bytes, tc.ctx.Conf.CtrlTransport)
-		tc.p.Sleep(tc.ctx.C.Cost.DeserTime(b.bytes))
+		tc.p.Charge(tc.ctx.C.Cost.DeserTime(b.bytes))
 	}
 	return b.Value
 }

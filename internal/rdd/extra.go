@@ -64,7 +64,7 @@ func SortBy[T any](r *RDD[T], key func(T) float64, nOut int) *RDD[T] {
 			g := rangeOf(key(v), b)
 			buckets[g] = append(buckets[g], KV[int, T]{g, v})
 		}
-		tc.chargeRecords(len(in))
+		tc.deferRecords(len(in))
 		writeShuffle(tc, dep, part, buckets, recBytes)
 		return nil
 	})
@@ -158,6 +158,7 @@ func Sample[T any](r *RDD[T], fraction float64, seed int64) *RDD[T] {
 		})
 		return res, nil
 	}
+	fuseSample(r, out, threshold, seed)
 	return out
 }
 
@@ -231,7 +232,7 @@ func MapPartitionsWithView[T, U any](r *RDD[T], f func(tv TaskView, part int, in
 			return nil, err
 		}
 		res := f(TaskView{tc}, part, in)
-		tc.chargeRecords(len(in))
+		tc.deferRecords(len(in))
 		return res, nil
 	}
 	return out

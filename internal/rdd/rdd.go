@@ -57,9 +57,18 @@ type RDD[T any] struct {
 	// compute materializes one partition (running inside a task on an
 	// executor). It recursively invokes parents — the lineage.
 	compute func(tc *taskContext, part int) ([]T, error)
+	// plan, when set, lets a narrow child stream this RDD's records
+	// without materializing the partition (see fuse.go). compute remains
+	// valid for direct materialization.
+	plan *fusePlan[T]
 	// recBytes is the logical size of one logical record, for shuffle
 	// and cache accounting.
 	recBytes int64
+	// owned marks computes whose output slice is framework-allocated and
+	// unaliased (no user code or parent partition shares its backing), so
+	// a consumer that has fully copied the records out may return the
+	// slice to the context's free lists (recycle.go).
+	owned bool
 }
 
 func newMeta(ctx *Context, name string, nparts int) *meta {
@@ -108,7 +117,7 @@ func (r *RDD[T]) part(tc *taskContext, i int) ([]T, error) {
 		if data, bytes, disk, ok := tc.exec.bm.get(r.m.id, i); ok {
 			if disk {
 				tc.ctx.C.Node(tc.exec.node).Scratch.Read(tc.p, bytes)
-				tc.p.Sleep(tc.ctx.C.Cost.DeserTime(bytes))
+				tc.p.Charge(tc.ctx.C.Cost.DeserTime(bytes))
 			}
 			return data.([]T), nil
 		}
@@ -143,7 +152,7 @@ func FromSource[T any](ctx *Context, name string, nparts int,
 	r := &RDD[T]{m: m, recBytes: recBytes}
 	r.compute = func(tc *taskContext, part int) ([]T, error) {
 		out := read(TaskView{tc}, part)
-		tc.chargeRecords(len(out))
+		tc.deferRecords(len(out))
 		return out, nil
 	}
 	return r
@@ -164,9 +173,39 @@ func FromSourceErr[T any](ctx *Context, name string, nparts int,
 		if err != nil {
 			return nil, fmt.Errorf("rdd: source %s partition %d: %w", name, part, err)
 		}
-		tc.chargeRecords(len(out))
+		tc.deferRecords(len(out))
 		return out, nil
 	}
+	return r
+}
+
+// FromSourceEmit creates an RDD whose partitions are produced by a
+// generator that pushes records one at a time. It is the batch-wise entry
+// to the fused path: narrow transformations built on top stream records
+// straight through the composed chain, so the base partition is never
+// materialized and the generator allocates nothing per record. read may
+// charge I/O through the TaskView exactly like FromSource; the whole
+// chain then runs inline on the kernel process (no host-pool offload),
+// which keeps those charges correctly interleaved.
+func FromSourceEmit[T any](ctx *Context, name string, nparts int,
+	prefs func(part int) []int,
+	read func(tv TaskView, part int, emit func(T)), recBytes int64) *RDD[T] {
+	m := newMeta(ctx, name, nparts)
+	m.prefs = prefs
+	r := &RDD[T]{m: m, recBytes: recBytes}
+	r.plan = &fusePlan[T]{bind: func(tc *taskContext, part int) (fusedFeed[T], error) {
+		return fusedFeed[T]{
+			baseLen: -1,
+			kernel:  true,
+			feed: func(sink func(T), rec *[]int) {
+				n := 0
+				read(TaskView{tc}, part, func(v T) { n++; sink(v) })
+				*rec = append(*rec, n)
+			},
+		}, nil
+	}}
+	r.compute = fusedCompute(r.plan)
+	r.owned = true
 	return r
 }
 
@@ -217,8 +256,8 @@ func Parallelize[T any](ctx *Context, name string, data []T, nparts int, recByte
 		bytes := tc.logicalBytes(len(chunk), recBytes)
 		tc.p.Sleep(tc.ctx.C.Cost.SerTime(bytes))
 		tc.ctx.C.Xfer(tc.p, tc.ctx.driverNode, tc.exec.node, bytes, tc.ctx.Conf.CtrlTransport)
-		tc.p.Sleep(tc.ctx.C.Cost.DeserTime(bytes))
-		tc.chargeRecords(len(chunk))
+		tc.p.Charge(tc.ctx.C.Cost.DeserTime(bytes))
+		tc.deferRecords(len(chunk))
 		return chunk, nil
 	}
 	return r
@@ -246,6 +285,7 @@ func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
 		})
 		return res, nil
 	}
+	fuseMap(r, out, f)
 	return out
 }
 
@@ -262,6 +302,9 @@ func MapWithCost[T, U any](r *RDD[T], perRecordNs int64, f func(T) U) *RDD[U] {
 		}
 		return res, err
 	}
+	// The user-cost charge lives outside the fused accounting; children
+	// must materialize through the wrapper, not stream past it.
+	out.plan = nil
 	return out
 }
 
@@ -288,6 +331,7 @@ func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
 		})
 		return res, nil
 	}
+	fuseFilter(r, out, pred)
 	return out
 }
 
@@ -326,9 +370,45 @@ func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
 		})
 		tc.chargeRecords(len(in))
 		res := pd.Join()
-		tc.chargeRecords(len(res))
+		tc.deferRecords(len(res))
 		return res, nil
 	}
+	fuseFlatMap(r, out, func(v T, emit func(U)) {
+		for _, o := range f(v) {
+			emit(o)
+		}
+	})
+	return out
+}
+
+// FlatMapEmit is FlatMap for hot paths: f pushes its results through emit
+// instead of returning a slice, so the fused pipeline streams records with
+// no per-record slice allocations (flatMap output slices dominated the
+// Fig 6 allocation profile). Accounting is identical to FlatMap —
+// framework cost on both input and output records.
+func FlatMapEmit[T, U any](r *RDD[T], f func(T, func(U))) *RDD[U] {
+	m := newMeta(r.m.ctx, fmt.Sprintf("flatMapEmit@%s", r.m.name), r.m.nparts)
+	m.narrow = []*meta{r.m}
+	m.prefs = r.m.prefs
+	out := &RDD[U]{m: m, recBytes: r.recBytes}
+	out.compute = func(tc *taskContext, part int) ([]U, error) {
+		in, err := r.part(tc, part)
+		if err != nil {
+			return nil, err
+		}
+		pd := sim.OffloadStart(tc.p, func() []U {
+			buf := make([]U, 0, len(in))
+			for _, v := range in {
+				f(v, func(o U) { buf = append(buf, o) })
+			}
+			return buf
+		})
+		tc.chargeRecords(len(in))
+		res := pd.Join()
+		tc.deferRecords(len(res))
+		return res, nil
+	}
+	fuseFlatMap(r, out, f)
 	return out
 }
 
@@ -389,6 +469,7 @@ func MapValues[K comparable, V, W any](r *RDD[KV[K, V]], f func(V) W) *RDD[KV[K,
 		})
 		return res, nil
 	}
+	fuseMap(r, out, func(p KV[K, V]) KV[K, W] { return KV[K, W]{p.K, f(p.V)} })
 	return out
 }
 

@@ -166,6 +166,9 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 			tp.Sleep(cm.SparkTaskLaunch) // deserialize + start the closure
 			tc := &taskContext{ctx: ctx, exec: exec, p: tp, epoch: startEpoch}
 			err := run(tc, t.part)
+			// Deferred accounting elapses on the task before its core slot
+			// frees — successors must see the slot at the correct time.
+			tp.FlushCharge()
 			exec.cores.Release(1)
 			if exec.epoch != startEpoch || !exec.alive || ctx.C.DownCount(exec.node) != startDown {
 				// The executor (or its node) died while the task ran:
@@ -409,11 +412,13 @@ func runJob[T any](p *sim.Proc, r *RDD[T], each func(part int, data []T)) error 
 		}
 		parts = failedParts
 	}
-	// Driver-side deserialization of results.
+	// Driver-side deserialization of results: per-partition charges
+	// accumulate and elapse as one kernel event after the loop.
 	for part, data := range results {
-		p.Sleep(ctx.C.Cost.DeserTime(int64(float64(len(data)) * ctx.Conf.Scale * float64(r.recBytes))))
+		p.Charge(ctx.C.Cost.DeserTime(int64(float64(len(data)) * ctx.Conf.Scale * float64(r.recBytes))))
 		each(part, data)
 	}
+	p.FlushCharge()
 	return nil
 }
 

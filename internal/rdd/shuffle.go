@@ -22,7 +22,7 @@ type shuffleState struct {
 // mapOutput is one map task's bucketed output, resident on an executor.
 type mapOutput struct {
 	exec    int
-	buckets []any // per reduce partition, []KV[K,V] boxed
+	buckets any // [][]KV[K,V], indexed by reduce partition (one box total)
 	sizes   []int64
 }
 
@@ -87,14 +87,15 @@ func newShuffle(ctx *Context, parent *meta, nOut int, runMap func(tc *taskContex
 func writeShuffle[K comparable, V any](tc *taskContext, dep *shuffleDep, part int,
 	buckets [][]KV[K, V], recBytes int64) {
 	ss := tc.ctx.shuffles[dep.shuffleID]
-	out := &mapOutput{exec: tc.exec.id, buckets: make([]any, len(buckets)), sizes: make([]int64, len(buckets))}
+	out := &mapOutput{exec: tc.exec.id, buckets: buckets, sizes: make([]int64, len(buckets))}
 	var total int64
 	for i, b := range buckets {
-		out.buckets[i] = b
 		out.sizes[i] = tc.logicalBytes(len(b), recBytes)
 		total += out.sizes[i]
 	}
-	tc.p.Sleep(tc.ctx.C.Cost.SerTime(total))
+	// Serialization elapses when the spill write acquires the disk, so the
+	// write queues at the same virtual time with one fewer kernel event.
+	tc.p.Charge(tc.ctx.C.Cost.SerTime(total))
 	tc.ctx.C.Node(tc.exec.node).Scratch.Write(tc.p, total)
 	if tc.live() {
 		ss.outputs[part] = out
@@ -114,9 +115,10 @@ func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart in
 	ss := ctx.shuffles[shuffleID]
 	out := make([][]KV[K, V], 0, len(ss.outputs))
 	// Deserialization is a pure local CPU charge at a fixed rate, so it is
-	// accumulated across map outputs and charged as one sleep: the task's
-	// virtual completion time is unchanged (DeserTime is linear in bytes)
-	// and the kernel processes one event instead of one per map output.
+	// accumulated across map outputs and deferred to the next kernel event
+	// (typically the merge's accounting window): the task's virtual
+	// completion time is unchanged (DeserTime is linear in bytes) and the
+	// kernel processes no dedicated deserialization event at all.
 	var deserBytes int64
 	for m, mo := range ss.outputs {
 		if mo == nil || !ctx.executors[mo.exec].alive {
@@ -136,10 +138,10 @@ func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart in
 			}
 			deserBytes += b
 		}
-		out = append(out, mo.buckets[reducePart].([]KV[K, V]))
+		out = append(out, mo.buckets.([][]KV[K, V])[reducePart])
 	}
 	if deserBytes > 0 {
-		tc.p.Sleep(ctx.C.Cost.DeserTime(deserBytes))
+		tc.p.Charge(ctx.C.Cost.DeserTime(deserBytes))
 	}
 	return out, nil
 }
@@ -257,11 +259,26 @@ func totalLen[T any](buckets [][]T) int {
 	return n
 }
 
+// maxBucketLen returns the largest fetched bucket — a capacity seed for
+// the merge results keyed on distinct count.
+func maxBucketLen[T any](buckets [][]T) int {
+	n := 0
+	for _, b := range buckets {
+		if len(b) > n {
+			n = len(b)
+		}
+	}
+	return n
+}
+
 // mergeCombine folds fetched buckets into one record per key (first
 // occurrence fixes order, values combined in encounter order — identical
 // to the map-based merge it replaces). A pooled open-addressing table
-// keyed by result position replaces the map[K]int.
-func mergeCombine[K comparable, V any](buckets [][]KV[K, V], op func(V, V) V) []KV[K, V] {
+// keyed by result position replaces the map[K]int. seed, when non-nil,
+// becomes the result's initial backing (a retired buffer popped
+// kernel-side by the caller).
+func mergeCombine[K comparable, V any](buckets [][]KV[K, V], op func(V, V) V,
+	seed []KV[K, V]) []KV[K, V] {
 	total := totalLen(buckets)
 	if total == 0 {
 		return nil
@@ -272,7 +289,13 @@ func mergeCombine[K comparable, V any](buckets [][]KV[K, V], op func(V, V) V) []
 	mask := uint64(ts - 1)
 	hp := scratch.U64(total)
 	hashOf := *hp // hash of the key at each result position
-	var res []KV[K, V]
+	// Within one map's combined bucket keys are unique, so the largest
+	// bucket is a lower bound on the distinct count — seeding the result
+	// there (and doubling past it) avoids append's repeated regrowth.
+	res := seed
+	if res == nil {
+		res = make([]KV[K, V], 0, maxBucketLen(buckets))
+	}
 	for _, b := range buckets {
 		for i := range b {
 			h := keyHash(b[i].K)
@@ -282,6 +305,11 @@ func mergeCombine[K comparable, V any](buckets [][]KV[K, V], op func(V, V) V) []
 				if pos < 0 {
 					table[slot] = int32(len(res))
 					hashOf[len(res)] = h
+					if len(res) == cap(res) {
+						nr := make([]KV[K, V], len(res), max(16, 2*cap(res)))
+						copy(nr, res)
+						res = nr
+					}
 					res = append(res, b[i])
 					break
 				}
@@ -315,7 +343,7 @@ func mergeGroup[K comparable, V any](buckets [][]KV[K, V]) []KV[K, []V] {
 	pos := *pp
 	cp := scratch.I32Zero(total) // records per group
 	cnt := *cp
-	var res []KV[K, []V]
+	res := make([]KV[K, []V], 0, maxBucketLen(buckets))
 	ri := 0
 	for _, b := range buckets {
 		for i := range b {
@@ -327,6 +355,11 @@ func mergeGroup[K comparable, V any](buckets [][]KV[K, V]) []KV[K, []V] {
 					g = int32(len(res))
 					table[slot] = g
 					hashOf[g] = h
+					if len(res) == cap(res) {
+						nr := make([]KV[K, []V], len(res), max(16, 2*cap(res)))
+						copy(nr, res)
+						res = nr
+					}
 					res = append(res, KV[K, []V]{K: b[i].K})
 				} else if hashOf[g] != h || res[g].K != b[i].K {
 					slot = (slot + 1) & mask
@@ -364,55 +397,91 @@ func mergeGroup[K comparable, V any](buckets [][]KV[K, V]) []KV[K, []V] {
 	return res
 }
 
-// mergeJoin hash-joins fetched (or narrow) buckets: build the left side,
-// stream the right. The right is streamed twice — once to count matches
-// so the result is allocated exactly once, once to emit — with per-record
-// hashes and build positions held in pooled scratch. Output order matches
-// the map-based join it replaces: right stream order, left values in
-// insertion order.
-func mergeJoin[K comparable, V, W any](left [][]KV[K, V], right [][]KV[K, W]) []KV[K, JoinPair[V, W]] {
-	lhs := mergeGroup(left)
+// mergeJoin hash-joins fetched (or narrow) buckets: index the left side,
+// stream the right. The left index materializes nothing — an
+// open-addressing table of first-occurrence record ids plus chained
+// next-pointers (all pooled scratch) keep each key's records in encounter
+// order, replacing the grouped-and-copied left side this join used to
+// build. The right is streamed twice — once to count matches so the
+// result needs at most one allocation, once to emit. seed, when its
+// capacity suffices, becomes the result's backing (a retired buffer
+// popped kernel-side by the caller). Output order matches the map-based
+// join this replaces: right stream order, left values in insertion order.
+func mergeJoin[K comparable, V, W any](left [][]KV[K, V], right [][]KV[K, W],
+	seed []KV[K, JoinPair[V, W]]) []KV[K, JoinPair[V, W]] {
+	nl := totalLen(left)
 	nr := totalLen(right)
-	if nr == 0 || len(lhs) == 0 {
+	if nr == 0 || nl == 0 {
 		return nil
 	}
-	ts := scratch.TableSize(len(lhs))
+	ts := scratch.TableSize(nl)
 	tp := scratch.I32Fill(ts, -1)
 	table := *tp
 	mask := uint64(ts - 1)
-	hp := scratch.U64(len(lhs))
-	hashOf := *hp
-	for pos := range lhs {
-		h := keyHash(lhs[pos].K)
-		hashOf[pos] = h
-		slot := h & mask
-		for table[slot] >= 0 {
-			slot = (slot + 1) & mask
-		}
-		table[slot] = int32(pos)
+	hp := scratch.U64(nl)
+	hashes := *hp
+	np := scratch.I32Fill(nl, -1) // next left record with the same key
+	next := *np
+	lp := scratch.I32(nl) // chain tail, valid at first-occurrence ids
+	tail := *lp
+	cp := scratch.I32Zero(nl) // records per key, at first-occurrence ids
+	cnt := *cp
+	sp := scratch.I32(len(left) + 1) // flat id of each bucket's start
+	starts := *sp
+	bp := scratch.I32(nl) // bucket holding each flat id
+	bidx := *bp
+	// rec maps a flat left id back to its record.
+	rec := func(j int32) *KV[K, V] {
+		b := bidx[j]
+		return &left[b][j-starts[b]]
 	}
-	// Pass 1 over the right: resolve each record's build position and
+	j := int32(0)
+	for b := range left {
+		starts[b] = j
+		for i := range left[b] {
+			bidx[j] = int32(b)
+			h := keyHash(left[b][i].K)
+			hashes[j] = h
+			slot := h & mask
+			for {
+				r := table[slot]
+				if r < 0 {
+					table[slot] = j
+					tail[j] = j
+					cnt[j] = 1
+					break
+				}
+				if hashes[r] == h && rec(r).K == left[b][i].K {
+					next[tail[r]] = j
+					tail[r] = j
+					cnt[r]++
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+			j++
+		}
+	}
+	starts[len(left)] = j
+	// Pass 1 over the right: resolve each record's first left match and
 	// count output records.
 	rp := scratch.I32(nr)
 	posR := *rp
-	rh := scratch.U64(nr)
-	rhash := *rh
 	nOut := 0
 	k := 0
 	for _, b := range right {
 		for i := range b {
 			h := keyHash(b[i].K)
-			rhash[k] = h
 			posR[k] = -1
 			slot := h & mask
 			for {
-				pos := table[slot]
-				if pos < 0 {
+				r := table[slot]
+				if r < 0 {
 					break
 				}
-				if hashOf[pos] == h && lhs[pos].K == b[i].K {
-					posR[k] = pos
-					nOut += len(lhs[pos].V)
+				if hashes[r] == h && rec(r).K == b[i].K {
+					posR[k] = r
+					nOut += int(cnt[r])
 					break
 				}
 				slot = (slot + 1) & mask
@@ -420,23 +489,28 @@ func mergeJoin[K comparable, V, W any](left [][]KV[K, V], right [][]KV[K, W]) []
 			k++
 		}
 	}
-	// Pass 2: emit into an exact-size result.
-	res := make([]KV[K, JoinPair[V, W]], 0, nOut)
+	// Pass 2: emit, walking each matched key's chain in encounter order.
+	res := seed
+	if cap(res) < nOut {
+		res = make([]KV[K, JoinPair[V, W]], 0, nOut)
+	}
 	k = 0
 	for _, b := range right {
 		for i := range b {
-			if pos := posR[k]; pos >= 0 {
-				for _, lv := range lhs[pos].V {
-					res = append(res, KV[K, JoinPair[V, W]]{b[i].K, JoinPair[V, W]{lv, b[i].V}})
-				}
+			for r := posR[k]; r >= 0; r = next[r] {
+				res = append(res, KV[K, JoinPair[V, W]]{b[i].K, JoinPair[V, W]{rec(r).V, b[i].V}})
 			}
 			k++
 		}
 	}
 	scratch.PutI32(tp)
 	scratch.PutU64(hp)
+	scratch.PutI32(np)
+	scratch.PutI32(lp)
+	scratch.PutI32(cp)
+	scratch.PutI32(sp)
+	scratch.PutI32(bp)
 	scratch.PutI32(rp)
-	scratch.PutU64(rh)
 	return res
 }
 
@@ -460,6 +534,9 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], op func(V, V) V, nOut in
 		buckets := offloadRecords(tc, len(in), func() [][]KV[K, V] {
 			return bucketize(in, nOut, op)
 		})
+		// bucketize copied every record into exact-size buckets; the
+		// parent partition is dead weight from here on.
+		recyclePart(tc, r, in)
 		writeShuffle(tc, dep, part, buckets, recBytes)
 		return nil
 	})
@@ -467,14 +544,15 @@ func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], op func(V, V) V, nOut in
 	m := newMeta(ctx, fmt.Sprintf("reduceByKey@%s", r.m.name), nOut)
 	m.wide = []*shuffleDep{dep}
 	m.partr = &partitioner{n: nOut}
-	out := &RDD[KV[K, V]]{m: m, recBytes: recBytes}
+	out := &RDD[KV[K, V]]{m: m, recBytes: recBytes, owned: true}
 	out.compute = func(tc *taskContext, part int) ([]KV[K, V], error) {
 		buckets, err := fetchShuffle[K, V](tc, dep.shuffleID, part)
 		if err != nil {
 			return nil, err
 		}
+		seed := takeBuf[KV[K, V]](tc.ctx, maxBucketLen(buckets))
 		res := offloadRecords(tc, totalLen(buckets), func() []KV[K, V] {
-			return mergeCombine(buckets, op)
+			return mergeCombine(buckets, op, seed)
 		})
 		return res, nil
 	}
@@ -498,6 +576,7 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, []V]
 		buckets := offloadRecords(tc, len(in), func() [][]KV[K, V] {
 			return bucketize[K, V](in, nOut, nil)
 		})
+		recyclePart(tc, r, in)
 		writeShuffle(tc, dep, part, buckets, recBytes)
 		return nil
 	})
@@ -505,7 +584,7 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, []V]
 	m := newMeta(ctx, fmt.Sprintf("groupByKey@%s", r.m.name), nOut)
 	m.wide = []*shuffleDep{dep}
 	m.partr = &partitioner{n: nOut}
-	out := &RDD[KV[K, []V]]{m: m, recBytes: recBytes * 4}
+	out := &RDD[KV[K, []V]]{m: m, recBytes: recBytes * 4, owned: true}
 	out.compute = func(tc *taskContext, part int) ([]KV[K, []V], error) {
 		buckets, err := fetchShuffle[K, V](tc, dep.shuffleID, part)
 		if err != nil {
@@ -536,21 +615,26 @@ func PartitionBy[K comparable, V any](r *RDD[KV[K, V]], nOut int) *RDD[KV[K, V]]
 		buckets := offloadRecords(tc, len(in), func() [][]KV[K, V] {
 			return bucketize[K, V](in, nOut, nil)
 		})
+		recyclePart(tc, r, in)
 		writeShuffle(tc, dep, part, buckets, recBytes)
 		return nil
 	})
 	m := newMeta(ctx, fmt.Sprintf("partitionBy@%s", r.m.name), nOut)
 	m.wide = []*shuffleDep{dep}
 	m.partr = &partitioner{n: nOut}
-	out := &RDD[KV[K, V]]{m: m, recBytes: recBytes}
+	out := &RDD[KV[K, V]]{m: m, recBytes: recBytes, owned: true}
 	out.compute = func(tc *taskContext, part int) ([]KV[K, V], error) {
 		buckets, err := fetchShuffle[K, V](tc, dep.shuffleID, part)
 		if err != nil {
 			return nil, err
 		}
 		n := totalLen(buckets)
+		seed := takeBuf[KV[K, V]](tc.ctx, n)
 		res := offloadRecords(tc, n, func() []KV[K, V] {
-			res := make([]KV[K, V], 0, n)
+			res := seed
+			if cap(res) < n {
+				res = make([]KV[K, V], 0, n)
+			}
 			for _, b := range buckets {
 				res = append(res, b...)
 			}
@@ -590,6 +674,7 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], nOut int) 
 		buckets := offloadRecords(tc, len(in), func() [][]KV[K, V] {
 			return bucketize[K, V](in, nOut, nil)
 		})
+		recyclePart(tc, a, in)
 		writeShuffle(tc, depA, part, buckets, a.recBytes)
 		return nil
 	})
@@ -601,6 +686,7 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], nOut int) 
 		buckets := offloadRecords(tc, len(in), func() [][]KV[K, W] {
 			return bucketize[K, W](in, nOut, nil)
 		})
+		recyclePart(tc, b, in)
 		writeShuffle(tc, depB, part, buckets, b.recBytes)
 		return nil
 	})
@@ -608,7 +694,7 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], nOut int) 
 	m := newMeta(ctx, fmt.Sprintf("join(%s,%s)", a.m.name, b.m.name), nOut)
 	m.wide = []*shuffleDep{depA, depB}
 	m.partr = &partitioner{n: nOut}
-	out := &RDD[KV[K, JoinPair[V, W]]]{m: m, recBytes: a.recBytes + b.recBytes}
+	out := &RDD[KV[K, JoinPair[V, W]]]{m: m, recBytes: a.recBytes + b.recBytes, owned: true}
 	out.compute = func(tc *taskContext, part int) ([]KV[K, JoinPair[V, W]], error) {
 		left, err := fetchShuffle[K, V](tc, depA.shuffleID, part)
 		if err != nil {
@@ -623,12 +709,13 @@ func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], nOut int) 
 		// payload over the fixed n-record window; the output-dependent part
 		// of the charge follows the join.
 		n := totalLen(left) + totalLen(right)
+		seed := takeBuf[KV[K, JoinPair[V, W]]](tc.ctx, totalLen(right))
 		pd := sim.OffloadStart(tc.p, func() []KV[K, JoinPair[V, W]] {
-			return mergeJoin(left, right)
+			return mergeJoin(left, right, seed)
 		})
 		tc.chargeRecords(n)
 		res := pd.Join()
-		tc.chargeRecords(len(res))
+		tc.deferRecords(len(res))
 		return res, nil
 	}
 	return out
@@ -641,7 +728,7 @@ func narrowJoin[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]]) *RDD
 	m.narrow = []*meta{a.m, b.m}
 	m.prefs = a.m.prefs
 	m.partr = a.m.partr
-	out := &RDD[KV[K, JoinPair[V, W]]]{m: m, recBytes: a.recBytes + b.recBytes}
+	out := &RDD[KV[K, JoinPair[V, W]]]{m: m, recBytes: a.recBytes + b.recBytes, owned: true}
 	out.compute = func(tc *taskContext, part int) ([]KV[K, JoinPair[V, W]], error) {
 		left, err := a.part(tc, part)
 		if err != nil {
@@ -651,12 +738,16 @@ func narrowJoin[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]]) *RDD
 		if err != nil {
 			return nil, err
 		}
+		seed := takeBuf[KV[K, JoinPair[V, W]]](tc.ctx, len(right))
 		pd := sim.OffloadStart(tc.p, func() []KV[K, JoinPair[V, W]] {
-			return mergeJoin([][]KV[K, V]{left}, [][]KV[K, W]{right})
+			return mergeJoin([][]KV[K, V]{left}, [][]KV[K, W]{right}, seed)
 		})
 		tc.chargeRecords(len(left) + len(right))
 		res := pd.Join()
-		tc.chargeRecords(len(res))
+		// mergeJoin copied both sides out record-by-record into res.
+		recyclePart(tc, a, left)
+		recyclePart(tc, b, right)
+		tc.deferRecords(len(res))
 		return res, nil
 	}
 	return out

@@ -40,6 +40,7 @@ func (c *Chan[T]) Len() int { return len(c.buf) }
 // Send delivers v, blocking in virtual time if no receiver/buffer space is
 // available. Sending on a closed channel panics, as with native channels.
 func (c *Chan[T]) Send(p *Proc, v T) {
+	p.FlushCharge()
 	if c.closed {
 		panic("sim: send on closed channel " + c.name)
 	}
@@ -84,6 +85,7 @@ func (c *Chan[T]) TrySend(v T) bool {
 // Recv blocks until a value is available. ok is false if the channel was
 // closed and drained.
 func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	p.FlushCharge()
 	if len(c.buf) > 0 {
 		v = c.buf[0]
 		c.buf = c.buf[1:]

@@ -3,82 +3,113 @@ package sim
 // Future is a single-assignment value that processes can wait on. It is
 // the building block for request/response protocols (rendezvous sends,
 // RPCs, task completion notifications).
+//
+// The zero value is a valid unresolved future, so protocol structs that
+// live one-per-message (MPI envelopes, non-blocking requests) embed
+// futures by value instead of allocating them separately. Waiters are
+// woken through their own proc's kernel; the common single-waiter case
+// parks in an inline slot so Wait performs no allocation at all.
 type Future[T any] struct {
-	k       *Kernel
 	done    bool
 	v       T
-	waiters []*Proc
+	w0      *Proc
+	waiters []*Proc // overflow beyond the first waiter, in arrival order
 }
 
-// NewFuture creates an unresolved future.
+// NewFuture creates an unresolved future. Kept for call sites that want
+// a heap future; the zero value is equally valid.
 func NewFuture[T any](k *Kernel) *Future[T] {
-	return &Future[T]{k: k}
+	return &Future[T]{}
 }
 
 // Done reports whether the future has been completed.
 func (f *Future[T]) Done() bool { return f.done }
 
-// Complete resolves the future and wakes all waiters. Completing twice
-// panics.
+// Complete resolves the future and wakes all waiters in arrival order.
+// Completing twice panics.
 func (f *Future[T]) Complete(v T) {
 	if f.done {
 		panic("sim: future completed twice")
 	}
 	f.done = true
 	f.v = v
+	if p := f.w0; p != nil {
+		f.w0 = nil
+		p.k.wake(p)
+	}
 	for _, p := range f.waiters {
-		f.k.wake(p)
+		p.k.wake(p)
 	}
 	f.waiters = nil
 }
 
 // Wait blocks until the future is completed and returns its value.
 func (f *Future[T]) Wait(p *Proc) T {
+	p.FlushCharge()
 	if !f.done {
-		f.waiters = append(f.waiters, p)
+		if f.w0 == nil {
+			f.w0 = p
+		} else {
+			f.waiters = append(f.waiters, p)
+		}
 		p.block()
 	}
 	return f.v
 }
 
 // Signal is a broadcast condition: processes wait, another wakes them all.
-// Unlike Future it can fire repeatedly.
+// Unlike Future it can fire repeatedly. The zero value is a valid signal.
 type Signal struct {
-	k       *Kernel
+	w0      *Proc
 	waiters []*Proc
 }
 
-// NewSignal creates a signal.
-func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+// NewSignal creates a signal. Kept for call sites that want a heap
+// signal; the zero value is equally valid.
+func NewSignal(k *Kernel) *Signal { return &Signal{} }
 
 // Wait parks the process until the next Broadcast.
 func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, p)
+	p.FlushCharge()
+	if s.w0 == nil {
+		s.w0 = p
+	} else {
+		s.waiters = append(s.waiters, p)
+	}
 	p.block()
 }
 
-// Broadcast wakes all currently waiting processes.
+// Broadcast wakes all currently waiting processes in arrival order.
 func (s *Signal) Broadcast() {
+	if p := s.w0; p != nil {
+		s.w0 = nil
+		p.k.wake(p)
+	}
 	for _, p := range s.waiters {
-		s.k.wake(p)
+		p.k.wake(p)
 	}
 	s.waiters = nil
 }
 
 // Waiters returns the number of processes currently parked on the signal.
-func (s *Signal) Waiters() int { return len(s.waiters) }
+func (s *Signal) Waiters() int {
+	n := len(s.waiters)
+	if s.w0 != nil {
+		n++
+	}
+	return n
+}
 
 // WaitGroup counts outstanding work in virtual time, mirroring
 // sync.WaitGroup for simulated processes.
 type WaitGroup struct {
-	k     *Kernel
 	count int
-	done  *Signal
+	done  Signal
 }
 
 // NewWaitGroup creates a wait group.
 func NewWaitGroup(k *Kernel) *WaitGroup {
-	return &WaitGroup{k: k, done: NewSignal(k)}
+	return &WaitGroup{}
 }
 
 // Add increments the counter by delta.

@@ -16,7 +16,11 @@ type Resource struct {
 	name     string
 	capacity int64
 	used     int64
-	waiters  []resWaiter
+	// waiters is a head-indexed FIFO: grants advance whead instead of
+	// re-slicing (which forces a fresh allocation on the next append);
+	// the backing array is reused once the queue drains.
+	waiters []resWaiter
+	whead   int
 
 	// Stats
 	acquires  int64
@@ -48,7 +52,7 @@ func (r *Resource) Capacity() int64 { return r.capacity }
 func (r *Resource) InUse() int64 { return r.used }
 
 // QueueLen returns the number of processes waiting to acquire.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.whead }
 
 // account closes the utilization interval [lastEvent, now] using the
 // usage level that prevailed during it; call before mutating used.
@@ -68,9 +72,10 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	if n > r.capacity {
 		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d of %q", n, r.capacity, r.name))
 	}
+	p.FlushCharge() // deferred time elapses before joining the queue
 	r.acquires++
 	// FIFO fairness: even if n units are free, queue behind earlier waiters.
-	if len(r.waiters) == 0 && r.used+n <= r.capacity {
+	if r.whead == len(r.waiters) && r.used+n <= r.capacity {
 		r.account()
 		r.used += n
 		return
@@ -86,7 +91,7 @@ func (r *Resource) TryAcquire(n int64) bool {
 	if n <= 0 {
 		return true
 	}
-	if len(r.waiters) > 0 || r.used+n > r.capacity {
+	if r.whead < len(r.waiters) || r.used+n > r.capacity {
 		return false
 	}
 	r.acquires++
@@ -106,11 +111,16 @@ func (r *Resource) Release(n int64) {
 	}
 	r.account()
 	r.used -= n
-	for len(r.waiters) > 0 && r.used+r.waiters[0].n <= r.capacity {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	for r.whead < len(r.waiters) && r.used+r.waiters[r.whead].n <= r.capacity {
+		w := r.waiters[r.whead]
+		r.waiters[r.whead] = resWaiter{}
+		r.whead++
 		r.used += w.n
 		r.k.wake(w.p)
+	}
+	if r.whead == len(r.waiters) && r.whead > 0 {
+		r.waiters = r.waiters[:0]
+		r.whead = 0
 	}
 }
 

@@ -17,7 +17,9 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -49,20 +51,21 @@ type procKilled struct{}
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewKernel.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventQueue
-	ack    chan struct{} // queue drained -> Run may return
-	killed chan struct{} // closed on Shutdown (external observers)
-	dead   bool          // set by Shutdown before closing resume channels
-	procs  []*Proc       // spawned, not yet finished (for Shutdown)
-	live   int           // processes spawned and not yet finished
-	parked int           // processes parked without a pending event
-	nextID int
-	rng    *rand.Rand
-	ran    bool
-	nev    int64      // events processed by Run
-	pool   *exec.Pool // host workers for offloaded payloads (see offload.go)
+	now     Time
+	seq     uint64
+	events  eventQueue
+	killed  chan struct{} // closed on Shutdown (external observers)
+	dead    bool          // set by Shutdown before stopping coroutines
+	procs   []*Proc       // every Proc with a live coroutine (for Shutdown)
+	free    []*Proc       // finished procs whose coroutines await reuse
+	handoff *Proc         // proc a yielding coroutine asks Run to resume
+	live    int           // processes spawned and not yet finished
+	parked  int           // processes parked without a pending event
+	nextID  int
+	rng     *rand.Rand
+	ran     bool
+	nev     int64      // events processed by Run
+	pool    *exec.Pool // host workers for offloaded payloads (see offload.go)
 
 	// Trace, when non-nil, receives one line per scheduling decision.
 	// Intended for debugging tests; nil in normal operation.
@@ -74,7 +77,6 @@ type Kernel struct {
 // (exec.Default) for payload offloading; SetPool overrides it.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		ack:    make(chan struct{}),
 		killed: make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
 		pool:   exec.Default(),
@@ -97,17 +99,36 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // was spawned with, and all of its methods must be called from that
 // function's goroutine.
 type Proc struct {
-	k      *Kernel
-	id     int
-	name   string
-	resume chan struct{}
+	k    *Kernel
+	id   int
+	name string
+	// next resumes the proc's coroutine (called only by Run's dispatcher
+	// loop); yield suspends it, returning control to that next call;
+	// stop tears the coroutine down (Shutdown). Control transfer is a
+	// direct coroutine switch — it never enters the goroutine scheduler,
+	// which is what makes the per-event handoff cheap.
+	next  func() (struct{}, bool)
+	yield func(struct{}) bool
+	stop  func()
 	// pending reports whether the proc has a wake event in the queue.
 	// A proc parked without a pending event must be woken by another
 	// proc via k.wake.
 	pending bool
-	// finished marks the body as returned, so Shutdown skips its resume
-	// channel.
+	// finished marks the body as returned, so the Proc is on the free
+	// list awaiting its next incarnation.
 	finished bool
+	// body is the current incarnation's function; coro runs it and then
+	// returns the Proc to the kernel's free list for reuse.
+	body func(p *Proc)
+	// charge accumulates virtual-time charges deferred by Charge. The
+	// next Sleep consumes it (one kernel event for the whole run of
+	// charges) and every blocking primitive flushes it first, so the
+	// process can never interact with shared state — resource queues,
+	// channels, futures — before its accumulated time has elapsed.
+	// Durations are summed, never reordered: absolute virtual
+	// timestamps at every synchronization point are identical to
+	// charging each duration with its own Sleep.
+	charge time.Duration
 }
 
 // ID returns the process's unique id within its kernel.
@@ -133,41 +154,69 @@ type event struct {
 // Spawn creates a new simulated process executing body. The process begins
 // running at the current virtual time, after the spawner next yields.
 // Spawn may be called before Run or from any running process.
+//
+// Host-side, the kernel recycles coroutines: a finished process parks its
+// coroutine (and Proc struct) on a free list, and the next Spawn reuses it
+// instead of creating one. Short-lived protocol processes — MPI progress
+// engines, shuffle fetchers — are spawned by the hundreds of thousands per
+// simulation, and reuse removes the goroutine/stack creation from that
+// path. Virtual time is untouched: each incarnation gets a fresh id and a
+// fresh start event at the current time, exactly as a newly created
+// process would.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{
-		k:      k,
-		id:     k.nextID,
-		name:   name,
-		resume: make(chan struct{}, 1),
+	var p *Proc
+	if n := len(k.free); n > 0 {
+		p = k.free[n-1]
+		k.free = k.free[:n-1]
+		p.id = k.nextID
+		p.name = name
+		p.pending = false
+		p.finished = false
+		p.charge = 0
+		p.body = body
+	} else {
+		p = &Proc{
+			k:    k,
+			id:   k.nextID,
+			name: name,
+			body: body,
+		}
+		p.next, p.stop = iter.Pull(p.coro)
+		k.procs = append(k.procs, p)
 	}
 	k.nextID++
 	k.live++
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(procKilled); ok {
-					return
-				}
-				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
-			}
-		}()
-		// Plain receive, not a select: the shutdown path closes resume
-		// after setting k.dead, keeping the per-event handoff free of
-		// selectgo overhead (it runs millions of times per simulation).
-		<-p.resume
-		if k.dead {
-			return
-		}
-		body(p)
-		k.live--
-		p.finished = true
-		if !k.dispatch() {
-			k.ack <- struct{}{}
-		}
-	}()
-	k.procs = append(k.procs, p)
 	k.schedule(k.now, p)
 	return p
+}
+
+// coro is the long-lived coroutine behind a Proc: the first resume runs
+// the current incarnation's body; when it returns, the Proc rejoins the
+// kernel's free list and the coroutine suspends until Spawn assigns the
+// next body (or Shutdown stops it). A kill while the body is parked
+// arrives as a procKilled panic out of park, unwound here.
+func (p *Proc) coro(yield func(struct{}) bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); ok {
+				return
+			}
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+		}
+	}()
+	p.yield = yield
+	k := p.k
+	for {
+		p.body(p)
+		p.body = nil
+		p.FlushCharge() // a deferred charge still elapses before exit
+		k.live--
+		p.finished = true
+		k.free = append(k.free, p)
+		if !yield(struct{}{}) || k.dead {
+			return
+		}
+	}
 }
 
 // After schedules fn to run at virtual time now+d. fn executes inline in
@@ -203,33 +252,59 @@ func (k *Kernel) wake(p *Proc) {
 // have arranged for a future wake: either a pending event (Sleep) or
 // registration with a waker (resource queue, channel, future).
 //
-// Scheduling is by direct handoff: the parking process dispatches the
-// next event itself, delivering a token straight to the next process's
-// buffered resume channel — one goroutine switch per handoff instead of
-// bouncing through a central scheduler goroutine, and zero switches when
-// the next event wakes the parking process itself. If the queue drains,
-// the kernel's Run is signalled instead. Shutdown wakes parked processes
-// by closing resume (after setting k.dead), so the hot path is a plain
-// receive rather than a select.
+// The parking process advances the event loop itself: callbacks run
+// inline, and when the first wake event it pops is its own, it simply
+// keeps running — no switch at all. Otherwise it deposits the woken
+// process in k.handoff and yields its coroutine; Run's dispatcher loop
+// resumes the target with a direct coroutine switch. If the queue drains,
+// it yields with no handoff and Run returns. Shutdown stops suspended
+// coroutines, which surfaces here as yield returning false.
 func (p *Proc) park() {
 	k := p.k
-	if !k.dispatch() {
-		k.ack <- struct{}{}
+	if k.dispatchFrom(p) == dispSelf {
+		return
 	}
-	<-p.resume
-	if k.dead {
+	if !p.yield(struct{}{}) || k.dead {
 		panic(procKilled{})
 	}
 }
 
-// Sleep advances the process's virtual time by d. Negative durations sleep
+// Sleep advances the process's virtual time by d plus any accumulated
+// Charge backlog (consumed here, as one event). Negative durations sleep
 // for zero time (still yielding to the scheduler).
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	if p.charge > 0 {
+		d += p.charge
+		p.charge = 0
+	}
 	p.k.schedule(p.k.now.Add(d), p)
 	p.park()
+}
+
+// Charge defers a virtual-time charge: d is added to an accumulator that
+// the process's next Sleep consumes (durations summed, never reordered),
+// and that every blocking primitive — resource acquisition, channel
+// operations, futures, signals — flushes before touching shared state.
+// Consecutive pure-compute/IO charges therefore cost one kernel event at
+// the next synchronization point instead of one each, with bit-identical
+// virtual timestamps everywhere the process interacts with the world.
+func (p *Proc) Charge(d time.Duration) {
+	if d > 0 {
+		p.charge += d
+	}
+}
+
+// FlushCharge converts any accumulated Charge backlog into an immediate
+// Sleep. Use it before observing shared state that a blocking primitive
+// would not flush for you (e.g. releasing a resource, publishing a
+// result). No-op when nothing is pending.
+func (p *Proc) FlushCharge() {
+	if p.charge > 0 {
+		p.Sleep(0) // Sleep consumes the backlog
+	}
 }
 
 // Yield lets any other process scheduled at the current time run first.
@@ -242,14 +317,21 @@ func (p *Proc) block() {
 	p.park()
 }
 
-// dispatch advances the event loop: callbacks run inline; the first
-// process-wake event hands a token to that process and returns true.
-// Returns false when the queue drains without a handoff. It is called by
-// whichever goroutine is ceding control — Run to start the chain, then
-// each parking or finishing process — so exactly one goroutine executes
-// model code at any moment (the token transfer is the synchronization
-// point; the ceding goroutine touches no kernel state after the send).
-func (k *Kernel) dispatch() bool {
+// dispatchFrom outcomes.
+const (
+	dispHanded  = iota // token delivered to another process
+	dispDrained        // queue emptied without a handoff
+	dispSelf           // next wake is the dispatching process itself
+)
+
+// dispatchFrom advances the event loop: callbacks run inline; the first
+// process-wake event either resumes the dispatching process itself
+// (dispSelf — the caller just keeps running, no switch) or deposits the
+// woken process in k.handoff for Run's dispatcher loop (dispHanded). It
+// is called by whichever goroutine is ceding control — Run, or a parking
+// process about to yield — so exactly one goroutine executes model code
+// at any moment.
+func (k *Kernel) dispatchFrom(self *Proc) int {
 	for len(k.events) > 0 {
 		k.nev++
 		e := k.events.pop()
@@ -268,26 +350,50 @@ func (k *Kernel) dispatch() bool {
 			k.Trace("t=%v run %q", k.now, e.p.name)
 		}
 		e.p.pending = false
-		e.p.resume <- struct{}{}
-		return true
+		if e.p == self {
+			return dispSelf
+		}
+		k.handoff = e.p
+		return dispHanded
 	}
-	return false
+	return dispDrained
 }
 
 // Run executes events until the queue is empty, then returns the final
-// virtual time. Processes still parked on resources, channels or futures
-// when the queue drains are deadlocked (or simply never signalled); Run
-// returns anyway and Shutdown reclaims their goroutines.
+// virtual time. It is the dispatcher: every process that parks or
+// finishes yields its coroutine back here (leaving the next process to
+// resume, if any, in k.handoff), and Run performs the switch. Processes
+// still parked on resources, channels or futures when the queue drains
+// are deadlocked (or simply never signalled); Run returns anyway and
+// Shutdown reclaims their coroutines.
 func (k *Kernel) Run() Time {
 	if k.ran {
 		panic("sim: Kernel.Run called twice")
 	}
 	k.ran = true
 	defer func() { totalEvents.Add(k.nev) }()
-	if k.dispatch() {
-		<-k.ack
+	yieldEvery := int64(2048)
+	nextYield := k.nev + yieldEvery
+	for {
+		if k.handoff == nil {
+			if k.dispatchFrom(nil) != dispHanded {
+				return k.now
+			}
+		}
+		p := k.handoff
+		k.handoff = nil
+		p.next()
+		// Coroutine switches never pass through the goroutine scheduler,
+		// so a long dispatch chain looks to sysmon like one goroutine
+		// monopolizing the P and draws a stream of async preemption
+		// signals. A periodic Gosched resets the scheduler tick for a
+		// few hundred nanoseconds every couple of milliseconds of
+		// dispatching.
+		if k.nev >= nextYield {
+			nextYield = k.nev + yieldEvery
+			runtime.Gosched()
+		}
 	}
-	return k.now
 }
 
 // Events returns the number of events this kernel's Run has processed —
@@ -311,7 +417,7 @@ func (k *Kernel) Blocked() int { return k.parked }
 // Live returns the number of spawned processes that have not finished.
 func (k *Kernel) Live() int { return k.live }
 
-// Shutdown releases the goroutines of any processes still parked. It must
+// Shutdown releases the coroutines of any processes still parked. It must
 // be called after Run (typically via defer) when the simulation may end
 // with blocked processes.
 func (k *Kernel) Shutdown() {
@@ -322,10 +428,14 @@ func (k *Kernel) Shutdown() {
 		close(k.killed)
 	}
 	k.dead = true
+	// Every Proc ever created has a live coroutine: suspended in park
+	// (not finished), idling on the free list in coro (finished), or
+	// never started (spawned but never dispatched). stop makes the
+	// suspended yield return false on the first two paths and marks the
+	// third exhausted without ever running it.
 	for _, p := range k.procs {
-		if !p.finished {
-			close(p.resume) // unblocks the plain receive in park/Spawn
-		}
+		p.stop()
 	}
 	k.procs = nil
+	k.free = nil
 }
