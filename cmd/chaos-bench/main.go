@@ -6,9 +6,14 @@
 // checkpoint-interval study. The lossy-network & integrity sweep re-runs
 // the workloads over a fabric that drops, corrupts or partitions
 // messages, contrasting the reliable-transport Big Data stacks with
-// transport-fragile plain MPI and resilient MPI. Each sweep runs twice
-// so the determinism claim — identical seed, identical virtual timings
-// and recovery counters — is checked, not asserted.
+// transport-fragile plain MPI and resilient MPI. The control-plane
+// failover sweep kills the master's node (namenode, Spark driver,
+// MapReduce job tracker — all journaled to standbys) at fixed fractions
+// of each workload's clean duration and requires byte-identical output
+// across leader generations, with plain MPI deadlocking under the same
+// kill. Each sweep runs twice so the determinism claim — identical
+// seed, identical virtual timings and recovery counters — is checked,
+// not asserted.
 package main
 
 import (
@@ -34,6 +39,8 @@ func main() {
 	b := hpcbd.ChaosSweep(o) // second run, same seed: must match a exactly
 	ta := hpcbd.TransportSweep(o)
 	tb := hpcbd.TransportSweep(o)
+	ma := hpcbd.MasterSweep(o)
+	mb := hpcbd.MasterSweep(o)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -41,12 +48,14 @@ func main() {
 		if err := enc.Encode(struct {
 			Chaos     hpcbd.ChaosSweepResult     `json:"chaos"`
 			Transport hpcbd.TransportSweepResult `json:"transport"`
-		}{a, ta}); err != nil {
+			Master    hpcbd.MasterSweepResult    `json:"master"`
+		}{a, ta, ma}); err != nil {
 			fmt.Fprintln(os.Stderr, "json encode:", err)
 			os.Exit(1)
 		}
 	} else {
 		tabs := append(hpcbd.ChaosTables(a), hpcbd.TransportTables(ta)...)
+		tabs = append(tabs, hpcbd.MasterTables(ma)...)
 		for _, tab := range tabs {
 			if *csv {
 				fmt.Print(tab.CSV())
@@ -58,6 +67,7 @@ func main() {
 
 	bad := hpcbd.CheckChaosSweep(a, b)
 	bad = append(bad, hpcbd.CheckTransportSweep(ta, tb)...)
+	bad = append(bad, hpcbd.CheckMasterSweep(ma, mb)...)
 	if len(bad) > 0 {
 		fmt.Fprintln(os.Stderr, "shape violations:")
 		for _, m := range bad {
@@ -65,5 +75,5 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "shape check: OK (deterministic; Spark and Hadoop complete under chaos, loss, corruption and partitions with oracle-correct results; no corrupt byte served; plain MPI deadlocks on loss; resilient MPI retransmits and rolls back; overhead monotone in fault rate)")
+	fmt.Fprintln(os.Stderr, "shape check: OK (deterministic; Spark and Hadoop complete under chaos, loss, corruption and partitions with oracle-correct results; no corrupt byte served; plain MPI deadlocks on loss; resilient MPI retransmits and rolls back; overhead monotone in fault rate; journaled masters fail over with byte-identical output while plain MPI deadlocks on a master kill)")
 }

@@ -110,3 +110,16 @@ func TestTransportSweepPoolInvariance(t *testing.T) {
 		t.Errorf("transport sweep pool invariance: %s", v)
 	}
 }
+
+// TestMasterSweepPoolInvariance verifies the control-plane failover
+// sweep — elections, journal replays and all — is bit-identical whether
+// the compute pool runs one worker or eight.
+func TestMasterSweepPoolInvariance(t *testing.T) {
+	o := QuickOptions()
+	var m1, m8 MasterSweepResult
+	withPool(t, 1, func() { m1 = MasterSweep(o) })
+	withPool(t, 8, func() { m8 = MasterSweep(o) })
+	if !reflect.DeepEqual(m1, m8) {
+		t.Errorf("master sweep differs between pool sizes 1 and 8:\npool1: %+v\npool8: %+v", m1, m8)
+	}
+}

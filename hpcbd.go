@@ -67,6 +67,12 @@ type (
 	// TransportPoint is one (runtime, fault rate) measurement of a
 	// TransportSweepResult series.
 	TransportPoint = core.TransportPoint
+	// MasterSweepResult is the control-plane failover sweep: journaled
+	// masters killed mid-job with standby takeover.
+	MasterSweepResult = core.MasterSweepResult
+	// MasterPoint is one (workload, kill point) measurement of a
+	// MasterSweepResult series.
+	MasterPoint = core.MasterPoint
 )
 
 // FullOptions returns the paper-scale experiment configuration.
@@ -154,6 +160,22 @@ func TransportTables(r TransportSweepResult) []Table { return core.TransportTabl
 // including bit-exact determinism between two runs of the same options.
 func CheckTransportSweep(a, b TransportSweepResult) []string {
 	return core.CheckTransportSweep(a, b)
+}
+
+// MasterSweep runs the control-plane failover sweep: the DFS namenode,
+// Spark driver and MapReduce job tracker — all journaled to standbys —
+// are killed at fixed fractions of each workload's clean duration, and
+// every job must finish with a byte-identical result; a plain MPI job
+// under the same kill deadlocks, the measured fragility contrast.
+func MasterSweep(o Options) MasterSweepResult { return core.MasterSweep(o) }
+
+// MasterTables renders a MasterSweepResult as report tables.
+func MasterTables(r MasterSweepResult) []Table { return core.MasterTables(r) }
+
+// CheckMasterSweep verifies the master-kill sweep's documented shapes,
+// including bit-exact determinism between two runs of the same options.
+func CheckMasterSweep(a, b MasterSweepResult) []string {
+	return core.CheckMasterSweep(a, b)
 }
 
 // AblationMRMPI reproduces the related-work claims ([36],[37]): MapReduce

@@ -277,18 +277,25 @@ func MTBFNested(seed int64, nodes int, mtbfs []time.Duration, horizon time.Durat
 	return plans
 }
 
+// spareSet turns a spare list into a set for O(1) membership tests; nil
+// when there are no spares, which ranges as empty.
+func spareSet(spare []int) map[int]bool {
+	if len(spare) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(spare))
+	for _, s := range spare {
+		set[s] = true
+	}
+	return set
+}
+
 // crashVictims returns the crashable nodes: all of them minus the spares.
 func crashVictims(nodes int, spare []int) []int {
+	spared := spareSet(spare)
 	victims := make([]int, 0, nodes)
 	for i := 0; i < nodes; i++ {
-		spared := false
-		for _, s := range spare {
-			if s == i {
-				spared = true
-				break
-			}
-		}
-		if !spared {
+		if !spared[i] {
 			victims = append(victims, i)
 		}
 	}
@@ -335,19 +342,13 @@ func Stragglers(seed int64, nodes, count int, factor float64, at, length time.Du
 	p := &Plan{}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(nodes)
+	spared := spareSet(opts.Spare)
 	picked := 0
 	for _, n := range perm {
 		if picked >= count {
 			break
 		}
-		spared := false
-		for _, s := range opts.Spare {
-			if s == n {
-				spared = true
-				break
-			}
-		}
-		if spared {
+		if spared[n] {
 			continue
 		}
 		picked++
@@ -357,6 +358,20 @@ func Stragglers(seed int64, nodes, count int, factor float64, at, length time.Du
 		}
 	}
 	p.sort()
+	return p
+}
+
+// MasterKill builds the control-plane assassination plan: crash exactly
+// the given node (no Spare list protects it — typically node 0, where
+// the namenode, Spark driver, and job tracker live) at `at`, recovering
+// it after `downtime` (forever dead when downtime is zero). Pointed
+// rather than stochastic: the HA sweeps need the master to die, not to
+// maybe die.
+func MasterKill(node int, at, downtime time.Duration) *Plan {
+	p := &Plan{Events: []Event{{At: at, Node: node, Kind: NodeCrash}}}
+	if downtime > 0 {
+		p.Events = append(p.Events, Event{At: at + downtime, Node: node, Kind: NodeRecover})
+	}
 	return p
 }
 

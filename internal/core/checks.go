@@ -325,3 +325,83 @@ func checkRanks(fig string, ranks map[string][]float64) []string {
 	}
 	return bad
 }
+
+// CheckMasterSweep verifies the control-plane failover findings on two
+// independently executed sweeps:
+//
+//   - determinism: identical seeds produce bit-identical times, digests
+//     and recovery counters;
+//   - availability: every HA workload completes every master-kill point
+//     with a digest byte-identical to its failure-free run, within the
+//     documented overhead bound, having actually failed over (>= 1
+//     election) and journaled state (> 0 entries);
+//   - fragility contrast: the plain MPI job completes failure-free and
+//     deadlocks at every kill point — no master recovery exists there.
+func CheckMasterSweep(a, b MasterSweepResult) []string {
+	var bad []string
+	if !reflect.DeepEqual(a, b) {
+		bad = append(bad, "master: two sweeps with identical seeds differ (determinism broken)")
+	}
+	bad = append(bad, checkMasterHA("dfs", a.DFS)...)
+	bad = append(bad, checkMasterHA("spark-ac", a.SparkAC)...)
+	bad = append(bad, checkMasterHA("hadoop-ac", a.HadoopAC)...)
+
+	m := a.MPIPlain
+	if len(m) == 0 {
+		return append(bad, "master: mpi-plain series empty")
+	}
+	if !m[0].Completed {
+		bad = append(bad, "master: failure-free plain MPI run did not complete")
+	}
+	for _, p := range m[1:] {
+		if p.Completed {
+			bad = append(bad, fmt.Sprintf("master: plain MPI survived a master kill at %.2f x T (fragility contrast lost)", p.KillFrac))
+		}
+	}
+	return bad
+}
+
+// checkMasterHA validates one HA series of the master-kill sweep.
+func checkMasterHA(name string, pts []MasterPoint) []string {
+	var bad []string
+	if len(pts) == 0 {
+		return []string{"master: " + name + " series empty"}
+	}
+	clean := pts[0]
+	if clean.KillFrac != 0 || !clean.Completed || clean.Seconds <= 0 {
+		bad = append(bad, "master: "+name+" has no valid failure-free baseline")
+	}
+	if clean.Failovers != 0 {
+		bad = append(bad, fmt.Sprintf("master: %s failed over %d times with no fault injected", name, clean.Failovers))
+	}
+	if clean.JournalEntries == 0 {
+		bad = append(bad, "master: "+name+" baseline journaled nothing (HA was not active)")
+	}
+	if clean.Digest == "" {
+		bad = append(bad, "master: "+name+" baseline produced no digest")
+	}
+	for _, p := range pts[1:] {
+		id := fmt.Sprintf("master: %s kill at %.2f x T", name, p.KillFrac)
+		if !p.Completed {
+			bad = append(bad, id+" did not complete")
+			continue
+		}
+		if p.Digest != clean.Digest {
+			bad = append(bad, fmt.Sprintf("%s changed the output across leader generations: %q vs clean %q", id, p.Digest, clean.Digest))
+		}
+		if p.Failovers < 1 {
+			bad = append(bad, id+" completed without a failover (the kill missed the master)")
+		}
+		if p.RecoverySeconds <= 0 {
+			bad = append(bad, id+" failed over in zero recovery time")
+		}
+		if p.JournalEntries == 0 {
+			bad = append(bad, id+" journaled nothing")
+		}
+		if p.Seconds > MasterKillOverheadBound*clean.Seconds {
+			bad = append(bad, fmt.Sprintf("%s took %s, over the %gx bound on clean %s",
+				id, fmtSeconds(p.Seconds), MasterKillOverheadBound, fmtSeconds(clean.Seconds)))
+		}
+	}
+	return bad
+}

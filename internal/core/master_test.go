@@ -1,0 +1,20 @@
+package core
+
+import "testing"
+
+// TestMasterSweep runs the control-plane failover sweep twice at test
+// scale and validates every documented shape: determinism across runs,
+// each HA workload completing every master-kill point with a digest
+// byte-identical to its failure-free run within the overhead bound, and
+// plain MPI deadlocking at every kill point.
+func TestMasterSweep(t *testing.T) {
+	o := Quick()
+	a := MasterSweep(o)
+	b := MasterSweep(o)
+	for _, msg := range CheckMasterSweep(a, b) {
+		t.Error(msg)
+	}
+	for _, tab := range MasterTables(a) {
+		t.Log("\n" + tab.String())
+	}
+}

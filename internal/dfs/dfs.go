@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hpcbd/internal/cluster"
+	"hpcbd/internal/ha"
 	"hpcbd/internal/sim"
 	"hpcbd/internal/transport"
 )
@@ -135,6 +136,12 @@ type DFS struct {
 	// channel through which silent corruption reaches disk.
 	meta *transport.Transport
 	bulk *transport.Transport
+
+	// ha, when enabled, replicates the namenode's edit log to standby
+	// nodes and fails the metadata endpoint over when its node dies. Nil
+	// (the default) keeps the namenode a hardwired single point of
+	// failure, the pre-HA behaviour.
+	ha *ha.Group
 
 	remoteReads int64
 	localReads  int64
@@ -292,19 +299,84 @@ func (d *DFS) UnderReplicated() int {
 	return under
 }
 
+// EnableHA replicates the namenode's edit log to the standby nodes and
+// makes every metadata RPC failover-aware: when the namenode's node dies
+// the first live standby replays the journal, collects block reports
+// from the surviving datanodes, and takes over; clients park and retry
+// instead of failing. The returned group exposes recovery counters.
+// Must be called before any traffic; calling it twice panics.
+func (d *DFS) EnableHA(standbys []int, cfg ha.Config, seed int64) *ha.Group {
+	if d.ha != nil {
+		panic("dfs: HA already enabled")
+	}
+	cands := append([]int{d.nnNode}, standbys...)
+	d.ha = ha.New(d.c, d.fabric, "namenode", cands, cfg, seed)
+	d.ha.SetOnElect(func(p *sim.Proc, leader int) {
+		// Block reports: every surviving datanode re-registers and ships
+		// its block inventory to the fresh namenode, rebuilding the block
+		// map the journal alone cannot carry (replica placement is
+		// datanode ground truth, as in real HDFS).
+		for _, dn := range d.dns {
+			if dn.node == leader || !dn.alive || !d.c.NodeAlive(dn.node) {
+				continue
+			}
+			if _, err := d.meta.Send(p, dn.node, leader, 64*int64(len(dn.blocks)+1)); err != nil {
+				continue // unreachable datanode re-registers on heal; its blocks read as lost
+			}
+		}
+	})
+	return d.ha
+}
+
+// journal appends n namespace mutations to the replicated edit log — a
+// no-op until EnableHA, so the single-namenode configuration is charged
+// nothing.
+func (d *DFS) journal(p *sim.Proc, n int64) {
+	if d.ha != nil {
+		d.ha.Append(p, n)
+	}
+}
+
 // nnRPC charges one metadata round trip from the client to the namenode.
 // Under a network partition that separates the client from the namenode
 // the RPC times out and the operation fails: HDFS offers no service to
-// the minority side of a split-brain.
+// the minority side of a split-brain. With HA enabled the endpoint is
+// the replication group's current leader, and a dead namenode parks the
+// client through the failover instead of failing it.
 func (d *DFS) nnRPC(p *sim.Proc, clientNode int) error {
-	if _, err := d.meta.Send(p, clientNode, d.nnNode, 256); err != nil {
-		return fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
+	if d.ha == nil {
+		// The transport models message faults, not machine death; without
+		// HA a dead namenode node means no one is listening at all.
+		if !d.c.NodeAlive(d.nnNode) {
+			return fmt.Errorf("%w: namenode down", ErrUnavailable)
+		}
+		if _, err := d.meta.Send(p, clientNode, d.nnNode, 256); err != nil {
+			return fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
+		}
+		p.Sleep(d.c.Cost.DFSBlockRPC)
+		if !d.c.NodeAlive(d.nnNode) {
+			return fmt.Errorf("%w: namenode down", ErrUnavailable)
+		}
+		if _, err := d.meta.Send(p, d.nnNode, clientNode, 256); err != nil {
+			return fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
+		}
+		return nil
 	}
-	p.Sleep(d.c.Cost.DFSBlockRPC)
-	if _, err := d.meta.Send(p, d.nnNode, clientNode, 256); err != nil {
-		return fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
+	for attempt := 0; attempt < 64; attempt++ {
+		nn := d.ha.AwaitLeader(p)
+		if _, err := d.meta.Send(p, clientNode, nn, 256); err != nil {
+			continue // leader died or was partitioned away mid-request; re-resolve
+		}
+		p.Sleep(d.c.Cost.DFSBlockRPC)
+		if !d.c.NodeAlive(nn) {
+			continue // namenode died while holding our request
+		}
+		if _, err := d.meta.Send(p, nn, clientNode, 256); err != nil {
+			continue
+		}
+		return nil
 	}
-	return nil
+	return fmt.Errorf("%w: namenode rpc: retries exhausted", ErrUnavailable)
 }
 
 // placeReplicas picks replica nodes for a new block: first on the writer's
@@ -337,7 +409,6 @@ func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error
 		return fmt.Errorf("%w: %s", ErrExists, name)
 	}
 	f := &fileMeta{name: name, size: size}
-	d.files[name] = f
 	for off := int64(0); off < size; off += d.cfg.BlockSize {
 		bsz := d.cfg.BlockSize
 		if off+bsz > size {
@@ -346,6 +417,13 @@ func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error
 		if err := d.nnRPC(p, clientNode); err != nil {
 			return err
 		}
+		// The file enters the namespace only once the namenode has
+		// answered the first allocation — a client cut off before that
+		// must not leave a phantom entry behind.
+		if f.blocks == nil {
+			d.files[name] = f
+		}
+		d.journal(p, 1)
 		b := &blockMeta{id: d.nextID, offset: off, size: bsz,
 			replicas: d.placeReplicas(clientNode, d.nextID), crc: blockCRC(d.nextID)}
 		d.nextID++
@@ -378,6 +456,9 @@ func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error
 		}
 		p.Sleep(d.c.Cost.DFSStreamSetup)
 		wg.Wait(p)
+	}
+	if size <= 0 {
+		d.files[name] = f // empty file: pure namespace entry, no allocation round trips
 	}
 	return nil
 }
@@ -686,14 +767,17 @@ func min64(a, b int64) int64 {
 
 // Delete removes a file and its blocks from all datanodes (metadata-only
 // cost; block reclamation is asynchronous in real HDFS and free here).
+// The RPC happens before the namespace is consulted: a client that
+// cannot reach the namenode learns nothing, not even ErrNotFound.
 func (d *DFS) Delete(p *sim.Proc, clientNode int, name string) error {
+	if err := d.nnRPC(p, clientNode); err != nil {
+		return err
+	}
 	f, ok := d.files[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	if err := d.nnRPC(p, clientNode); err != nil {
-		return err
-	}
+	d.journal(p, 1)
 	for _, b := range f.blocks {
 		for _, r := range b.replicas {
 			delete(d.dns[r].blocks, b.id)
@@ -704,8 +788,13 @@ func (d *DFS) Delete(p *sim.Proc, clientNode int, name string) error {
 }
 
 // Rename moves a file within the namespace (a pure namenode operation —
-// one of HDFS's few cheap mutations).
+// one of HDFS's few cheap mutations). Like Delete, the RPC precedes the
+// namespace lookups so partition and failover semantics cover the whole
+// call.
 func (d *DFS) Rename(p *sim.Proc, clientNode int, from, to string) error {
+	if err := d.nnRPC(p, clientNode); err != nil {
+		return err
+	}
 	f, ok := d.files[from]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, from)
@@ -713,9 +802,7 @@ func (d *DFS) Rename(p *sim.Proc, clientNode int, from, to string) error {
 	if _, dup := d.files[to]; dup {
 		return fmt.Errorf("%w: %s", ErrExists, to)
 	}
-	if err := d.nnRPC(p, clientNode); err != nil {
-		return err
-	}
+	d.journal(p, 1)
 	delete(d.files, from)
 	f.name = to
 	d.files[to] = f

@@ -1,0 +1,101 @@
+package dfs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hpcbd/internal/chaos"
+	haPkg "hpcbd/internal/ha"
+	"hpcbd/internal/sim"
+)
+
+// Killing the namenode's node mid-workload must park metadata clients
+// through the failover, not fail them: the standby replays the journal,
+// collects block reports, and the interrupted namespace traffic
+// completes against the new leader with identical results.
+func TestNamenodeFailover(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	k, c, d := setup(4, cfg)
+	g := d.EnableHA([]int{1, 2}, haPkg.Config{LeaseTimeout: 50 * time.Millisecond}, 7)
+	var listing []string
+	var errs []error
+	k.Spawn("client", func(p *sim.Proc) {
+		for _, f := range []string{"/a", "/b", "/c"} {
+			errs = append(errs, d.Create(p, 3, f, 64<<20))
+		}
+		chaos.Install(c, chaos.MasterKill(0, time.Millisecond, 0))
+		p.Sleep(2 * time.Millisecond)
+		// These metadata calls straddle the failover window.
+		errs = append(errs, d.Rename(p, 3, "/a", "/a2"))
+		errs = append(errs, d.Delete(p, 3, "/b"))
+		errs = append(errs, d.Create(p, 3, "/d", 64<<20))
+		errs = append(errs, d.Read(p, 3, "/c", 0, 64<<20))
+		listing = d.List("/")
+	})
+	k.Run()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("op %d failed across failover: %v", i, err)
+		}
+	}
+	if got, want := strings.Join(listing, ","), "/a2,/c,/d"; got != want {
+		t.Errorf("namespace after failover = %q, want %q", got, want)
+	}
+	if g.Failovers != 1 || g.Leader() != 1 {
+		t.Errorf("failovers=%d leader=%d, want 1 failover to node 1", g.Failovers, g.Leader())
+	}
+	if g.EntriesLogged == 0 {
+		t.Error("no journal entries logged")
+	}
+	if g.LastRecovery <= 0 {
+		t.Error("no recovery time recorded")
+	}
+}
+
+// A client that cannot reach any namenode must not observe namespace
+// state: Rename/Delete of a missing file behind a dead control plane
+// return unavailability, not ErrNotFound.
+func TestMetadataOpsFailClosedWithoutNamenode(t *testing.T) {
+	cfg := DefaultConfig()
+	k, c, d := setup(4, cfg)
+	var renameErr, delErr error
+	k.Spawn("client", func(p *sim.Proc) {
+		c.KillNode(0)
+		renameErr = d.Rename(p, 3, "/missing", "/m2")
+		delErr = d.Delete(p, 3, "/missing")
+	})
+	k.Run()
+	for _, err := range []error{renameErr, delErr} {
+		if err == nil {
+			t.Fatal("metadata op succeeded with the namenode dead")
+		}
+		if strings.Contains(err.Error(), "not found") {
+			t.Errorf("namespace state leaked past a dead namenode: %v", err)
+		}
+	}
+}
+
+// With HA enabled but no faults, the journal replicates on every
+// mutation and the leader never moves — the overhead-only baseline the
+// sweep measures against.
+func TestHAFaultFreeBaseline(t *testing.T) {
+	cfg := DefaultConfig()
+	k, _, d := setup(4, cfg)
+	g := d.EnableHA([]int{1, 2}, haPkg.Config{}, 7)
+	var err error
+	k.Spawn("client", func(p *sim.Proc) {
+		err = d.Create(p, 3, "/f", 256<<20)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Failovers != 0 || g.Generation() != 0 {
+		t.Errorf("spurious failover: %d/%d", g.Failovers, g.Generation())
+	}
+	if g.EntriesLogged != 2 || g.BytesReplicated == 0 {
+		t.Errorf("journal: entries=%d bytes=%d, want 2 entries replicated", g.EntriesLogged, g.BytesReplicated)
+	}
+}

@@ -1,0 +1,244 @@
+// Package ha is the control-plane high-availability layer: a
+// deterministic replicated metadata journal with lease-based leader
+// election. A master runtime (the HDFS namenode, the Spark driver, the
+// MapReduce job tracker) appends its metadata mutations to a Group's
+// write-ahead log; every append is streamed to the standby candidates
+// over the reliable transport before the operation is acknowledged. When
+// the leader's node dies, the standbys wait out the lease (the leader
+// might merely be slow — exactly the ambiguity real failure detectors
+// face), add a seeded election jitter, and the first live candidate in
+// preference order seizes leadership after replaying the journal it has
+// been receiving. Clients park on AwaitLeader during the window and
+// retry against the new leader — the unavailability they observe IS the
+// measured recovery time.
+//
+// Everything is deterministic: the election jitter comes from the
+// group's own seeded RNG (drawn in kernel event order), candidates are
+// scanned in fixed preference order, and all costs are virtual-time
+// charges — the same seed yields bit-identical failover timings.
+package ha
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/transport"
+)
+
+// Config tunes a replication group.
+type Config struct {
+	// LeaseTimeout is how long after the leader's death standbys wait
+	// before starting an election (the lease the dead leader could still
+	// be holding). Default 500ms.
+	LeaseTimeout time.Duration
+	// ElectionJitter bounds the extra seeded delay a candidate adds
+	// before seizing leadership (randomized election timeouts prevent
+	// split votes; here the draw is deterministic). Default
+	// LeaseTimeout/4.
+	ElectionJitter time.Duration
+	// EntryBytes is the logical wire/disk size of one journal record.
+	// Default 256.
+	EntryBytes int64
+	// ReplayBW is the rate at which a newly elected leader replays the
+	// journal to rebuild master state. Default 200 MiB/s.
+	ReplayBW float64
+	// Retry tunes the reliable transport under journal replication; zero
+	// fields take the transport defaults.
+	Retry transport.Config
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 500 * time.Millisecond
+	}
+	if cfg.ElectionJitter <= 0 {
+		cfg.ElectionJitter = cfg.LeaseTimeout / 4
+	}
+	if cfg.EntryBytes <= 0 {
+		cfg.EntryBytes = 256
+	}
+	if cfg.ReplayBW <= 0 {
+		cfg.ReplayBW = 200 << 20
+	}
+	return cfg
+}
+
+// Group is one replicated master: an ordered candidate list whose first
+// live member leads. The zero value is not usable; create with New.
+type Group struct {
+	c          *cluster.Cluster
+	cfg        Config
+	name       string
+	candidates []int
+	tr         *transport.Transport
+	rng        *rand.Rand
+
+	leader     int
+	generation int
+	recovering bool
+	waitRevive bool // every candidate dead; election resumes on a revival
+	failedAt   sim.Time
+	ready      sim.Signal
+
+	journalBytes int64
+	onElect      func(p *sim.Proc, leader int)
+
+	// Counters (read after the job, like the chaos engine's).
+	Failovers       int
+	EntriesLogged   int64
+	BytesReplicated int64
+	LastRecovery    time.Duration // lease wait + election + replay of the latest failover
+	TotalRecovery   time.Duration
+}
+
+// New creates a replication group over the candidate nodes (preference
+// order; the first candidate is the initial leader). Journal replication
+// rides the given fabric on its own transport stream, so its fate coins
+// are decorrelated from the data plane's.
+func New(c *cluster.Cluster, fabric cluster.FabricSpec, name string, candidates []int, cfg Config, seed int64) *Group {
+	if len(candidates) == 0 {
+		panic("ha: empty candidate list")
+	}
+	seen := map[int]bool{}
+	uniq := make([]int, 0, len(candidates))
+	for _, n := range candidates {
+		if n < 0 || n >= c.Size() {
+			panic(fmt.Sprintf("ha: candidate %d outside cluster of %d nodes", n, c.Size()))
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	g := &Group{
+		c: c, cfg: cfg.withDefaults(), name: name, candidates: uniq,
+		tr:     transport.New(c, fabric, cfg.Retry, transport.StreamHA, seed),
+		rng:    rand.New(rand.NewSource(seed ^ 0x517cc1b727220a95)),
+		leader: uniq[0],
+	}
+	c.Watch(func(node int, h cluster.Health) {
+		switch h {
+		case cluster.Dead:
+			if node == g.leader && !g.recovering {
+				g.beginFailover()
+			}
+		case cluster.Alive:
+			if g.recovering && g.waitRevive {
+				// A candidate revived while the whole group was dark:
+				// restart the election (the revived node must still wait
+				// out a lease — it cannot know the old leader is gone).
+				g.waitRevive = false
+				g.beginFailover()
+			}
+		}
+	})
+	return g
+}
+
+// SetOnElect registers extra recovery work to run (and be charged) in
+// the election process after journal replay, before the new leader is
+// published — e.g. the namenode's datanode block reports.
+func (g *Group) SetOnElect(fn func(p *sim.Proc, leader int)) { g.onElect = fn }
+
+// Leader returns the current leader without blocking; during a failover
+// it still names the dead one. Use AwaitLeader from simulated processes.
+func (g *Group) Leader() int { return g.leader }
+
+// Generation counts leadership changes (0 = the initial leader).
+func (g *Group) Generation() int { return g.generation }
+
+// Recovering reports whether a failover is in progress.
+func (g *Group) Recovering() bool { return g.recovering }
+
+// AwaitLeader blocks until a live leader is published and returns its
+// node. Callers re-check after waking: the fresh leader can itself die.
+func (g *Group) AwaitLeader(p *sim.Proc) int {
+	for g.recovering || !g.c.NodeAlive(g.leader) {
+		g.ready.Wait(p)
+	}
+	return g.leader
+}
+
+// Append journals n metadata records: the leader streams them to every
+// live standby over the reliable transport before the caller proceeds —
+// synchronous replication, charged to the committing process. A standby
+// that cannot be reached (partition) misses the entries; it will rebuild
+// from replay if it is ever elected, a simplification this model accepts.
+func (g *Group) Append(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	bytes := n * g.cfg.EntryBytes
+	g.EntriesLogged += n
+	g.journalBytes += bytes
+	for _, cand := range g.candidates {
+		if cand == g.leader || !g.c.NodeAlive(cand) {
+			continue
+		}
+		if _, err := g.tr.Send(p, g.leader, cand, bytes); err == nil {
+			g.BytesReplicated += bytes
+		}
+	}
+}
+
+// beginFailover runs in kernel context (a health-watch callback): the
+// leader's node just died. Standbys wait out the lease plus a seeded
+// jitter, then elect.
+func (g *Group) beginFailover() {
+	g.recovering = true
+	g.failedAt = g.c.K.Now()
+	delay := g.cfg.LeaseTimeout
+	if j := int64(g.cfg.ElectionJitter); j > 0 {
+		delay += time.Duration(g.rng.Int63n(j + 1))
+	}
+	g.c.K.Spawn(fmt.Sprintf("ha.%s.elect", g.name), func(p *sim.Proc) {
+		p.Sleep(delay)
+		g.elect(p)
+	})
+}
+
+// elect promotes the first live candidate: it replays the journal (and
+// any registered recovery work), then publishes itself and wakes every
+// parked client. If no candidate is alive the election parks, resumed by
+// the health watcher when one revives — no busy-waiting, so a fully dead
+// group leaves the kernel free to drain.
+func (g *Group) elect(p *sim.Proc) {
+	for {
+		next := -1
+		for _, n := range g.candidates {
+			if g.c.NodeAlive(n) {
+				next = n
+				break
+			}
+		}
+		if next < 0 {
+			g.waitRevive = true
+			return
+		}
+		if g.journalBytes > 0 {
+			p.Sleep(cluster.ScanCost(g.journalBytes, g.cfg.ReplayBW))
+		}
+		if g.onElect != nil {
+			g.onElect(p, next)
+		}
+		// The chosen candidate can die during replay; start over.
+		if !g.c.NodeAlive(next) {
+			continue
+		}
+		g.leader = next
+		g.generation++
+		g.Failovers++
+		g.LastRecovery = time.Duration(p.Now() - g.failedAt)
+		g.TotalRecovery += g.LastRecovery
+		g.recovering = false
+		g.ready.Broadcast()
+		return
+	}
+}
+
+// Stats returns the transport statistics of the journal replication
+// stream.
+func (g *Group) Stats() transport.Stats { return g.tr.Stats }

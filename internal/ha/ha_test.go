@@ -1,0 +1,137 @@
+package ha
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+func newCluster(seed int64, n int) *cluster.Cluster {
+	return cluster.Comet(sim.NewKernel(seed), n)
+}
+
+// Killing the leader promotes the next candidate after one lease plus
+// jitter plus replay, and parked clients observe exactly that window.
+func TestFailoverPromotesNextCandidate(t *testing.T) {
+	c := newCluster(1, 4)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2}, Config{LeaseTimeout: 600 * time.Millisecond}, 7)
+	var sawLeader int
+	var waited time.Duration
+	c.K.Spawn("client", func(p *sim.Proc) {
+		if l := g.AwaitLeader(p); l != 0 {
+			t.Errorf("initial leader = %d, want 0", l)
+		}
+		g.Append(p, 10)
+		p.Sleep(time.Second) // kill fires at 500ms; 600ms lease still running at 1s
+		start := p.Now()
+		sawLeader = g.AwaitLeader(p)
+		waited = time.Duration(p.Now() - start)
+	})
+	c.K.After(500*time.Millisecond, func() { c.KillNode(0) })
+	c.K.Run()
+	if sawLeader != 1 {
+		t.Fatalf("leader after failover = %d, want 1", sawLeader)
+	}
+	if g.Generation() != 1 || g.Failovers != 1 {
+		t.Errorf("generation=%d failovers=%d, want 1/1", g.Generation(), g.Failovers)
+	}
+	// Client woke 1s in; failover started at 500ms and takes at least a
+	// lease — the client must still have waited out the remainder.
+	if waited <= 0 {
+		t.Errorf("client did not block across the failover (waited %v)", waited)
+	}
+	if g.LastRecovery < g.cfg.LeaseTimeout {
+		t.Errorf("recovery %v shorter than the lease %v", g.LastRecovery, g.cfg.LeaseTimeout)
+	}
+}
+
+// Append must replicate to every live standby and skip dead ones.
+func TestAppendReplicatesToLiveStandbys(t *testing.T) {
+	c := newCluster(1, 4)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2}, Config{}, 7)
+	c.K.Spawn("w", func(p *sim.Proc) {
+		g.Append(p, 4)
+		c.KillNode(2)
+		g.Append(p, 4)
+	})
+	c.K.Run()
+	if g.EntriesLogged != 8 {
+		t.Errorf("EntriesLogged = %d, want 8", g.EntriesLogged)
+	}
+	// First append reaches 2 standbys, second only 1: 3 * 4 * 256 bytes.
+	if want := int64(3 * 4 * 256); g.BytesReplicated != want {
+		t.Errorf("BytesReplicated = %d, want %d", g.BytesReplicated, want)
+	}
+}
+
+// A cascade that kills every candidate must not wedge or spin the
+// kernel; reviving one later restarts the election and frees clients.
+func TestAllDeadParksUntilRevival(t *testing.T) {
+	c := newCluster(1, 4)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1}, Config{LeaseTimeout: 50 * time.Millisecond}, 7)
+	var got int
+	c.K.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(200 * time.Millisecond)
+		got = g.AwaitLeader(p)
+	})
+	c.K.After(100*time.Millisecond, func() {
+		c.KillNode(0)
+		c.KillNode(1)
+	})
+	c.K.After(2*time.Second, func() { c.RestoreNode(1) })
+	c.K.Run()
+	if got != 1 {
+		t.Fatalf("leader after revival = %d, want 1", got)
+	}
+	if !c.NodeAlive(g.Leader()) {
+		t.Errorf("published leader %d is dead", g.Leader())
+	}
+}
+
+// Same seed, same script, bit-identical recovery timings.
+func TestDeterministicRecovery(t *testing.T) {
+	run := func() (time.Duration, int) {
+		c := newCluster(3, 4)
+		g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2}, Config{}, 11)
+		c.K.Spawn("w", func(p *sim.Proc) {
+			g.Append(p, 100)
+			p.Sleep(5 * time.Second)
+			g.AwaitLeader(p)
+		})
+		c.K.After(time.Second, func() { c.KillNode(0) })
+		c.K.Run()
+		return g.LastRecovery, g.Leader()
+	}
+	r1, l1 := run()
+	r2, l2 := run()
+	if r1 != r2 || l1 != l2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", r1, l1, r2, l2)
+	}
+	if r1 <= 0 {
+		t.Fatalf("no recovery recorded")
+	}
+}
+
+// The onElect hook runs in the election and its charges extend recovery.
+func TestOnElectChargesExtendRecovery(t *testing.T) {
+	recovery := func(extra time.Duration) time.Duration {
+		c := newCluster(1, 4)
+		g := New(c, cluster.IPoIB(), "t", []int{0, 1}, Config{}, 7)
+		if extra > 0 {
+			g.SetOnElect(func(p *sim.Proc, leader int) { p.Sleep(extra) })
+		}
+		c.K.Spawn("w", func(p *sim.Proc) {
+			p.Sleep(5 * time.Second)
+			g.AwaitLeader(p)
+		})
+		c.K.After(time.Second, func() { c.KillNode(0) })
+		c.K.Run()
+		return g.LastRecovery
+	}
+	base, slow := recovery(0), recovery(300*time.Millisecond)
+	if slow != base+300*time.Millisecond {
+		t.Fatalf("onElect sleep not charged: base %v, with hook %v", base, slow)
+	}
+}

@@ -1,0 +1,140 @@
+package mapred
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/chaos"
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/ha"
+	"hpcbd/internal/sim"
+)
+
+// haWordCount runs the word-count job on a fresh 4-node cluster with a
+// journaled job tracker (candidates 0,1,2). When killAt > 0, node 0 —
+// the initial tracker AND a map-output host — dies at that point and
+// stays down.
+func haWordCount(killAt time.Duration) ([]Pair[int, int64], Stats, sim.Time) {
+	k := sim.NewKernel(29)
+	c := cluster.Comet(k, 4)
+	recs := make([]int, 400)
+	for i := range recs {
+		recs[i] = i
+	}
+	j := wordCountJob(c, recs, 8, DefaultConfig(4))
+	j.HA = ha.New(c, cluster.IPoIB(), "jobtracker", []int{0, 1, 2},
+		ha.Config{LeaseTimeout: 5 * time.Millisecond}, 43)
+	if killAt > 0 {
+		chaos.Install(c, chaos.MasterKill(0, killAt, 0))
+	}
+	var out []Pair[int, int64]
+	var st Stats
+	var done sim.Time
+	c.K.Spawn("client", func(p *sim.Proc) {
+		out, st = j.Run(p)
+		done = p.Now()
+	})
+	c.K.Run()
+	return out, st, done
+}
+
+func checkWordCount(t *testing.T, out []Pair[int, int64]) {
+	t.Helper()
+	counts := map[int]int64{}
+	for _, p := range out {
+		counts[p.Key] = p.Val
+	}
+	if len(counts) != 10 {
+		t.Fatalf("output keys %d, want 10", len(counts))
+	}
+	for k := 0; k < 10; k++ {
+		if counts[k] != 40 {
+			t.Errorf("key %d count %d, want 40", k, counts[k])
+		}
+	}
+}
+
+// Killing the job tracker's node mid-job must promote a standby tracker,
+// invalidate the dead node's committed map outputs, and still produce
+// the exact fault-free answer.
+func TestTrackerFailoverMidJob(t *testing.T) {
+	_, clean, cleanDone := haWordCount(0)
+	if clean.TrackerFailovers != 0 || clean.MapsRerun != 0 {
+		t.Fatalf("fault-free run reported failovers=%d rerun=%d",
+			clean.TrackerFailovers, clean.MapsRerun)
+	}
+	// Strike after the maps commit on node 0 but before the reduces have
+	// fetched them (the reduce JVM-spawn window): the tracker AND two
+	// committed map outputs die together.
+	killAt := time.Duration(cleanDone) - 800*time.Millisecond
+	out, st, done := haWordCount(killAt)
+	checkWordCount(t, out)
+	if st.TrackerFailovers == 0 {
+		t.Error("tracker never failed over")
+	}
+	if st.MapsRerun == 0 {
+		t.Error("no committed map outputs were invalidated and re-run")
+	}
+	if done <= cleanDone {
+		t.Errorf("recovery was free: %v <= fault-free %v", done, cleanDone)
+	}
+
+	// The whole recovery must replay deterministically.
+	out2, st2, done2 := haWordCount(killAt)
+	if done2 != done || st2 != st || len(out2) != len(out) {
+		t.Errorf("non-deterministic recovery: (%v,%+v) vs (%v,%+v)", done, st, done2, st2)
+	}
+}
+
+// With HA enabled but no faults, the tracker journal is pure overhead:
+// task counts, retries, and the answer all match the plain engine.
+func TestTrackerHAFaultFree(t *testing.T) {
+	plain := func() ([]Pair[int, int64], Stats) {
+		k := sim.NewKernel(29)
+		c := cluster.Comet(k, 4)
+		recs := make([]int, 400)
+		for i := range recs {
+			recs[i] = i
+		}
+		return runJob(c, wordCountJob(c, recs, 8, DefaultConfig(4)))
+	}
+	pOut, pSt := plain()
+	hOut, hSt, _ := haWordCount(0)
+	checkWordCount(t, pOut)
+	checkWordCount(t, hOut)
+	if hSt.MapTasks != pSt.MapTasks || hSt.ReduceTasks != pSt.ReduceTasks ||
+		hSt.Retries != pSt.Retries || hSt.ShuffledBytes != pSt.ShuffledBytes {
+		t.Errorf("HA changed fault-free work: %+v vs %+v", hSt, pSt)
+	}
+	if hSt.TrackerFailovers != 0 || hSt.MapsRerun != 0 {
+		t.Errorf("spurious recovery work: failovers=%d rerun=%d",
+			hSt.TrackerFailovers, hSt.MapsRerun)
+	}
+}
+
+// Injected task failures and tracker failover compose: the retry path
+// still respects MaxAttempts while the tracker journal replays.
+func TestTrackerFailoverWithInjectedRetries(t *testing.T) {
+	k := sim.NewKernel(29)
+	c := cluster.Comet(k, 4)
+	recs := make([]int, 400)
+	for i := range recs {
+		recs[i] = i
+	}
+	conf := DefaultConfig(4)
+	conf.FailureInjector = func(task string, attempt int) bool {
+		return task == "map1" && attempt == 1
+	}
+	j := wordCountJob(c, recs, 8, conf)
+	j.HA = ha.New(c, cluster.IPoIB(), "jobtracker", []int{0, 1, 2},
+		ha.Config{LeaseTimeout: 5 * time.Millisecond}, 43)
+	chaos.Install(c, chaos.MasterKill(0, 3*time.Millisecond, 0))
+	out, st := runJob(c, j)
+	checkWordCount(t, out)
+	if st.Retries == 0 {
+		t.Error("injected failure produced no retry")
+	}
+	if st.TrackerFailovers == 0 {
+		t.Error("tracker never failed over")
+	}
+}

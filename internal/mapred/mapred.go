@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hpcbd/internal/cluster"
+	"hpcbd/internal/ha"
 	"hpcbd/internal/sim"
 	"hpcbd/internal/transport"
 )
@@ -84,6 +85,10 @@ type Stats struct {
 	Retries       int
 	FetchFailures int // shuffle fetches that exhausted transport retries
 	Elapsed       time.Duration
+
+	// Recovery counters (node-death + tracker-failover hardening)
+	MapsRerun        int // committed map outputs invalidated by node death and re-executed
+	TrackerFailovers int // job-tracker generations crossed during the run
 }
 
 // Job is one MapReduce job. Map is called once per input record; Reduce
@@ -106,11 +111,18 @@ type Job[In any, K comparable, V any] struct {
 	// creates one over Fabric when nil. Readable after Run for delivery
 	// statistics.
 	Transport *transport.Transport
+
+	// HA, when non-nil, is the job tracker's replication group: task
+	// completions are journaled through it, and when the tracker's node
+	// dies the job resumes under the elected standby — re-running only
+	// the work whose outputs died — instead of being lost with node 0.
+	HA *ha.Group
 }
 
 // mapOutput is one map task's partitioned, sorted spill.
 type mapOutput[K comparable, V any] struct {
 	node       int
+	down       int // the node's crash epoch when the spill was committed
 	partitions [][]Pair[K, V]
 	partBytes  []int64
 }
@@ -144,6 +156,10 @@ func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
 	}
 	var st Stats
 	start := p.Now()
+	gen := 0
+	if j.HA != nil {
+		gen = j.HA.Generation()
+	}
 
 	// Job submission and initialization at the tracker.
 	p.Sleep(cm.HadoopJobOverhead)
@@ -157,61 +173,131 @@ func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
 		slots[i] = sim.NewResource(c.K, fmt.Sprintf("%s.slots%d", j.Name, i), int64(conf.SlotsPerNode))
 	}
 
-	// ---- map phase ----
-	outputs := make([]*mapOutput[K, V], len(splits))
-	wg := sim.NewWaitGroup(c.K)
-	for ti, s := range splits {
-		ti, s := ti, s
-		node := 0
-		if len(s.Hosts) > 0 {
-			node = s.Hosts[ti%len(s.Hosts)]
-		}
-		wg.Add(1)
-		c.K.Spawn(fmt.Sprintf("%s.map%d", j.Name, ti), func(tp *sim.Proc) {
-			defer wg.Done()
-			taskName := fmt.Sprintf("map%d", ti)
-			for attempt := 1; ; attempt++ {
-				slots[node].Acquire(tp, 1)
-				ok := j.runMapAttempt(tp, taskName, attempt, node, s, ti, outputs, &st, conf)
-				slots[node].Release(1)
-				if ok {
-					return
-				}
-				st.Retries++
-				if attempt+1 > conf.MaxAttempts {
-					panic(fmt.Sprintf("mapred: %s.%s exceeded %d attempts", j.Name, taskName, conf.MaxAttempts))
-				}
-			}
-		})
-	}
-	wg.Wait(p)
-
-	// ---- reduce phase (shuffle + merge + reduce) ----
+	// The job runs in rounds. Round 0 is the plain two-phase schedule;
+	// later rounds exist only when committed work died with its node
+	// (map spills are local state) or the tracker failed over — they
+	// re-run exactly the splits whose outputs are gone and the reduces
+	// that have not committed. A fault-free job is one round with an
+	// event sequence identical to the pre-HA engine's.
 	results := make([][]Pair[K, V], conf.NumReduces)
-	rwg := sim.NewWaitGroup(c.K)
-	for r := 0; r < conf.NumReduces; r++ {
-		r := r
-		node := r % c.Size()
-		rwg.Add(1)
-		c.K.Spawn(fmt.Sprintf("%s.reduce%d", j.Name, r), func(tp *sim.Proc) {
-			defer rwg.Done()
-			taskName := fmt.Sprintf("reduce%d", r)
-			for attempt := 1; ; attempt++ {
-				slots[node].Acquire(tp, 1)
-				out, ok := j.runReduceAttempt(tp, taskName, attempt, node, r, outputs, &st, conf)
-				slots[node].Release(1)
-				if ok {
-					results[r] = out
-					return
-				}
-				st.Retries++
-				if attempt+1 > conf.MaxAttempts {
-					panic(fmt.Sprintf("mapred: %s.%s exceeded %d attempts", j.Name, taskName, conf.MaxAttempts))
-				}
+	doneReduce := make([]bool, conf.NumReduces)
+	outputs := make([]*mapOutput[K, V], len(splits))
+	for round := 0; ; round++ {
+		if round >= 64 {
+			panic(fmt.Sprintf("mapred: %s made no progress after %d recovery rounds", j.Name, round))
+		}
+		j.checkTracker(p, &gen, &st)
+
+		// ---- map phase: splits with no live committed output ----
+		wg := sim.NewWaitGroup(c.K)
+		for ti, s := range splits {
+			if j.outputLive(outputs[ti]) {
+				continue
 			}
-		})
+			if outputs[ti] != nil {
+				// A committed spill died with its node's local disk.
+				outputs[ti] = nil
+				st.MapsRerun++
+			}
+			ti, s := ti, s
+			wg.Add(1)
+			c.K.Spawn(fmt.Sprintf("%s.map%d", j.Name, ti), func(tp *sim.Proc) {
+				defer wg.Done()
+				taskName := fmt.Sprintf("map%d", ti)
+				zombies := 0
+				for attempt := 1; ; attempt++ {
+					node := j.pickMapNode(s, ti)
+					down := c.DownCount(node)
+					slots[node].Acquire(tp, 1)
+					ok := j.runMapAttempt(tp, taskName, attempt, node, s, ti, outputs, &st, conf)
+					slots[node].Release(1)
+					if ok {
+						if c.NodeAlive(node) && c.DownCount(node) == down {
+							outputs[ti].down = down
+							j.journal(tp, 1)
+							return
+						}
+						// The node died (or bounced) under the attempt: the
+						// spill is zombie output on a dead disk. Not a task
+						// failure — re-place, without consuming the budget.
+						outputs[ti] = nil
+						if zombies++; zombies > 64 {
+							panic(fmt.Sprintf("mapred: %s.%s lost every node it ran on", j.Name, taskName))
+						}
+						continue
+					}
+					st.Retries++
+					if attempt+1 > conf.MaxAttempts {
+						panic(fmt.Sprintf("mapred: %s.%s exceeded %d attempts", j.Name, taskName, conf.MaxAttempts))
+					}
+				}
+			})
+		}
+		wg.Wait(p)
+		j.checkTracker(p, &gen, &st)
+		if !j.allOutputsLive(outputs) {
+			continue // a map output died before the barrier; re-run it first
+		}
+
+		// ---- reduce phase (shuffle + merge + reduce) ----
+		rwg := sim.NewWaitGroup(c.K)
+		for r := 0; r < conf.NumReduces; r++ {
+			if doneReduce[r] {
+				continue
+			}
+			r := r
+			rwg.Add(1)
+			c.K.Spawn(fmt.Sprintf("%s.reduce%d", j.Name, r), func(tp *sim.Proc) {
+				defer rwg.Done()
+				taskName := fmt.Sprintf("reduce%d", r)
+				zombies := 0
+				for attempt := 1; ; attempt++ {
+					node := j.pickReduceNode(r)
+					down := c.DownCount(node)
+					slots[node].Acquire(tp, 1)
+					out, ok, lostMaps := j.runReduceAttempt(tp, taskName, attempt, node, r, outputs, &st, conf)
+					slots[node].Release(1)
+					if lostMaps {
+						// A map output vanished mid-shuffle: only the round
+						// loop can rebuild it. Leave this reduce uncommitted.
+						return
+					}
+					if ok {
+						if c.NodeAlive(node) && c.DownCount(node) == down {
+							results[r] = out
+							doneReduce[r] = true
+							j.journal(tp, 1)
+							return
+						}
+						// Reduce output died with its node; re-run elsewhere.
+						if zombies++; zombies > 64 {
+							panic(fmt.Sprintf("mapred: %s.%s lost every node it ran on", j.Name, taskName))
+						}
+						continue
+					}
+					st.Retries++
+					if attempt+1 > conf.MaxAttempts {
+						panic(fmt.Sprintf("mapred: %s.%s exceeded %d attempts", j.Name, taskName, conf.MaxAttempts))
+					}
+				}
+			})
+		}
+		rwg.Wait(p)
+
+		done := true
+		for r := 0; r < conf.NumReduces; r++ {
+			if !doneReduce[r] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
 	}
-	rwg.Wait(p)
+	// Count a tracker generation crossed during the final reduce phase:
+	// the job completion itself must be acknowledged by a live tracker.
+	j.checkTracker(p, &gen, &st)
 
 	var all []Pair[K, V]
 	for _, rs := range results {
@@ -220,6 +306,88 @@ func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
 	st.OutputPairs = int64(len(all))
 	st.Elapsed = time.Duration(p.Now() - start)
 	return all, st
+}
+
+// pickMapNode places a map attempt: the split's preferred host (the same
+// rotation the pre-HA scheduler used) whenever it is alive, otherwise
+// the next live host in the hint list, otherwise the first live node.
+// Only node death moves a task — injected-failure retries stay put.
+func (j *Job[In, K, V]) pickMapNode(s Split, ti int) int {
+	c := j.Cluster
+	if len(s.Hosts) > 0 {
+		for i := 0; i < len(s.Hosts); i++ {
+			if n := s.Hosts[(ti+i)%len(s.Hosts)]; c.NodeAlive(n) {
+				return n
+			}
+		}
+	}
+	if len(s.Hosts) == 0 && c.NodeAlive(0) {
+		return 0
+	}
+	for n := 0; n < c.Size(); n++ {
+		if c.NodeAlive(n) {
+			return n
+		}
+	}
+	// Nothing is alive; return the pre-HA choice and let the attempt
+	// surface the stall.
+	if len(s.Hosts) > 0 {
+		return s.Hosts[ti%len(s.Hosts)]
+	}
+	return 0
+}
+
+// pickReduceNode places a reduce attempt: the pre-HA round-robin node
+// when alive, otherwise the next live node.
+func (j *Job[In, K, V]) pickReduceNode(r int) int {
+	c := j.Cluster
+	for i := 0; i < c.Size(); i++ {
+		if n := (r + i) % c.Size(); c.NodeAlive(n) {
+			return n
+		}
+	}
+	return r % c.Size()
+}
+
+// outputLive reports whether a committed map output's spill still exists
+// (its node has neither died nor bounced since the commit).
+func (j *Job[In, K, V]) outputLive(mo *mapOutput[K, V]) bool {
+	return mo != nil && j.Cluster.NodeAlive(mo.node) && j.Cluster.DownCount(mo.node) == mo.down
+}
+
+func (j *Job[In, K, V]) allOutputsLive(outputs []*mapOutput[K, V]) bool {
+	for _, mo := range outputs {
+		if !j.outputLive(mo) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkTracker parks the client through a job-tracker failover (the
+// elected standby replays the journaled task state) and counts crossed
+// generations. Free with HA disabled — and with it enabled, a live
+// tracker costs only an uncharged generation read.
+func (j *Job[In, K, V]) checkTracker(p *sim.Proc, gen *int, st *Stats) {
+	if j.HA == nil {
+		return
+	}
+	j.HA.AwaitLeader(p)
+	if g := j.HA.Generation(); g != *gen {
+		st.TrackerFailovers += g - *gen
+		*gen = g
+	}
+}
+
+// journal logs one task completion to the replicated tracker state; a
+// dead tracker parks the task until the standby takes over (there is no
+// one to accept the commit).
+func (j *Job[In, K, V]) journal(tp *sim.Proc, n int64) {
+	if j.HA == nil {
+		return
+	}
+	j.HA.AwaitLeader(tp)
+	j.HA.Append(tp, n)
 }
 
 // runMapAttempt executes one attempt of a map task; false means injected
@@ -298,9 +466,11 @@ func (j *Job[In, K, V]) runMapAttempt(tp *sim.Proc, task string, attempt, node i
 	return true
 }
 
-// runReduceAttempt executes one attempt of a reduce task.
+// runReduceAttempt executes one attempt of a reduce task. ok=false means
+// the attempt failed and should be retried; lostMaps means a map output
+// vanished mid-shuffle (node death), which only a map re-run can fix.
 func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, node, r int,
-	outputs []*mapOutput[K, V], st *Stats, conf Config) ([]Pair[K, V], bool) {
+	outputs []*mapOutput[K, V], st *Stats, conf Config) (_ []Pair[K, V], ok, lostMaps bool) {
 	c := j.Cluster
 	cm := c.Cost
 	tp.Sleep(cm.HadoopTaskOverhead)
@@ -321,6 +491,11 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 		if b == 0 {
 			continue
 		}
+		if !j.outputLive(mo) {
+			// The spill's node died between the map barrier and this
+			// fetch: the data is gone, not merely unreachable.
+			return nil, false, true
+		}
 		c.Node(mo.node).Scratch.Read(tp, b) // map-side spill read
 		if mo.node != node {
 			// Lost or corrupted frames are retried by the transport; a
@@ -328,9 +503,12 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 			// fails this reduce attempt, which the attempt loop
 			// reschedules — Hadoop's fetch-failure path.
 			if _, err := j.Transport.Send(tp, mo.node, node, b); err != nil {
+				if !j.outputLive(mo) {
+					return nil, false, true
+				}
 				st.FetchFailures++
 				tp.Sleep(conf.FetchRetryWait)
-				return nil, false
+				return nil, false, false
 			}
 			st.ShuffledBytes += b
 		}
@@ -342,7 +520,7 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 	}
 	if fail {
 		tp.FlushCharge() // the wasted attempt still pays its pending charges
-		return nil, false
+		return nil, false, false
 	}
 
 	// Merge (sort), group and reduce as a payload over the sort-compare
@@ -376,5 +554,5 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 	// Reduce output is persisted to disk (Hadoop writes to HDFS; charge
 	// the local-replica write).
 	c.Node(node).Scratch.Write(tp, int64(len(out))*conf.PairBytes)
-	return out, true
+	return out, true, false
 }

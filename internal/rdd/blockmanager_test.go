@@ -106,3 +106,88 @@ func TestBlockManagerDoublePutIsIdempotent(t *testing.T) {
 		t.Errorf("double put charged memory twice: %d", bm.memUsed)
 	}
 }
+
+// A MemoryAndDisk put that cannot fit even after eviction spills to disk
+// — and evicts whatever LRU memory blocks stood in its way first.
+func TestBlockManagerSpillOnEviction(t *testing.T) {
+	bm := newBlockManager(500)
+	bm.put(1, 0, "a", 300, MemoryOnly)
+	bm.put(1, 1, "b", 200, MemoryOnly)
+	if res := bm.put(1, 2, "big", 600, MemoryAndDisk); res != putDisk {
+		t.Fatalf("oversized MemoryAndDisk put result %v, want disk", res)
+	}
+	// Both memory residents were evicted in the (futile) attempt to fit
+	// 600 into a 500-byte store; the block itself went to disk.
+	if bm.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", bm.Evictions)
+	}
+	if bm.memUsed != 0 {
+		t.Errorf("memUsed = %d after full eviction, want 0", bm.memUsed)
+	}
+	if bm.DiskBytes != 600 {
+		t.Errorf("DiskBytes = %d, want 600", bm.DiskBytes)
+	}
+	_, _, disk, ok := bm.get(1, 2)
+	if !ok || !disk {
+		t.Errorf("spilled block: ok=%v disk=%v, want cached on disk", ok, disk)
+	}
+}
+
+// Disk-resident blocks are not eviction victims: evicting for a new
+// memory block must only reclaim memory residents.
+func TestBlockManagerEvictionSkipsDiskBlocks(t *testing.T) {
+	bm := newBlockManager(500)
+	bm.put(1, 0, "d", 400, DiskOnly)
+	bm.put(1, 1, "m", 400, MemoryOnly)
+	if res := bm.put(1, 2, "n", 400, MemoryOnly); res != putMemory {
+		t.Fatalf("put after eviction = %v, want memory", res)
+	}
+	if _, _, disk, ok := bm.get(1, 0); !ok || !disk {
+		t.Errorf("disk block evicted by a memory put: ok=%v disk=%v", ok, disk)
+	}
+	if _, _, _, ok := bm.get(1, 1); ok {
+		t.Error("memory LRU victim survived")
+	}
+	if bm.Evictions != 1 || bm.DiskBytes != 400 {
+		t.Errorf("evictions=%d diskBytes=%d, want 1/400", bm.Evictions, bm.DiskBytes)
+	}
+}
+
+// Hits/Misses/Evictions over a full lifecycle: every get and eviction is
+// counted exactly once, and a get of an evicted block is a miss again.
+func TestBlockManagerCounterAccuracy(t *testing.T) {
+	bm := newBlockManager(800)
+	bm.get(1, 0) // miss (never stored)
+	bm.put(1, 0, "a", 400, MemoryOnly)
+	bm.get(1, 0) // hit
+	bm.get(1, 0) // hit
+	bm.put(1, 1, "b", 400, MemoryOnly)
+	bm.put(1, 2, "c", 800, MemoryOnly) // evicts both residents
+	bm.get(1, 0)                       // miss (evicted)
+	bm.get(1, 1)                       // miss (evicted)
+	bm.get(1, 2)                       // hit
+	if bm.Hits != 3 || bm.Misses != 3 || bm.Evictions != 2 {
+		t.Errorf("hits=%d misses=%d evictions=%d, want 3/3/2", bm.Hits, bm.Misses, bm.Evictions)
+	}
+}
+
+// Racing recomputation against a disk-resident block: the duplicate put
+// must neither double-count DiskBytes nor promote the block, and the
+// stored copy stays retrievable from disk.
+func TestBlockManagerDoublePutDiskResident(t *testing.T) {
+	bm := newBlockManager(100)
+	if res := bm.put(1, 0, "v", 400, MemoryAndDisk); res != putDisk {
+		t.Fatalf("first put = %v, want disk", res)
+	}
+	bm.put(1, 0, "v", 400, MemoryAndDisk) // second racer finishes late
+	if bm.DiskBytes != 400 {
+		t.Errorf("DiskBytes = %d after duplicate put, want 400", bm.DiskBytes)
+	}
+	if bm.memUsed != 0 {
+		t.Errorf("duplicate put leaked into memory: %d", bm.memUsed)
+	}
+	_, bytes, disk, ok := bm.get(1, 0)
+	if !ok || !disk || bytes != 400 {
+		t.Errorf("get after duplicate put: ok=%v disk=%v bytes=%d", ok, disk, bytes)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hpcbd/internal/cluster"
+	"hpcbd/internal/ha"
 	"hpcbd/internal/sim"
 	"hpcbd/internal/transport"
 )
@@ -137,6 +138,15 @@ type Context struct {
 	shuffles   map[int]*shuffleState
 	broadcasts int
 	shuffleNet *transport.Transport
+
+	// haGroup, when enabled, journals scheduler state to standby nodes
+	// and relocates the driver when its node dies. driverGen counts
+	// driver incarnations (tasks launched by a dead incarnation report
+	// driverLost); driverDown snapshots the driver node's crash epoch so
+	// a bounce of the same node is detected too.
+	haGroup    *ha.Group
+	driverGen  int
+	driverDown int
 	// pools holds per-record-type free lists of retired partition
 	// buffers (see recycle.go); values are *[][]T keyed by reflect type.
 	pools map[reflect.Type]any
@@ -160,6 +170,7 @@ type Context struct {
 	ExecutorsBlacklisted int64 // executors excluded after repeated task failures
 	SpeculativeLaunched  int64 // duplicate copies started for stragglers
 	SpeculativeWins      int64 // stragglers where the duplicate finished first
+	DriverFailovers      int64 // driver relocations to a standby node (HA)
 }
 
 // NewContext creates a Spark application over the cluster. The driver
@@ -442,6 +453,66 @@ func (e ExecutorStats) CacheMisses() int64 { return e.bm.Misses }
 // shuffle fetch path (retries, timeouts, corrupt frames dropped).
 func (ctx *Context) ShuffleTransportStats() transport.Stats {
 	return ctx.shuffleNet.Stats
+}
+
+// EnableDriverHA journals the driver's scheduler state (stage commits
+// and map-output registrations) to the standby nodes and relocates the
+// driver to the first live standby when its node dies. A recovered
+// driver replays the journal, so only unfinished stages are
+// re-dispatched; executors re-register with the new driver instead of
+// deadlocking against a dead one. Call before running jobs; twice
+// panics. The returned group exposes recovery counters.
+func (ctx *Context) EnableDriverHA(standbys []int, cfg ha.Config, seed int64) *ha.Group {
+	if ctx.haGroup != nil {
+		panic("rdd: driver HA already enabled")
+	}
+	cands := append([]int{ctx.driverNode}, standbys...)
+	ctx.haGroup = ha.New(ctx.C, ctx.Conf.CtrlTransport, "spark-driver", cands, cfg, seed)
+	ctx.driverDown = ctx.C.DownCount(ctx.driverNode)
+	return ctx.haGroup
+}
+
+// driverHealthy reports whether the current driver incarnation's node is
+// up. Without HA it is vacuously true: there is no failover to wait for,
+// and the pre-HA scheduler semantics apply unchanged.
+func (ctx *Context) driverHealthy() bool {
+	if ctx.haGroup == nil {
+		return true
+	}
+	return !ctx.haGroup.Recovering() &&
+		ctx.C.NodeAlive(ctx.driverNode) &&
+		ctx.C.DownCount(ctx.driverNode) == ctx.driverDown
+}
+
+// recoverDriver parks through the HA failover and restarts the driver on
+// the elected node: the journal replay already happened in the election;
+// here the new incarnation is published and every live executor
+// re-registers with it (one control round trip each).
+func (ctx *Context) recoverDriver(p *sim.Proc) {
+	if ctx.haGroup == nil || ctx.driverHealthy() {
+		return
+	}
+	node := ctx.haGroup.AwaitLeader(p)
+	ctx.driverNode = node
+	ctx.driverDown = ctx.C.DownCount(node)
+	ctx.driverGen++
+	ctx.DriverFailovers++
+	for _, e := range ctx.executors {
+		if !e.alive || !ctx.C.NodeAlive(e.node) || e.node == node {
+			continue
+		}
+		ctx.C.Xfer(p, e.node, node, ctx.C.Cost.SparkCtrlBytes, ctx.Conf.CtrlTransport)
+		ctx.C.Xfer(p, node, e.node, ctx.C.Cost.SparkCtrlBytes, ctx.Conf.CtrlTransport)
+	}
+}
+
+// journalAppend checkpoints n scheduler records (stage commits, map
+// output locations) to the replicated journal — free without HA.
+func (ctx *Context) journalAppend(p *sim.Proc, n int64) {
+	if ctx.haGroup == nil || n <= 0 || !ctx.driverHealthy() {
+		return
+	}
+	ctx.haGroup.Append(p, n)
 }
 
 // Executors returns stats handles for all executors.

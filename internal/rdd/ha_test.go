@@ -1,0 +1,119 @@
+package rdd
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/chaos"
+	"hpcbd/internal/cluster"
+	haPkg "hpcbd/internal/ha"
+	"hpcbd/internal/sim"
+)
+
+func haConf() Config {
+	conf := DefaultConfig()
+	conf.HeartbeatTimeout = 20 * time.Millisecond
+	return conf
+}
+
+// Killing the driver's node mid-job must relocate the driver to a
+// standby and finish the job with the same answer — Spark driver
+// recovery, the control-plane counterpart of executor loss.
+func TestDriverFailoverMidJob(t *testing.T) {
+	run := func() (int64, int64, sim.Time, error) {
+		k := sim.NewKernel(17)
+		c := cluster.Comet(k, 4)
+		ctx := NewContext(c, haConf())
+		ctx.EnableDriverHA([]int{1, 2}, haPkg.Config{LeaseTimeout: 30 * time.Millisecond}, 7)
+		chaos.Install(c, chaos.MasterKill(0, 100*time.Millisecond, 0))
+		var n int64
+		var err error
+		var done sim.Time
+		k.Spawn("spark-driver", func(p *sim.Proc) {
+			n, err = Count(p, slowSource(ctx, 32, 0.05))
+			done = p.Now()
+		})
+		k.Run()
+		return n, ctx.DriverFailovers, done, err
+	}
+	n, fo, done, err := run()
+	if err != nil {
+		t.Fatalf("job failed across driver failover: %v", err)
+	}
+	if n != 32 {
+		t.Errorf("count = %d, want 32", n)
+	}
+	if fo == 0 {
+		t.Error("driver never failed over")
+	}
+	n2, fo2, done2, err2 := run()
+	if n2 != n || fo2 != fo || done2 != done || (err2 == nil) != (err == nil) {
+		t.Errorf("non-deterministic recovery: (%d,%d,%v) vs (%d,%d,%v)", n, fo, done, n2, fo2, done2)
+	}
+}
+
+// A shuffle job whose driver dies between stages: committed map outputs
+// survive (journaled stage commit), and the recovered driver re-runs
+// only what is actually missing.
+func TestDriverFailoverShuffleJob(t *testing.T) {
+	k := sim.NewKernel(23)
+	c := cluster.Comet(k, 4)
+	ctx := NewContext(c, haConf())
+	g := ctx.EnableDriverHA([]int{1, 2}, haPkg.Config{LeaseTimeout: 30 * time.Millisecond}, 7)
+	chaos.Install(c, chaos.MasterKill(0, 100*time.Millisecond, 0))
+	var got map[int]int64
+	var err error
+	k.Spawn("spark-driver", func(p *sim.Proc) {
+		src := slowSource(ctx, 16, 0.2)
+		kv := Map(src, func(v int) KV[int, int] { return KV[int, int]{K: v % 4, V: v} })
+		got, err = CountByKey(p, kv)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("shuffle job failed across driver failover: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d keys, want 4", len(got))
+	}
+	for key, n := range got {
+		if n != 4 {
+			t.Errorf("key %d count = %d, want 4", key, n)
+		}
+	}
+	if ctx.DriverFailovers == 0 {
+		t.Error("driver never failed over")
+	}
+	if g.EntriesLogged == 0 {
+		t.Error("scheduler state was never journaled")
+	}
+}
+
+// Without faults, enabling driver HA only adds journal traffic: the
+// leader never moves and the job result is unchanged.
+func TestDriverHAFaultFree(t *testing.T) {
+	count := func(enable bool) (int64, int64) {
+		k := sim.NewKernel(17)
+		c := cluster.Comet(k, 4)
+		ctx := NewContext(c, haConf())
+		if enable {
+			ctx.EnableDriverHA([]int{1, 2}, haPkg.Config{}, 7)
+		}
+		var n int64
+		k.Spawn("spark-driver", func(p *sim.Proc) {
+			var err error
+			if n, err = Count(p, slowSource(ctx, 16, 0.05)); err != nil {
+				t.Error(err)
+			}
+		})
+		k.Run()
+		return n, ctx.DriverFailovers
+	}
+	plain, _ := count(false)
+	withHA, fo := count(true)
+	if plain != withHA {
+		t.Errorf("HA changed the answer: %d vs %d", plain, withHA)
+	}
+	if fo != 0 {
+		t.Errorf("spurious failovers: %d", fo)
+	}
+}

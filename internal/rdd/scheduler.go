@@ -18,6 +18,14 @@ type executorLost struct{ exec int }
 
 func (e executorLost) Error() string { return fmt.Sprintf("rdd: executor %d lost", e.exec) }
 
+// driverLost marks work orphaned by a driver failover: a task launched
+// by (or a dispatch loop running under) a driver incarnation whose node
+// died. Like executorLost it is never charged to anyone's failure record
+// — the outer stage loops recover the driver and re-dispatch.
+type driverLost struct{ gen int }
+
+func (d driverLost) Error() string { return fmt.Sprintf("rdd: driver incarnation %d lost", d.gen) }
+
 // collectShuffles gathers every shuffle dependency reachable from m in
 // dependency-first (post) order, deduplicated — the DAG scheduler's stage
 // list.
@@ -112,7 +120,8 @@ func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int) (*execut
 func (ctx *Context) noteTaskFailure(e *executor, err error) {
 	var el executorLost
 	var ff fetchFailure
-	if errors.As(err, &el) || errors.As(err, &ff) {
+	var dl driverLost
+	if errors.As(err, &el) || errors.As(err, &ff) || errors.As(err, &dl) {
 		return
 	}
 	e.failures++
@@ -159,6 +168,7 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 		ctx.TasksLaunched++
 		startEpoch := exec.epoch
 		startDown := ctx.C.DownCount(exec.node)
+		startGen := ctx.driverGen
 		ctx.C.K.Spawn(fmt.Sprintf("task.%s.%d", name, t.part), func(tp *sim.Proc) {
 			// Task descriptor travels driver -> executor over sockets.
 			ctx.C.Xfer(tp, ctx.driverNode, exec.node, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
@@ -174,6 +184,11 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 				// The executor (or its node) died while the task ran:
 				// whatever it produced is zombie output.
 				err = executorLost{exec: exec.id}
+			} else if !ctx.driverHealthy() || ctx.driverGen != startGen {
+				// The driver died (or moved) while the task ran: there is
+				// no one to report status to. The executor holds the
+				// result; the recovered driver's re-dispatch reclaims it.
+				err = driverLost{gen: startGen}
 			} else {
 				// Status update back to the driver (lost executors go
 				// silent; the driver learns via the heartbeat timeout).
@@ -205,6 +220,13 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 	}
 
 	for i, part := range parts {
+		if !ctx.driverHealthy() {
+			// The driver's node died mid-dispatch: the rest of the stage
+			// never leaves the (dead) driver. The outer loop recovers and
+			// re-dispatches.
+			errs[i] = driverLost{gen: ctx.driverGen}
+			continue
+		}
 		var pf []int
 		if prefs != nil {
 			pf = prefs(part)
@@ -285,9 +307,13 @@ func (ctx *Context) ensureShuffle(p *sim.Proc, dep *shuffleDep) error {
 	ss := ctx.shuffles[dep.shuffleID]
 	retry := 0
 	for attempt := 0; ; attempt++ {
+		ctx.recoverDriver(p)
 		missing := ss.missingParts(ctx)
 		if len(missing) == 0 {
 			ss.everComplete = true
+			// Stage commit: the map output locations reach the journal, so
+			// a later driver incarnation re-dispatches nothing here.
+			ctx.journalAppend(p, 1)
 			return nil
 		}
 		if retry >= ctx.Conf.MaxTaskRetries {
@@ -305,6 +331,13 @@ func (ctx *Context) ensureShuffle(p *sim.Proc, dep *shuffleDep) error {
 		p.Sleep(ctx.C.Cost.SparkStageOverhead)
 		prefs := dep.parent.prefs
 		errs := ctx.runTasks(p, fmt.Sprintf("shufmap%d", dep.shuffleID), missing, prefs, dep.runMapTask)
+		done := int64(0)
+		for _, e := range errs {
+			if e == nil {
+				done++
+			}
+		}
+		ctx.journalAppend(p, done) // map-output registrations
 		countable, err := ctx.repairFailures(p, errs)
 		if err != nil {
 			return err
@@ -336,6 +369,11 @@ func (ctx *Context) repairFailures(p *sim.Proc, errs []error) (countable bool, _
 		}
 		var el executorLost
 		if errors.As(err, &el) {
+			continue
+		}
+		var dl driverLost
+		if errors.As(err, &dl) {
+			ctx.recoverDriver(p)
 			continue
 		}
 		countable = true
@@ -375,6 +413,7 @@ func runJob[T any](p *sim.Proc, r *RDD[T], each func(part int, data []T)) error 
 	results := make([][]T, r.m.nparts)
 	retry := 0
 	for {
+		ctx.recoverDriver(p)
 		if retry >= ctx.Conf.MaxTaskRetries {
 			return fmt.Errorf("rdd: result stage of %s failed after %d retries", r.m.name, retry)
 		}
@@ -394,6 +433,7 @@ func runJob[T any](p *sim.Proc, r *RDD[T], each func(part int, data []T)) error 
 				return nil
 			})
 		if !anyFailed(errs) {
+			ctx.journalAppend(p, 1) // job commit
 			break
 		}
 		countable, err := ctx.repairFailures(p, errs)

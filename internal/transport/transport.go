@@ -42,6 +42,7 @@ const (
 	StreamShuffle int64 = 3 // rdd shuffle fetches
 	StreamMapRed  int64 = 4 // mapred reduce-side fetches
 	StreamMPI     int64 = 5 // mpi point-to-point (used by package mpi)
+	StreamHA      int64 = 6 // control-plane journal replication (package ha)
 )
 
 // ackBytes is the wire size of a delivery acknowledgement.
