@@ -20,7 +20,7 @@ test:
 
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/... ./internal/sim/... ./internal/exec/... ./internal/ha/...
+	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/... ./internal/sim/... ./internal/exec/... ./internal/ha/... ./internal/dfs/... ./internal/mapred/... ./internal/chaos/...
 
 # Both fault-injection sweeps (node crashes + lossy network) at test
 # scale, with their determinism and shape checks.

@@ -123,3 +123,23 @@ func TestMasterSweepPoolInvariance(t *testing.T) {
 		t.Errorf("master sweep differs between pool sizes 1 and 8:\npool1: %+v\npool8: %+v", m1, m8)
 	}
 }
+
+// TestTailSweepPoolInvariance verifies the gray-failure tail sweep —
+// hedge races, ejection decisions, retry-budget draws and all — is
+// bit-identical whether the compute pool runs one worker or eight.
+func TestTailSweepPoolInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tail sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var a, b TailSweepResult
+	withPool(t, 1, func() { a = TailSweep(o) })
+	withPool(t, 8, func() { b = TailSweep(o) })
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tail sweep differs between pool sizes 1 and 8:\npool1: %+v\npool8: %+v", a, b)
+	}
+	// The shape checks must also hold on pool-8 output.
+	for _, v := range CheckTailSweep(a, b) {
+		t.Errorf("tail sweep pool invariance: %s", v)
+	}
+}

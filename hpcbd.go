@@ -73,6 +73,16 @@ type (
 	// MasterPoint is one (workload, kill point) measurement of a
 	// MasterSweepResult series.
 	MasterPoint = core.MasterPoint
+	// TailSweepResult is the gray-failure tail-latency sweep: the same
+	// seeded read + shuffle workload at increasing gray-node fractions,
+	// mitigations off vs on, with a plain-MPI contrast arm.
+	TailSweepResult = core.TailSweepResult
+	// TailPoint is one (gray fraction, mitigation arm) measurement of a
+	// TailSweepResult series.
+	TailPoint = core.TailPoint
+	// TailMPIPoint is one plain-MPI contrast measurement of a
+	// TailSweepResult series.
+	TailMPIPoint = core.TailMPIPoint
 )
 
 // FullOptions returns the paper-scale experiment configuration.
@@ -176,6 +186,25 @@ func MasterTables(r MasterSweepResult) []Table { return core.MasterTables(r) }
 // including bit-exact determinism between two runs of the same options.
 func CheckMasterSweep(a, b MasterSweepResult) []string {
 	return core.CheckMasterSweep(a, b)
+}
+
+// TailSweep runs the gray-failure tail-latency sweep: a sustained seeded
+// read + shuffle workload at increasing fractions of gray nodes (alive
+// but degraded), once with fixed timeouts and no hedging, once with the
+// full mitigation set — adaptive timeouts, latency-outlier ejection,
+// hedged requests and a shared retry budget — plus plain MPI under the
+// loss-free variant of the same gray plan as the paradigm contrast.
+func TailSweep(o Options) TailSweepResult { return core.TailSweep(o) }
+
+// TailTables renders a TailSweepResult as report tables.
+func TailTables(r TailSweepResult) []Table { return core.TailTables(r) }
+
+// CheckTailSweep verifies the tail sweep's documented shapes — the
+// mitigations' p99 cuts, clean-run overhead bound, retry-budget
+// engagement, MPI pacing contrast — including bit-exact determinism
+// between two runs of the same options.
+func CheckTailSweep(a, b TailSweepResult) []string {
+	return core.CheckTailSweep(a, b)
 }
 
 // AblationMRMPI reproduces the related-work claims ([36],[37]): MapReduce

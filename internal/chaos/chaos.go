@@ -55,6 +55,14 @@ const (
 	PartitionStart
 	// PartitionHeal reconnects all partition groups.
 	PartitionHeal
+	// GrayStart turns the node gray: compute, scratch disk and NIC all
+	// slow by Factor and the node's messages are lost with probability
+	// Loss — but health stays Alive. The node answers every heartbeat,
+	// so crash detection, speculation-by-death and HA failover all pass
+	// it by; only latency-aware layers can notice it.
+	GrayStart
+	// GrayEnd restores the gray node to full performance.
+	GrayEnd
 )
 
 func (k Kind) String() string {
@@ -81,6 +89,10 @@ func (k Kind) String() string {
 		return "partition"
 	case PartitionHeal:
 		return "heal"
+	case GrayStart:
+		return "gray-start"
+	case GrayEnd:
+		return "gray-end"
 	}
 	return "unknown"
 }
@@ -93,6 +105,7 @@ type Event struct {
 	Factor float64 // slowdown multiplier, or a probability for MsgLoss / MsgCorrupt
 	Count  int     // number of faults for DiskFaults
 	Groups [][]int // partition groups for PartitionStart
+	Loss   float64 // per-node message loss probability for GrayStart
 }
 
 // netLevel reports whether the event targets the fabric rather than one
@@ -122,6 +135,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" x%.1f", e.Factor)
 	case DiskFaults:
 		s += fmt.Sprintf(" n=%d", e.Count)
+	case GrayStart:
+		s += fmt.Sprintf(" x%.1f loss=%.3f", e.Factor, e.Loss)
 	}
 	return s
 }
@@ -361,6 +376,38 @@ func Stragglers(seed int64, nodes, count int, factor float64, at, length time.Du
 	return p
 }
 
+// GrayNodes builds a gray-failure plan: `count` distinct nodes turn gray
+// at `at` for `length` (forever when length is zero) — compute, disk and
+// NIC slowed by `factor`, messages touching them lost with probability
+// `loss` — while staying heartbeat-alive the whole time. Victims come
+// from the same seeded permutation construction as Stragglers, so the
+// victim set at a lower count is a strict prefix of the set at any
+// higher count for the same seed: raising the gray fraction only adds
+// sick nodes, which makes "tail latency grows with the gray fraction" a
+// checkable shape.
+func GrayNodes(seed int64, nodes, count int, factor, loss float64, at, length time.Duration, opts CrashOpts) *Plan {
+	p := &Plan{}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(nodes)
+	spared := spareSet(opts.Spare)
+	picked := 0
+	for _, n := range perm {
+		if picked >= count {
+			break
+		}
+		if spared[n] {
+			continue
+		}
+		picked++
+		p.Events = append(p.Events, Event{At: at, Node: n, Kind: GrayStart, Factor: factor, Loss: loss})
+		if length > 0 {
+			p.Events = append(p.Events, Event{At: at + length, Node: n, Kind: GrayEnd})
+		}
+	}
+	p.sort()
+	return p
+}
+
 // MasterKill builds the control-plane assassination plan: crash exactly
 // the given node (no Spare list protects it — typically node 0, where
 // the namenode, Spark driver, and job tracker live) at `at`, recovering
@@ -384,6 +431,8 @@ type Engine struct {
 	Slowdowns  int
 	NICFaults  int
 	DiskErrors int
+	Grays      int
+	GrayHeals  int
 
 	// Fabric-level event counters.
 	LossChanges    int
@@ -476,6 +525,26 @@ func (e *Engine) apply(ev Event) {
 			n.Scratch.InjectReadFaults(ev.Count)
 			e.DiskErrors += ev.Count
 		}
+	case GrayStart:
+		f := ev.Factor
+		if f <= 1 || math.IsNaN(f) {
+			return
+		}
+		// Deliberately no SetHealth: a gray node keeps answering
+		// heartbeats at full cadence, so nothing death-based fires.
+		n.SetComputeScale(f)
+		n.Scratch.SetScale(f)
+		n.SetNICScale(f)
+		if ev.Loss > 0 {
+			c.SetNodeMsgLoss(ev.Node, ev.Loss)
+		}
+		e.Grays++
+	case GrayEnd:
+		n.SetComputeScale(1)
+		n.Scratch.SetScale(1)
+		n.SetNICScale(1)
+		c.SetNodeMsgLoss(ev.Node, 0)
+		e.GrayHeals++
 	}
 }
 
@@ -491,7 +560,7 @@ func (e *Engine) clearDegraded(node int) {
 
 // Summary formats the engine counters on one line.
 func (e *Engine) Summary() string {
-	return fmt.Sprintf("crashes=%d recoveries=%d slowdowns=%d nic=%d diskerr=%d loss=%d corrupt=%d partitions=%d heals=%d",
-		e.Crashes, e.Recoveries, e.Slowdowns, e.NICFaults, e.DiskErrors,
+	return fmt.Sprintf("crashes=%d recoveries=%d slowdowns=%d nic=%d diskerr=%d gray=%d loss=%d corrupt=%d partitions=%d heals=%d",
+		e.Crashes, e.Recoveries, e.Slowdowns, e.NICFaults, e.DiskErrors, e.Grays,
 		e.LossChanges, e.CorruptChanges, e.Partitions, e.Heals)
 }

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -214,5 +215,96 @@ func TestInstallMidRun(t *testing.T) {
 	}
 	if aliveAtTwelve {
 		t.Error("crash scheduled at install+1s had not fired by install+2s")
+	}
+}
+
+// GrayNodes picks `count` distinct non-spared victims, pairs every
+// GrayStart with a GrayEnd when a length is given, and carries the
+// factor and loss through to each event.
+func TestGrayNodesDistinctNonSparedVictims(t *testing.T) {
+	p := GrayNodes(5, 8, 3, 8.0, 0.15, time.Second, time.Minute, CrashOpts{Spare: []int{0}})
+	seen := map[int]bool{}
+	starts, ends := 0, 0
+	for _, e := range p.Events {
+		switch e.Kind {
+		case GrayStart:
+			starts++
+			if e.Node == 0 {
+				t.Fatalf("spared node grayed: %v", e)
+			}
+			if seen[e.Node] {
+				t.Fatalf("node %d grayed twice", e.Node)
+			}
+			seen[e.Node] = true
+			if e.Factor != 8.0 || e.Loss != 0.15 {
+				t.Errorf("factor/loss %v/%v, want 8.0/0.15", e.Factor, e.Loss)
+			}
+		case GrayEnd:
+			ends++
+			if !seen[e.Node] {
+				t.Fatalf("GrayEnd for node %d that never grayed", e.Node)
+			}
+			if e.At != time.Second+time.Minute {
+				t.Errorf("GrayEnd at %v, want %v", e.At, time.Second+time.Minute)
+			}
+		default:
+			t.Fatalf("unexpected event kind in a gray plan: %v", e)
+		}
+	}
+	if starts != 3 || ends != 3 {
+		t.Errorf("%d starts / %d ends, want 3/3", starts, ends)
+	}
+	// Zero length means gray forever: no GrayEnd events at all.
+	forever := GrayNodes(5, 8, 3, 8.0, 0.15, time.Second, 0, CrashOpts{})
+	for _, e := range forever.Events {
+		if e.Kind == GrayEnd {
+			t.Fatalf("zero-length plan has a GrayEnd: %v", e)
+		}
+	}
+}
+
+// For a fixed seed the victim set at a lower count is a strict prefix
+// of the set at any higher count — raising the gray fraction only adds
+// sick nodes, the property the tail sweep's monotonicity checks lean
+// on. Stragglers shares the construction, so it inherits the property.
+func TestGrayNodesVictimPrefixAndDeterminism(t *testing.T) {
+	victims := func(p *Plan, k Kind) []int {
+		var v []int
+		for _, e := range p.Events {
+			if e.Kind == k {
+				v = append(v, e.Node)
+			}
+		}
+		sort.Ints(v)
+		return v
+	}
+	prev := map[int]bool{}
+	for count := 1; count <= 4; count++ {
+		a := victims(GrayNodes(11, 10, count, 8.0, 0.1, time.Second, 0, CrashOpts{Spare: []int{0}}), GrayStart)
+		b := victims(GrayNodes(11, 10, count, 8.0, 0.1, time.Second, 0, CrashOpts{Spare: []int{0}}), GrayStart)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("count %d nondeterministic: %v vs %v", count, a, b)
+		}
+		if len(a) != count {
+			t.Fatalf("count %d picked %d victims", count, len(a))
+		}
+		for n := range prev {
+			found := false
+			for _, m := range a {
+				if m == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("victim %d at the lower count missing at count %d (%v)", n, count, a)
+			}
+		}
+		for _, m := range a {
+			prev[m] = true
+		}
+		s := victims(Stragglers(11, 10, count, 4.0, time.Second, 0, CrashOpts{Spare: []int{0}}), SlowStart)
+		if !reflect.DeepEqual(a, s) {
+			t.Fatalf("count %d: GrayNodes victims %v differ from Stragglers victims %v (same seed)", count, a, s)
+		}
 	}
 }

@@ -58,6 +58,11 @@ type netFaults struct {
 	lossRate    float64
 	corruptRate float64
 
+	// nodeLoss[i] is an extra loss floor for messages touching node i —
+	// the signature of a gray NIC: the link is up, but bursts of frames
+	// vanish. nil until some node-level rate is set.
+	nodeLoss []float64
+
 	// group[i] is node i's partition group; nil means fully connected.
 	group          []int
 	partitionEpoch int
@@ -102,6 +107,48 @@ func (c *Cluster) SetMsgLoss(rate float64) { c.ensureNet().lossRate = clamp01(ra
 
 // SetMsgCorrupt sets the cluster-wide in-flight corruption probability.
 func (c *Cluster) SetMsgCorrupt(rate float64) { c.ensureNet().corruptRate = clamp01(rate) }
+
+// SetNodeMsgLoss sets a per-node message loss floor: every message whose
+// source or destination is the node is lost with at least this
+// probability. The effective rate of a message is the max of the global
+// rate and both endpoints' node rates, all compared against the one
+// shared fate coin — so raising any rate only adds lost messages, and
+// the nested-faults shape argument carries over unchanged. Zero clears.
+func (c *Cluster) SetNodeMsgLoss(node int, rate float64) {
+	n := c.ensureNet()
+	if n.nodeLoss == nil {
+		if rate == 0 {
+			return
+		}
+		n.nodeLoss = make([]float64, c.Size())
+	}
+	if node >= 0 && node < len(n.nodeLoss) {
+		n.nodeLoss[node] = clamp01(rate)
+	}
+}
+
+// NodeMsgLossRate returns node i's current loss floor.
+func (c *Cluster) NodeMsgLossRate(node int) float64 {
+	if c.net == nil || c.net.nodeLoss == nil || node < 0 || node >= len(c.net.nodeLoss) {
+		return 0
+	}
+	return c.net.nodeLoss[node]
+}
+
+// lossRateFor returns the effective loss probability for a src→dst
+// message: the max of the global rate and both endpoints' node floors.
+func (n *netFaults) lossRateFor(src, dst int) float64 {
+	r := n.lossRate
+	if n.nodeLoss != nil {
+		if src >= 0 && src < len(n.nodeLoss) && n.nodeLoss[src] > r {
+			r = n.nodeLoss[src]
+		}
+		if dst >= 0 && dst < len(n.nodeLoss) && n.nodeLoss[dst] > r {
+			r = n.nodeLoss[dst]
+		}
+	}
+	return r
+}
 
 // MsgLossRate returns the current loss probability.
 func (c *Cluster) MsgLossRate() float64 {
@@ -196,7 +243,7 @@ func (c *Cluster) FateOf(src, dst int, stream, seq int64, attempt int) MsgFate {
 		n.partitionDrops++
 		return FatePartitioned
 	}
-	if n.lossRate > 0 && fateCoin(n.seed, 0x10c5, src, dst, stream, seq, attempt) < n.lossRate {
+	if r := n.lossRateFor(src, dst); r > 0 && fateCoin(n.seed, 0x10c5, src, dst, stream, seq, attempt) < r {
 		n.lost++
 		return FateLost
 	}

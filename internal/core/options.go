@@ -38,6 +38,16 @@ type Options struct {
 	PRIters           int
 	PRPPN             int
 	PRNodes           []int
+
+	// Tail-latency sweep — gray-failure resilience
+	TailNodes      int     // cluster size (node 0 is client + namenode, spared)
+	TailReads      int     // DFS block reads per point
+	TailJobs       int     // small shuffle jobs per point
+	TailBlockBytes int64   // DFS block size; each read covers one block
+	TailBlocks     int     // blocks per staged file (one file per writer node)
+	TailGrayFactor float64 // compute/disk/NIC slowdown on gray nodes
+	TailGrayLoss   float64 // per-message loss floor on gray nodes
+	TailMPIIters   int     // iterations of the plain-MPI contrast loop
 }
 
 // Full returns the paper-scale configuration (logical sizes match the
@@ -69,6 +79,15 @@ func Full() Options {
 		PRIters:           10,
 		PRPPN:             16,
 		PRNodes:           []int{1, 2, 4, 8},
+
+		TailNodes:      10,
+		TailReads:      160,
+		TailJobs:       10,
+		TailBlockBytes: 4 << 20,
+		TailBlocks:     4,
+		TailGrayFactor: 8,
+		TailGrayLoss:   0.15,
+		TailMPIIters:   40,
 	}
 }
 
@@ -89,6 +108,10 @@ func Quick() Options {
 	o.PRPhysVertices = 4_000
 	o.PRIters = 3
 	o.PRNodes = []int{2, 4}
+	o.TailReads = 80
+	o.TailJobs = 6
+	o.TailBlockBytes = 2 << 20
+	o.TailMPIIters = 20
 	return o
 }
 

@@ -1,0 +1,23 @@
+package core
+
+import "testing"
+
+// TestTailSweep runs the gray-failure sweep twice at test scale and
+// validates every documented shape: determinism across runs, the >= 2x
+// p99 cut from the mitigations at 20% gray, < 5% clean-run p50 cost,
+// the mitigation machinery demonstrably engaged, and plain MPI gated by
+// its slowest rank under the same gray plan.
+func TestTailSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tail sweep is slow; run without -short")
+	}
+	o := Quick()
+	a := TailSweep(o)
+	b := TailSweep(o)
+	for _, msg := range CheckTailSweep(a, b) {
+		t.Error(msg)
+	}
+	for _, tab := range TailTables(a) {
+		t.Log("\n" + tab.String())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -34,6 +35,12 @@ type Config struct {
 	// Retry tunes the reliable transport under the metadata RPCs and
 	// block streams; zero fields take the transport defaults.
 	Retry transport.Config
+	// Hedge enables hedged block reads: when serving a block outlives
+	// the adaptive percentile delay learned from recent reads, the
+	// client fires the same read at a second replica and takes the first
+	// answer — the classic tail-latency defence against gray datanodes.
+	// Off by default, leaving the read path byte-identical.
+	Hedge bool
 }
 
 // DefaultConfig returns HDFS-era defaults (128 MiB blocks, 3 replicas).
@@ -152,10 +159,27 @@ type DFS struct {
 	blocksRereplicated int64
 	bytesRereplicated  int64
 
+	// repairing marks blocks with a re-replication already in flight, so
+	// overlapping triggers (death-time, recovery-time, quarantine) don't
+	// duplicate the same transfers. sweepRunning/sweepPending coalesce
+	// recovery-time namespace sweeps: under node churn every recovery
+	// would otherwise stack a full-namespace repair walk, and the
+	// resulting storm starves the foreground workload.
+	repairing    map[int64]bool
+	sweepRunning bool
+	sweepPending bool
+
 	// Integrity counters
 	corruptDetected int64 // checksum mismatches caught at read time
 	quarantined     int64 // corrupt replicas pulled from service
 	corruptServed   int64 // tripwire: corrupt blocks handed to a client (must stay 0)
+
+	// Hedged-read state (active only with cfg.Hedge)
+	readLat    transport.LatencyEstimator // profile of recent block reads
+	hedgesSent int64
+	hedgeWins  int64
+
+	rng *rand.Rand // seeded jitter for the namenode RPC backoff ladder
 }
 
 // New creates a filesystem over the cluster, speaking the given socket
@@ -173,7 +197,13 @@ func New(c *cluster.Cluster, fabric cluster.FabricSpec, cfg Config) *DFS {
 	if cfg.RereplicationDelay <= 0 {
 		cfg.RereplicationDelay = 5 * time.Second
 	}
-	d := &DFS{c: c, cfg: cfg, fabric: fabric, files: map[string]*fileMeta{}}
+	d := &DFS{c: c, cfg: cfg, fabric: fabric, files: map[string]*fileMeta{},
+		repairing: map[int64]bool{},
+		rng:       rand.New(rand.NewSource(0x0d5f))}
+	// Hedge after 2x the windowed median block-read latency: far enough
+	// out that healthy reads never trigger it, early enough that a
+	// gray-paced replica (several times slower) loses most of its excess.
+	d.readLat = transport.LatencyEstimator{Floor: 2 * time.Millisecond, Mult: 2}
 	d.meta = transport.New(c, fabric, cfg.Retry, transport.StreamDFSMeta, 0xd5f)
 	bulkCfg := cfg.Retry
 	bulkCfg.NoVerify = true
@@ -213,6 +243,11 @@ func New(c *cluster.Cluster, fabric cluster.FabricSpec, cfg Config) *DFS {
 				d.datanodeDied(node)
 			}
 			dn.alive = true
+			// Blocks written while the node was down were born
+			// under-replicated (placeReplicas had fewer live targets
+			// than the factor); with a datanode back in service, scan
+			// the namespace and restore them to full replication.
+			d.scheduleRepairSweep()
 		}
 	})
 	return d
@@ -231,6 +266,57 @@ func (d *DFS) datanodeDied(node int) {
 			d.rereplicate(p, b)
 		}
 	})
+}
+
+// scheduleRepairSweep starts one background namespace repair sweep, or —
+// if one is already walking — asks it to walk again when it finishes.
+// Recoveries arriving faster than repairs complete therefore share a
+// single sweeper instead of stacking one walk per recovery.
+func (d *DFS) scheduleRepairSweep() {
+	if d.sweepRunning {
+		d.sweepPending = true
+		return
+	}
+	d.sweepRunning = true
+	d.c.K.Spawn("dfs.recover-repair", func(p *sim.Proc) {
+		for {
+			d.repairUnderReplicated(p)
+			if !d.sweepPending {
+				break
+			}
+			d.sweepPending = false
+		}
+		d.sweepRunning = false
+	})
+}
+
+// repairUnderReplicated walks the namespace in deterministic order and
+// restores every block with fewer live replicas than the target — the
+// recovery-time sweep matching the death-time one, covering blocks that
+// were *created* during an outage rather than damaged by it.
+func (d *DFS) repairUnderReplicated(p *sim.Proc) {
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := d.files[name] // the walk blocks in virtual time; files can vanish mid-scan
+		if f == nil {
+			continue
+		}
+		for _, b := range f.blocks {
+			live := 0
+			for _, r := range b.replicas {
+				if d.dns[r].alive {
+					live++
+				}
+			}
+			if live > 0 && live < d.cfg.Replication {
+				d.rereplicate(p, b)
+			}
+		}
+	}
 }
 
 // Config returns the active configuration.
@@ -254,6 +340,11 @@ func (d *DFS) ReadRetries() int64 { return d.readRetries }
 // re-replication progress after datanode deaths.
 func (d *DFS) BlocksRereplicated() int64 { return d.blocksRereplicated }
 func (d *DFS) BytesRereplicated() int64  { return d.bytesRereplicated }
+
+// HedgesSent counts hedged-read launches; HedgeWins counts reads where
+// the hedge answered before the primary replica did.
+func (d *DFS) HedgesSent() int64 { return d.hedgesSent }
+func (d *DFS) HedgeWins() int64  { return d.hedgeWins }
 
 // CorruptDetected counts read-time checksum mismatches; Quarantined
 // counts replicas pulled from service because of them. CorruptServed is
@@ -363,6 +454,12 @@ func (d *DFS) nnRPC(p *sim.Proc, clientNode int) error {
 		return nil
 	}
 	for attempt := 0; attempt < 64; attempt++ {
+		if attempt > 0 {
+			// Capped, seeded-jitter exponential backoff, mirroring the
+			// transport's ladder: parked clients re-resolving a flapping
+			// leader must not stampede it in lockstep.
+			p.Sleep(d.rpcBackoff(attempt))
+		}
 		nn := d.ha.AwaitLeader(p)
 		if _, err := d.meta.Send(p, clientNode, nn, 256); err != nil {
 			continue // leader died or was partitioned away mid-request; re-resolve
@@ -377,6 +474,18 @@ func (d *DFS) nnRPC(p *sim.Proc, clientNode int) error {
 		return nil
 	}
 	return fmt.Errorf("%w: namenode rpc: retries exhausted", ErrUnavailable)
+}
+
+// rpcBackoff returns the pause before RPC retry `attempt` (1-based):
+// exponential from the retry config's base, capped at its max, with up
+// to JitterFrac of seeded jitter.
+func (d *DFS) rpcBackoff(attempt int) time.Duration {
+	rc := d.cfg.Retry.WithDefaults()
+	b := rc.BackoffBase << uint(attempt-1)
+	if b > rc.BackoffMax || b <= 0 {
+		b = rc.BackoffMax
+	}
+	return time.Duration(float64(b) * (1 + rc.JitterFrac*d.rng.Float64()))
 }
 
 // placeReplicas picks replica nodes for a new block: first on the writer's
@@ -517,49 +626,12 @@ func (d *DFS) Read(p *sim.Proc, clientNode int, name string, offset, length int6
 		if err := d.nnRPC(p, clientNode); err != nil {
 			return err
 		}
-		served := -1
-		failover := false
-		for _, rep := range d.replicaOrder(b, clientNode) {
-			// A datanode the namenode already declared dead, one on a
-			// crashed node the namenode has not noticed yet, or one cut
-			// off by a network partition: either way the client's stream
-			// setup fails and it moves on to the next replica.
-			if !d.dns[rep].alive || !d.c.NodeAlive(rep) || !d.c.Reachable(clientNode, rep) {
-				failover = true
-				continue
-			}
-			p.Sleep(d.c.Cost.DFSStreamSetup)
-			// The datanode path — a JVM stream plus a local socket hop
-			// and inline checksumming — realizes well under raw device
-			// bandwidth. A transient disk fault aborts the stream; the
-			// client retries against the next replica.
-			if err := d.c.Node(rep).Scratch.ReadChecked(p, n, d.c.Cost.DFSReadFactor); err != nil {
-				d.readRetries++
-				failover = true
-				continue
-			}
-			if rep != clientNode {
-				// Remote stream rides the verified transport: wire-level
-				// loss and corruption are retried; a partition or
-				// sustained loss fails the stream over to another replica.
-				if _, err := d.meta.Send(p, rep, clientNode, n); err != nil {
-					failover = true
-					continue
-				}
-			}
-			// Client-side CRC32C pass over the received bytes, then the
-			// verdict: a checksum mismatch means this replica's on-disk
-			// copy is bit-rotted — quarantine it, repair in the
-			// background, and fail over rather than deliver bad bytes.
-			p.Sleep(cluster.ScanCost(n, d.c.Cost.DFSChecksumBW))
-			if b.replicaCRC(rep) != b.crc {
-				d.corruptDetected++
-				d.quarantine(b, rep)
-				failover = true
-				continue
-			}
-			served = rep
-			break
+		var served int
+		var failover bool
+		if d.cfg.Hedge {
+			served, failover = d.readBlockHedged(p, b, clientNode, n)
+		} else {
+			served, failover = d.readBlock(p, b, clientNode, n)
 		}
 		if served < 0 {
 			return fmt.Errorf("%w: block %d of %s", ErrUnavailable, b.id, name)
@@ -577,6 +649,153 @@ func (d *DFS) Read(p *sim.Proc, clientNode int, name string, offset, length int6
 		}
 	}
 	return nil
+}
+
+// errReadCancelled marks a hedged-read branch torn down because the
+// other branch already served the client; it is not a replica failure.
+var errReadCancelled = errors.New("dfs: read branch cancelled")
+
+// tryReplica plays one replica's serve path for n bytes of block b on
+// behalf of clientNode; a non-nil error means the client fails over.
+// cancelled (nil for unhedged reads) is polled between charged steps: a
+// losing hedge branch abandons the stream at the next step boundary
+// instead of pushing a now-useless transfer through the client's NIC.
+func (d *DFS) tryReplica(p *sim.Proc, b *blockMeta, clientNode, rep int, n int64, cancelled func() bool) error {
+	// A datanode the namenode already declared dead, one on a crashed
+	// node the namenode has not noticed yet, or one cut off by a network
+	// partition: either way the client's stream setup fails and it moves
+	// on to the next replica.
+	if !d.dns[rep].alive || !d.c.NodeAlive(rep) || !d.c.Reachable(clientNode, rep) {
+		return fmt.Errorf("%w: datanode %d unreachable", ErrUnavailable, rep)
+	}
+	p.Sleep(d.c.Cost.DFSStreamSetup)
+	// The datanode path — a JVM stream plus a local socket hop and
+	// inline checksumming — realizes well under raw device bandwidth. A
+	// transient disk fault aborts the stream; the client retries against
+	// the next replica.
+	if err := d.c.Node(rep).Scratch.ReadChecked(p, n, d.c.Cost.DFSReadFactor); err != nil {
+		d.readRetries++
+		return err
+	}
+	if cancelled != nil && cancelled() {
+		return errReadCancelled
+	}
+	if rep != clientNode {
+		// Remote stream rides the verified transport: wire-level loss
+		// and corruption are retried; a partition or sustained loss
+		// fails the stream over to another replica.
+		if _, err := d.meta.Send(p, rep, clientNode, n); err != nil {
+			return err
+		}
+	}
+	// Client-side CRC32C pass over the received bytes, then the verdict:
+	// a checksum mismatch means this replica's on-disk copy is
+	// bit-rotted — quarantine it, repair in the background, and fail
+	// over rather than deliver bad bytes.
+	p.Sleep(cluster.ScanCost(n, d.c.Cost.DFSChecksumBW))
+	if b.replicaCRC(rep) != b.crc {
+		d.corruptDetected++
+		d.quarantine(b, rep)
+		return fmt.Errorf("dfs: replica %d of block %d failed checksum", rep, b.id)
+	}
+	return nil
+}
+
+// readBlock serves n bytes of b sequentially, failing over replica by
+// replica — the pre-hedging read path, byte-identical to it.
+func (d *DFS) readBlock(p *sim.Proc, b *blockMeta, clientNode int, n int64) (served int, failover bool) {
+	for _, rep := range d.replicaOrder(b, clientNode) {
+		if err := d.tryReplica(p, b, clientNode, rep, n, nil); err != nil {
+			failover = true
+			continue
+		}
+		return rep, failover
+	}
+	return -1, failover
+}
+
+// readBlockHedged serves n bytes of b with hedging: a primary branch
+// walks the replica order as usual, and if it outlives the adaptive
+// percentile delay learned from recent reads, a hedge branch starts one
+// replica further along; the first success wins and the loser's
+// in-flight work is simply wasted effort, exactly as in a real cluster.
+// Replicas on currently-ejected nodes are demoted to the back of the
+// order before anything fires.
+func (d *DFS) readBlockHedged(p *sim.Proc, b *blockMeta, clientNode int, n int64) (int, bool) {
+	order := d.replicaOrder(b, clientNode)
+	if len(order) == 0 {
+		return -1, false
+	}
+	var good, bad []int
+	for _, r := range order {
+		if d.meta.Ejected(r) {
+			bad = append(bad, r)
+		} else {
+			good = append(good, r)
+		}
+	}
+	order = append(good, bad...)
+
+	type outcome struct {
+		rep      int
+		failover bool
+	}
+	start := p.Now()
+	fut := &sim.Future[outcome]{}
+	resolved := false
+	outstanding := 0
+	complete := func(o outcome) {
+		if !resolved {
+			resolved = true
+			fut.Complete(o)
+		}
+	}
+	lost := func() bool { return resolved }
+	branch := func(name string, first int, hedge bool) {
+		d.c.K.Spawn(name, func(wp *sim.Proc) {
+			fo := false
+			for i := 0; i < len(order) && !resolved; i++ {
+				rep := order[(first+i)%len(order)]
+				err := d.tryReplica(wp, b, clientNode, rep, n, lost)
+				if err != nil {
+					if errors.Is(err, errReadCancelled) {
+						return
+					}
+					fo = true
+					continue
+				}
+				if !resolved {
+					if hedge {
+						d.hedgeWins++
+					}
+					d.readLat.Observe(wp.Now().Sub(start))
+					complete(outcome{rep: rep, failover: fo})
+				}
+				return
+			}
+			outstanding--
+			if outstanding == 0 {
+				complete(outcome{rep: -1, failover: true})
+			}
+		})
+	}
+	outstanding++
+	branch("dfs.read", 0, false)
+	if len(order) > 1 {
+		if delay := d.readLat.Delay(); delay > 0 {
+			outstanding++ // reserve the hedge slot before the timer fires
+			d.c.K.After(delay, func() {
+				if resolved {
+					outstanding--
+					return
+				}
+				d.hedgesSent++
+				branch("dfs.read-hedge", 1, true)
+			})
+		}
+	}
+	o := fut.Wait(p)
+	return o.rep, o.failover
 }
 
 // quarantine pulls a silently corrupted replica out of service and
@@ -679,6 +898,11 @@ func (d *DFS) markDead(node int) []*blockMeta {
 // remain). Corrupt replicas still count toward placement (they occupy a
 // datanode) but are never used as a copy source.
 func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
+	if d.repairing[b.id] {
+		return
+	}
+	d.repairing[b.id] = true
+	defer delete(d.repairing, b.id)
 	for {
 		src := -1
 		have := map[int]bool{}

@@ -1,0 +1,80 @@
+package mapred
+
+import (
+	"reflect"
+	"testing"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// Hedged reduce fetches under a gray source: one node's messages drop
+// with 30% probability while it stays heartbeat-alive. The primary
+// fetch sits out loss timeouts; the duplicate on the hedge stream rides
+// independent fate coins and answers first. Output must match the
+// fault-free job bit-exactly, and two identical runs must agree on
+// every counter and the virtual clock.
+func TestHedgedFetchUnderGraySourceLoss(t *testing.T) {
+	recs := make([]int, 8000)
+	for i := range recs {
+		recs[i] = i
+	}
+	run := func(hedge, lossy bool) ([]Pair[int, int64], Stats, sim.Time) {
+		k := sim.NewKernel(9)
+		c := cluster.Comet(k, 4)
+		if lossy {
+			c.EnableNetFaults(42)
+			c.SetNodeMsgLoss(1, 0.3)
+		}
+		conf := DefaultConfig(4)
+		conf.PairBytes = 1024 // fetches big enough that pace, not overhead, dominates
+		conf.HedgedFetch = hedge
+		j := wordCountJob(c, recs, 8, conf)
+		out, st := runJob(c, j)
+		return out, st, k.Now()
+	}
+	clean, _, _ := run(false, false)
+	out1, st1, t1 := run(true, true)
+	out2, st2, t2 := run(true, true)
+	if !reflect.DeepEqual(out1, out2) || st1 != st2 || t1 != t2 {
+		t.Fatalf("nondeterministic hedged job: %+v @%v vs %+v @%v", st1, t1, st2, t2)
+	}
+	if !reflect.DeepEqual(out1, clean) {
+		t.Errorf("hedged job output diverged from the fault-free run: %v vs %v", out1, clean)
+	}
+	if st1.HedgesSent == 0 {
+		t.Errorf("no hedges fired under 30%% source loss: %+v", st1)
+	}
+	if st1.HedgeWins == 0 {
+		t.Errorf("no hedge ever won under 30%% source loss: %+v", st1)
+	}
+	if st1.HedgeWins > st1.HedgesSent {
+		t.Errorf("wins %d exceed hedges %d", st1.HedgeWins, st1.HedgesSent)
+	}
+}
+
+// With hedging off and no faults, the hedge counters stay zero and the
+// engine output matches the hedged run's — the mitigation changes
+// tails, never answers.
+func TestHedgedFetchFaultFreeNoop(t *testing.T) {
+	recs := make([]int, 2000)
+	for i := range recs {
+		recs[i] = i
+	}
+	run := func(hedge bool) ([]Pair[int, int64], Stats, sim.Time) {
+		k := sim.NewKernel(9)
+		c := cluster.Comet(k, 4)
+		conf := DefaultConfig(4)
+		conf.HedgedFetch = hedge
+		out, st := runJob(c, wordCountJob(c, recs, 8, conf))
+		return out, st, k.Now()
+	}
+	outOff, _, tOff := run(false)
+	outOn, stOn, tOn := run(true)
+	if stOn.HedgesSent != 0 || stOn.HedgeWins != 0 {
+		t.Errorf("fault-free run fired hedges: %+v", stOn)
+	}
+	if !reflect.DeepEqual(outOff, outOn) || tOff != tOn {
+		t.Errorf("HedgedFetch changed a fault-free job: %v@%v vs %v@%v", outOff, tOff, outOn, tOn)
+	}
+}

@@ -62,6 +62,14 @@ type Config struct {
 	// the reduce attempt is failed and rescheduled (Hadoop's fetch-retry
 	// backoff). Only fault paths pay it.
 	FetchRetryWait time.Duration
+	// HedgedFetch enables tail-latency mitigation on reduce-side fetches:
+	// a fetch that outlives the transport's adaptive hedge delay fires a
+	// duplicate transfer on an independent stream and the first copy wins.
+	// An ejected source fast-fails the primary and promotes the hedge
+	// immediately; a fetch that fails both channels fails the attempt at
+	// once, skipping the retry wait. Off by default; when off the fetch
+	// path is byte-identical to the pre-hedging engine.
+	HedgedFetch bool
 }
 
 // DefaultConfig mirrors common Hadoop settings.
@@ -84,6 +92,8 @@ type Stats struct {
 	ShuffledBytes int64 // moved between map and reduce nodes (logical)
 	Retries       int
 	FetchFailures int // shuffle fetches that exhausted transport retries
+	HedgesSent    int // duplicate fetches fired after the adaptive delay
+	HedgeWins     int // hedged fetches where the duplicate answered first
 	Elapsed       time.Duration
 
 	// Recovery counters (node-death + tracker-failover hardening)
@@ -111,6 +121,10 @@ type Job[In any, K comparable, V any] struct {
 	// creates one over Fabric when nil. Readable after Run for delivery
 	// statistics.
 	Transport *transport.Transport
+
+	// hedgeNet carries duplicate (hedged) fetches on its own stream so
+	// they draw independent fate coins from the primaries they race.
+	hedgeNet *transport.Transport
 
 	// HA, when non-nil, is the job tracker's replication group: task
 	// completions are journaled through it, and when the tracker's node
@@ -153,6 +167,17 @@ func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
 	}
 	if j.Transport == nil {
 		j.Transport = transport.New(c, j.Fabric, conf.FetchRetry, transport.StreamMapRed, 0x6a9d)
+	}
+	if conf.HedgedFetch && j.hedgeNet == nil {
+		// The hedge channel is the escape hatch for ejected or gray
+		// primaries — it must never eject peers itself, or a spill could
+		// become unreachable on both channels at once. It is likewise
+		// exempt from the shared retry budget, which caps primary retry
+		// amplification, not the recovery path.
+		hedgeCfg := conf.FetchRetry
+		hedgeCfg.EjectFactor = 0
+		hedgeCfg.Budget = nil
+		j.hedgeNet = transport.New(c, j.Fabric, hedgeCfg, transport.StreamMapRedHedge, 0x6a9d)
 	}
 	var st Stats
 	start := p.Now()
@@ -502,7 +527,22 @@ func (j *Job[In, K, V]) runReduceAttempt(tp *sim.Proc, task string, attempt, nod
 			// fetch that exhausts its ladder (sustained loss, partition)
 			// fails this reduce attempt, which the attempt loop
 			// reschedules — Hadoop's fetch-failure path.
-			if _, err := j.Transport.Send(tp, mo.node, node, b); err != nil {
+			if conf.HedgedFetch {
+				_, hedged, won, err := j.Transport.SendHedged(tp, j.hedgeNet, mo.node, node, b)
+				if hedged {
+					st.HedgesSent++
+				}
+				if won {
+					st.HedgeWins++
+				}
+				if err != nil {
+					if !j.outputLive(mo) {
+						return nil, false, true
+					}
+					st.FetchFailures++
+					return nil, false, false
+				}
+			} else if _, err := j.Transport.Send(tp, mo.node, node, b); err != nil {
 				if !j.outputLive(mo) {
 					return nil, false, true
 				}

@@ -106,6 +106,16 @@ type Config struct {
 	// failure is reported and lineage recomputation kicks in
 	// (spark.shuffle.io.retryWait's role). Only fault paths pay it.
 	FetchRetryWait time.Duration
+
+	// HedgedFetch enables hedged shuffle fetches: a remote fetch that
+	// outlives the transport's adaptive percentile delay fires a
+	// duplicate transfer on an independent stream (independent fault
+	// coins) and the first copy to land wins. A source the transport has
+	// ejected as a latency outlier fast-fails the primary and the hedge
+	// is promoted immediately; a fetch that fails both channels skips
+	// FetchRetryWait and reports the failure at once. Off by default,
+	// leaving the fetch path byte-identical.
+	HedgedFetch bool
 }
 
 // DefaultConfig returns the configuration used by the experiments: 8
@@ -138,6 +148,7 @@ type Context struct {
 	shuffles   map[int]*shuffleState
 	broadcasts int
 	shuffleNet *transport.Transport
+	hedgeNet   *transport.Transport // duplicate-transfer channel (HedgedFetch)
 
 	// haGroup, when enabled, journals scheduler state to standby nodes
 	// and relocates the driver when its node dies. driverGen counts
@@ -171,6 +182,10 @@ type Context struct {
 	SpeculativeLaunched  int64 // duplicate copies started for stragglers
 	SpeculativeWins      int64 // stragglers where the duplicate finished first
 	DriverFailovers      int64 // driver relocations to a standby node (HA)
+
+	// Gray-failure mitigation stats (HedgedFetch)
+	HedgesSent int64 // duplicate shuffle transfers fired
+	HedgeWins  int64 // fetches where the duplicate landed first
 }
 
 // NewContext creates a Spark application over the cluster. The driver
@@ -212,6 +227,18 @@ func NewContext(c *cluster.Cluster, conf Config) *Context {
 	ctx := &Context{C: c, Conf: conf, shuffles: map[int]*shuffleState{},
 		pools: map[reflect.Type]any{}, fusedLen: map[reflect.Type]int{}}
 	ctx.shuffleNet = transport.New(c, conf.ShuffleTransport, conf.ShuffleRetry, transport.StreamShuffle, 0x5a7c)
+	if conf.HedgedFetch {
+		// The hedge channel is the escape hatch for ejected or gray
+		// primaries — it must never eject peers itself, or a source could
+		// become unreachable on both channels at once. It is likewise
+		// exempt from the shared retry budget: the budget caps primary
+		// retry amplification, and denying the recovery path too would
+		// convert budget pressure straight into fetch failures.
+		hedgeCfg := conf.ShuffleRetry
+		hedgeCfg.EjectFactor = 0
+		hedgeCfg.Budget = nil
+		ctx.hedgeNet = transport.New(c, conf.ShuffleTransport, hedgeCfg, transport.StreamShuffleHedge, 0x5a7c)
+	}
 	if conf.DefaultParallelism <= 0 {
 		ctx.Conf.DefaultParallelism = c.Size() * conf.CoresPerExecutor
 	}

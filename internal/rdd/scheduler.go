@@ -63,9 +63,13 @@ func collectShuffles(m *meta) []*shuffleDep {
 // non-blacklisted executor among the preferred nodes (Spark spreads work
 // over a block's replicas), falling back to the least-loaded live executor
 // overall. Ties rotate by task index for determinism without pile-up.
-// Blacklisted executors are used only when nothing else is alive;
-// `exclude` names an executor id to avoid (speculative copies must not
-// land next to the original), -1 for none.
+// Executors on nodes the shuffle transport has ejected as latency
+// outliers are treated like blacklisted ones — gray nodes stay
+// heartbeat-alive, so this is the only channel that steers new tasks,
+// recomputes, and speculative copies away from them. Blacklisted and
+// ejected executors are used only when nothing else is alive; `exclude`
+// names an executor id to avoid (speculative copies must not land next
+// to the original), -1 for none.
 func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int) (*executor, error) {
 	best := func(cands []int, allowBlacklisted bool) *executor {
 		var pick *executor
@@ -75,7 +79,7 @@ func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int) (*execut
 				continue
 			}
 			e := ctx.executors[id]
-			if !e.alive || (e.blacklisted && !allowBlacklisted) {
+			if !e.alive || ((e.blacklisted || ctx.shuffleNet.Ejected(e.node)) && !allowBlacklisted) {
 				continue
 			}
 			load := e.cores.InUse() + int64(e.cores.QueueLen())

@@ -127,9 +127,34 @@ func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart in
 		b := mo.sizes[reducePart]
 		srcNode := ctx.executors[mo.exec].node
 		if b > 0 {
+			if ctx.Conf.HedgedFetch && srcNode != tc.exec.node && ctx.shuffleNet.Ejected(srcNode) {
+				// The source node was ejected as a latency outlier: treat it
+				// as Spark treats FetchFailed — deregister the output so
+				// lineage recomputes the map task on a healthy executor,
+				// instead of letting every reducer drain it at gray pace.
+				ss.outputs[m] = nil
+				ctx.FetchFailures++
+				return nil, fetchFailure{shuffleID: shuffleID, mapPart: m}
+			}
 			ctx.C.Node(srcNode).Scratch.Read(tc.p, b) // map-side spill read
 			if srcNode != tc.exec.node {
-				if _, err := ctx.shuffleNet.Send(tc.p, srcNode, tc.exec.node, b); err != nil {
+				if ctx.Conf.HedgedFetch {
+					_, hedged, won, err := ctx.shuffleNet.SendHedged(tc.p, ctx.hedgeNet, srcNode, tc.exec.node, b)
+					if hedged {
+						ctx.HedgesSent++
+					}
+					if won {
+						ctx.HedgeWins++
+					}
+					if err != nil {
+						// Both channels failed: the output is effectively
+						// unreachable — deregister it so the recompute lands
+						// somewhere this reducer can actually fetch from.
+						ss.outputs[m] = nil
+						ctx.FetchFailures++
+						return nil, fetchFailure{shuffleID: shuffleID, mapPart: m}
+					}
+				} else if _, err := ctx.shuffleNet.Send(tc.p, srcNode, tc.exec.node, b); err != nil {
 					ctx.FetchFailures++
 					tc.p.Sleep(ctx.Conf.FetchRetryWait)
 					return nil, fetchFailure{shuffleID: shuffleID, mapPart: m}

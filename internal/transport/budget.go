@@ -1,0 +1,52 @@
+package transport
+
+import "hpcbd/internal/sim"
+
+// RetryBudget is a token bucket over virtual time that caps cluster-wide
+// retry amplification. Every retransmission costs one token; tokens
+// refill at Rate per virtual second up to Burst. One budget is typically
+// shared by all the transports of a deployment (dfs meta + bulk, shuffle,
+// reduce fetch), so a gray burst that makes every flow retry at once
+// drains the common pool and degrades to fail-fast — the retry storm
+// that would otherwise multiply a partial outage into a full one never
+// forms. All state moves on the sim clock, so runs stay deterministic.
+type RetryBudget struct {
+	rate   float64 // tokens per virtual second
+	burst  float64
+	tokens float64
+	last   sim.Time
+
+	// Denied counts refused retries across every transport sharing the
+	// budget (each transport also counts its own in RetriesBudgeted).
+	Denied int64
+}
+
+// NewRetryBudget creates a budget refilling at rate tokens per virtual
+// second with the given burst capacity. The bucket starts full.
+func NewRetryBudget(rate, burst float64) *RetryBudget {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RetryBudget{rate: rate, burst: burst, tokens: burst}
+}
+
+// allow spends one token if available, refilling first by the virtual
+// time elapsed since the last call.
+func (b *RetryBudget) allow(now sim.Time) bool {
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += b.rate * dt.Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	b.Denied++
+	return false
+}

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"sort"
+	"time"
+)
+
+// estimatorWindow is how many recent observations back the quantile; it
+// is small enough that the profile tracks regime changes (a gray node
+// healing) within tens of requests.
+const estimatorWindow = 64
+
+// LatencyEstimator is a deterministic latency profile of one request
+// class's end-to-end latency (a DFS block read, a shuffle fetch),
+// maintained by the caller on the sim clock. It keeps a Jacobson-style
+// EWMA (srtt + deviation, exposed for timeout-like uses) and a sliding
+// window of raw samples for quantiles. Its Delay is the adaptive hedge
+// trigger: a multiple of the windowed median, so a healthy primary
+// answers well inside it while a gray one blows through it and the
+// hedge fires. The median is robust to the bimodal healthy/gray mix —
+// a mean-based trigger drifts up as gray responses are observed until
+// it stops hedging exactly the requests that need it.
+type LatencyEstimator struct {
+	// Floor is the minimum delay ever returned, guarding against hedging
+	// on micro-latencies; Mult scales the median (default 3).
+	Floor time.Duration
+	Mult  float64
+
+	srtt, dev float64 // seconds
+	window    []float64
+	next      int
+	n         int
+}
+
+// Observe folds one completed request's latency into the profile.
+func (e *LatencyEstimator) Observe(d time.Duration) {
+	s := d.Seconds()
+	if e.n == 0 {
+		e.srtt, e.dev = s, s/2
+	} else {
+		diff := s - e.srtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.dev += (diff - e.dev) / 4
+		e.srtt += (s - e.srtt) / 8
+	}
+	if len(e.window) < estimatorWindow {
+		e.window = append(e.window, s)
+	} else {
+		e.window[e.next] = s
+		e.next = (e.next + 1) % estimatorWindow
+	}
+	e.n++
+}
+
+// Samples returns how many observations the profile holds.
+func (e *LatencyEstimator) Samples() int { return e.n }
+
+// median returns the windowed median latency in seconds.
+func (e *LatencyEstimator) median() float64 {
+	vals := append([]float64(nil), e.window...)
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// Delay returns the current hedge trigger, or zero while the profile is
+// still warming up (fewer than three observations) — callers treat zero
+// as "don't hedge yet".
+func (e *LatencyEstimator) Delay() time.Duration {
+	if e.n < 3 {
+		return 0
+	}
+	mult := e.Mult
+	if mult <= 0 {
+		mult = 3
+	}
+	d := time.Duration(mult * e.median() * float64(time.Second))
+	if d < e.Floor {
+		d = e.Floor
+	}
+	return d
+}

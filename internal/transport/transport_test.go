@@ -151,7 +151,9 @@ func TestPartitionBreaker(t *testing.T) {
 			t.Errorf("intra-group send failed: %v", err)
 		}
 		c.HealPartition()
-		p.Sleep(tr.cfg.BreakerCooldown)
+		// The open-state dwell is jittered up to JitterFrac beyond the
+		// configured cooldown; sleep past the worst case.
+		p.Sleep(2 * tr.cfg.BreakerCooldown)
 		if _, err := tr.Send(p, 0, 3, 4096); err != nil {
 			t.Errorf("post-heal probe failed: %v", err)
 		}
