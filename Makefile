@@ -22,8 +22,9 @@ race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/... ./internal/sim/... ./internal/exec/... ./internal/ha/... ./internal/dfs/... ./internal/mapred/... ./internal/chaos/...
 
-# Both fault-injection sweeps (node crashes + lossy network) at test
-# scale, with their determinism and shape checks.
+# Every fault-injection sweep (node crashes, lossy network, master
+# kills, split-brain partitions, gray-node tails) at test scale, with
+# their determinism and shape checks.
 chaos:
 	$(GO) run ./cmd/chaos-bench -quick
 

@@ -11,7 +11,12 @@
 // MapReduce job tracker — all journaled to standbys) at fixed fractions
 // of each workload's clean duration and requires byte-identical output
 // across leader generations, with plain MPI deadlocking under the same
-// kill. The tail-latency sweep (-mode tail) runs a sustained read +
+// kill. The split-brain sweep (-mode partition, also part of the fault
+// group) CUTS the master off instead of killing it: fenced arms must
+// force the isolated leader to step down and finish byte-identical with
+// zero acknowledged-then-lost journal entries, the unfenced arm must
+// measurably lose acknowledged writes, and plain MPI deadlocks even
+// though the cut heals. The tail-latency sweep (-mode tail) runs a sustained read +
 // shuffle workload at increasing gray-node fractions, mitigations off vs
 // on, with plain MPI pacing at the slowest rank as the contrast. Each
 // sweep runs twice so the determinism claim — identical seed, identical
@@ -31,7 +36,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run the scaled-down test configuration")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit the raw sweep results as JSON (suppresses tables)")
-	mode := flag.String("mode", "all", "which sweeps to run: all, fault (chaos+transport+master) or tail")
+	mode := flag.String("mode", "all", "which sweeps to run: all, fault (chaos+transport+master+partition), partition or tail")
 	flag.Parse()
 
 	o := hpcbd.FullOptions()
@@ -39,9 +44,10 @@ func main() {
 		o = hpcbd.QuickOptions()
 	}
 	runFault := *mode == "all" || *mode == "fault"
+	runPart := runFault || *mode == "partition"
 	runTail := *mode == "all" || *mode == "tail"
-	if !runFault && !runTail {
-		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, fault or tail)\n", *mode)
+	if !runFault && !runPart && !runTail {
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, fault, partition or tail)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -51,6 +57,7 @@ func main() {
 		Chaos     *hpcbd.ChaosSweepResult     `json:"chaos,omitempty"`
 		Transport *hpcbd.TransportSweepResult `json:"transport,omitempty"`
 		Master    *hpcbd.MasterSweepResult    `json:"master,omitempty"`
+		Partition *hpcbd.PartitionSweepResult `json:"partition,omitempty"`
 		Tail      *hpcbd.TailSweepResult      `json:"tail,omitempty"`
 	}{}
 	okMsg := ""
@@ -70,6 +77,17 @@ func main() {
 		bad = append(bad, hpcbd.CheckTransportSweep(ta, tb)...)
 		bad = append(bad, hpcbd.CheckMasterSweep(ma, mb)...)
 		okMsg = "deterministic; Spark and Hadoop complete under chaos, loss, corruption and partitions with oracle-correct results; no corrupt byte served; plain MPI deadlocks on loss; resilient MPI retransmits and rolls back; overhead monotone in fault rate; journaled masters fail over with byte-identical output while plain MPI deadlocks on a master kill"
+	}
+	if runPart {
+		pa := hpcbd.PartitionSweep(o)
+		pb := hpcbd.PartitionSweep(o) // second run, same seed: must match pa exactly
+		out.Partition = &pa
+		tabs = append(tabs, hpcbd.PartitionTables(pa)...)
+		bad = append(bad, hpcbd.CheckPartitionSweep(pa, pb)...)
+		if okMsg != "" {
+			okMsg += "; "
+		}
+		okMsg += "fenced leaders isolated by a partition step down and fail over with byte-identical output and zero acknowledged-then-lost journal entries, the unfenced contrast measurably loses acknowledged writes, and plain MPI deadlocks under the same healing cut"
 	}
 	if runTail {
 		la := hpcbd.TailSweep(o)

@@ -143,3 +143,24 @@ func TestTailSweepPoolInvariance(t *testing.T) {
 		t.Errorf("tail sweep pool invariance: %s", v)
 	}
 }
+
+// TestPartitionSweepPoolInvariance verifies the split-brain sweep —
+// quorum counting, fenced step-downs, stale-suffix truncations, epoch
+// bumps and all — is bit-identical whether the compute pool runs one
+// worker or eight, and that the sweep's shape checks hold on the
+// pool-8 output.
+func TestPartitionSweepPoolInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var a, b PartitionSweepResult
+	withPool(t, 1, func() { a = PartitionSweep(o) })
+	withPool(t, 8, func() { b = PartitionSweep(o) })
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("partition sweep differs between pool sizes 1 and 8:\npool1: %+v\npool8: %+v", a, b)
+	}
+	for _, v := range CheckPartitionSweep(a, b) {
+		t.Errorf("partition sweep pool invariance: %s", v)
+	}
+}

@@ -33,6 +33,9 @@ func goldenDump() string {
 
 	fmt.Fprintf(&sb, "chaos-quick: %#v\n", hpcbd.ChaosSweep(q))
 	fmt.Fprintf(&sb, "transport-quick: %#v\n", hpcbd.TransportSweep(q))
+	// Kept last so a pre-partition-sweep golden file can be compared by
+	// stripping this line alone.
+	fmt.Fprintf(&sb, "partition-quick: %#v\n", hpcbd.PartitionSweep(q))
 	return sb.String()
 }
 

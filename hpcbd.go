@@ -73,6 +73,12 @@ type (
 	// MasterPoint is one (workload, kill point) measurement of a
 	// MasterSweepResult series.
 	MasterPoint = core.MasterPoint
+	// PartitionSweepResult is the split-brain sweep: journaled masters
+	// isolated by a network partition, with epoch fencing on or off.
+	PartitionSweepResult = core.PartitionSweepResult
+	// PartitionPoint is one (workload, cut) measurement of a
+	// PartitionSweepResult series.
+	PartitionPoint = core.PartitionPoint
 	// TailSweepResult is the gray-failure tail-latency sweep: the same
 	// seeded read + shuffle workload at increasing gray-node fractions,
 	// mitigations off vs on, with a plain-MPI contrast arm.
@@ -186,6 +192,25 @@ func MasterTables(r MasterSweepResult) []Table { return core.MasterTables(r) }
 // including bit-exact determinism between two runs of the same options.
 func CheckMasterSweep(a, b MasterSweepResult) []string {
 	return core.CheckMasterSweep(a, b)
+}
+
+// PartitionSweep runs the split-brain sweep: the control-plane node is
+// CUT OFF (not killed) mid-job at varying minority sizes and cut
+// lengths. Fenced arms must step the isolated leader down and finish
+// byte-identical across epochs with zero acknowledged-then-lost journal
+// entries; the unfenced DFS arm measures exactly how many acknowledged
+// writes a split brain loses; plain MPI deadlocks even though the cut
+// heals.
+func PartitionSweep(o Options) PartitionSweepResult { return core.PartitionSweep(o) }
+
+// PartitionTables renders a PartitionSweepResult as report tables.
+func PartitionTables(r PartitionSweepResult) []Table { return core.PartitionTables(r) }
+
+// CheckPartitionSweep verifies the split-brain sweep's documented
+// shapes, including bit-exact determinism between two runs of the same
+// options.
+func CheckPartitionSweep(a, b PartitionSweepResult) []string {
+	return core.CheckPartitionSweep(a, b)
 }
 
 // TailSweep runs the gray-failure tail-latency sweep: a sustained seeded

@@ -422,6 +422,42 @@ func MasterKill(node int, at, downtime time.Duration) *Plan {
 	return p
 }
 
+// IsolateLeader builds the pointed split-brain plan: cut exactly the
+// leader's node away from everyone else during [at, at+length) (forever
+// when length is zero). The node stays heartbeat-alive the whole time —
+// the partition-tolerance sweeps need a leader that is deposed, not
+// dead.
+func IsolateLeader(leader int, at, length time.Duration) *Plan {
+	return SplitBrain([]int{leader}, at, length)
+}
+
+// SplitBrain cuts the given minority away from the rest of the cluster
+// during [at, at+length) (forever when length is zero). The remaining
+// nodes form the implicit majority group.
+func SplitBrain(minority []int, at, length time.Duration) *Plan {
+	var to time.Duration
+	if length > 0 {
+		to = at + length
+	}
+	return Script(Partition([][]int{append([]int(nil), minority...)}, at, to)...)
+}
+
+// FlappingPartition cuts and heals the same minority `cycles` times:
+// each cycle i partitions at `at + 2i·period` and heals one period
+// later — the link that keeps coming back just long enough for leases
+// to be re-taken.
+func FlappingPartition(minority []int, at, period time.Duration, cycles int) *Plan {
+	p := &Plan{}
+	grp := [][]int{append([]int(nil), minority...)}
+	for i := 0; i < cycles; i++ {
+		start := at + time.Duration(2*i)*period
+		p.Events = append(p.Events,
+			Event{At: start, Kind: PartitionStart, Groups: grp},
+			Event{At: start + period, Kind: PartitionHeal})
+	}
+	return p
+}
+
 // Engine replays a plan against a cluster and counts what it did.
 type Engine struct {
 	C *cluster.Cluster

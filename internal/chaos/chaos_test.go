@@ -308,3 +308,50 @@ func TestGrayNodesVictimPrefixAndDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// The partition plan constructors are pointed, not stochastic: the
+// sweeps need the leader cut off, not maybe cut off.
+func TestPartitionPlanConstruction(t *testing.T) {
+	p := IsolateLeader(3, time.Second, 2*time.Second)
+	if len(p.Events) != 2 {
+		t.Fatalf("IsolateLeader: %d events, want 2", len(p.Events))
+	}
+	if e := p.Events[0]; e.Kind != PartitionStart || e.At != time.Second ||
+		len(e.Groups) != 1 || len(e.Groups[0]) != 1 || e.Groups[0][0] != 3 {
+		t.Fatalf("bad PartitionStart: %v", e)
+	}
+	if e := p.Events[1]; e.Kind != PartitionHeal || e.At != 3*time.Second {
+		t.Fatalf("bad PartitionHeal: %v", e)
+	}
+
+	// Zero length means a permanent cut: no heal event.
+	forever := SplitBrain([]int{0, 1}, time.Second, 0)
+	if len(forever.Events) != 1 || forever.Events[0].Kind != PartitionStart {
+		t.Fatalf("zero-length SplitBrain should have exactly the start event: %v", forever.Events)
+	}
+
+	// SplitBrain copies the minority slice; mutating the caller's slice
+	// must not rewrite the plan.
+	min := []int{2, 5}
+	sb := SplitBrain(min, time.Second, time.Second)
+	min[0] = 9
+	if sb.Events[0].Groups[0][0] != 2 {
+		t.Fatalf("SplitBrain aliased the caller's minority slice")
+	}
+}
+
+func TestFlappingPartitionConstruction(t *testing.T) {
+	p := FlappingPartition([]int{1}, time.Second, 500*time.Millisecond, 3)
+	if len(p.Events) != 6 {
+		t.Fatalf("3 cycles should emit 6 events, got %d", len(p.Events))
+	}
+	for i := 0; i < 3; i++ {
+		start := time.Second + time.Duration(2*i)*500*time.Millisecond
+		if e := p.Events[2*i]; e.Kind != PartitionStart || e.At != start {
+			t.Fatalf("cycle %d start: %v", i, e)
+		}
+		if e := p.Events[2*i+1]; e.Kind != PartitionHeal || e.At != start+500*time.Millisecond {
+			t.Fatalf("cycle %d heal: %v", i, e)
+		}
+	}
+}

@@ -110,7 +110,8 @@ type Cluster struct {
 
 	// Message-fault state (see netfault.go): loss/corruption rates and
 	// partition groups applied to every fabric. Nil until enabled.
-	net *netFaults
+	net      *netFaults
+	netWatch []func()
 
 	bytesSent int64
 	messages  int64

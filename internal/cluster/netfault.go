@@ -190,12 +190,26 @@ func (c *Cluster) SetPartition(groups [][]int) {
 	}
 	n.group = g
 	n.partitionEpoch++
+	c.notifyNet()
 }
 
 // HealPartition reconnects all partition groups.
 func (c *Cluster) HealPartition() {
-	if c.net != nil {
+	if c.net != nil && c.net.group != nil {
 		c.net.group = nil
+		c.notifyNet()
+	}
+}
+
+// WatchNet registers fn to run (in kernel context, like health watchers)
+// after every connectivity change — a partition starting or healing. It is
+// the hook failure detectors use to arm lease-expiry timers instead of
+// polling the fabric, so an idle kernel still drains.
+func (c *Cluster) WatchNet(fn func()) { c.netWatch = append(c.netWatch, fn) }
+
+func (c *Cluster) notifyNet() {
+	for _, fn := range c.netWatch {
+		fn()
 	}
 }
 

@@ -405,3 +405,138 @@ func checkMasterHA(name string, pts []MasterPoint) []string {
 	}
 	return bad
 }
+
+// CheckPartitionSweep validates the split-brain sweep against the
+// invariants that make it publishable: determinism, zero
+// acknowledged-then-lost entries with byte-identical digests wherever
+// fencing is on, a measurable acknowledged-write loss where it is off,
+// and plain MPI's deadlock under the very same (healing) cut.
+func CheckPartitionSweep(a, b PartitionSweepResult) []string {
+	var bad []string
+	if !reflect.DeepEqual(a, b) {
+		bad = append(bad, "partition: two sweeps with identical seeds differ (determinism broken)")
+	}
+	bad = append(bad, checkPartitionFenced("dfs-fenced", a.DFSFenced)...)
+	bad = append(bad, checkPartitionFenced("spark-ac", a.SparkAC)...)
+	bad = append(bad, checkPartitionFenced("hadoop-ac", a.HadoopAC)...)
+	bad = append(bad, checkPartitionUnfenced("dfs-unfenced", a.DFSUnfenced)...)
+
+	m := a.MPIPlain
+	if len(m) == 0 {
+		return append(bad, "partition: mpi-plain series empty")
+	}
+	if !m[0].Completed {
+		bad = append(bad, "partition: failure-free plain MPI run did not complete")
+	}
+	for _, p := range m[1:] {
+		if p.Completed {
+			bad = append(bad, fmt.Sprintf("partition: plain MPI survived a %d-node cut of %s (fragility contrast lost)",
+				p.Split, fmtSeconds(p.WindowSeconds)))
+		}
+	}
+	return bad
+}
+
+// checkPartitionBaseline validates the shared failure-free invariants
+// of one HA series and returns its clean point.
+func checkPartitionBaseline(name string, pts []PartitionPoint) (PartitionPoint, []string) {
+	var bad []string
+	clean := pts[0]
+	if clean.Split != 0 || !clean.Completed || clean.Seconds <= 0 {
+		bad = append(bad, "partition: "+name+" has no valid failure-free baseline")
+	}
+	if clean.Failovers != 0 || clean.StepDowns != 0 {
+		bad = append(bad, fmt.Sprintf("partition: %s failed over (%d) or stepped down (%d) with no cut injected",
+			name, clean.Failovers, clean.StepDowns))
+	}
+	if clean.LostAcked != 0 {
+		bad = append(bad, fmt.Sprintf("partition: %s lost %d acknowledged entries with no cut injected", name, clean.LostAcked))
+	}
+	if clean.JournalEntries == 0 {
+		bad = append(bad, "partition: "+name+" baseline journaled nothing (HA was not active)")
+	}
+	if clean.Digest == "" {
+		bad = append(bad, "partition: "+name+" baseline produced no digest")
+	}
+	return clean, bad
+}
+
+// checkPartitionFenced validates one fenced series: the isolated leader
+// must step down, the majority must elect, and the result must be
+// byte-identical to the clean run with zero acknowledged-then-lost
+// journal entries, inside a bounded time budget.
+func checkPartitionFenced(name string, pts []PartitionPoint) []string {
+	if len(pts) == 0 {
+		return []string{"partition: " + name + " series empty"}
+	}
+	clean, bad := checkPartitionBaseline(name, pts)
+	for _, p := range pts[1:] {
+		id := fmt.Sprintf("partition: %s %d-node cut of %s", name, p.Split, fmtSeconds(p.WindowSeconds))
+		if !p.Completed {
+			bad = append(bad, id+" did not complete")
+			continue
+		}
+		if p.Digest != clean.Digest {
+			bad = append(bad, fmt.Sprintf("%s changed the output across epochs: %q vs clean %q", id, p.Digest, clean.Digest))
+		}
+		if p.LostAcked != 0 {
+			bad = append(bad, fmt.Sprintf("%s lost %d ACKNOWLEDGED journal entries despite fencing", id, p.LostAcked))
+		}
+		if p.Failovers < 1 {
+			bad = append(bad, id+" completed without a failover (the cut missed the leader)")
+		}
+		if p.StepDowns < 1 {
+			bad = append(bad, id+" never forced a fenced step-down")
+		}
+		if p.Epoch < 2 {
+			bad = append(bad, id+" never advanced the leader epoch")
+		}
+		if p.RecoverySeconds <= 0 {
+			bad = append(bad, id+" failed over in zero recovery time")
+		}
+		if p.JournalEntries == 0 {
+			bad = append(bad, id+" journaled nothing")
+		}
+		// The cut window is additive: work pinned to the minority side can
+		// only resume at the heal, which is not a control-plane cost.
+		if limit := PartitionOverheadBound*clean.Seconds + 4*p.WindowSeconds; p.Seconds > limit {
+			bad = append(bad, fmt.Sprintf("%s took %s, over the %gx-clean + 4x-window budget of %s",
+				id, fmtSeconds(p.Seconds), PartitionOverheadBound, fmtSeconds(limit)))
+		}
+	}
+	return bad
+}
+
+// checkPartitionUnfenced validates the split-brain contrast: with
+// fencing off and the client trapped on the leader's side of the cut,
+// the sweep must MEASURE acknowledged-write loss — at least one point
+// with LostAcked > 0 — and any point that lost acknowledged writes must
+// show a diverged digest (the client was told those ops happened; the
+// cluster disagrees).
+func checkPartitionUnfenced(name string, pts []PartitionPoint) []string {
+	if len(pts) == 0 {
+		return []string{"partition: " + name + " series empty"}
+	}
+	clean, bad := checkPartitionBaseline(name, pts)
+	anyLost := false
+	for _, p := range pts[1:] {
+		id := fmt.Sprintf("partition: %s %d-node cut of %s", name, p.Split, fmtSeconds(p.WindowSeconds))
+		if p.Seconds <= 0 {
+			bad = append(bad, id+" client script never finished")
+			continue
+		}
+		if p.Failovers < 1 {
+			bad = append(bad, id+" majority never elected a successor")
+		}
+		if p.LostAcked > 0 {
+			anyLost = true
+			if p.Digest == clean.Digest {
+				bad = append(bad, fmt.Sprintf("%s lost %d acknowledged entries yet the digest did not change", id, p.LostAcked))
+			}
+		}
+	}
+	if !anyLost {
+		bad = append(bad, "partition: "+name+" never lost an acknowledged write — the unfenced contrast measured nothing")
+	}
+	return bad
+}

@@ -419,39 +419,53 @@ func (d *DFS) EnableHA(standbys []int, cfg ha.Config, seed int64) *ha.Group {
 	return d.ha
 }
 
-// journal appends n namespace mutations to the replicated edit log — a
-// no-op until EnableHA, so the single-namenode configuration is charged
-// nothing.
-func (d *DFS) journal(p *sim.Proc, n int64) {
-	if d.ha != nil {
-		d.ha.Append(p, n)
+// journal appends n namespace mutations to the replicated edit log under
+// the lease the preceding nnRPC resolved — a no-op until EnableHA, so
+// the single-namenode configuration is charged nothing. A deposed lease
+// (fenced quorum refusal, or an election between the RPC and the append)
+// re-resolves the leader and commits under the new epoch, so the client
+// is only ever acked for a durably journaled mutation. The undo closure
+// rolls the namespace back if an unfenced split-brain suffix holding the
+// entry is later truncated.
+func (d *DFS) journal(p *sim.Proc, clientNode int, l ha.Lease, n int64, undo func()) {
+	if d.ha == nil {
+		return
+	}
+	for {
+		if err := d.ha.AppendFor(p, l, n, undo); err == nil {
+			return
+		}
+		l = d.ha.LeaderFor(p, clientNode)
 	}
 }
 
-// nnRPC charges one metadata round trip from the client to the namenode.
+// nnRPC charges one metadata round trip from the client to the namenode
+// and returns the lease (leader node + fencing epoch) that served it.
 // Under a network partition that separates the client from the namenode
 // the RPC times out and the operation fails: HDFS offers no service to
 // the minority side of a split-brain. With HA enabled the endpoint is
 // the replication group's current leader, and a dead namenode parks the
-// client through the failover instead of failing it.
-func (d *DFS) nnRPC(p *sim.Proc, clientNode int) error {
+// client through the failover instead of failing it. The lease is
+// re-validated after the round trip — epoch fencing: a leader deposed
+// while holding the request cannot ack it.
+func (d *DFS) nnRPC(p *sim.Proc, clientNode int) (ha.Lease, error) {
 	if d.ha == nil {
 		// The transport models message faults, not machine death; without
 		// HA a dead namenode node means no one is listening at all.
 		if !d.c.NodeAlive(d.nnNode) {
-			return fmt.Errorf("%w: namenode down", ErrUnavailable)
+			return ha.Lease{}, fmt.Errorf("%w: namenode down", ErrUnavailable)
 		}
 		if _, err := d.meta.Send(p, clientNode, d.nnNode, 256); err != nil {
-			return fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
+			return ha.Lease{}, fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
 		}
 		p.Sleep(d.c.Cost.DFSBlockRPC)
 		if !d.c.NodeAlive(d.nnNode) {
-			return fmt.Errorf("%w: namenode down", ErrUnavailable)
+			return ha.Lease{}, fmt.Errorf("%w: namenode down", ErrUnavailable)
 		}
 		if _, err := d.meta.Send(p, d.nnNode, clientNode, 256); err != nil {
-			return fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
+			return ha.Lease{}, fmt.Errorf("%w: namenode rpc: %v", ErrUnavailable, err)
 		}
-		return nil
+		return ha.Lease{}, nil
 	}
 	for attempt := 0; attempt < 64; attempt++ {
 		if attempt > 0 {
@@ -460,20 +474,23 @@ func (d *DFS) nnRPC(p *sim.Proc, clientNode int) error {
 			// leader must not stampede it in lockstep.
 			p.Sleep(d.rpcBackoff(attempt))
 		}
-		nn := d.ha.AwaitLeader(p)
-		if _, err := d.meta.Send(p, clientNode, nn, 256); err != nil {
+		l := d.ha.LeaderFor(p, clientNode)
+		if _, err := d.meta.Send(p, clientNode, l.Node, 256); err != nil {
 			continue // leader died or was partitioned away mid-request; re-resolve
 		}
 		p.Sleep(d.c.Cost.DFSBlockRPC)
-		if !d.c.NodeAlive(nn) {
+		if !d.c.NodeAlive(l.Node) {
 			continue // namenode died while holding our request
 		}
-		if _, err := d.meta.Send(p, nn, clientNode, 256); err != nil {
+		if !d.ha.ValidLease(l) {
+			continue // deposed while holding our request: fenced off
+		}
+		if _, err := d.meta.Send(p, l.Node, clientNode, 256); err != nil {
 			continue
 		}
-		return nil
+		return l, nil
 	}
-	return fmt.Errorf("%w: namenode rpc: retries exhausted", ErrUnavailable)
+	return ha.Lease{}, fmt.Errorf("%w: namenode rpc: retries exhausted", ErrUnavailable)
 }
 
 // rpcBackoff returns the pause before RPC retry `attempt` (1-based):
@@ -523,7 +540,8 @@ func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error
 		if off+bsz > size {
 			bsz = size - off
 		}
-		if err := d.nnRPC(p, clientNode); err != nil {
+		l, err := d.nnRPC(p, clientNode)
+		if err != nil {
 			return err
 		}
 		// The file enters the namespace only once the namenode has
@@ -532,7 +550,7 @@ func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error
 		if f.blocks == nil {
 			d.files[name] = f
 		}
-		d.journal(p, 1)
+		d.journal(p, clientNode, l, 1, func() { delete(d.files, name) })
 		b := &blockMeta{id: d.nextID, offset: off, size: bsz,
 			replicas: d.placeReplicas(clientNode, d.nextID), crc: blockCRC(d.nextID)}
 		d.nextID++
@@ -623,7 +641,7 @@ func (d *DFS) Read(p *sim.Proc, clientNode int, name string, offset, length int6
 		lo := max64(offset, b.offset)
 		hi := min64(end, b.offset+b.size)
 		n := hi - lo
-		if err := d.nnRPC(p, clientNode); err != nil {
+		if _, err := d.nnRPC(p, clientNode); err != nil {
 			return err
 		}
 		var served int
@@ -994,14 +1012,22 @@ func min64(a, b int64) int64 {
 // The RPC happens before the namespace is consulted: a client that
 // cannot reach the namenode learns nothing, not even ErrNotFound.
 func (d *DFS) Delete(p *sim.Proc, clientNode int, name string) error {
-	if err := d.nnRPC(p, clientNode); err != nil {
+	l, err := d.nnRPC(p, clientNode)
+	if err != nil {
 		return err
 	}
 	f, ok := d.files[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	d.journal(p, 1)
+	d.journal(p, clientNode, l, 1, func() {
+		d.files[name] = f
+		for _, b := range f.blocks {
+			for _, r := range b.replicas {
+				d.dns[r].blocks[b.id] = b
+			}
+		}
+	})
 	for _, b := range f.blocks {
 		for _, r := range b.replicas {
 			delete(d.dns[r].blocks, b.id)
@@ -1016,7 +1042,8 @@ func (d *DFS) Delete(p *sim.Proc, clientNode int, name string) error {
 // namespace lookups so partition and failover semantics cover the whole
 // call.
 func (d *DFS) Rename(p *sim.Proc, clientNode int, from, to string) error {
-	if err := d.nnRPC(p, clientNode); err != nil {
+	l, err := d.nnRPC(p, clientNode)
+	if err != nil {
 		return err
 	}
 	f, ok := d.files[from]
@@ -1026,7 +1053,11 @@ func (d *DFS) Rename(p *sim.Proc, clientNode int, from, to string) error {
 	if _, dup := d.files[to]; dup {
 		return fmt.Errorf("%w: %s", ErrExists, to)
 	}
-	d.journal(p, 1)
+	d.journal(p, clientNode, l, 1, func() {
+		delete(d.files, to)
+		f.name = from
+		d.files[from] = f
+	})
 	delete(d.files, from)
 	f.name = to
 	d.files[to] = f

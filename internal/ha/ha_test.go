@@ -47,14 +47,19 @@ func TestFailoverPromotesNextCandidate(t *testing.T) {
 	}
 }
 
-// Append must replicate to every live standby and skip dead ones.
+// Append must replicate to every live standby and count — not silently
+// skip — the replications a dead standby missed.
 func TestAppendReplicatesToLiveStandbys(t *testing.T) {
 	c := newCluster(1, 4)
 	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2}, Config{}, 7)
 	c.K.Spawn("w", func(p *sim.Proc) {
-		g.Append(p, 4)
+		if err := g.Append(p, 4); err != nil {
+			t.Errorf("append with full group: %v", err)
+		}
 		c.KillNode(2)
-		g.Append(p, 4)
+		if err := g.Append(p, 4); err != nil {
+			t.Errorf("append with one dead standby (quorum still holds): %v", err)
+		}
 	})
 	c.K.Run()
 	if g.EntriesLogged != 8 {
@@ -63,6 +68,228 @@ func TestAppendReplicatesToLiveStandbys(t *testing.T) {
 	// First append reaches 2 standbys, second only 1: 3 * 4 * 256 bytes.
 	if want := int64(3 * 4 * 256); g.BytesReplicated != want {
 		t.Errorf("BytesReplicated = %d, want %d", g.BytesReplicated, want)
+	}
+	// The dead standby missed the second append's 4 entries.
+	if g.ReplDropped != 4 {
+		t.Errorf("ReplDropped = %d, want 4", g.ReplDropped)
+	}
+	if g.QuorumFailures != 0 {
+		t.Errorf("QuorumFailures = %d, want 0 (leader + one standby is a majority of 3)", g.QuorumFailures)
+	}
+}
+
+// A deposed leader must not keep streaming the journal while the group
+// is recovering: Append during a failover is refused, not acked.
+func TestAppendWhileRecoveringRefused(t *testing.T) {
+	c := newCluster(1, 4)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2}, Config{LeaseTimeout: 500 * time.Millisecond}, 7)
+	var err error
+	c.K.Spawn("w", func(p *sim.Proc) {
+		p.Sleep(600 * time.Millisecond) // leader died at 500ms; lease still running
+		if !g.Recovering() {
+			t.Error("group should be recovering 100ms after the leader died")
+		}
+		err = g.Append(p, 3)
+	})
+	c.K.After(500*time.Millisecond, func() { c.KillNode(0) })
+	c.K.Run()
+	if err != ErrDeposed {
+		t.Fatalf("Append while recovering = %v, want ErrDeposed", err)
+	}
+	if g.EntriesLogged != 0 {
+		t.Errorf("refused append was logged anyway: EntriesLogged = %d", g.EntriesLogged)
+	}
+}
+
+// Without a quorum of standbys a fenced leader refuses the write and
+// steps down instead of acking an entry a failover would lose.
+func TestFencedQuorumFailureStepsDown(t *testing.T) {
+	c := newCluster(1, 4)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2}, Config{Fenced: true}, 7)
+	var err error
+	c.K.Spawn("w", func(p *sim.Proc) {
+		c.KillNode(1)
+		c.KillNode(2)
+		err = g.Append(p, 5)
+	})
+	c.K.Run()
+	if err != ErrDeposed {
+		t.Fatalf("fenced quorum-failed append = %v, want ErrDeposed", err)
+	}
+	// The 5 refused entries were not logged; the only journal record is
+	// the fencing epoch of the successor election.
+	if g.EntriesLogged != 1 {
+		t.Errorf("EntriesLogged = %d, want 1 (the epoch record alone)", g.EntriesLogged)
+	}
+	if g.QuorumFailures != 1 || g.StepDowns != 1 {
+		t.Errorf("QuorumFailures=%d StepDowns=%d, want 1/1", g.QuorumFailures, g.StepDowns)
+	}
+	if g.LostAcked != 0 {
+		t.Errorf("fenced group lost acked entries: %d", g.LostAcked)
+	}
+}
+
+// A partition that isolates the leader — its node alive the whole time —
+// must expire the lease and elect on the majority side.
+func TestPartitionDeposesIsolatedLeader(t *testing.T) {
+	c := newCluster(1, 4)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2},
+		Config{LeaseTimeout: 200 * time.Millisecond, Heartbeat: 50 * time.Millisecond, Fenced: true}, 7)
+	var got Lease
+	c.K.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		got = g.LeaderFor(p, 3) // node 3 is on the majority side
+	})
+	c.K.After(100*time.Millisecond, func() { c.SetPartition([][]int{{0}}) })
+	c.K.Run()
+	if got.Node != 1 || got.Epoch != 2 {
+		t.Fatalf("lease after partition failover = %+v, want node 1 epoch 2", got)
+	}
+	if !c.NodeAlive(0) {
+		t.Error("the deposed leader should be alive — it was partitioned, not killed")
+	}
+	if g.StepDowns != 1 || g.Failovers != 1 {
+		t.Errorf("StepDowns=%d Failovers=%d, want 1/1", g.StepDowns, g.Failovers)
+	}
+	if g.ValidLease(Lease{Node: 0, Epoch: 1}) {
+		t.Error("the deposed fenced leader's lease must not validate")
+	}
+	if g.LostAcked != 0 {
+		t.Errorf("fenced group lost acked entries: %d", g.LostAcked)
+	}
+}
+
+// Compound fault: the leader is partitioned away (unfenced, so it keeps
+// acking as a split-brain claimant), then its node dies. The acked
+// suffix dies with it and is counted as lost.
+func TestLeaderPartitionedThenKilled(t *testing.T) {
+	c := newCluster(1, 4)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2},
+		Config{LeaseTimeout: 200 * time.Millisecond, Heartbeat: 50 * time.Millisecond}, 7)
+	var ackErr error
+	c.K.Spawn("minority", func(p *sim.Proc) {
+		p.Sleep(time.Second) // leader 0 already deposed, stale
+		l := g.LeaderFor(p, 0)
+		if l.Node != 0 || l.Epoch != 1 {
+			t.Errorf("minority client got lease %+v, want the stale claimant {0 1}", l)
+		}
+		ackErr = g.AppendFor(p, l, 2, nil)
+	})
+	c.K.After(100*time.Millisecond, func() { c.SetPartition([][]int{{0}}) })
+	c.K.After(5*time.Second, func() { c.KillNode(0) })
+	c.K.Run()
+	if ackErr != nil {
+		t.Fatalf("unfenced stale append should be acked (the hazard under test): %v", ackErr)
+	}
+	if g.Leader() != 1 {
+		t.Fatalf("majority leader = %d, want 1", g.Leader())
+	}
+	if g.LostAcked != 2 {
+		t.Errorf("LostAcked = %d, want 2 (the claimant's suffix died with it)", g.LostAcked)
+	}
+	if g.QuorumFailures != 1 {
+		t.Errorf("QuorumFailures = %d, want 1", g.QuorumFailures)
+	}
+}
+
+// After a heal the stale claimant observes the newer epoch: its
+// unreplicated suffix is truncated, undo closures roll the state back in
+// reverse order, and its lease stops validating.
+func TestStaleSuffixTruncatedOnHeal(t *testing.T) {
+	c := newCluster(1, 4)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2},
+		Config{LeaseTimeout: 200 * time.Millisecond, Heartbeat: 50 * time.Millisecond}, 7)
+	var undone []int
+	var stale Lease
+	c.K.Spawn("minority", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		stale = g.LeaderFor(p, 0)
+		g.AppendFor(p, stale, 1, func() { undone = append(undone, 1) })
+		g.AppendFor(p, stale, 3, func() { undone = append(undone, 2) })
+	})
+	c.K.After(100*time.Millisecond, func() { c.SetPartition([][]int{{0}}) })
+	c.K.After(6*time.Second, func() { c.HealPartition() })
+	c.K.Run()
+	if g.LostAcked != 4 {
+		t.Fatalf("LostAcked = %d, want 4", g.LostAcked)
+	}
+	if len(undone) != 2 || undone[0] != 2 || undone[1] != 1 {
+		t.Errorf("undo closures ran as %v, want [2 1] (reverse order)", undone)
+	}
+	if g.ValidLease(stale) {
+		t.Error("truncated claimant's lease must not validate after the heal")
+	}
+	if g.Leader() != 1 || !g.ValidLease(Lease{Node: 1, Epoch: 2}) {
+		t.Errorf("majority leader %d (epoch %d), want 1 at epoch 2", g.Leader(), g.Epoch())
+	}
+}
+
+// A symmetric split leaves no candidate with a quorum: the election
+// parks (no busy-wait — the kernel must stay drainable if nothing else
+// runs) and resumes on the heal. The old leader reclaims its term, so
+// nothing is truncated.
+func TestSymmetricSplitParksElectionUntilHeal(t *testing.T) {
+	c := newCluster(1, 6)
+	g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2},
+		Config{LeaseTimeout: 100 * time.Millisecond, Heartbeat: 50 * time.Millisecond}, 7)
+	var got Lease
+	var waited time.Duration
+	c.K.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(500 * time.Millisecond)
+		start := p.Now()
+		got = g.LeaderFor(p, 4)
+		waited = time.Duration(p.Now() - start)
+	})
+	c.K.After(200*time.Millisecond, func() { c.SetPartition([][]int{{0, 3}, {1, 4}, {2, 5}}) })
+	c.K.After(2*time.Second, func() { c.HealPartition() })
+	c.K.Run()
+	if got.Node != 0 {
+		t.Fatalf("leader after heal = %d, want 0 (reclaimed)", got.Node)
+	}
+	if waited < 1400*time.Millisecond {
+		t.Errorf("client waited only %v; the cut lasted until t=2s", waited)
+	}
+	if g.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1", g.Failovers)
+	}
+	if g.LostAcked != 0 || g.StepDowns != 0 {
+		t.Errorf("reclaimed term must not truncate: LostAcked=%d StepDowns=%d", g.LostAcked, g.StepDowns)
+	}
+}
+
+// Compound fault: the freshly chosen successor dies mid-replay. The
+// election retries with a fresh jitter draw and promotes the next
+// candidate — one failover, not two.
+func TestSuccessorDiesDuringReplay(t *testing.T) {
+	run := func() (int, int, time.Duration) {
+		c := newCluster(1, 4)
+		g := New(c, cluster.IPoIB(), "t", []int{0, 1, 2}, Config{}, 7)
+		c.K.Spawn("w", func(p *sim.Proc) {
+			g.Append(p, 819200) // 200 MiB journal → 1s replay at the default 200 MiB/s
+			p.Sleep(10 * time.Second)
+			g.AwaitLeader(p)
+		})
+		c.K.After(2*time.Second, func() { c.KillNode(0) })
+		// Election starts at 2s + 500ms lease + ≤125ms jitter; candidate 1
+		// replays for 1s. 3.2s lands inside the replay for every jitter.
+		c.K.After(3200*time.Millisecond, func() { c.KillNode(1) })
+		c.K.Run()
+		return g.Leader(), g.Failovers, g.LastRecovery
+	}
+	leader, failovers, rec := run()
+	if leader != 2 {
+		t.Fatalf("leader = %d, want 2", leader)
+	}
+	if failovers != 1 {
+		t.Errorf("Failovers = %d, want 1 (a mid-replay death is the same failover)", failovers)
+	}
+	// Lease + two full replays is the floor; the retry jitter sits on top.
+	if min := 500*time.Millisecond + 2*time.Second; rec < min {
+		t.Errorf("recovery %v < lease + two replays (%v)", rec, min)
+	}
+	l2, f2, r2 := run()
+	if l2 != leader || f2 != failovers || r2 != rec {
+		t.Errorf("non-deterministic compound recovery: (%d,%d,%v) vs (%d,%d,%v)", leader, failovers, rec, l2, f2, r2)
 	}
 }
 

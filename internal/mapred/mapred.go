@@ -131,6 +131,12 @@ type Job[In any, K comparable, V any] struct {
 	// dies the job resumes under the elected standby — re-running only
 	// the work whose outputs died — instead of being lost with node 0.
 	HA *ha.Group
+
+	// lease is the tracker incarnation commits are fenced against:
+	// refreshed at every round boundary (checkTracker) and on any
+	// refused append, so a tracker deposed by a partition cannot ack
+	// task completions after a heal.
+	lease ha.Lease
 }
 
 // mapOutput is one map task's partitioned, sorted spill.
@@ -184,6 +190,7 @@ func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
 	gen := 0
 	if j.HA != nil {
 		gen = j.HA.Generation()
+		j.lease = ha.Lease{Node: j.HA.Leader(), Epoch: j.HA.Epoch()}
 	}
 
 	// Job submission and initialization at the tracker.
@@ -398,6 +405,7 @@ func (j *Job[In, K, V]) checkTracker(p *sim.Proc, gen *int, st *Stats) {
 		return
 	}
 	j.HA.AwaitLeader(p)
+	j.lease = ha.Lease{Node: j.HA.Leader(), Epoch: j.HA.Epoch()}
 	if g := j.HA.Generation(); g != *gen {
 		st.TrackerFailovers += g - *gen
 		*gen = g
@@ -406,13 +414,19 @@ func (j *Job[In, K, V]) checkTracker(p *sim.Proc, gen *int, st *Stats) {
 
 // journal logs one task completion to the replicated tracker state; a
 // dead tracker parks the task until the standby takes over (there is no
-// one to accept the commit).
+// one to accept the commit), and a deposed one — stale epoch after a
+// partition — refuses the commit, so the task re-submits it under the
+// successor's lease instead of losing it to a truncated journal.
 func (j *Job[In, K, V]) journal(tp *sim.Proc, n int64) {
 	if j.HA == nil {
 		return
 	}
-	j.HA.AwaitLeader(tp)
-	j.HA.Append(tp, n)
+	for {
+		if j.HA.AppendFor(tp, j.lease, n, nil) == nil {
+			return
+		}
+		j.lease = ha.Lease{Node: j.HA.AwaitLeader(tp), Epoch: j.HA.Epoch()}
+	}
 }
 
 // runMapAttempt executes one attempt of a map task; false means injected

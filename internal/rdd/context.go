@@ -154,10 +154,13 @@ type Context struct {
 	// and relocates the driver when its node dies. driverGen counts
 	// driver incarnations (tasks launched by a dead incarnation report
 	// driverLost); driverDown snapshots the driver node's crash epoch so
-	// a bounce of the same node is detected too.
-	haGroup    *ha.Group
-	driverGen  int
-	driverDown int
+	// a bounce of the same node is detected too; driverEpoch snapshots
+	// the group's fencing epoch so a driver deposed by a partition — node
+	// up, lease gone — is also detected.
+	haGroup     *ha.Group
+	driverGen   int
+	driverDown  int
+	driverEpoch int64
 	// pools holds per-record-type free lists of retired partition
 	// buffers (see recycle.go); values are *[][]T keyed by reflect type.
 	pools map[reflect.Type]any
@@ -496,19 +499,24 @@ func (ctx *Context) EnableDriverHA(standbys []int, cfg ha.Config, seed int64) *h
 	cands := append([]int{ctx.driverNode}, standbys...)
 	ctx.haGroup = ha.New(ctx.C, ctx.Conf.CtrlTransport, "spark-driver", cands, cfg, seed)
 	ctx.driverDown = ctx.C.DownCount(ctx.driverNode)
+	ctx.driverEpoch = ctx.haGroup.Epoch()
 	return ctx.haGroup
 }
 
 // driverHealthy reports whether the current driver incarnation's node is
-// up. Without HA it is vacuously true: there is no failover to wait for,
-// and the pre-HA scheduler semantics apply unchanged.
+// up AND still holds the group's lease at its original epoch — a driver
+// deposed by a partition (node alive, lease lost) is as gone as a dead
+// one. Without HA it is vacuously true: there is no failover to wait
+// for, and the pre-HA scheduler semantics apply unchanged.
 func (ctx *Context) driverHealthy() bool {
 	if ctx.haGroup == nil {
 		return true
 	}
 	return !ctx.haGroup.Recovering() &&
 		ctx.C.NodeAlive(ctx.driverNode) &&
-		ctx.C.DownCount(ctx.driverNode) == ctx.driverDown
+		ctx.C.DownCount(ctx.driverNode) == ctx.driverDown &&
+		ctx.haGroup.Leader() == ctx.driverNode &&
+		ctx.haGroup.Epoch() == ctx.driverEpoch
 }
 
 // recoverDriver parks through the HA failover and restarts the driver on
@@ -522,6 +530,7 @@ func (ctx *Context) recoverDriver(p *sim.Proc) {
 	node := ctx.haGroup.AwaitLeader(p)
 	ctx.driverNode = node
 	ctx.driverDown = ctx.C.DownCount(node)
+	ctx.driverEpoch = ctx.haGroup.Epoch()
 	ctx.driverGen++
 	ctx.DriverFailovers++
 	for _, e := range ctx.executors {
@@ -534,12 +543,16 @@ func (ctx *Context) recoverDriver(p *sim.Proc) {
 }
 
 // journalAppend checkpoints n scheduler records (stage commits, map
-// output locations) to the replicated journal — free without HA.
+// output locations) to the replicated journal under the current driver
+// incarnation's lease — free without HA. A deposed lease is simply
+// refused (no events charged): driverHealthy turns false at the same
+// instant and the scheduler recovers through recoverDriver, where the
+// new incarnation re-journals whatever state it replays.
 func (ctx *Context) journalAppend(p *sim.Proc, n int64) {
 	if ctx.haGroup == nil || n <= 0 || !ctx.driverHealthy() {
 		return
 	}
-	ctx.haGroup.Append(p, n)
+	_ = ctx.haGroup.AppendFor(p, ha.Lease{Node: ctx.driverNode, Epoch: ctx.driverEpoch}, n, nil)
 }
 
 // Executors returns stats handles for all executors.
