@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos verify bench benchcmp bench-quick profile experiments
+.PHONY: all build test vet race chaos verify bench benchcmp bench-quick bench-shards profile experiments
 
 all: verify
 
@@ -20,7 +20,11 @@ test:
 
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/... ./internal/sim/... ./internal/exec/... ./internal/ha/... ./internal/dfs/... ./internal/mapred/... ./internal/chaos/...
+	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/... ./internal/sim/... ./internal/exec/... ./internal/cluster/... ./internal/ha/... ./internal/dfs/... ./internal/mapred/... ./internal/chaos/...
+	# Multi-shard soak: the whole quick suite on a 4-way sharded kernel
+	# with concurrent sweep points, under the race detector.
+	HPCBD_SHARDS=4 $(GO) test -race -short -count=1 .
+	HPCBD_SHARDS=4 $(GO) test -race -count=2 ./internal/core/...
 
 # Every fault-injection sweep (node crashes, lossy network, master
 # kills, split-brain partitions, gray-node tails) at test scale, with
@@ -54,6 +58,13 @@ benchcmp:
 bench-quick:
 	$(GO) test -run '^$$' -bench 'Fig4AnswersCount|Fig6PageRankBigDataBench|Fig7PageRankHiBench' -short -benchtime 1x -benchmem . | tee bench-quick-latest.txt
 	$(GO) run ./cmd/benchcmp -max-regress 75 -max-alloc-regress 15 bench/baseline-quick.txt bench-quick-latest.txt
+
+# Sharded-kernel scaling: the event-storm microbenchmark at 1 vs 4
+# shards, and the production-scale (1,000+ node) AnswersCount sweep with
+# kernel telemetry (events/sec, cross-shard traffic, independence).
+bench-shards:
+	$(GO) test -run '^$$' -bench BenchmarkShardedStorm -benchtime 5x -benchmem ./internal/sim/
+	$(GO) run ./cmd/answerscount-bench -quick -shards 4 -scale -scale-max 4000
 
 # Host CPU and allocation profiles of the full-scale PageRank and
 # AnswersCount regenerations — the starting point for perf work.

@@ -130,6 +130,25 @@ func BenchmarkFig6PageRankBigDataBench(b *testing.B) {
 	}
 }
 
+// BenchmarkFig6PageRankSharded regenerates Fig 6 on a 4-way sharded
+// kernel with concurrent sweep points — the multicore configuration the
+// sharded kernel targets. Output is bit-identical to the unsharded
+// benchmark (the shard-invariance tests pin it); only host throughput
+// differs. Compare its sim-events/sec against
+// BenchmarkFig6PageRankBigDataBench to read the speedup on this host.
+func BenchmarkFig6PageRankSharded(b *testing.B) {
+	o := benchOptions()
+	prev := Shards()
+	SetShards(4)
+	defer SetShards(prev)
+	ev0 := sim.TotalEvents()
+	defer func() { reportHostPerf(b, ev0) }()
+	for i := 0; i < b.N; i++ {
+		fig, ranks := Fig6(o)
+		emit("fig6-sharded", fig, CheckFig6(fig, ranks))
+	}
+}
+
 func BenchmarkFig7PageRankHiBench(b *testing.B) {
 	o := benchOptions()
 	ev0 := sim.TotalEvents()

@@ -19,9 +19,13 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	gb := flag.Float64("gb", 0, "override dataset size in decimal GB")
 	pool := flag.Int("pool", 0, "host worker pool size for simulated-task payloads (0 = GOMAXPROCS); results are identical for every size")
+	shards := flag.Int("shards", 0, "event-queue shards per kernel (0 = unsharded); results are identical for every count")
+	scale := flag.Bool("scale", false, "also run the production-scale sweep (1,000+ nodes, MPI)")
+	scaleNodes := flag.Int("scale-max", 4000, "largest node count of the -scale sweep (doubling from 1000)")
 	profiling.Flags()
 	flag.Parse()
 	exec.SetDefaultSize(*pool)
+	hpcbd.SetShards(*shards)
 	gctune.Apply()
 	profiling.Start()
 
@@ -48,6 +52,26 @@ func main() {
 		profiling.Stop()
 		os.Exit(1)
 	}
-	profiling.Stop()
 	fmt.Println("shape check: OK (Hadoop > Spark; MPI needs >=40 procs at 80 GB; OpenMP single-node)")
+
+	if *scale {
+		cfg := hpcbd.DefaultScaleConfig()
+		cfg.NodeCounts = nil
+		for n := 1000; n <= *scaleNodes; n *= 2 {
+			cfg.NodeCounts = append(cfg.NodeCounts, n)
+		}
+		if *shards > 0 {
+			cfg.Shards = *shards
+		}
+		pts := hpcbd.ScaleSweep(o, cfg)
+		fmt.Println(hpcbd.ScaleTable(pts))
+		for _, p := range pts {
+			if !p.OK {
+				fmt.Fprintf(os.Stderr, "scale sweep: %d-node point disagrees with the serial oracle\n", p.Nodes)
+				profiling.Stop()
+				os.Exit(1)
+			}
+		}
+	}
+	profiling.Stop()
 }

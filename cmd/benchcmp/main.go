@@ -31,14 +31,17 @@ var (
 	benchLine  = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
 	nsValue    = regexp.MustCompile(`([0-9.]+) ns/op`)
 	allocValue = regexp.MustCompile(`([0-9.]+) allocs/op`)
+	evsecValue = regexp.MustCompile(`([0-9.]+(?:[eE][+-]?[0-9]+)?) sim-events/sec`)
 	cpuSuffix  = regexp.MustCompile(`-\d+$`) // the -GOMAXPROCS name suffix
 )
 
 // result is one benchmark's measurements. allocs is -1 when the file was
-// recorded without -benchmem.
+// recorded without -benchmem; evsec is -1 when the benchmark does not
+// report simulator throughput.
 type result struct {
 	ns     float64
 	allocs float64
+	evsec  float64
 }
 
 // parseFile extracts benchmark name -> measurements from a result file.
@@ -68,9 +71,15 @@ func parseFile(path string) (map[string]result, error) {
 				allocs = v
 			}
 		}
+		evsec := -1.0
+		if e := evsecValue.FindStringSubmatch(line); e != nil {
+			if v, err := strconv.ParseFloat(e[1], 64); err == nil {
+				evsec = v
+			}
+		}
 		name = cpuSuffix.ReplaceAllString(name, "")
 		if _, dup := out[name]; !dup {
-			out[name] = result{ns: ns, allocs: allocs}
+			out[name] = result{ns: ns, allocs: allocs, evsec: evsec}
 		}
 	}
 	sc := bufio.NewScanner(f)
@@ -97,6 +106,8 @@ func main() {
 		"fail when a gated benchmark's ns/op grows by more than this percentage")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 15,
 		"fail when a gated benchmark's allocs/op grows by more than this percentage")
+	maxEvsecRegress := flag.Float64("max-evsec-regress", 25,
+		"fail when a gated benchmark's sim-events/sec shrinks by more than this percentage")
 	gate := flag.String("gate", "Fig4AnswersCount|Fig6PageRankBigDataBench|Fig7PageRankHiBench",
 		"regexp of benchmark names whose regressions fail the run")
 	flag.Parse()
@@ -159,11 +170,21 @@ func main() {
 			}
 			allocCols = fmt.Sprintf("%14.0f %14.0f %+7.1f%%", o.allocs, n.allocs, aDelta)
 		}
-		fmt.Printf("%-42s %14.0f %14.0f %+7.1f%% %s%s\n", name, o.ns, n.ns, nsDelta, allocCols, mark)
+		evCols := ""
+		if o.evsec > 0 && n.evsec > 0 {
+			// Simulator throughput is higher-is-better: gate the shrink.
+			eDelta := pct(o.evsec, n.evsec)
+			if gated && eDelta < -*maxEvsecRegress {
+				mark += "  REGRESSION(sim-events/sec)"
+				failed = true
+			}
+			evCols = fmt.Sprintf("  ev/s %.3g->%.3g (%+.1f%%)", o.evsec, n.evsec, eDelta)
+		}
+		fmt.Printf("%-42s %14.0f %14.0f %+7.1f%% %s%s%s\n", name, o.ns, n.ns, nsDelta, allocCols, evCols, mark)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchcmp: gated benchmark regressed (time >%.1f%% or allocs >%.1f%%)\n",
-			*maxRegress, *maxAllocRegress)
+		fmt.Fprintf(os.Stderr, "benchcmp: gated benchmark regressed (time >%.1f%%, allocs >%.1f%%, or sim-events/sec down >%.1f%%)\n",
+			*maxRegress, *maxAllocRegress, *maxEvsecRegress)
 		os.Exit(1)
 	}
 }

@@ -97,6 +97,32 @@ func FullOptions() Options { return core.Full() }
 // QuickOptions returns a configuration small enough for tests and demos.
 func QuickOptions() Options { return core.Quick() }
 
+// SetShards partitions every subsequently built experiment kernel's event
+// queue into n shards (see the sharded-kernel notes in internal/sim).
+// Shard counts are a pure performance knob: every figure, table and
+// counter is bit-identical at every value.
+func SetShards(n int) { core.SetShards(n) }
+
+// Shards reports the configured experiment shard count (minimum 1).
+func Shards() int { return core.Shards() }
+
+type (
+	// ScaleConfig parameterizes the production-scale AnswersCount sweep.
+	ScaleConfig = core.ScaleConfig
+	// ScalePoint is one production-scale sweep measurement.
+	ScalePoint = core.ScalePoint
+)
+
+// DefaultScaleConfig returns the 1,000–4,000 node sweep configuration.
+func DefaultScaleConfig() ScaleConfig { return core.DefaultScaleConfig() }
+
+// ScaleSweep runs MPI AnswersCount at production node counts on the
+// sharded kernel, reporting simulated results plus kernel telemetry.
+func ScaleSweep(o Options, cfg ScaleConfig) []ScalePoint { return core.ScaleSweep(o, cfg) }
+
+// ScaleTable renders a ScaleSweep as a report table.
+func ScaleTable(pts []ScalePoint) Table { return core.ScaleTable(pts) }
+
 // NewComet builds an n-node simulated Comet cluster (Table I hardware)
 // with a fresh deterministic kernel.
 func NewComet(seed int64, nodes int) *Cluster {

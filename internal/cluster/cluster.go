@@ -113,6 +113,10 @@ type Cluster struct {
 	net      *netFaults
 	netWatch []func()
 
+	// Shard plan (see shard.go): event-queue shard count; node activity
+	// maps onto shards rack-contiguously. Zero/one means unsharded.
+	shards int
+
 	bytesSent int64
 	messages  int64
 }
@@ -251,7 +255,7 @@ func (c *Cluster) XferAsync(p *sim.Proc, src, dst int, bytes int64, f FabricSpec
 	if src == dst {
 		// Intra-node: fixed-cost injection, one event.
 		p.Sleep(f.SendOverhead + f.Occupancy(bytes))
-		c.K.After(f.Latency, deliver)
+		c.AfterAt(dst, f.Latency, deliver)
 		return
 	}
 	c.bytesSent += bytes
@@ -265,7 +269,9 @@ func (c *Cluster) XferAsync(p *sim.Proc, src, dst int, bytes int64, f FabricSpec
 	s.tx.Acquire(p, 1)
 	p.Sleep(occ)
 	s.tx.Release(1)
-	c.K.After(f.Latency, deliver)
+	// Delivery executes on the receiver's shard: a cross-rack message
+	// lands in the destination shard's inbox and heapifies in a batch.
+	c.AfterAt(dst, f.Latency, deliver)
 }
 
 // Compute charges the process d of single-core compute time.

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"time"
+
+	"hpcbd/internal/sim"
+)
+
+// Shard plan: mapping simulated nodes onto kernel event shards.
+//
+// The sharded kernel (sim.SetShards) partitions the event queue for
+// cache locality and cross-shard batching; the cluster decides which
+// shard each node's activity lives on. The plan is rack-contiguous:
+// racks are never split across shards, so intra-rack traffic — the bulk
+// of a fat-tree workload when placement is rack-aware — stays same-shard
+// and sifts straight into the local heap, while inter-rack transfers ride
+// the O(1) cross-shard inboxes. With topology disabled the node range is
+// split into equal contiguous blocks.
+//
+// Placement is purely a locality hint. The kernel commits events in
+// global (time, seq) order at every shard count, so EnableSharding never
+// changes a simulated output — the shard-invariance suite pins that.
+
+// EnableSharding partitions the kernel's event queue into n shards and
+// installs the cluster's shard plan. The conservative lookahead bound is
+// the inter-node fabric wire latency: no cross-shard interaction —
+// message delivery, remote wake — can take effect sooner than one fabric
+// hop (RDMA verbs, 1.2 µs on Comet, is the floor). Call before Run, and
+// before spawning runtimes so their processes land on their nodes'
+// shards. n <= 1 restores the single-heap kernel.
+func (c *Cluster) EnableSharding(n int) {
+	if n > len(c.Nodes) {
+		n = len(c.Nodes) // no point sharding finer than one node per shard
+	}
+	if n < 1 {
+		n = 1
+	}
+	c.shards = n
+	c.K.SetShards(n)
+	if n > 1 {
+		c.K.SetLookahead(c.Fabric.Latency)
+	}
+}
+
+// ShardPlan returns the configured shard count (1 when unsharded).
+func (c *Cluster) ShardPlan() int {
+	if c.shards < 1 {
+		return 1
+	}
+	return c.shards
+}
+
+// ShardOfNode returns the event shard hosting a node's activity. Racks
+// map to contiguous shard blocks; without topology, the node range is
+// block-partitioned directly. Out-of-range nodes (e.g. a driver "node"
+// beyond the cluster) fold to shard 0.
+func (c *Cluster) ShardOfNode(node int) int {
+	if c.shards <= 1 || node < 0 || node >= len(c.Nodes) {
+		return 0
+	}
+	if c.RackSize > 0 {
+		nracks := (len(c.Nodes) + c.RackSize - 1) / c.RackSize
+		if c.shards >= nracks {
+			return node / c.RackSize
+		}
+		return (node / c.RackSize) * c.shards / nracks
+	}
+	return node * c.shards / len(c.Nodes)
+}
+
+// SpawnOnNode spawns a process on the shard hosting the given node.
+// Identical to sim.Kernel.Spawn in every observable way; children it
+// spawns inherit the shard.
+func (c *Cluster) SpawnOnNode(node int, name string, body func(p *sim.Proc)) *sim.Proc {
+	return c.K.SpawnOn(c.ShardOfNode(node), name, body)
+}
+
+// AfterAt schedules fn after d on the shard hosting node — the routing
+// primitive for message deliveries and remote timers.
+func (c *Cluster) AfterAt(node int, d time.Duration, fn func()) {
+	c.K.AfterOn(c.ShardOfNode(node), d, fn)
+}

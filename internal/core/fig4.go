@@ -5,6 +5,7 @@ import (
 
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/dfs"
+	"hpcbd/internal/exec"
 	"hpcbd/internal/workload"
 )
 
@@ -34,22 +35,35 @@ func Fig4(o Options) (Figure, map[string]workload.AnswersCountResult) {
 		results["OpenMP"] = r.AnswersCountResult
 	}
 
-	for _, np := range o.ACProcs {
+	// Each process-count point is an independent experiment — its own
+	// kernel, cluster and dataset built from the same seed — so points run
+	// concurrently under the host CPU budget (exec.ForEach). Assembly is
+	// strictly by index below: the figure and the result map are
+	// bit-identical at any parallelism, including the serial width-1 case.
+	type acPoint struct {
+		mpi, spark, hadoop    Point
+		mpiR, sparkR, hadoopR workload.AnswersCountResult
+		mpiOK, sparkOK        bool
+	}
+	pts := make([]acPoint, len(o.ACProcs))
+	exec.ForEach(len(o.ACProcs), func(i int) {
+		np := o.ACProcs[i]
 		nodes := np / o.ACPPN
 		if nodes < 1 {
 			nodes = 1
 		}
 		x := float64(np)
+		pt := &pts[i]
 
 		// MPI: fails below the C-int chunk floor.
 		{
 			c := newCluster(o.Seed, nodes)
 			r := MPIAnswersCount(c, dataset(), np, o.ACPPN)
 			if r.Err != nil {
-				fig.Series[1].Points = append(fig.Series[1].Points, Point{X: x, OK: false, Note: r.Err.Error()})
+				pt.mpi = Point{X: x, OK: false, Note: r.Err.Error()}
 			} else {
-				fig.Series[1].Points = append(fig.Series[1].Points, Point{X: x, Y: r.Seconds, OK: true})
-				results["MPI"] = r.AnswersCountResult
+				pt.mpi = Point{X: x, Y: r.Seconds, OK: true}
+				pt.mpiR, pt.mpiOK = r.AnswersCountResult, true
 			}
 		}
 		// Spark on the DFS.
@@ -58,10 +72,10 @@ func Fig4(o Options) (Figure, map[string]workload.AnswersCountResult) {
 			fs := dfs.New(c, cluster.IPoIB(), dfs.DefaultConfig())
 			r := SparkAnswersCount(c, fs, "/stackexchange", dataset(), nodes, o.ACPPN, false)
 			if r.Err != nil {
-				fig.Series[2].Points = append(fig.Series[2].Points, Point{X: x, OK: false, Note: r.Err.Error()})
+				pt.spark = Point{X: x, OK: false, Note: r.Err.Error()}
 			} else {
-				fig.Series[2].Points = append(fig.Series[2].Points, Point{X: x, Y: r.Seconds, OK: true})
-				results["Spark"] = r.AnswersCountResult
+				pt.spark = Point{X: x, Y: r.Seconds, OK: true}
+				pt.sparkR, pt.sparkOK = r.AnswersCountResult, true
 			}
 		}
 		// Hadoop MapReduce on the DFS.
@@ -69,9 +83,22 @@ func Fig4(o Options) (Figure, map[string]workload.AnswersCountResult) {
 			c := newCluster(o.Seed, nodes)
 			fs := dfs.New(c, cluster.IPoIB(), dfs.DefaultConfig())
 			r := HadoopAnswersCount(c, fs, "/stackexchange", dataset(), o.ACPPN)
-			fig.Series[3].Points = append(fig.Series[3].Points, Point{X: x, Y: r.Seconds, OK: true})
-			results["Hadoop"] = r.AnswersCountResult
+			pt.hadoop = Point{X: x, Y: r.Seconds, OK: true}
+			pt.hadoopR = r.AnswersCountResult
 		}
+	})
+	for i := range pts {
+		pt := &pts[i]
+		fig.Series[1].Points = append(fig.Series[1].Points, pt.mpi)
+		if pt.mpiOK {
+			results["MPI"] = pt.mpiR
+		}
+		fig.Series[2].Points = append(fig.Series[2].Points, pt.spark)
+		if pt.sparkOK {
+			results["Spark"] = pt.sparkR
+		}
+		fig.Series[3].Points = append(fig.Series[3].Points, pt.hadoop)
+		results["Hadoop"] = pt.hadoopR
 	}
 	results["Serial"] = dataset().SerialAnswersCount()
 	return fig, results

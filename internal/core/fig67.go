@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hpcbd/internal/exec"
 	"hpcbd/internal/workload"
 )
 
@@ -15,6 +16,11 @@ func newGraph(o Options) *workload.Graph {
 // time vs node count for MPI, tuned Spark, and tuned Spark with the RDMA
 // shuffle plugin. The second return value carries the final ranks per
 // series for cross-checking against the serial oracle.
+//
+// Node-count points run concurrently (each point owns its kernel, cluster
+// and graph); the three series within a point stay sequential because
+// they share the point's graph. Assembly is by index, so the figure is
+// identical at any host parallelism.
 func Fig6(o Options) (Figure, map[string][]float64) {
 	fig := Figure{
 		ID:     "fig6",
@@ -23,28 +29,43 @@ func Fig6(o Options) (Figure, map[string][]float64) {
 		YLabel: "time (s)",
 		Series: []Series{{Name: "MPI"}, {Name: "Spark"}, {Name: "Spark-RDMA"}},
 	}
-	ranks := map[string][]float64{}
-	for _, nodes := range o.PRNodes {
+	type prPoint struct {
+		mpi, spark, rdma                Point
+		mpiRanks, sparkRanks, rdmaRanks []float64
+	}
+	pts := make([]prPoint, len(o.PRNodes))
+	exec.ForEach(len(o.PRNodes), func(i int) {
+		nodes := o.PRNodes[i]
 		x := float64(nodes)
 		g := newGraph(o)
+		pt := &pts[i]
 		{
 			c := newCluster(o.Seed, nodes)
 			r := MPIPageRank(c, g, nodes*o.PRPPN, o.PRPPN, o.PRIters)
-			fig.Series[0].Points = append(fig.Series[0].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
-			ranks["MPI"] = r.Ranks
+			pt.mpi = Point{X: x, Y: r.Seconds, OK: r.Err == nil}
+			pt.mpiRanks = r.Ranks
 		}
 		{
 			c := newCluster(o.Seed, nodes)
 			r := SparkPageRank(c, g, nodes, o.PRPPN, o.PRIters, true, false)
-			fig.Series[1].Points = append(fig.Series[1].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
-			ranks["Spark"] = r.Ranks
+			pt.spark = Point{X: x, Y: r.Seconds, OK: r.Err == nil}
+			pt.sparkRanks = r.Ranks
 		}
 		{
 			c := newCluster(o.Seed, nodes)
 			r := SparkPageRank(c, g, nodes, o.PRPPN, o.PRIters, true, true)
-			fig.Series[2].Points = append(fig.Series[2].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
-			ranks["Spark-RDMA"] = r.Ranks
+			pt.rdma = Point{X: x, Y: r.Seconds, OK: r.Err == nil}
+			pt.rdmaRanks = r.Ranks
 		}
+	})
+	ranks := map[string][]float64{}
+	for i := range pts {
+		fig.Series[0].Points = append(fig.Series[0].Points, pts[i].mpi)
+		fig.Series[1].Points = append(fig.Series[1].Points, pts[i].spark)
+		fig.Series[2].Points = append(fig.Series[2].Points, pts[i].rdma)
+		ranks["MPI"] = pts[i].mpiRanks
+		ranks["Spark"] = pts[i].sparkRanks
+		ranks["Spark-RDMA"] = pts[i].rdmaRanks
 	}
 	ranks["Serial"] = newGraph(o).SerialPageRank(o.PRIters)
 	return fig, ranks
@@ -60,22 +81,35 @@ func Fig7(o Options) (Figure, map[string][]float64) {
 		YLabel: "time (s)",
 		Series: []Series{{Name: "Spark"}, {Name: "Spark-RDMA"}},
 	}
-	ranks := map[string][]float64{}
-	for _, nodes := range o.PRNodes {
+	type prPoint struct {
+		spark, rdma           Point
+		sparkRanks, rdmaRanks []float64
+	}
+	pts := make([]prPoint, len(o.PRNodes))
+	exec.ForEach(len(o.PRNodes), func(i int) {
+		nodes := o.PRNodes[i]
 		x := float64(nodes)
 		g := newGraph(o)
+		pt := &pts[i]
 		{
 			c := newCluster(o.Seed, nodes)
 			r := SparkPageRank(c, g, nodes, o.PRPPN, o.PRIters, false, false)
-			fig.Series[0].Points = append(fig.Series[0].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
-			ranks["Spark"] = r.Ranks
+			pt.spark = Point{X: x, Y: r.Seconds, OK: r.Err == nil}
+			pt.sparkRanks = r.Ranks
 		}
 		{
 			c := newCluster(o.Seed, nodes)
 			r := SparkPageRank(c, g, nodes, o.PRPPN, o.PRIters, false, true)
-			fig.Series[1].Points = append(fig.Series[1].Points, Point{X: x, Y: r.Seconds, OK: r.Err == nil})
-			ranks["Spark-RDMA"] = r.Ranks
+			pt.rdma = Point{X: x, Y: r.Seconds, OK: r.Err == nil}
+			pt.rdmaRanks = r.Ranks
 		}
+	})
+	ranks := map[string][]float64{}
+	for i := range pts {
+		fig.Series[0].Points = append(fig.Series[0].Points, pts[i].spark)
+		fig.Series[1].Points = append(fig.Series[1].Points, pts[i].rdma)
+		ranks["Spark"] = pts[i].sparkRanks
+		ranks["Spark-RDMA"] = pts[i].rdmaRanks
 	}
 	ranks["Serial"] = newGraph(o).SerialPageRank(o.PRIters)
 	return fig, ranks

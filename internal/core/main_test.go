@@ -1,0 +1,24 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestMain honors HPCBD_SHARDS like the root package: the entire core
+// suite — figures, sweeps, oracles — runs on a sharded kernel. The race
+// soak in `make verify` uses this to drive every experiment at shards=4
+// with concurrent sweep points under the race detector.
+func TestMain(m *testing.M) {
+	if v := os.Getenv("HPCBD_SHARDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "bad HPCBD_SHARDS %q\n", v)
+			os.Exit(2)
+		}
+		SetShards(n)
+	}
+	os.Exit(m.Run())
+}

@@ -1,9 +1,30 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/sim"
 )
+
+// kernelShards is the event-shard count every experiment cluster is
+// built with (see cluster.EnableSharding). Atomic because sweep points
+// build clusters concurrently under exec.ForEach. Zero/one = unsharded.
+var kernelShards atomic.Int64
+
+// SetShards configures the event-queue shard count for all subsequently
+// built experiment clusters. Shard counts are a pure performance knob:
+// every figure, table and counter is bit-identical at every value — the
+// shard-invariance tests pin that contract.
+func SetShards(n int) { kernelShards.Store(int64(n)) }
+
+// Shards reports the configured shard count (minimum 1).
+func Shards() int {
+	if n := int(kernelShards.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
 
 // Options scales the experiments. Full() reproduces the paper's
 // configurations (logical sizes; physical samples stay small); Quick()
@@ -116,7 +137,13 @@ func Quick() Options {
 }
 
 // newCluster builds a Comet cluster of n nodes with a fresh kernel, so
-// every measurement starts from a cold, isolated platform.
+// every measurement starts from a cold, isolated platform. The global
+// shard count (SetShards) is applied before any runtime spawns, so
+// processes land on their nodes' shards.
 func newCluster(seed int64, n int) *cluster.Cluster {
-	return cluster.Comet(sim.NewKernel(seed), n)
+	c := cluster.Comet(sim.NewKernel(seed), n)
+	if s := Shards(); s > 1 {
+		c.EnableSharding(s)
+	}
+	return c
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"hpcbd/internal/exec"
+)
+
+// TestScaleSweepSmall runs the production-scale harness at test-sized
+// node counts: results must match the serial oracle and the telemetry
+// must be populated.
+func TestScaleSweepSmall(t *testing.T) {
+	o := Quick()
+	cfg := ScaleConfig{NodeCounts: []int{36, 72}, PPN: 2, RackSize: 18, Oversub: 4}
+	pts := ScaleSweep(o, cfg)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !p.OK {
+			t.Errorf("nodes=%d: result does not match serial oracle", p.Nodes)
+		}
+		if p.Events == 0 || p.Shards < 1 {
+			t.Errorf("nodes=%d: empty telemetry %+v", p.Nodes, p)
+		}
+		if p.SimSeconds <= 0 {
+			t.Errorf("nodes=%d: sim time %v", p.Nodes, p.SimSeconds)
+		}
+	}
+	if pts[0].Nodes != 36 || pts[1].Nodes != 72 {
+		t.Fatalf("points out of order: %+v", pts)
+	}
+}
+
+// TestScaleSweepShardInvariance pins the determinism contract at the
+// experiment level: simulated time and event counts are identical
+// whatever the shard count and whatever the sweep parallelism.
+func TestScaleSweepShardInvariance(t *testing.T) {
+	o := Quick()
+	run := func(shards, width int) []ScalePoint {
+		exec.SetForEachWidth(width)
+		defer exec.SetForEachWidth(0)
+		return ScaleSweep(o, ScaleConfig{NodeCounts: []int{36, 54}, PPN: 2, RackSize: 18, Oversub: 4, Shards: shards})
+	}
+	ref := run(1, 1)
+	for _, shards := range []int{2, 4} {
+		for _, width := range []int{1, 2} {
+			got := run(shards, width)
+			for i := range ref {
+				if got[i].SimSeconds != ref[i].SimSeconds || got[i].Events != ref[i].Events {
+					t.Fatalf("shards=%d width=%d point %d: (sim=%v events=%d), want (sim=%v events=%d)",
+						shards, width, i,
+						got[i].SimSeconds, got[i].Events, ref[i].SimSeconds, ref[i].Events)
+				}
+				if !got[i].OK {
+					t.Fatalf("shards=%d width=%d point %d: oracle mismatch", shards, width, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/exec"
+	"hpcbd/internal/sim"
+	"hpcbd/internal/workload"
+)
+
+// ScalePoint is one production-scale sweep measurement: a full
+// AnswersCount run on a cluster of Nodes nodes, with the kernel's own
+// telemetry alongside the simulated result.
+type ScalePoint struct {
+	Nodes int
+	Procs int
+
+	SimSeconds float64 // simulated job time
+	OK         bool    // result matched the serial oracle
+
+	Events       int64   // kernel events committed
+	WallSeconds  float64 // host time for the whole point
+	EventsPerSec float64 // Events / WallSeconds
+
+	Shards       int     // event shards used
+	Cross        int64   // cross-shard inbox traffic
+	Independence float64 // lookahead-independent fraction of commits
+}
+
+// ScaleConfig parameterizes the production-scale sweep.
+type ScaleConfig struct {
+	NodeCounts []int // cluster sizes, e.g. 1000, 2000, 4000
+	PPN        int   // MPI ranks per node
+	Shards     int   // event shards (0 = one per rack)
+	RackSize   int   // fat-tree rack size (Comet: 18 nodes, 4:1)
+	Oversub    float64
+}
+
+// DefaultScaleConfig returns the sweep the sharded kernel was built for:
+// 1,000–4,000 Comet nodes (Comet itself is 1,944), 18-node racks at 4:1,
+// one event shard per 8 racks.
+func DefaultScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		NodeCounts: []int{1000, 2000, 4000},
+		PPN:        8,
+		RackSize:   18,
+		Oversub:    4,
+	}
+}
+
+// ScaleSweep runs MPI AnswersCount at production node counts — the
+// regime the sharded kernel targets (a 4,000-node point keeps tens of
+// thousands of processes and their events live). Points run concurrently
+// under the host CPU budget; each builds its own kernel, cluster and
+// dataset from the options seed, so the sweep is deterministic at any
+// host parallelism and any shard count.
+func ScaleSweep(o Options, cfg ScaleConfig) []ScalePoint {
+	if cfg.PPN <= 0 {
+		cfg.PPN = 8
+	}
+	if cfg.RackSize <= 0 {
+		cfg.RackSize = 18
+	}
+	if cfg.Oversub < 1 {
+		cfg.Oversub = 4
+	}
+	oracle := workload.NewStackExchange(o.Seed, o.ACBytes, o.ACRecordBytes, o.ACStride).SerialAnswersCount()
+	pts := make([]ScalePoint, len(cfg.NodeCounts))
+	exec.ForEach(len(cfg.NodeCounts), func(i int) {
+		nodes := cfg.NodeCounts[i]
+		shards := cfg.Shards
+		if shards <= 0 {
+			// One shard per 8 racks keeps the merge-front scan short while
+			// the per-shard heaps stay cache-sized.
+			shards = (nodes/cfg.RackSize + 7) / 8
+		}
+		start := time.Now()
+		c := cluster.Comet(sim.NewKernel(o.Seed), nodes)
+		c.EnableFatTree(cfg.RackSize, cfg.Oversub)
+		c.EnableSharding(shards)
+		d := workload.NewStackExchange(o.Seed, o.ACBytes, o.ACRecordBytes, o.ACStride)
+		r := MPIAnswersCount(c, d, nodes*cfg.PPN, cfg.PPN)
+		st := c.K.ShardStats()
+		wall := time.Since(start).Seconds()
+		pt := ScalePoint{
+			Nodes:      nodes,
+			Procs:      nodes * cfg.PPN,
+			SimSeconds: r.Seconds,
+			OK: r.Err == nil &&
+				r.Questions == oracle.Questions && r.Answers == oracle.Answers,
+			Events:      st.Events,
+			WallSeconds: wall,
+			Shards:      st.Shards,
+			Cross:       st.Cross,
+		}
+		if wall > 0 {
+			pt.EventsPerSec = float64(st.Events) / wall
+		}
+		if st.Events > 0 {
+			pt.Independence = float64(st.Independent) / float64(st.Events)
+		}
+		pts[i] = pt
+	})
+	return pts
+}
+
+// ScaleTable renders a sweep as a report table.
+func ScaleTable(pts []ScalePoint) Table {
+	t := Table{
+		ID:      "scale-sweep",
+		Title:   "Production-scale AnswersCount (MPI) on the sharded kernel",
+		Columns: []string{"Nodes", "Procs", "Sim time", "Events", "Events/s (host)", "Shards", "Cross", "Indep", "OK"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%d", p.Procs),
+			fmtSeconds(p.SimSeconds),
+			fmt.Sprintf("%d", p.Events),
+			fmt.Sprintf("%.2fM", p.EventsPerSec/1e6),
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%d", p.Cross),
+			fmt.Sprintf("%.0f%%", p.Independence*100),
+			fmt.Sprintf("%v", p.OK),
+		})
+	}
+	return t
+}

@@ -563,7 +563,7 @@ func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error
 		for _, rep := range append([]int(nil), b.replicas...) {
 			rep := rep
 			wg.Add(1)
-			d.c.K.Spawn("dfs.write", func(wp *sim.Proc) {
+			d.c.SpawnOnNode(rep, "dfs.write", func(wp *sim.Proc) {
 				defer wg.Done()
 				if rep != clientNode {
 					res, err := d.bulk.Send(wp, clientNode, rep, bsz)
@@ -770,7 +770,9 @@ func (d *DFS) readBlockHedged(p *sim.Proc, b *blockMeta, clientNode int, n int64
 	}
 	lost := func() bool { return resolved }
 	branch := func(name string, first int, hedge bool) {
-		d.c.K.Spawn(name, func(wp *sim.Proc) {
+		// The branch chases replicas starting at order[first]: home it on
+		// that replica's shard.
+		d.c.SpawnOnNode(order[first%len(order)], name, func(wp *sim.Proc) {
 			fo := false
 			for i := 0; i < len(order) && !resolved; i++ {
 				rep := order[(first+i)%len(order)]

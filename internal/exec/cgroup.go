@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Container CPU sizing. runtime.NumCPU reports the host's physical
+// processors, but a containerized CI runner is typically confined to a
+// CFS quota (cgroup v2 cpu.max, or v1 cpu.cfs_quota_us/cpu.cfs_period_us)
+// far below that. Sizing the worker pool — and the sweep budget that
+// shard workers share — by physical count alone oversubscribes the
+// container: N CPU-bound workers timeslice on quota/period effective
+// cores, adding queueing and wake-up overhead with zero extra overlap.
+// QuotaCPUs reads the quota so Default can size by the smaller figure.
+
+const (
+	cgroupV2CPUMax   = "/sys/fs/cgroup/cpu.max"
+	cgroupV1CFSQuota = "/sys/fs/cgroup/cpu/cpu.cfs_quota_us"
+	cgroupV1CFSPer   = "/sys/fs/cgroup/cpu/cpu.cfs_period_us"
+)
+
+// QuotaCPUs returns the number of CPUs the cgroup CPU quota allows
+// (rounded up), or 0 when no quota applies (bare metal, "max", or an
+// unreadable hierarchy). A configured-but-tiny quota reports 1: one
+// worker is always allowed.
+func QuotaCPUs() int {
+	return quotaCPUs(cgroupV2CPUMax, cgroupV1CFSQuota, cgroupV1CFSPer)
+}
+
+// quotaCPUs is QuotaCPUs with injectable paths for tests.
+func quotaCPUs(v2Max, v1Quota, v1Period string) int {
+	if b, err := os.ReadFile(v2Max); err == nil {
+		if n, ok := parseCPUMax(string(b)); ok {
+			return n
+		}
+	}
+	q, errQ := os.ReadFile(v1Quota)
+	p, errP := os.ReadFile(v1Period)
+	if errQ == nil && errP == nil {
+		if n, ok := parseCFS(string(q), string(p)); ok {
+			return n
+		}
+	}
+	return 0
+}
+
+// parseCPUMax parses a cgroup v2 cpu.max file: "<quota> <period>" in
+// microseconds, or "max <period>" for unlimited. It returns (cpus, true)
+// when a finite quota is present.
+func parseCPUMax(s string) (int, bool) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 || fields[0] == "max" {
+		return 0, false
+	}
+	quota, err1 := strconv.ParseInt(fields[0], 10, 64)
+	period, err2 := strconv.ParseInt(fields[1], 10, 64)
+	if err1 != nil || err2 != nil || quota <= 0 || period <= 0 {
+		return 0, false
+	}
+	return ceilDiv(quota, period), true
+}
+
+// parseCFS parses cgroup v1 cpu.cfs_quota_us and cpu.cfs_period_us.
+// A quota of -1 means unlimited.
+func parseCFS(quota, period string) (int, bool) {
+	q, err1 := strconv.ParseInt(strings.TrimSpace(quota), 10, 64)
+	p, err2 := strconv.ParseInt(strings.TrimSpace(period), 10, 64)
+	if err1 != nil || err2 != nil || q <= 0 || p <= 0 {
+		return 0, false
+	}
+	return ceilDiv(q, p), true
+}
+
+// ceilDiv returns ceil(a/b), at least 1.
+func ceilDiv(a, b int64) int {
+	n := int((a + b - 1) / b)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseCPUMax(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"max 100000\n", 0, false},
+		{"100000 100000\n", 1, true},
+		{"400000 100000\n", 4, true},
+		{"150000 100000\n", 2, true}, // 1.5 CPUs rounds up
+		{"50000 100000\n", 1, true},  // half a CPU is still one worker
+		{"0 100000\n", 0, false},
+		{"-1 100000\n", 0, false},
+		{"garbage\n", 0, false},
+		{"", 0, false},
+		{"100000 0\n", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseCPUMax(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseCPUMax(%q) = (%d, %v), want (%d, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseCFS(t *testing.T) {
+	cases := []struct {
+		quota, period string
+		want          int
+		ok            bool
+	}{
+		{"-1\n", "100000\n", 0, false}, // -1 = unlimited
+		{"100000\n", "100000\n", 1, true},
+		{"800000\n", "100000\n", 8, true},
+		{"250000\n", "100000\n", 3, true}, // 2.5 CPUs rounds up
+		{"100000\n", "0\n", 0, false},
+		{"junk\n", "100000\n", 0, false},
+		{"100000\n", "junk\n", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseCFS(c.quota, c.period)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseCFS(%q, %q) = (%d, %v), want (%d, %v)",
+				c.quota, c.period, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestQuotaCPUsFiles exercises the file-reading path against synthetic
+// cgroup hierarchies: v2 preferred, v1 fallback, absence tolerated.
+func TestQuotaCPUsFiles(t *testing.T) {
+	dir := t.TempDir()
+	v2 := filepath.Join(dir, "cpu.max")
+	v1q := filepath.Join(dir, "cpu.cfs_quota_us")
+	v1p := filepath.Join(dir, "cpu.cfs_period_us")
+
+	// Nothing present: no quota.
+	if n := quotaCPUs(v2, v1q, v1p); n != 0 {
+		t.Fatalf("no files: quotaCPUs = %d, want 0", n)
+	}
+
+	// v1 only.
+	os.WriteFile(v1q, []byte("300000\n"), 0644)
+	os.WriteFile(v1p, []byte("100000\n"), 0644)
+	if n := quotaCPUs(v2, v1q, v1p); n != 3 {
+		t.Fatalf("v1 quota: quotaCPUs = %d, want 3", n)
+	}
+
+	// v2 present wins over v1.
+	os.WriteFile(v2, []byte("200000 100000\n"), 0644)
+	if n := quotaCPUs(v2, v1q, v1p); n != 2 {
+		t.Fatalf("v2 quota: quotaCPUs = %d, want 2", n)
+	}
+
+	// v2 "max" falls through to v1.
+	os.WriteFile(v2, []byte("max 100000\n"), 0644)
+	if n := quotaCPUs(v2, v1q, v1p); n != 3 {
+		t.Fatalf("v2 max + v1 quota: quotaCPUs = %d, want 3", n)
+	}
+
+	// v2 "max" and v1 unlimited: no quota.
+	os.WriteFile(v1q, []byte("-1\n"), 0644)
+	if n := quotaCPUs(v2, v1q, v1p); n != 0 {
+		t.Fatalf("all unlimited: quotaCPUs = %d, want 0", n)
+	}
+}
+
+// TestQuotaCPUsHost just asserts the real-path reader doesn't misbehave
+// on whatever host runs the suite.
+func TestQuotaCPUsHost(t *testing.T) {
+	if n := QuotaCPUs(); n < 0 {
+		t.Fatalf("QuotaCPUs = %d", n)
+	}
+}

@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) with bounded host parallelism and returns when
+// every call has finished. The width is the effective CPU budget (see
+// Default) — the same budget payload workers draw from — so a sweep that
+// fans out per-point kernels and a kernel offloading payloads never
+// oversubscribe the host between them.
+//
+// ForEach is the sweep-point runner: figure sweeps build one independent
+// kernel per point (own RNG, own cluster, no shared mutable state), so
+// points can execute concurrently while each kernel individually keeps
+// its serial, deterministic event order. Callers must ensure fn(i) and
+// fn(j) share nothing mutable; assembly of results must be by index,
+// never by completion order.
+//
+// When the budget is 1 (or n is 1), ForEach degrades to a plain serial
+// loop on the caller's goroutine — the baseline execution the
+// determinism tests compare against.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	width := ForEachWidth()
+	if width > n {
+		width = n
+	}
+	if width <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachWidth returns the parallelism ForEach will use for large n:
+// the override set by SetForEachWidth, or the effective CPU budget.
+func ForEachWidth() int {
+	sharedMu.Lock()
+	w := forEachWidth
+	sharedMu.Unlock()
+	if w > 0 {
+		return w
+	}
+	c := effectiveCPUs()
+	if gm := runtime.GOMAXPROCS(0); gm < c {
+		c = gm
+	}
+	return c
+}
+
+// SetForEachWidth overrides ForEach's parallelism (0 restores the CPU
+// budget). Like SetDefaultSize, this is the hook the invariance tests
+// use to compare serial and parallel sweep execution.
+func SetForEachWidth(n int) {
+	sharedMu.Lock()
+	forEachWidth = n
+	sharedMu.Unlock()
+}
+
+var forEachWidth int

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, width := range []int{0, 1, 2, 4} {
+		SetForEachWidth(width)
+		const n = 137
+		var hits [n]int32
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("width=%d: index %d ran %d times", width, i, h)
+			}
+		}
+	}
+	SetForEachWidth(0)
+}
+
+func TestForEachSerialWhenWidthOne(t *testing.T) {
+	SetForEachWidth(1)
+	defer SetForEachWidth(0)
+	// Serial execution must be in-order on the caller's goroutine:
+	// appends without synchronization are safe and ordered.
+	var order []int
+	ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial ForEach out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	ForEach(0, func(int) { ran = true })
+	ForEach(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("ForEach ran fn for n <= 0")
+	}
+}
+
+func TestForEachWidthBounds(t *testing.T) {
+	SetForEachWidth(0)
+	if w := ForEachWidth(); w < 1 {
+		t.Fatalf("ForEachWidth = %d", w)
+	}
+	SetForEachWidth(3)
+	if w := ForEachWidth(); w != 3 {
+		t.Fatalf("ForEachWidth override = %d, want 3", w)
+	}
+	SetForEachWidth(0)
+}

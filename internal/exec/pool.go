@@ -124,19 +124,23 @@ func Shared(n int) *Pool {
 }
 
 // Default returns the shared pool sized by SetDefaultSize, or by
-// GOMAXPROCS capped at the physical CPU count when unset — the pool
-// every new kernel attaches to. The cap matters on constrained hosts
-// (containers exposing fewer CPUs than GOMAXPROCS): payloads are
-// CPU-bound, so workers beyond physical cores add queue and wake-up
-// overhead without any overlap. SetDefaultSize bypasses the cap.
+// GOMAXPROCS capped at the effective CPU count when unset — the pool
+// every new kernel attaches to. The effective count is the smaller of
+// the physical CPU count and the cgroup CPU quota (see QuotaCPUs): a
+// container confined to 4 CPUs of a 64-core host should run 4 workers,
+// not 64. Payloads are CPU-bound, so workers beyond effective cores add
+// queue and wake-up overhead without any overlap. SetDefaultSize
+// bypasses the cap.
 //
 // Default also right-sizes the Go scheduler itself: with more Ps than
-// physical CPUs, every direct handoff between simulated processes turns
+// effective CPUs, every direct handoff between simulated processes turns
 // from a same-P goroutine switch into a cross-thread futex wake, and the
 // extra Ps can never overlap useful work. The P count is only ever
-// lowered to the CPU count, never raised above what the user configured.
+// lowered to the effective count, never raised above what the user
+// configured.
 func Default() *Pool {
-	if gm, c := runtime.GOMAXPROCS(0), runtime.NumCPU(); gm > c {
+	c := effectiveCPUs()
+	if runtime.GOMAXPROCS(0) > c {
 		runtime.GOMAXPROCS(c)
 	}
 	sharedMu.Lock()
@@ -144,12 +148,31 @@ func Default() *Pool {
 	sharedMu.Unlock()
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
-		if c := runtime.NumCPU(); c < n {
+		if c < n {
 			n = c
 		}
 	}
 	return Shared(n)
 }
+
+// effectiveCPUs is the CPU budget actually available to this process:
+// the physical count, lowered to the cgroup CPU quota when one applies.
+// The quota is read once — cgroup limits are process-lived.
+func effectiveCPUs() int {
+	quotaOnce.Do(func() {
+		quotaCached = QuotaCPUs()
+	})
+	c := runtime.NumCPU()
+	if quotaCached > 0 && quotaCached < c {
+		c = quotaCached
+	}
+	return c
+}
+
+var (
+	quotaOnce   sync.Once
+	quotaCached int
+)
 
 // SetDefaultSize overrides the size Default uses (0 restores GOMAXPROCS).
 // Kernels capture their pool at construction, so the override applies to

@@ -239,6 +239,9 @@ func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
 				zombies := 0
 				for attempt := 1; ; attempt++ {
 					node := j.pickMapNode(s, ti)
+					// Placement is only known now: follow the task to its
+					// node's event shard (locality hint, not semantics).
+					tp.SetShard(c.ShardOfNode(node))
 					down := c.DownCount(node)
 					slots[node].Acquire(tp, 1)
 					ok := j.runMapAttempt(tp, taskName, attempt, node, s, ti, outputs, &st, conf)
@@ -285,6 +288,7 @@ func (j *Job[In, K, V]) Run(p *sim.Proc) ([]Pair[K, V], Stats) {
 				zombies := 0
 				for attempt := 1; ; attempt++ {
 					node := j.pickReduceNode(r)
+					tp.SetShard(c.ShardOfNode(node))
 					down := c.DownCount(node)
 					slots[node].Acquire(tp, 1)
 					out, ok, lostMaps := j.runReduceAttempt(tp, taskName, attempt, node, r, outputs, &st, conf)

@@ -113,7 +113,7 @@ func Launch(c *cluster.Cluster, np, ppn int, body func(r *Rank)) *World {
 	for i := 0; i < np; i++ {
 		r := w.ranks[i]
 		w.wg.Add(1)
-		c.K.Spawn(fmt.Sprintf("mpi.rank%d", i), func(p *sim.Proc) {
+		c.SpawnOnNode(r.node, fmt.Sprintf("mpi.rank%d", i), func(p *sim.Proc) {
 			r.p = p
 			body(r)
 			w.finished++

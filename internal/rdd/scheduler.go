@@ -173,7 +173,7 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 		startEpoch := exec.epoch
 		startDown := ctx.C.DownCount(exec.node)
 		startGen := ctx.driverGen
-		ctx.C.K.Spawn(fmt.Sprintf("task.%s.%d", name, t.part), func(tp *sim.Proc) {
+		ctx.C.SpawnOnNode(exec.node, fmt.Sprintf("task.%s.%d", name, t.part), func(tp *sim.Proc) {
 			// Task descriptor travels driver -> executor over sockets.
 			ctx.C.Xfer(tp, ctx.driverNode, exec.node, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
 			exec.cores.Acquire(tp, 1)

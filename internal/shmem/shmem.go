@@ -66,7 +66,7 @@ func Launch(c *cluster.Cluster, npes, ppn int, body func(pe *PE)) *World {
 	for i := 0; i < npes; i++ {
 		pe := w.pes[i]
 		w.wg.Add(1)
-		c.K.Spawn(fmt.Sprintf("shmem.pe%d", i), func(p *sim.Proc) {
+		c.SpawnOnNode(pe.node, fmt.Sprintf("shmem.pe%d", i), func(p *sim.Proc) {
 			pe.p = p
 			body(pe)
 			w.wg.Done()

@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sharded event kernel.
+//
+// A kernel may be partitioned into event shards — one per rack of the
+// simulated platform — each holding its own 4-ary event heap plus an
+// inbox for events that cross shard boundaries. The dispatcher merges
+// shard heads in strict (time, seq) order, so the committed event order
+// is the global total order of the single-heap kernel, bit for bit, at
+// every shard count: shards change the queue's memory layout and
+// batching, never what the simulation computes. That invariant is the
+// determinism contract the shard-invariance tests enforce (golden
+// outputs, timestamps, RNG draw order and counters are identical for
+// shards = 1, 2, 4, NumCPU), and it is what lets shard counts be a pure
+// tuning knob.
+//
+// Why shard at all, when commits stay globally ordered? Three reasons:
+//
+//   - Heap locality. A 10,000-node sweep keeps hundreds of thousands of
+//     pending events; one 4-ary heap that size walks cache-missing
+//     sift chains on every operation. Per-rack heaps are a few thousand
+//     entries each — sift paths stay in cache — and the merge front is a
+//     flat array of per-shard (time, seq) keys scanned in one or two
+//     cache lines.
+//
+//   - Cross-shard batching. An event posted to another shard (a fabric
+//     delivery, a remote wake) appends to the destination's inbox in
+//     O(1) instead of sifting into its heap immediately. The inbox is
+//     folded in only when the merge front actually needs that shard's
+//     head, so bursts of remote traffic heapify in batches.
+//
+//   - Conservative-lookahead accounting. Each shard publishes the
+//     lower bound on its future sends (LBTS: its next event time plus
+//     the minimum cross-shard fabric latency). The dispatcher tracks,
+//     for every committed event, whether the owning shard could have
+//     advanced to it without coordination — i.e. whether its timestamp
+//     is below min(neighbor LBTS) + lookahead. The resulting
+//     independence ratio (ShardStats.Independent / events) measures
+//     exactly how much intra-kernel parallelism a rack partition
+//     exposes, and gates any future shared-nothing execution mode.
+//     Today's models share host memory freely across nodes (the
+//     kernel's one-process-at-a-time contract), so model code itself is
+//     never run concurrently; host parallelism comes from payload
+//     offloading (see offload.go) and from running independent sweep
+//     kernels side by side (see exec.ForEach).
+
+// evKey is the global ordering key of a queued event. seq is unique, so
+// (t, seq) is a total order and shard merge is deterministic.
+type evKey struct {
+	t   Time
+	seq uint64
+}
+
+// maxKey sorts after every real event key (sentinel for "empty").
+var maxKey = evKey{t: Time(math.MaxInt64), seq: math.MaxUint64}
+
+func (a evKey) less(b evKey) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// shardQ is one event shard: a 4-ary heap plus a cross-shard inbox.
+// The inbox defers heap insertion of events posted from other shards;
+// it is folded into the heap only when the merge front selects this
+// shard at its inbox minimum.
+type shardQ struct {
+	heap     eventQueue
+	inbox    []event
+	inboxMin evKey
+	pops     int64 // events committed from this shard
+}
+
+// minKey returns the shard's head key: the smaller of the heap head and
+// the pending inbox minimum (maxKey when the shard is empty).
+func (s *shardQ) minKey() evKey {
+	k := s.inboxMin
+	if len(s.heap) > 0 {
+		if hk := (evKey{t: s.heap[0].t, seq: s.heap[0].seq}); hk.less(k) {
+			k = hk
+		}
+	}
+	return k
+}
+
+// drain folds the inbox into the heap.
+func (s *shardQ) drain() {
+	for i := range s.inbox {
+		s.heap.push(s.inbox[i])
+		s.inbox[i] = event{} // release fn closures
+	}
+	s.inbox = s.inbox[:0]
+	s.inboxMin = maxKey
+}
+
+// ShardStats reports the sharded queue's telemetry after (or during) a
+// run. With one shard only Events is meaningful.
+type ShardStats struct {
+	Shards    int           // configured shard count
+	Lookahead time.Duration // conservative lookahead bound (min cross-shard latency)
+	Events    int64         // events committed by the dispatcher
+	Cross     int64         // events that crossed a shard boundary (inbox traffic)
+	Drains    int64         // inbox batch folds
+	// Independent counts committed events whose shard could have
+	// advanced to them without cross-shard coordination: the event's
+	// timestamp was below min over other shards of (next event time +
+	// lookahead). Independent/Events is the fraction of the event
+	// stream a conservative-lookahead parallel executor could run
+	// concurrently under this shard partition.
+	Independent int64
+	PerShard    []int64 // events committed per shard
+}
+
+// SetShards partitions the kernel's event queue into n shards (n <= 1
+// restores the single-heap layout). It must be called before Run;
+// pending events are re-bucketed: process wakes to their process's
+// shard, callbacks to shard 0. Shard counts are a pure tuning knob —
+// committed event order, and therefore every simulated output, is
+// identical at every n.
+func (k *Kernel) SetShards(n int) {
+	if k.ran {
+		panic("sim: SetShards after Run")
+	}
+	var pending []event
+	if k.shards == nil {
+		pending = append(pending, k.events...)
+		k.events = nil
+	} else {
+		for i := range k.shards {
+			s := &k.shards[i]
+			pending = append(pending, s.heap...)
+			pending = append(pending, s.inbox...)
+		}
+		k.shards = nil
+		k.mins = nil
+	}
+	k.nq = 0
+	k.curShard = 0
+	if n <= 1 {
+		k.events = eventQueue{}
+		for _, e := range pending {
+			k.events.push(e)
+		}
+		return
+	}
+	k.shards = make([]shardQ, n)
+	k.mins = make([]evKey, n)
+	for i := range k.shards {
+		k.shards[i].inboxMin = maxKey
+		k.mins[i] = maxKey
+	}
+	for _, e := range pending {
+		sh := 0
+		if e.p != nil {
+			sh = k.clampShard(e.p.shard)
+		}
+		k.pushEvent(e, sh)
+	}
+}
+
+// Shards returns the configured shard count (1 when unsharded).
+func (k *Kernel) Shards() int {
+	if k.shards == nil {
+		return 1
+	}
+	return len(k.shards)
+}
+
+// SetLookahead sets the conservative lookahead bound: a static, positive
+// lower bound on the virtual latency of every cross-shard interaction
+// (the minimum cross-shard fabric latency — RDMA verbs is the floor on
+// the Comet platform). It only feeds the independence accounting in
+// ShardStats; commits are always globally ordered.
+func (k *Kernel) SetLookahead(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k.lookahead = Time(d)
+}
+
+// Lookahead returns the configured conservative lookahead bound.
+func (k *Kernel) Lookahead() time.Duration { return time.Duration(k.lookahead) }
+
+// ShardStats returns the sharded queue's telemetry.
+func (k *Kernel) ShardStats() ShardStats {
+	st := ShardStats{
+		Shards:      k.Shards(),
+		Lookahead:   time.Duration(k.lookahead),
+		Events:      k.nev,
+		Cross:       k.crossEvents,
+		Drains:      k.drains,
+		Independent: k.indepEvents,
+	}
+	for i := range k.shards {
+		st.PerShard = append(st.PerShard, k.shards[i].pops)
+	}
+	return st
+}
+
+func (k *Kernel) clampShard(s int) int {
+	if k.shards == nil || s < 0 {
+		return 0
+	}
+	if s >= len(k.shards) {
+		return s % len(k.shards)
+	}
+	return s
+}
+
+// pushEvent enqueues e on shard sh (ignored when unsharded). Same-shard
+// events sift into the shard heap directly; cross-shard events append to
+// the destination inbox in O(1) and heapify in batches at drain time.
+func (k *Kernel) pushEvent(e event, sh int) {
+	if k.shards == nil {
+		k.events.push(e)
+		return
+	}
+	s := &k.shards[sh]
+	ek := evKey{t: e.t, seq: e.seq}
+	if sh == k.curShard {
+		s.heap.push(e)
+	} else {
+		k.crossEvents++
+		s.inbox = append(s.inbox, e)
+		if ek.less(s.inboxMin) {
+			s.inboxMin = ek
+		}
+	}
+	if ek.less(k.mins[sh]) {
+		k.mins[sh] = ek
+	}
+	k.nq++
+}
+
+// popEvent removes and returns the globally earliest event, in strict
+// (time, seq) order regardless of shard layout. It also maintains the
+// conservative-lookahead independence accounting and sets curShard to
+// the committed event's shard, which routes inherited spawns, After
+// callbacks and same-shard pushes.
+func (k *Kernel) popEvent() (event, bool) {
+	if k.shards == nil {
+		if len(k.events) == 0 {
+			return event{}, false
+		}
+		return k.events.pop(), true
+	}
+	if k.nq == 0 {
+		return event{}, false
+	}
+	// Merge front: scan the flat per-shard key array for the global
+	// minimum and the runner-up (the neighbor bound for the lookahead
+	// accounting).
+	best := -1
+	bk, b2 := maxKey, maxKey
+	for i := range k.mins {
+		m := k.mins[i]
+		if m.less(bk) {
+			b2 = bk
+			best, bk = i, m
+		} else if m.less(b2) {
+			b2 = m
+		}
+	}
+	if best < 0 {
+		panic("sim: sharded queue lost events")
+	}
+	s := &k.shards[best]
+	if len(s.inbox) > 0 && bk == s.inboxMin {
+		s.drain()
+		k.drains++
+	}
+	e := s.heap.pop()
+	if e.t != bk.t || e.seq != bk.seq {
+		panic(fmt.Sprintf("sim: shard %d head mismatch: popped (%v,%d) want (%v,%d)",
+			best, e.t, e.seq, bk.t, bk.seq))
+	}
+	k.mins[best] = s.minKey()
+	k.nq--
+	s.pops++
+	k.curShard = best
+	// Conservative lookahead: could this shard have committed e without
+	// waiting on its neighbors? Yes iff e precedes every neighbor's
+	// LBTS = next event time + lookahead (trivially yes when no other
+	// shard holds events).
+	if b2 == maxKey || e.t < b2.t+k.lookahead {
+		k.indepEvents++
+	}
+	return e, true
+}
+
+// queued returns the number of pending events across all shards.
+func (k *Kernel) queued() int {
+	if k.shards == nil {
+		return len(k.events)
+	}
+	return k.nq
+}

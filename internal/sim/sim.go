@@ -53,7 +53,7 @@ type procKilled struct{}
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventQueue
+	events  eventQueue    // single-heap layout (shards == nil)
 	killed  chan struct{} // closed on Shutdown (external observers)
 	dead    bool          // set by Shutdown before stopping coroutines
 	procs   []*Proc       // every Proc with a live coroutine (for Shutdown)
@@ -66,6 +66,18 @@ type Kernel struct {
 	ran     bool
 	nev     int64      // events processed by Run
 	pool    *exec.Pool // host workers for offloaded payloads (see offload.go)
+
+	// Sharded event queue (see shard.go). shards == nil is the
+	// single-heap layout; otherwise events live in per-shard heaps and
+	// cross-shard inboxes, merged in global (time, seq) order.
+	shards      []shardQ
+	mins        []evKey // per-shard head keys, the merge front
+	nq          int     // pending events across all shards
+	curShard    int     // shard of the executing context (routing origin)
+	lookahead   Time    // conservative cross-shard lookahead bound
+	crossEvents int64
+	drains      int64
+	indepEvents int64
 
 	// Trace, when non-nil, receives one line per scheduling decision.
 	// Intended for debugging tests; nil in normal operation.
@@ -99,9 +111,10 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // was spawned with, and all of its methods must be called from that
 // function's goroutine.
 type Proc struct {
-	k    *Kernel
-	id   int
-	name string
+	k     *Kernel
+	id    int
+	name  string
+	shard int // event shard this proc's wake events route to
 	// next resumes the proc's coroutine (called only by Run's dispatcher
 	// loop); yield suspends it, returning control to that next call;
 	// stop tears the coroutine down (Shutdown). Control transfer is a
@@ -140,6 +153,15 @@ func (p *Proc) Name() string { return p.name }
 // Kernel returns the kernel this process runs on.
 func (p *Proc) Kernel() *Kernel { return p.k }
 
+// Shard returns the event shard this process's wake events route to.
+func (p *Proc) Shard() int { return p.shard }
+
+// SetShard moves the process's future wake events to shard s (clamped
+// into range; a no-op on an unsharded kernel). An already-pending wake
+// stays where it is — commit order is global, so placement is purely a
+// locality hint and never observable in simulated results.
+func (p *Proc) SetShard(s int) { p.shard = p.k.clampShard(s) }
+
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
@@ -164,6 +186,18 @@ type event struct {
 // fresh start event at the current time, exactly as a newly created
 // process would.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	return k.spawn(name, body, k.curShard)
+}
+
+// SpawnOn is Spawn with an explicit event-shard placement (clamped into
+// range; equivalent to Spawn on an unsharded kernel). Use it for
+// long-lived node-resident processes so their events land on their
+// rack's shard; short-lived children inherit the spawner's shard.
+func (k *Kernel) SpawnOn(shard int, name string, body func(p *Proc)) *Proc {
+	return k.spawn(name, body, k.clampShard(shard))
+}
+
+func (k *Kernel) spawn(name string, body func(p *Proc), shard int) *Proc {
 	var p *Proc
 	if n := len(k.free); n > 0 {
 		p = k.free[n-1]
@@ -184,6 +218,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		p.next, p.stop = iter.Pull(p.coro)
 		k.procs = append(k.procs, p)
 	}
+	p.shard = shard
 	k.nextID++
 	k.live++
 	k.schedule(k.now, p)
@@ -224,20 +259,29 @@ func (p *Proc) coro(yield func(struct{}) bool) {
 // for lightweight completions such as message delivery. fn may wake parked
 // processes and schedule further callbacks.
 func (k *Kernel) After(d time.Duration, fn func()) {
+	k.AfterOn(k.curShard, d, fn)
+}
+
+// AfterOn is After with an explicit event-shard placement (clamped into
+// range). Cross-shard deliveries — fabric messages arriving at a remote
+// rack — should name the destination's shard so the event enqueues into
+// that shard's inbox; plain After inherits the executing context's
+// shard.
+func (k *Kernel) AfterOn(shard int, d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	k.events.push(event{t: k.now.Add(d), seq: k.seq, fn: fn})
+	k.pushEvent(event{t: k.now.Add(d), seq: k.seq, fn: fn}, k.clampShard(shard))
 	k.seq++
 }
 
-// schedule enqueues a wake event for p.
+// schedule enqueues a wake event for p on p's shard.
 func (k *Kernel) schedule(t Time, p *Proc) {
 	if p.pending {
 		panic(fmt.Sprintf("sim: process %q scheduled twice", p.name))
 	}
 	p.pending = true
-	k.events.push(event{t: t, seq: k.seq, p: p})
+	k.pushEvent(event{t: t, seq: k.seq, p: p}, p.shard)
 	k.seq++
 }
 
@@ -332,9 +376,12 @@ const (
 // process about to yield — so exactly one goroutine executes model code
 // at any moment.
 func (k *Kernel) dispatchFrom(self *Proc) int {
-	for len(k.events) > 0 {
+	for {
+		e, ok := k.popEvent()
+		if !ok {
+			break
+		}
 		k.nev++
-		e := k.events.pop()
 		if e.t < k.now {
 			panic("sim: event queue went backwards")
 		}
@@ -438,4 +485,9 @@ func (k *Kernel) Shutdown() {
 	}
 	k.procs = nil
 	k.free = nil
+	// Release queued events (and their fn closures) for GC.
+	k.events = nil
+	k.shards = nil
+	k.mins = nil
+	k.nq = 0
 }

@@ -1,7 +1,9 @@
 package hpcbd
 
 import (
+	"fmt"
 	"os"
+	"strconv"
 	"testing"
 
 	"hpcbd/internal/gctune"
@@ -11,7 +13,22 @@ import (
 // internal/gctune) to the whole test binary, so `go test -bench .`
 // measures the same configuration the cmd/ CLIs run with. Setting GOGC
 // in the environment overrides it.
+//
+// HPCBD_SHARDS=<n> runs the entire binary — golden captures included —
+// on the sharded event kernel. The golden-compare harness uses this to
+// prove byte-identical output at every shard count:
+//
+//	HPCBD_GOLDEN=/tmp/g.txt go test -run TestGoldenCapture
+//	HPCBD_SHARDS=4 HPCBD_GOLDEN_CMP=/tmp/g.txt go test -run TestGoldenCapture
 func TestMain(m *testing.M) {
 	gctune.Apply()
+	if v := os.Getenv("HPCBD_SHARDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "bad HPCBD_SHARDS %q\n", v)
+			os.Exit(2)
+		}
+		SetShards(n)
+	}
 	os.Exit(m.Run())
 }

@@ -1,0 +1,197 @@
+package hpcbd
+
+// Shard-invariance regression tests for the sharded event kernel: every
+// simulated output — figures, tables, sweep results, counters — must be
+// bit-identical at every event-shard count. Sharding changes the queue's
+// memory layout and cross-shard batching, never the committed event
+// order, so shards=1 (today's single heap) and shards=NumCPU must agree
+// to the last bit. These mirror the pool-invariance suite: the two knobs
+// compose, so one test also pins the combination.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hpcbd/internal/exec"
+)
+
+// withShards runs fn with the experiment shard count pinned to n,
+// restoring the previous setting (e.g. an HPCBD_SHARDS override)
+// afterwards.
+func withShards(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Shards()
+	SetShards(n)
+	defer SetShards(prev)
+	fn()
+}
+
+// shardCounts is the sweep the determinism contract is enforced at:
+// unsharded, small counts, and the host's CPU count.
+func shardCounts() []int {
+	out := []int{1, 2, 4}
+	if c := runtime.NumCPU(); c > 4 {
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestFig4ShardInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref Figure
+	var refRes map[string]AnswersCountResult
+	withShards(t, 1, func() { ref, refRes = Fig4(o) })
+	for _, n := range shardCounts()[1:] {
+		var fig Figure
+		var res map[string]AnswersCountResult
+		withShards(t, n, func() { fig, res = Fig4(o) })
+		if !reflect.DeepEqual(ref, fig) {
+			t.Errorf("Fig4 series differ between shards=1 and shards=%d", n)
+		}
+		if !reflect.DeepEqual(refRes, res) {
+			t.Errorf("Fig4 results differ between shards=1 and shards=%d", n)
+		}
+	}
+}
+
+func TestFig3ShardInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref Figure
+	withShards(t, 1, func() { ref = Fig3(o) })
+	for _, n := range shardCounts()[1:] {
+		var fig Figure
+		withShards(t, n, func() { fig = Fig3(o) })
+		if !reflect.DeepEqual(ref, fig) {
+			t.Errorf("Fig3 differs between shards=1 and shards=%d:\nshards1: %v\nshards%d: %v", n, ref, n, fig)
+		}
+	}
+}
+
+func TestFig6ShardInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref Figure
+	var refRanks map[string][]float64
+	withShards(t, 1, func() { ref, refRanks = Fig6(o) })
+	for _, n := range shardCounts()[1:] {
+		var fig Figure
+		var ranks map[string][]float64
+		withShards(t, n, func() { fig, ranks = Fig6(o) })
+		if !reflect.DeepEqual(ref, fig) {
+			t.Errorf("Fig6 series differ between shards=1 and shards=%d", n)
+		}
+		if !reflect.DeepEqual(refRanks, ranks) {
+			t.Errorf("Fig6 PageRank vectors differ between shards=1 and shards=%d", n)
+		}
+	}
+}
+
+func TestFig7ShardInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref Figure
+	var refRanks map[string][]float64
+	withShards(t, 1, func() { ref, refRanks = Fig7(o) })
+	for _, n := range shardCounts()[1:] {
+		var fig Figure
+		var ranks map[string][]float64
+		withShards(t, n, func() { fig, ranks = Fig7(o) })
+		if !reflect.DeepEqual(ref, fig) {
+			t.Errorf("Fig7 series differ between shards=1 and shards=%d", n)
+		}
+		if !reflect.DeepEqual(refRanks, ranks) {
+			t.Errorf("Fig7 PageRank vectors differ between shards=1 and shards=%d", n)
+		}
+	}
+}
+
+// TestShardAndPoolInvariance pins the combination of both knobs at once:
+// sharded kernel + parallel payload pool vs the fully serial baseline.
+func TestShardAndPoolInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref, got Figure
+	var refRes, gotRes map[string]AnswersCountResult
+	withShards(t, 1, func() {
+		exec.SetDefaultSize(1)
+		defer exec.SetDefaultSize(0)
+		ref, refRes = Fig4(o)
+	})
+	withShards(t, 4, func() {
+		exec.SetDefaultSize(8)
+		defer exec.SetDefaultSize(0)
+		got, gotRes = Fig4(o)
+	})
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("Fig4 differs between (shards=1, pool=1) and (shards=4, pool=8)")
+	}
+	if !reflect.DeepEqual(refRes, gotRes) {
+		t.Errorf("Fig4 results differ between (shards=1, pool=1) and (shards=4, pool=8)")
+	}
+}
+
+// TestMasterSweepShardInvariance runs a chaos-style sweep — failovers,
+// journal replays, elections — under sharding: control-plane event storms
+// exercise cross-shard wakes far more than the steady-state figures.
+func TestMasterSweepShardInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref MasterSweepResult
+	withShards(t, 1, func() { ref = MasterSweep(o) })
+	for _, n := range []int{2, 4} {
+		var got MasterSweepResult
+		withShards(t, n, func() { got = MasterSweep(o) })
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("master sweep differs between shards=1 and shards=%d:\nshards1: %+v\nshards%d: %+v", n, ref, n, got)
+		}
+	}
+}
+
+// TestTailSweepShardInvariance: hedged reads and adaptive timeouts race
+// against timers across shards; the outcome must still be bit-identical.
+func TestTailSweepShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tail sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var ref, got TailSweepResult
+	withShards(t, 1, func() { ref = TailSweep(o) })
+	withShards(t, 4, func() { got = TailSweep(o) })
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("tail sweep differs between shards=1 and shards=4:\nshards1: %+v\nshards4: %+v", ref, got)
+	}
+	for _, v := range CheckTailSweep(ref, got) {
+		t.Errorf("tail sweep shard invariance: %s", v)
+	}
+}
+
+// TestPartitionSweepShardInvariance: split-brain partitions sever exactly
+// the links that cross shard boundaries in a rack-contiguous plan — the
+// adversarial case for cross-shard inbox routing.
+func TestPartitionSweepShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var ref, got PartitionSweepResult
+	withShards(t, 1, func() { ref = PartitionSweep(o) })
+	withShards(t, 4, func() { got = PartitionSweep(o) })
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("partition sweep differs between shards=1 and shards=4:\nshards1: %+v\nshards4: %+v", ref, got)
+	}
+	for _, v := range CheckPartitionSweep(ref, got) {
+		t.Errorf("partition sweep shard invariance: %s", v)
+	}
+}
+
+// TestTransportSweepShardInvariance: loss, corruption and retransmission
+// timers under sharding.
+func TestTransportSweepShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transport sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var a, b TransportSweepResult
+	withShards(t, 1, func() { a = TransportSweep(o) })
+	withShards(t, 4, func() { b = TransportSweep(o) })
+	for _, v := range CheckTransportSweep(a, b) {
+		t.Errorf("transport sweep shard invariance: %s", v)
+	}
+}
