@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos verify bench benchcmp bench-quick bench-shards profile experiments
+.PHONY: all build test vet race chaos verify bench benchcmp bench-quick bench-shards bench-parallel profile experiments
 
 all: verify
 
@@ -25,6 +25,12 @@ race:
 	# with concurrent sweep points, under the race detector.
 	HPCBD_SHARDS=4 $(GO) test -race -short -count=1 .
 	HPCBD_SHARDS=4 $(GO) test -race -count=2 ./internal/core/...
+	# Parallel-dispatch soak: window execution with 4 workers on the
+	# 4-way sharded kernel — the race detector sees every gang worker
+	# touch the shard heaps, inboxes and op logs.
+	HPCBD_SHARDS=4 HPCBD_WORKERS=4 $(GO) test -race -count=2 ./internal/sim/... ./internal/exec/... ./internal/cluster/...
+	HPCBD_SHARDS=4 HPCBD_WORKERS=4 $(GO) test -race -short -count=1 .
+	HPCBD_SHARDS=4 HPCBD_WORKERS=4 $(GO) test -race -count=1 ./internal/core/...
 
 # Every fault-injection sweep (node crashes, lossy network, master
 # kills, split-brain partitions, gray-node tails) at test scale, with
@@ -65,6 +71,17 @@ bench-quick:
 bench-shards:
 	$(GO) test -run '^$$' -bench BenchmarkShardedStorm -benchtime 5x -benchmem ./internal/sim/
 	$(GO) run ./cmd/answerscount-bench -quick -shards 4 -scale -scale-max 4000
+
+# Multicore dispatch scaling: the production-scale sweep at 1, 2, 4 and
+# 8 window-dispatch workers on the 4-way sharded kernel. The Workers and
+# Windowed telemetry columns show how much of the event stream ran
+# inside conservative windows; events/sec shows the realized speedup
+# (bounded by the host's core count — on a single-core host the worker
+# counts tie).
+bench-parallel:
+	for w in 1 2 4 8; do \
+		$(GO) run ./cmd/answerscount-bench -quick -shards 4 -workers $$w -scale -scale-max 4000 || exit 1; \
+	done
 
 # Host CPU and allocation profiles of the full-scale PageRank and
 # AnswersCount regenerations — the starting point for perf work.

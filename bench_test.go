@@ -24,12 +24,15 @@ var printOnce sync.Map
 // reportHostPerf attaches host-side performance metrics to a benchmark:
 // simulator throughput (kernel events retired per wall-clock second) and
 // allocation counts. startEvents is sim.TotalEvents() sampled before the
-// benchmark loop.
+// benchmark loop. The dispatch worker count rides along so benchcmp can
+// refuse to diff a serial baseline against a parallel run — their
+// sim-events/sec are not comparable.
 func reportHostPerf(b *testing.B, startEvents int64) {
 	b.ReportAllocs()
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(sim.TotalEvents()-startEvents)/s, "sim-events/sec")
 	}
+	b.ReportMetric(float64(Workers()), "workers")
 }
 
 // emit prints an artifact once per benchmark name, keeping -bench output

@@ -20,12 +20,14 @@ func main() {
 	gb := flag.Float64("gb", 0, "override dataset size in decimal GB")
 	pool := flag.Int("pool", 0, "host worker pool size for simulated-task payloads (0 = GOMAXPROCS); results are identical for every size")
 	shards := flag.Int("shards", 0, "event-queue shards per kernel (0 = unsharded); results are identical for every count")
+	workers := flag.Int("workers", 0, "parallel dispatch workers per kernel (0 = serial; needs -shards > 1 to engage); results are identical for every count")
 	scale := flag.Bool("scale", false, "also run the production-scale sweep (1,000+ nodes, MPI)")
 	scaleNodes := flag.Int("scale-max", 4000, "largest node count of the -scale sweep (doubling from 1000)")
 	profiling.Flags()
 	flag.Parse()
 	exec.SetDefaultSize(*pool)
 	hpcbd.SetShards(*shards)
+	hpcbd.SetWorkers(*workers)
 	gctune.Apply()
 	profiling.Start()
 
@@ -62,6 +64,9 @@ func main() {
 		}
 		if *shards > 0 {
 			cfg.Shards = *shards
+		}
+		if *workers > 0 {
+			cfg.Workers = *workers
 		}
 		pts := hpcbd.ScaleSweep(o, cfg)
 		fmt.Println(hpcbd.ScaleTable(pts))

@@ -106,6 +106,18 @@ func SetShards(n int) { core.SetShards(n) }
 // Shards reports the configured experiment shard count (minimum 1).
 func Shards() int { return core.Shards() }
 
+// SetWorkers configures parallel event dispatch for every subsequently
+// built experiment kernel: between commit barriers, each shard's
+// independent events run on their own OS thread (see internal/sim's
+// conservative-window notes). Like shard counts, workers are a pure
+// performance knob — committed event order, virtual times and every
+// counter are bit-identical at every value. Engages only when the
+// kernel is also sharded (SetShards > 1).
+func SetWorkers(n int) { core.SetWorkers(n) }
+
+// Workers reports the configured dispatch worker count (minimum 1).
+func Workers() int { return core.Workers() }
+
 type (
 	// ScaleConfig parameterizes the production-scale AnswersCount sweep.
 	ScaleConfig = core.ScaleConfig

@@ -117,8 +117,34 @@ type Cluster struct {
 	// maps onto shards rack-contiguously. Zero/one means unsharded.
 	shards int
 
+	// Fabric traffic counters. Sharded clusters keep one padded slot per
+	// shard, indexed by the sending process's shard: confined senders
+	// inside a parallel window then increment a slot their worker owns
+	// exclusively, and BytesSent/Messages sum at read time (serial).
 	bytesSent int64
 	messages  int64
+	traffic   []trafficSlot
+}
+
+// trafficSlot is one shard's fabric counters, padded to a cache line so
+// neighboring shards' window workers never write-share.
+type trafficSlot struct {
+	bytes int64
+	msgs  int64
+	_     [48]byte
+}
+
+// accountXfer attributes an inter-node message to the sending process's
+// shard slot (or the scalar counters when unsharded).
+func (c *Cluster) accountXfer(p *sim.Proc, bytes int64) {
+	if c.traffic == nil {
+		c.bytesSent += bytes
+		c.messages++
+		return
+	}
+	s := &c.traffic[p.Shard()]
+	s.bytes += bytes
+	s.msgs++
 }
 
 // New builds a cluster of n nodes.
@@ -193,10 +219,22 @@ func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
 
 // BytesSent returns total bytes moved across the fabric (excludes
 // intra-node copies).
-func (c *Cluster) BytesSent() int64 { return c.bytesSent }
+func (c *Cluster) BytesSent() int64 {
+	n := c.bytesSent
+	for i := range c.traffic {
+		n += c.traffic[i].bytes
+	}
+	return n
+}
 
 // Messages returns the total inter-node message count.
-func (c *Cluster) Messages() int64 { return c.messages }
+func (c *Cluster) Messages() int64 {
+	n := c.messages
+	for i := range c.traffic {
+		n += c.traffic[i].msgs
+	}
+	return n
+}
 
 // fabricFor picks the transport between two nodes under spec f: intra-node
 // messages use shared memory regardless of the requested fabric.
@@ -211,6 +249,11 @@ func (c *Cluster) fabricFor(src, dst int, f FabricSpec) FabricSpec {
 // over fabric f, charging the calling process the full path: sender
 // overhead, NIC occupancy at both ends (with FIFO contention), wire
 // latency and receiver overhead. It returns at delivery time.
+//
+// Xfer holds the destination's NIC — another shard's state when the
+// transfer crosses racks — so it is a synchronized-path primitive: a
+// shard-confined process must not reach it (the MPI eager-threshold
+// guard enforces this for rendezvous sends).
 func (c *Cluster) Xfer(p *sim.Proc, src, dst int, bytes int64, f FabricSpec) {
 	f = c.fabricFor(src, dst, f)
 	if src == dst {
@@ -219,8 +262,7 @@ func (c *Cluster) Xfer(p *sim.Proc, src, dst int, bytes int64, f FabricSpec) {
 		p.Sleep(f.SendOverhead + f.Occupancy(bytes) + f.Latency + f.RecvOverhead)
 		return
 	}
-	c.bytesSent += bytes
-	c.messages++
+	c.accountXfer(p, bytes)
 	p.Sleep(f.SendOverhead)
 	occ := f.Occupancy(bytes)
 	if st := c.nicStretch(src, dst); st != 1 {
@@ -237,11 +279,11 @@ func (c *Cluster) Xfer(p *sim.Proc, src, dst int, bytes int64, f FabricSpec) {
 	}
 	d.rx.Acquire(p, 1)
 	p.Sleep(occ)
-	d.rx.Release(1)
+	d.rx.ReleaseBy(p, 1)
 	if uplink != nil {
-		uplink.Release(1)
+		uplink.ReleaseBy(p, 1)
 	}
-	s.tx.Release(1)
+	s.tx.ReleaseBy(p, 1)
 	p.Sleep(f.Latency + f.RecvOverhead)
 }
 
@@ -255,11 +297,10 @@ func (c *Cluster) XferAsync(p *sim.Proc, src, dst int, bytes int64, f FabricSpec
 	if src == dst {
 		// Intra-node: fixed-cost injection, one event.
 		p.Sleep(f.SendOverhead + f.Occupancy(bytes))
-		c.AfterAt(dst, f.Latency, deliver)
+		c.afterAtFrom(p, dst, f.Latency, deliver)
 		return
 	}
-	c.bytesSent += bytes
-	c.messages++
+	c.accountXfer(p, bytes)
 	p.Sleep(f.SendOverhead)
 	occ := f.Occupancy(bytes)
 	if st := c.Nodes[src].NICScale(); st != 1 {
@@ -268,10 +309,10 @@ func (c *Cluster) XferAsync(p *sim.Proc, src, dst int, bytes int64, f FabricSpec
 	s := c.Nodes[src]
 	s.tx.Acquire(p, 1)
 	p.Sleep(occ)
-	s.tx.Release(1)
+	s.tx.ReleaseBy(p, 1)
 	// Delivery executes on the receiver's shard: a cross-rack message
 	// lands in the destination shard's inbox and heapifies in a batch.
-	c.AfterAt(dst, f.Latency, deliver)
+	c.afterAtFrom(p, dst, f.Latency, deliver)
 }
 
 // Compute charges the process d of single-core compute time.

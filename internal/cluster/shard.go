@@ -39,6 +39,9 @@ func (c *Cluster) EnableSharding(n int) {
 	c.K.SetShards(n)
 	if n > 1 {
 		c.K.SetLookahead(c.Fabric.Latency)
+		c.traffic = make([]trafficSlot, n)
+	} else {
+		c.traffic = nil
 	}
 }
 
@@ -79,4 +82,26 @@ func (c *Cluster) SpawnOnNode(node int, name string, body func(p *sim.Proc)) *si
 // primitive for message deliveries and remote timers.
 func (c *Cluster) AfterAt(node int, d time.Duration, fn func()) {
 	c.K.AfterOn(c.ShardOfNode(node), d, fn)
+}
+
+// SpawnOnNodeConfined spawns a shard-confined process on the shard
+// hosting node. A confined process's wakes and callbacks are
+// confined-class events, eligible for parallel window execution
+// (sim.Kernel.SetParallel); the caller guarantees it only touches
+// state local to its shard between synchronization points.
+func (c *Cluster) SpawnOnNodeConfined(node int, name string, body func(p *sim.Proc)) *sim.Proc {
+	return c.K.SpawnOnConfined(c.ShardOfNode(node), name, body)
+}
+
+// afterAtFrom schedules fn after d on the shard hosting node, on behalf
+// of process p. A confined sender posting to its own shard stays in the
+// confined class (window-eligible, and legal inside a window); anything
+// else routes through the synchronized class exactly like AfterAt.
+func (c *Cluster) afterAtFrom(p *sim.Proc, node int, d time.Duration, fn func()) {
+	sh := c.ShardOfNode(node)
+	if p.Confined() && sh == p.Shard() {
+		p.After(d, fn)
+		return
+	}
+	p.AfterOn(sh, d, fn)
 }

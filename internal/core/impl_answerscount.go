@@ -93,7 +93,10 @@ func OMPAnswersCount(c *cluster.Cluster, d *workload.StackExchange, nthreads int
 func MPIAnswersCount(c *cluster.Cluster, d *workload.StackExchange, np, ppn int) ACResult {
 	var res ACResult
 	// bp:begin
-	mpi.Launch(c, np, ppn, func(r *mpi.Rank) {
+	// Eager-only job (collective control messages are 8-64 bytes; the bulk
+	// work is local scratch I/O), so ranks launch shard-confined and the
+	// scale sweep's kernel can dispatch shards in parallel windows.
+	mpi.LaunchEager(c, np, ppn, func(r *mpi.Rank) {
 		w := r.World()
 		start := r.Now()
 		// bp:end

@@ -7,18 +7,24 @@ import (
 	"testing"
 )
 
-// TestMain honors HPCBD_SHARDS like the root package: the entire core
-// suite — figures, sweeps, oracles — runs on a sharded kernel. The race
-// soak in `make verify` uses this to drive every experiment at shards=4
-// with concurrent sweep points under the race detector.
+// TestMain honors HPCBD_SHARDS and HPCBD_WORKERS like the root package:
+// the entire core suite — figures, sweeps, oracles — runs on a sharded
+// kernel, with parallel window dispatch when workers > 1. The race soak
+// in `make verify` uses this to drive every experiment at shards=4,
+// workers=4 with concurrent sweep points under the race detector.
 func TestMain(m *testing.M) {
-	if v := os.Getenv("HPCBD_SHARDS"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			fmt.Fprintf(os.Stderr, "bad HPCBD_SHARDS %q\n", v)
-			os.Exit(2)
+	for _, e := range []struct {
+		name string
+		set  func(int)
+	}{{"HPCBD_SHARDS", SetShards}, {"HPCBD_WORKERS", SetWorkers}} {
+		if v := os.Getenv(e.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "bad %s %q\n", e.name, v)
+				os.Exit(2)
+			}
+			e.set(n)
 		}
-		SetShards(n)
 	}
 	os.Exit(m.Run())
 }

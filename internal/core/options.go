@@ -26,6 +26,27 @@ func Shards() int {
 	return 1
 }
 
+// kernelWorkers is the dispatch worker count every experiment kernel is
+// configured with (see sim.Kernel.SetParallel). Like kernelShards it is
+// atomic for concurrent sweep points. Zero/one = serial dispatch.
+var kernelWorkers atomic.Int64
+
+// SetWorkers configures the parallel-dispatch worker count for all
+// subsequently built experiment clusters. Workers, like shards, are a
+// pure performance knob: committed event order, virtual times and every
+// counter are bit-identical at every value — the parallel-invariance
+// tests pin that contract. Parallel dispatch engages only when the
+// kernel is also sharded (Shards() > 1) with a lookahead bound.
+func SetWorkers(n int) { kernelWorkers.Store(int64(n)) }
+
+// Workers reports the configured worker count (minimum 1).
+func Workers() int {
+	if n := int(kernelWorkers.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
 // Options scales the experiments. Full() reproduces the paper's
 // configurations (logical sizes; physical samples stay small); Quick()
 // shrinks everything for unit tests.
@@ -141,7 +162,11 @@ func Quick() Options {
 // shard count (SetShards) is applied before any runtime spawns, so
 // processes land on their nodes' shards.
 func newCluster(seed int64, n int) *cluster.Cluster {
-	c := cluster.Comet(sim.NewKernel(seed), n)
+	k := sim.NewKernel(seed)
+	if w := Workers(); w > 1 {
+		k.SetParallel(w)
+	}
+	c := cluster.Comet(k, n)
 	if s := Shards(); s > 1 {
 		c.EnableSharding(s)
 	}

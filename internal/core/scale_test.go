@@ -59,3 +59,45 @@ func TestScaleSweepShardInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestScaleSweepWorkerInvariance pins the tentpole contract at the
+// experiment level: parallel window dispatch changes nothing about the
+// simulated results — times, event counts, oracle agreement — while
+// demonstrably running a nonzero fraction of the event stream inside
+// windows.
+func TestScaleSweepWorkerInvariance(t *testing.T) {
+	o := Quick()
+	run := func(workers int) []ScalePoint {
+		return ScaleSweep(o, ScaleConfig{NodeCounts: []int{36, 54}, PPN: 2, RackSize: 18, Oversub: 4, Shards: 4, Workers: workers})
+	}
+	ref := run(1)
+	for i := range ref {
+		if ref[i].Windowed != 0 {
+			t.Fatalf("serial dispatch reported windowed events: %+v", ref[i])
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		for i := range ref {
+			if got[i].SimSeconds != ref[i].SimSeconds || got[i].Events != ref[i].Events {
+				t.Fatalf("workers=%d point %d: (sim=%v events=%d), want (sim=%v events=%d)",
+					workers, i,
+					got[i].SimSeconds, got[i].Events, ref[i].SimSeconds, ref[i].Events)
+			}
+			if !got[i].OK {
+				t.Fatalf("workers=%d point %d: oracle mismatch", workers, i)
+			}
+			if got[i].Workers != workers {
+				t.Errorf("workers=%d point %d: telemetry reports %d workers", workers, i, got[i].Workers)
+			}
+			if got[i].Windowed == 0 {
+				t.Errorf("workers=%d point %d: no events ran inside windows (windowed=%.3f indep=%.3f)",
+					workers, i, got[i].Windowed, got[i].Independence)
+			}
+			if got[i].Windowed > got[i].Independence {
+				t.Errorf("workers=%d point %d: windowed fraction %.3f exceeds independence ceiling %.3f",
+					workers, i, got[i].Windowed, got[i].Independence)
+			}
+		}
+	}
+}

@@ -27,6 +27,9 @@ type ScalePoint struct {
 	Shards       int     // event shards used
 	Cross        int64   // cross-shard inbox traffic
 	Independence float64 // lookahead-independent fraction of commits
+
+	Workers  int     // dispatch workers (1 = serial loop)
+	Windowed float64 // fraction of commits executed inside parallel windows
 }
 
 // ScaleConfig parameterizes the production-scale sweep.
@@ -36,6 +39,7 @@ type ScaleConfig struct {
 	Shards     int   // event shards (0 = one per rack)
 	RackSize   int   // fat-tree rack size (Comet: 18 nodes, 4:1)
 	Oversub    float64
+	Workers    int // dispatch workers (0/1 = serial dispatch)
 }
 
 // DefaultScaleConfig returns the sweep the sharded kernel was built for:
@@ -77,7 +81,11 @@ func ScaleSweep(o Options, cfg ScaleConfig) []ScalePoint {
 			shards = (nodes/cfg.RackSize + 7) / 8
 		}
 		start := time.Now()
-		c := cluster.Comet(sim.NewKernel(o.Seed), nodes)
+		k := sim.NewKernel(o.Seed)
+		if cfg.Workers > 1 {
+			k.SetParallel(cfg.Workers)
+		}
+		c := cluster.Comet(k, nodes)
 		c.EnableFatTree(cfg.RackSize, cfg.Oversub)
 		c.EnableSharding(shards)
 		d := workload.NewStackExchange(o.Seed, o.ACBytes, o.ACRecordBytes, o.ACStride)
@@ -100,7 +108,9 @@ func ScaleSweep(o Options, cfg ScaleConfig) []ScalePoint {
 		}
 		if st.Events > 0 {
 			pt.Independence = float64(st.Independent) / float64(st.Events)
+			pt.Windowed = float64(st.WindowEvents) / float64(st.Events)
 		}
+		pt.Workers = st.Workers
 		pts[i] = pt
 	})
 	return pts
@@ -111,7 +121,7 @@ func ScaleTable(pts []ScalePoint) Table {
 	t := Table{
 		ID:      "scale-sweep",
 		Title:   "Production-scale AnswersCount (MPI) on the sharded kernel",
-		Columns: []string{"Nodes", "Procs", "Sim time", "Events", "Events/s (host)", "Shards", "Cross", "Indep", "OK"},
+		Columns: []string{"Nodes", "Procs", "Sim time", "Events", "Events/s (host)", "Shards", "Workers", "Cross", "Indep", "Windowed", "OK"},
 	}
 	for _, p := range pts {
 		t.Rows = append(t.Rows, []string{
@@ -121,8 +131,10 @@ func ScaleTable(pts []ScalePoint) Table {
 			fmt.Sprintf("%d", p.Events),
 			fmt.Sprintf("%.2fM", p.EventsPerSec/1e6),
 			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%d", p.Workers),
 			fmt.Sprintf("%d", p.Cross),
 			fmt.Sprintf("%.0f%%", p.Independence*100),
+			fmt.Sprintf("%.0f%%", p.Windowed*100),
 			fmt.Sprintf("%v", p.OK),
 		})
 	}

@@ -19,6 +19,12 @@ import (
 // fn(j) share nothing mutable; assembly of results must be by index,
 // never by completion order.
 //
+// A panic in fn(i) does not hang or kill the run: every worker drains,
+// remaining points are skipped, and the panic with the lowest point
+// index re-panics on the caller's goroutine — the same deterministic
+// choice at every width, including the serial width-1 loop (which stops
+// at the first panicking index).
+//
 // When the budget is 1 (or n is 1), ForEach degrades to a plain serial
 // loop on the caller's goroutine — the baseline execution the
 // determinism tests compare against.
@@ -37,21 +43,62 @@ func ForEach(n int, fn func(i int)) {
 		return
 	}
 	var next int64 = -1
+	var pc panicCollector
 	var wg sync.WaitGroup
 	wg.Add(width)
 	for w := 0; w < width; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for pc.ok() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				func() {
+					defer pc.capture(i)
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	pc.repanic()
+}
+
+// panicCollector captures panics from concurrent point functions and
+// re-panics the one with the lowest index — a deterministic choice no
+// matter which worker hit which point first.
+type panicCollector struct {
+	mu       sync.Mutex
+	panicked atomic.Bool
+	idx      int
+	val      any
+}
+
+// ok reports whether work should continue (no panic captured yet).
+func (pc *panicCollector) ok() bool { return !pc.panicked.Load() }
+
+// capture is used as a deferred call around one point; it records a
+// panic (keeping the lowest index seen) instead of letting it escape
+// into the worker goroutine.
+func (pc *panicCollector) capture(i int) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	pc.mu.Lock()
+	if !pc.panicked.Load() || i < pc.idx {
+		pc.idx, pc.val = i, r
+	}
+	pc.panicked.Store(true)
+	pc.mu.Unlock()
+}
+
+// repanic re-raises the captured panic, if any, on the caller.
+func (pc *panicCollector) repanic() {
+	if pc.panicked.Load() {
+		panic(pc.val)
+	}
 }
 
 // ForEachWidth returns the parallelism ForEach will use for large n:

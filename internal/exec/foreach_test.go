@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -40,6 +41,57 @@ func TestForEachZeroAndNegative(t *testing.T) {
 	ForEach(-3, func(int) { ran = true })
 	if ran {
 		t.Fatal("ForEach ran fn for n <= 0")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	// A panicking point must neither hang the width-N run (lost worker,
+	// stuck wg.Wait) nor kill the process; the panic with the lowest
+	// index must reach the caller at every width, including serial.
+	for _, width := range []int{1, 2, 4, 8} {
+		SetForEachWidth(width)
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("width=%d: panic did not propagate", width)
+				}
+				if r != "point-3" {
+					t.Fatalf("width=%d: got panic %v, want point-3 (lowest index)", width, r)
+				}
+			}()
+			ForEach(64, func(i int) {
+				ran.Add(1)
+				if i == 3 || i == 40 {
+					panic(fmt.Sprintf("point-%d", i))
+				}
+			})
+		}()
+		if ran.Load() == 0 {
+			t.Fatalf("width=%d: nothing ran", width)
+		}
+	}
+	SetForEachWidth(0)
+}
+
+func TestForEachStopsClaimingAfterPanic(t *testing.T) {
+	SetForEachWidth(4)
+	defer SetForEachWidth(0)
+	var ran atomic.Int32
+	func() {
+		defer func() { _ = recover() }()
+		ForEach(1 << 16, func(i int) {
+			ran.Add(1)
+			if i == 0 {
+				panic("early")
+			}
+		})
+	}()
+	// Workers drain their claimed points and stop: the run must not have
+	// churned through anything close to the full 65536 points.
+	if n := ran.Load(); n > 1<<12 {
+		t.Fatalf("ran %d points after an index-0 panic", n)
 	}
 }
 

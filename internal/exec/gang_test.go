@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGangRunsAllTasks(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 7} {
+		g := NewGang(size)
+		var hits [129]int32
+		for round := 0; round < 3; round++ {
+			for i := range hits {
+				hits[i] = 0
+			}
+			g.Run(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("size %d: task %d ran %d times", size, i, h)
+				}
+			}
+		}
+		g.Close()
+	}
+}
+
+func TestGangStaticAssignment(t *testing.T) {
+	// Task i must always land on worker i mod size: per-task worker slots
+	// written without synchronization race iff the assignment drifts.
+	g := NewGang(3)
+	defer g.Close()
+	n := 10
+	got := make([]int64, n)
+	g.Run(n, func(i int) { got[i]++ }) // data race here would trip -race if two workers shared a task
+	for i := range got {
+		if got[i] != 1 {
+			t.Fatalf("task %d ran %d times", i, got[i])
+		}
+	}
+}
+
+func TestGangFewerTasksThanWorkers(t *testing.T) {
+	g := NewGang(8)
+	defer g.Close()
+	var n atomic.Int32
+	g.Run(3, func(i int) { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatalf("ran %d of 3 tasks", n.Load())
+	}
+	g.Run(0, func(i int) { t.Error("task ran for n=0") })
+}
+
+func TestGangPanicPropagatesLowestIndex(t *testing.T) {
+	for _, size := range []int{1, 2, 4} {
+		g := NewGang(size)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("size %d: panic did not propagate", size)
+				}
+				if r != "boom-1" {
+					t.Fatalf("size %d: got panic %v, want boom-1 (lowest index)", size, r)
+				}
+			}()
+			g.Run(6, func(i int) {
+				if i == 1 || i == 5 {
+					panic(fmt.Sprintf("boom-%d", i))
+				}
+			})
+		}()
+		// The gang must still be usable after a panicking round.
+		var n atomic.Int32
+		g.Run(4, func(i int) { n.Add(1) })
+		if n.Load() != 4 {
+			t.Fatalf("size %d: gang broken after panic: ran %d of 4", size, n.Load())
+		}
+		g.Close()
+	}
+}

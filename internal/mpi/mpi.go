@@ -92,6 +92,22 @@ type Rank struct {
 // default). The job's completion can be awaited with Wait from another
 // simulated process; or use Run for the common run-to-completion case.
 func Launch(c *cluster.Cluster, np, ppn int, body func(r *Rank)) *World {
+	return launch(c, np, ppn, body, false)
+}
+
+// LaunchEager is Launch for eager-only jobs: every point-to-point message
+// stays at or below the eager threshold (8 KB), so no rank ever holds a
+// remote NIC or parks in a rendezvous. Such ranks are spawned shard-
+// confined, which makes them eligible for parallel window execution under
+// sim.Kernel.SetParallel. Confinement is dropped automatically when
+// message faults are enabled — retransmission timers and fate-coin state
+// are cluster-global, so faulty worlds run synchronized. A rank that
+// nonetheless issues a rendezvous-size Send panics.
+func LaunchEager(c *cluster.Cluster, np, ppn int, body func(r *Rank)) *World {
+	return launch(c, np, ppn, body, !c.NetFaultsEnabled())
+}
+
+func launch(c *cluster.Cluster, np, ppn int, body func(r *Rank), confined bool) *World {
 	if np <= 0 || ppn <= 0 {
 		panic("mpi: np and ppn must be positive")
 	}
@@ -110,14 +126,23 @@ func Launch(c *cluster.Cluster, np, ppn int, body func(r *Rank)) *World {
 		r := &Rank{world: w, rank: i, node: i / ppn, p: nil}
 		w.ranks = append(w.ranks, r)
 	}
+	spawn := c.SpawnOnNode
+	if confined {
+		spawn = c.SpawnOnNodeConfined
+	}
 	for i := 0; i < np; i++ {
 		r := w.ranks[i]
 		w.wg.Add(1)
-		c.SpawnOnNode(r.node, fmt.Sprintf("mpi.rank%d", i), func(p *sim.Proc) {
+		spawn(r.node, fmt.Sprintf("mpi.rank%d", i), func(p *sim.Proc) {
 			r.p = p
 			body(r)
-			w.finished++
-			w.wg.Done()
+			// World completion state (finished, the waitgroup and whoever
+			// it wakes) is cross-shard; a confined rank finishing inside a
+			// parallel window defers the update to the commit barrier.
+			p.Serial(func() {
+				w.finished++
+				w.wg.Done()
+			})
 		})
 	}
 	return w

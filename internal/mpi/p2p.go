@@ -81,6 +81,12 @@ func (c *Comm) clearNetwork(r *Rank, dr *Rank, bytes int64, f cluster.FabricSpec
 	if !cl.NetFaultsEnabled() || r.node == dr.node {
 		return true
 	}
+	if r.p.Confined() {
+		// LaunchEager drops confinement when faults are on at launch;
+		// reaching here means faults were enabled mid-run under a
+		// confined world, which the fate-coin state cannot support.
+		panic("mpi: message faults enabled under a shard-confined world (launch with Launch, not LaunchEager)")
+	}
 	seq := cl.NextMsgSeq(mpiStream, r.node, dr.node)
 	if cl.FateOf(r.node, dr.node, mpiStream, seq, 0) == cluster.FateDeliver {
 		return true
@@ -142,6 +148,9 @@ func (c *Comm) Send(r *Rank, dst, tag int, payload any, bytes int64) {
 	// Rendezvous: RTS, wait for CTS, then transfer payload. Losing the
 	// RTS kills the whole exchange: without it the receiver never sends
 	// CTS, so the fragile sender parks forever too.
+	if r.p.Confined() {
+		panic(fmt.Sprintf("mpi: rendezvous send (%d bytes > eager threshold %d) from a shard-confined rank; use Launch instead of LaunchEager", bytes, cm.MPIEagerThreshold))
+	}
 	if !c.clearNetwork(r, dr, rtsBytes, f) {
 		c.world.lostRendezvous(r)
 		return
@@ -183,12 +192,12 @@ func (q *Request) Wait(r *Rank) Message { return q.done.Wait(r.p) }
 // charged only the call overhead; the transfer proceeds in a background
 // simulated process.
 func (c *Comm) Isend(r *Rank, dst, tag int, payload any, bytes int64) *Request {
-	k := c.world.Cluster.K
 	req := &Request{}
 	// The background proc inherits the rank's identity for matching
 	// purposes but runs on its own virtual thread, as a real MPI progress
-	// engine would.
-	k.Spawn("mpi.isend", func(p *sim.Proc) { // static name: one progress proc per message makes Sprintf a hot-path alloc
+	// engine would. Spawning through the rank's proc keeps the progress
+	// thread on the rank's shard with the rank's confinement.
+	r.p.Spawn("mpi.isend", func(p *sim.Proc) { // static name: one progress proc per message makes Sprintf a hot-path alloc
 		shadow := &Rank{world: r.world, rank: r.rank, node: r.node, p: p}
 		c.Send(shadow, dst, tag, payload, bytes)
 		r.sends++
@@ -201,9 +210,8 @@ func (c *Comm) Isend(r *Rank, dst, tag int, payload any, bytes int64) *Request {
 
 // Irecv starts a non-blocking receive.
 func (c *Comm) Irecv(r *Rank, src, tag int) *Request {
-	k := c.world.Cluster.K
 	req := &Request{}
-	k.Spawn("mpi.irecv", func(p *sim.Proc) {
+	r.p.Spawn("mpi.irecv", func(p *sim.Proc) {
 		// The shadow runs on its own virtual thread but matches against
 		// the real rank's queues.
 		shadow := &Rank{world: r.world, rank: r.rank, node: r.node, p: p}
@@ -235,6 +243,9 @@ func (c *Comm) recvOn(owner, exec *Rank, src, tag int) Message {
 	if e.eager {
 		exec.p.Sleep(f.RecvOverhead)
 		return Message{Src: e.src, Tag: e.tag, Bytes: e.bytes, Payload: e.payload}
+	}
+	if exec.p.Confined() {
+		panic("mpi: rendezvous receive on a shard-confined rank; use Launch instead of LaunchEager")
 	}
 	k := c.world.Cluster.K
 	k.After(f.TransferTime(rtsBytes), func() { e.cts.Complete(struct{}{}) })

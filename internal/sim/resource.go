@@ -54,13 +54,16 @@ func (r *Resource) InUse() int64 { return r.used }
 // QueueLen returns the number of processes waiting to acquire.
 func (r *Resource) QueueLen() int { return len(r.waiters) - r.whead }
 
-// account closes the utilization interval [lastEvent, now] using the
-// usage level that prevailed during it; call before mutating used.
-func (r *Resource) account() {
+// account closes the utilization interval [lastEvent, t] using the
+// usage level that prevailed during it; call before mutating used. The
+// time is explicit because a process inside a parallel window observes
+// its window's clock, not the kernel's serial clock — proc-carrying
+// entry points pass p.Now(), proc-less ones the kernel clock.
+func (r *Resource) account(t Time) {
 	if r.used > 0 {
-		r.busyTime += r.k.now - r.lastEvent
+		r.busyTime += t - r.lastEvent
 	}
-	r.lastEvent = r.k.now
+	r.lastEvent = t
 }
 
 // Acquire blocks the process until n units are available, FIFO-fair.
@@ -76,7 +79,7 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	r.acquires++
 	// FIFO fairness: even if n units are free, queue behind earlier waiters.
 	if r.whead == len(r.waiters) && r.used+n <= r.capacity {
-		r.account()
+		r.account(p.Now())
 		r.used += n
 		return
 	}
@@ -86,30 +89,51 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 }
 
 // TryAcquire acquires n units without blocking; it reports whether it
-// succeeded.
+// succeeded. Serial-loop only: it has no process to date the
+// acquisition with, so it must not be reached from a parallel window.
 func (r *Resource) TryAcquire(n int64) bool {
 	if n <= 0 {
 		return true
+	}
+	if r.k.inWindow {
+		panic(fmt.Sprintf("sim: TryAcquire of %q inside a parallel window (use Acquire)", r.name))
 	}
 	if r.whead < len(r.waiters) || r.used+n > r.capacity {
 		return false
 	}
 	r.acquires++
-	r.account()
+	r.account(r.k.now)
 	r.used += n
 	return true
 }
 
 // Release returns n units and grants queued waiters in FIFO order.
-// It may be called from any running process or kernel callback.
+// It may be called from any running process or kernel callback on the
+// serial loop; a confined process inside a parallel window must use
+// ReleaseBy, which carries the releasing process's clock.
 func (r *Resource) Release(n int64) {
+	if r.k.inWindow {
+		panic(fmt.Sprintf("sim: bare Release of %q inside a parallel window (use ReleaseBy)", r.name))
+	}
+	r.release(r.k.now, n)
+}
+
+// ReleaseBy returns n units on behalf of process p, accounting the
+// utilization interval at p's clock. Inside a parallel window the
+// resource must be shard-local to p — that is the confinement
+// discipline — so the FIFO waiters it wakes are on p's shard too.
+func (r *Resource) ReleaseBy(p *Proc, n int64) {
+	r.release(p.Now(), n)
+}
+
+func (r *Resource) release(t Time, n int64) {
 	if n <= 0 {
 		return
 	}
 	if n > r.used {
 		panic(fmt.Sprintf("sim: release %d exceeds in-use %d of %q", n, r.used, r.name))
 	}
-	r.account()
+	r.account(t)
 	r.used -= n
 	for r.whead < len(r.waiters) && r.used+r.waiters[r.whead].n <= r.capacity {
 		w := r.waiters[r.whead]
@@ -128,7 +152,7 @@ func (r *Resource) Release(n int64) {
 // time fn consumes.
 func (r *Resource) Use(p *Proc, n int64, fn func()) {
 	r.Acquire(p, n)
-	defer r.Release(n)
+	defer r.ReleaseBy(p, n)
 	fn()
 }
 
@@ -137,7 +161,7 @@ func (r *Resource) Use(p *Proc, n int64, fn func()) {
 func (r *Resource) UseFor(p *Proc, n int64, d time.Duration) {
 	r.Acquire(p, n)
 	p.Sleep(d)
-	r.Release(n)
+	r.ReleaseBy(p, n)
 }
 
 // Utilization returns the fraction of elapsed virtual time during which at

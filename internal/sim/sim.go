@@ -79,9 +79,30 @@ type Kernel struct {
 	drains      int64
 	indepEvents int64
 
+	// Parallel window dispatch (see parallel.go). par is the configured
+	// worker count; the gang, contexts and telemetry are built lazily by
+	// the first window. inWindow is true exactly while a gang round is
+	// executing shard windows; it is written only by the serial
+	// coordinator around the gang barrier, so window workers read a
+	// stable value.
+	par       int
+	gang      *exec.Gang
+	win       []*winCtx // per-shard window contexts, built lazily
+	winAt     []*winCtx // active context per shard during a window
+	winRun    []*winCtx // contexts participating in the current window
+	inWindow  bool
+	windows   int64
+	winEvents int64
+
 	// Trace, when non-nil, receives one line per scheduling decision.
 	// Intended for debugging tests; nil in normal operation.
 	Trace func(format string, args ...any)
+
+	// commitAudit, when non-nil, observes every committed event key in
+	// commit order — serial pops as they execute, window commits as the
+	// barrier fold resolves them. Test-only (the property suite asserts
+	// the keys form a strictly increasing (time, seq) sequence).
+	commitAudit func(key evKey, window bool)
 }
 
 // NewKernel returns a kernel with the given deterministic random seed.
@@ -104,8 +125,16 @@ func (k *Kernel) SetPool(p *exec.Pool) { k.pool = p }
 func (k *Kernel) Now() Time { return k.now }
 
 // Rand returns the kernel's deterministic random source. It must only be
-// used from simulated processes (or before Run), never concurrently.
-func (k *Kernel) Rand() *rand.Rand { return k.rng }
+// used from simulated processes (or before Run), never concurrently. RNG
+// draw order is part of the determinism contract, so confined processes
+// executing inside a parallel window must not draw randomness; Rand
+// panics there.
+func (k *Kernel) Rand() *rand.Rand {
+	if k.inWindow {
+		panic("sim: Kernel.Rand inside a parallel window (confined code must not draw randomness)")
+	}
+	return k.rng
+}
 
 // Proc is a simulated process. A Proc is only valid inside the function it
 // was spawned with, and all of its methods must be called from that
@@ -115,6 +144,18 @@ type Proc struct {
 	id    int
 	name  string
 	shard int // event shard this proc's wake events route to
+	// confined marks a process whose body only ever touches state owned
+	// by its own shard (its node's resources, its rank's queues, its own
+	// futures) and only interacts across shards through cross-shard
+	// event posts. Confined processes' wake events are confined-class
+	// and may execute inside a parallel window (see parallel.go); the
+	// flag is fixed at spawn — inherited through Proc.Spawn — so an
+	// event's class never changes while queued.
+	confined bool
+	// ctx is the window context executing this process, non-nil exactly
+	// while it runs inside a parallel window; set by the window worker
+	// before resuming the coroutine, cleared when the process yields.
+	ctx *winCtx
 	// next resumes the proc's coroutine (called only by Run's dispatcher
 	// loop); yield suspends it, returning control to that next call;
 	// stop tears the coroutine down (Shutdown). Control transfer is a
@@ -162,8 +203,18 @@ func (p *Proc) Shard() int { return p.shard }
 // locality hint and never observable in simulated results.
 func (p *Proc) SetShard(s int) { p.shard = p.k.clampShard(s) }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
+// Confined reports whether the process was spawned shard-confined (see
+// Kernel.SpawnOnConfined).
+func (p *Proc) Confined() bool { return p.confined }
+
+// Now returns the current virtual time as observed by this process —
+// inside a parallel window, the window's local clock.
+func (p *Proc) Now() Time {
+	if w := p.ctx; w != nil {
+		return w.now
+	}
+	return p.k.now
+}
 
 // event is either a process wake-up or a callback.
 type event struct {
@@ -186,7 +237,10 @@ type event struct {
 // fresh start event at the current time, exactly as a newly created
 // process would.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
-	return k.spawn(name, body, k.curShard)
+	if k.inWindow {
+		panic("sim: Kernel.Spawn inside a parallel window (use Proc.Spawn)")
+	}
+	return k.spawn(name, body, k.curShard, false)
 }
 
 // SpawnOn is Spawn with an explicit event-shard placement (clamped into
@@ -194,10 +248,40 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 // long-lived node-resident processes so their events land on their
 // rack's shard; short-lived children inherit the spawner's shard.
 func (k *Kernel) SpawnOn(shard int, name string, body func(p *Proc)) *Proc {
-	return k.spawn(name, body, k.clampShard(shard))
+	if k.inWindow {
+		panic("sim: Kernel.SpawnOn inside a parallel window (use Proc.Spawn)")
+	}
+	return k.spawn(name, body, k.clampShard(shard), false)
 }
 
-func (k *Kernel) spawn(name string, body func(p *Proc), shard int) *Proc {
+// SpawnOnConfined is SpawnOn for a shard-confined process: the caller
+// asserts that body touches only state owned by shard — its node's
+// resources, its own message queues and futures — and reaches other
+// shards only through cross-shard posts (which the kernel classes
+// synchronized). Confined processes are eligible to execute inside
+// parallel windows under SetParallel; the flag changes nothing at all
+// about serial semantics or results, it only widens what the window
+// executor may run concurrently. Children spawned via Proc.Spawn and
+// callbacks posted via Proc.After inherit the confinement.
+func (k *Kernel) SpawnOnConfined(shard int, name string, body func(p *Proc)) *Proc {
+	if k.inWindow {
+		panic("sim: Kernel.SpawnOnConfined inside a parallel window (use Proc.Spawn)")
+	}
+	return k.spawn(name, body, k.clampShard(shard), true)
+}
+
+// Spawn creates a child process on the spawner's shard, inheriting its
+// confinement class. It is the only way to spawn from inside a parallel
+// window (protocol shadows: progress engines, fetchers), and is
+// equivalent to Kernel.Spawn for unconfined processes elsewhere.
+func (p *Proc) Spawn(name string, body func(q *Proc)) *Proc {
+	if w := p.ctx; w != nil {
+		return w.spawn(name, body, p.shard, p.confined)
+	}
+	return p.k.spawn(name, body, p.shard, p.confined)
+}
+
+func (k *Kernel) spawn(name string, body func(p *Proc), shard int, confined bool) *Proc {
 	var p *Proc
 	if n := len(k.free); n > 0 {
 		p = k.free[n-1]
@@ -219,6 +303,7 @@ func (k *Kernel) spawn(name string, body func(p *Proc), shard int) *Proc {
 		k.procs = append(k.procs, p)
 	}
 	p.shard = shard
+	p.confined = confined
 	k.nextID++
 	k.live++
 	k.schedule(k.now, p)
@@ -245,9 +330,19 @@ func (p *Proc) coro(yield func(struct{}) bool) {
 		p.body(p)
 		p.body = nil
 		p.FlushCharge() // a deferred charge still elapses before exit
-		k.live--
 		p.finished = true
-		k.free = append(k.free, p)
+		if w := p.ctx; w != nil {
+			// Finished inside a parallel window: rejoin that shard's
+			// context-local free list so the next in-window spawn on
+			// this shard reuses the coroutine without touching kernel
+			// state. The context keeps its pool across windows.
+			w.liveDelta--
+			p.ctx = nil
+			w.free = append(w.free, p)
+		} else {
+			k.live--
+			k.free = append(k.free, p)
+		}
 		if !yield(struct{}{}) || k.dead {
 			return
 		}
@@ -266,28 +361,118 @@ func (k *Kernel) After(d time.Duration, fn func()) {
 // range). Cross-shard deliveries — fabric messages arriving at a remote
 // rack — should name the destination's shard so the event enqueues into
 // that shard's inbox; plain After inherits the executing context's
-// shard.
+// shard. Kernel callbacks are synchronized-class: they run only on the
+// serial loop (confined code posts via Proc.After / Proc.AfterOn).
 func (k *Kernel) AfterOn(shard int, d time.Duration, fn func()) {
+	if k.inWindow {
+		panic("sim: Kernel.After/AfterOn inside a parallel window (use Proc.After or Proc.AfterOn)")
+	}
 	if d < 0 {
 		d = 0
 	}
-	k.pushEvent(event{t: k.now.Add(d), seq: k.seq, fn: fn}, k.clampShard(shard))
+	k.pushEvent(event{t: k.now.Add(d), seq: k.seq, fn: fn}, k.clampShard(shard), true)
 	k.seq++
 }
 
-// schedule enqueues a wake event for p on p's shard.
+// After schedules fn at the process's time plus d, on the process's own
+// shard, inheriting the process's confinement class: a callback posted
+// by a confined process (a same-rack message delivery, a device
+// completion) is itself confined and may run inside a parallel window.
+// For unconfined processes this is exactly Kernel.After.
+func (p *Proc) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	if w := p.ctx; w != nil {
+		w.push(event{t: w.now.Add(d), fn: fn})
+		return
+	}
+	k := p.k
+	k.pushEvent(event{t: k.now.Add(d), seq: k.seq, fn: fn}, p.shard, !p.confined)
+	k.seq++
+}
+
+// AfterOn schedules fn at the process's time plus d on an explicit
+// shard. Cross-shard posts are synchronized-class — they execute on the
+// serial loop — and from inside a parallel window they must land at or
+// beyond the window bound, which the conservative lookahead guarantees
+// whenever d is at least the configured lookahead (the minimum
+// cross-shard fabric latency); a shorter post panics, surfacing a
+// misconfigured lookahead instead of corrupting the event order.
+func (p *Proc) AfterOn(shard int, d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	sh := k.clampShard(shard)
+	if w := p.ctx; w != nil {
+		t := w.now.Add(d)
+		if sh == w.shard {
+			w.push(event{t: t, fn: fn})
+			return
+		}
+		if t < w.bound.t {
+			panic(fmt.Sprintf("sim: cross-shard post at %v below window bound %v (lookahead exceeds the posting latency)", t, w.bound.t))
+		}
+		w.pushRemote(event{t: t, fn: fn}, sh)
+		return
+	}
+	k.pushEvent(event{t: k.now.Add(d), seq: k.seq, fn: fn}, sh, true)
+	k.seq++
+}
+
+// Serial runs fn exactly once at this event's position in the committed
+// global order: immediately when the process is executing serially, or
+// replayed at the barrier in commit order when it is executing inside a
+// parallel window. Use it for the rare touch of kernel-global or
+// cross-shard state on an otherwise confined path (a run-wide counter,
+// a WaitGroup). fn must not block; state it touches must not also be
+// read by confined code inside the same window.
+func (p *Proc) Serial(fn func()) {
+	if w := p.ctx; w != nil {
+		w.ops = append(w.ops, winOp{kind: opSerial, fn: fn})
+		return
+	}
+	fn()
+}
+
+// schedule enqueues a wake event for p on p's shard, confined-class iff
+// p is confined. Inside a parallel window the wake routes to p's
+// shard's window context; by the confinement discipline the waker is on
+// that same shard, so the context clock is the waker's clock.
 func (k *Kernel) schedule(t Time, p *Proc) {
+	if w := k.winOf(p); w != nil {
+		w.schedule(t, p)
+		return
+	}
+	if k.inWindow {
+		panic(fmt.Sprintf("sim: wake of %q outside its window (cross-shard or unconfined wake from confined code)", p.name))
+	}
 	if p.pending {
 		panic(fmt.Sprintf("sim: process %q scheduled twice", p.name))
 	}
 	p.pending = true
-	k.pushEvent(event{t: t, seq: k.seq, p: p}, p.shard)
+	k.pushEvent(event{t: t, seq: k.seq, p: p}, p.shard, !p.confined)
 	k.seq++
+}
+
+// winOf returns the window context executing p's shard, or nil outside
+// windows (and for shards not participating in the current window).
+func (k *Kernel) winOf(p *Proc) *winCtx {
+	if !k.inWindow || k.winAt == nil {
+		return nil
+	}
+	return k.winAt[p.shard]
 }
 
 // wake makes a parked process runnable at the current virtual time.
 // It is the low-level primitive used by resources, channels and futures.
 func (k *Kernel) wake(p *Proc) {
+	if w := k.winOf(p); w != nil {
+		w.parkedDelta--
+		w.schedule(w.now, p)
+		return
+	}
 	k.parked--
 	k.schedule(k.now, p)
 }
@@ -305,6 +490,30 @@ func (k *Kernel) wake(p *Proc) {
 // coroutines, which surfaces here as yield returning false.
 func (p *Proc) park() {
 	k := p.k
+	if w := p.ctx; w != nil {
+		// Parking inside a parallel window: advance this shard's window
+		// instead of the global loop. ctx is cleared before yielding —
+		// the process may be resumed serially later; a window worker
+		// re-establishes it before resuming.
+		if w.dispatchFrom(p) == dispSelf {
+			return
+		}
+		p.ctx = nil
+		if !p.yield(struct{}{}) || k.dead {
+			panic(procKilled{})
+		}
+		return
+	}
+	if k.par > 1 {
+		// Parallel dispatch configured: always yield to Run, so the
+		// dispatcher can attempt to open a window between events. Same
+		// committed order as the self-dispatch fast path, one extra
+		// coroutine switch.
+		if !p.yield(struct{}{}) || k.dead {
+			panic(procKilled{})
+		}
+		return
+	}
 	if k.dispatchFrom(p) == dispSelf {
 		return
 	}
@@ -324,7 +533,11 @@ func (p *Proc) Sleep(d time.Duration) {
 		d += p.charge
 		p.charge = 0
 	}
-	p.k.schedule(p.k.now.Add(d), p)
+	if w := p.ctx; w != nil {
+		w.schedule(w.now.Add(d), p)
+	} else {
+		p.k.schedule(p.k.now.Add(d), p)
+	}
 	p.park()
 }
 
@@ -357,7 +570,11 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // block parks the process with no pending event; some other process or
 // callback must wake it via Kernel.wake.
 func (p *Proc) block() {
-	p.k.parked++
+	if w := p.ctx; w != nil {
+		w.parkedDelta++
+	} else {
+		p.k.parked++
+	}
 	p.park()
 }
 
@@ -384,6 +601,9 @@ func (k *Kernel) dispatchFrom(self *Proc) int {
 		k.nev++
 		if e.t < k.now {
 			panic("sim: event queue went backwards")
+		}
+		if k.commitAudit != nil {
+			k.commitAudit(evKey{t: e.t, seq: e.seq}, false)
 		}
 		k.now = e.t
 		if e.fn != nil {
@@ -419,10 +639,15 @@ func (k *Kernel) Run() Time {
 	}
 	k.ran = true
 	defer func() { totalEvents.Add(k.nev) }()
+	defer k.closeGang()
 	yieldEvery := int64(2048)
 	nextYield := k.nev + yieldEvery
+	par := k.par > 1 && k.shards != nil && k.lookahead > 0
 	for {
 		if k.handoff == nil {
+			if par && k.Trace == nil && k.tryWindow() {
+				continue
+			}
 			if k.dispatchFrom(nil) != dispHanded {
 				return k.now
 			}
@@ -490,4 +715,8 @@ func (k *Kernel) Shutdown() {
 	k.shards = nil
 	k.mins = nil
 	k.nq = 0
+	k.closeGang()
+	k.win = nil
+	k.winAt = nil
+	k.winRun = nil
 }

@@ -15,20 +15,27 @@ import (
 // in the environment overrides it.
 //
 // HPCBD_SHARDS=<n> runs the entire binary — golden captures included —
-// on the sharded event kernel. The golden-compare harness uses this to
-// prove byte-identical output at every shard count:
+// on the sharded event kernel, and HPCBD_WORKERS=<n> adds parallel
+// window dispatch on top. The golden-compare harness uses these to
+// prove byte-identical output at every shard and worker count:
 //
 //	HPCBD_GOLDEN=/tmp/g.txt go test -run TestGoldenCapture
 //	HPCBD_SHARDS=4 HPCBD_GOLDEN_CMP=/tmp/g.txt go test -run TestGoldenCapture
+//	HPCBD_SHARDS=4 HPCBD_WORKERS=4 HPCBD_GOLDEN_CMP=/tmp/g.txt go test -run TestGoldenCapture
 func TestMain(m *testing.M) {
 	gctune.Apply()
-	if v := os.Getenv("HPCBD_SHARDS"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			fmt.Fprintf(os.Stderr, "bad HPCBD_SHARDS %q\n", v)
-			os.Exit(2)
+	for _, e := range []struct {
+		name string
+		set  func(int)
+	}{{"HPCBD_SHARDS", SetShards}, {"HPCBD_WORKERS", SetWorkers}} {
+		if v := os.Getenv(e.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "bad %s %q\n", e.name, v)
+				os.Exit(2)
+			}
+			e.set(n)
 		}
-		SetShards(n)
 	}
 	os.Exit(m.Run())
 }

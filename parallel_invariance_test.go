@@ -1,0 +1,172 @@
+package hpcbd
+
+// Worker-invariance regression tests for parallel window dispatch: every
+// simulated output must be bit-identical at every dispatch worker count.
+// The conservative-window executor changes which host thread runs a
+// confined event, never the committed order, timestamps, or RNG draws —
+// so workers=1 (today's serial kernel) and workers=NumCPU must agree to
+// the last bit. These mirror the shard-invariance suite; the combined
+// test pins shards + workers + payload pool at once.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"hpcbd/internal/exec"
+)
+
+// withWorkers runs fn with the experiment dispatch worker count pinned
+// to n, restoring the previous setting (e.g. an HPCBD_WORKERS override)
+// afterwards. Windows only open on a sharded kernel, so the parallel
+// cases also pin shards=4.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prevW, prevS := Workers(), Shards()
+	SetWorkers(n)
+	if n > 1 {
+		SetShards(4)
+	} else {
+		SetShards(1)
+	}
+	defer func() {
+		SetWorkers(prevW)
+		SetShards(prevS)
+	}()
+	fn()
+}
+
+// workerCounts is the sweep the determinism contract is enforced at:
+// serial, small counts, and the host's CPU count.
+func workerCounts() []int {
+	out := []int{1, 2, 4}
+	if c := runtime.NumCPU(); c > 4 {
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestFig4WorkerInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref Figure
+	var refRes map[string]AnswersCountResult
+	withWorkers(t, 1, func() { ref, refRes = Fig4(o) })
+	for _, n := range workerCounts()[1:] {
+		var fig Figure
+		var res map[string]AnswersCountResult
+		withWorkers(t, n, func() { fig, res = Fig4(o) })
+		if !reflect.DeepEqual(ref, fig) {
+			t.Errorf("Fig4 series differ between workers=1 and workers=%d", n)
+		}
+		if !reflect.DeepEqual(refRes, res) {
+			t.Errorf("Fig4 results differ between workers=1 and workers=%d", n)
+		}
+	}
+}
+
+func TestScaleSweepWorkerInvarianceFacade(t *testing.T) {
+	o := QuickOptions()
+	cfg := DefaultScaleConfig()
+	cfg.NodeCounts = []int{36, 72}
+	cfg.PPN, cfg.RackSize = 2, 18
+	cfg.Shards = 4
+	ref := ScaleSweep(o, cfg)
+	cfg.Workers = 4
+	got := ScaleSweep(o, cfg)
+	for i := range ref {
+		if got[i].SimSeconds != ref[i].SimSeconds || got[i].Events != ref[i].Events || !got[i].OK {
+			t.Errorf("scale point %d differs between workers=1 and workers=4: %+v vs %+v", i, ref[i], got[i])
+		}
+		if got[i].Windowed == 0 {
+			t.Errorf("scale point %d: no events ran inside windows at workers=4", i)
+		}
+	}
+}
+
+// TestMasterSweepWorkerInvariance drives a control-plane failure sweep —
+// the workload densest in cross-shard synchronized events — through the
+// window executor. Fault-injected kernels confine nothing (faults force
+// every rank onto the synchronized path), so this pins the degenerate
+// case: windows may open and hold zero runnable work, and the results
+// must still match bit-for-bit.
+func TestMasterSweepWorkerInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref, got MasterSweepResult
+	withWorkers(t, 1, func() { ref = MasterSweep(o) })
+	withWorkers(t, 4, func() { got = MasterSweep(o) })
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("master sweep differs between workers=1 and workers=4:\nworkers1: %+v\nworkers4: %+v", ref, got)
+	}
+}
+
+// TestShardWorkerPoolInvariance pins all three host-parallelism knobs at
+// once — event-queue shards, dispatch workers, payload pool — against
+// the fully serial baseline.
+func TestShardWorkerPoolInvariance(t *testing.T) {
+	o := QuickOptions()
+	var ref, got Figure
+	var refRes, gotRes map[string]AnswersCountResult
+	withWorkers(t, 1, func() {
+		exec.SetDefaultSize(1)
+		defer exec.SetDefaultSize(0)
+		ref, refRes = Fig4(o)
+	})
+	withWorkers(t, 4, func() {
+		exec.SetDefaultSize(8)
+		defer exec.SetDefaultSize(0)
+		got, gotRes = Fig4(o)
+	})
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("Fig4 differs between (shards=1, workers=1, pool=1) and (shards=4, workers=4, pool=8)")
+	}
+	if !reflect.DeepEqual(refRes, gotRes) {
+		t.Errorf("Fig4 results differ between (shards=1, workers=1, pool=1) and (shards=4, workers=4, pool=8)")
+	}
+}
+
+// TestParallelSpeedupGate is the perf acceptance gate: on a
+// multi-core host, parallel dispatch at workers=4 must retire simulator
+// events at least 2x faster than serial dispatch on the production-scale
+// sweep. Hosts without enough CPUs cannot realize wall-clock speedup
+// from thread parallelism, so the gate skips there (the determinism
+// suite above still runs the executor end to end).
+func TestParallelSpeedupGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup gate needs the full-size sweep; run without -short")
+	}
+	if c := runtime.NumCPU(); c < 4 {
+		t.Skipf("host has %d CPU(s); wall-clock speedup from 4 dispatch workers is unrealizable", c)
+	}
+	o := QuickOptions()
+	cfg := DefaultScaleConfig()
+	cfg.NodeCounts = []int{1000, 2000, 4000}
+	cfg.Shards = 4
+	// Sweep points normally run concurrently; pin them sequential so the
+	// measurement isolates dispatch parallelism from point parallelism.
+	exec.SetForEachWidth(1)
+	defer exec.SetForEachWidth(0)
+	rate := func(workers int) float64 {
+		c := cfg
+		c.Workers = workers
+		start := time.Now()
+		pts := ScaleSweep(o, c)
+		elapsed := time.Since(start).Seconds()
+		var events int64
+		for _, p := range pts {
+			if !p.OK {
+				t.Fatalf("workers=%d: %d-node point disagrees with the serial oracle", workers, p.Nodes)
+			}
+			events += p.Events
+		}
+		return float64(events) / elapsed
+	}
+	serial := rate(1)
+	parallel := rate(4)
+	speedup := parallel / serial
+	t.Logf("events/sec: serial %.3g, workers=4 %.3g, speedup %.2fx", serial, parallel, speedup)
+	if speedup < 2 {
+		t.Errorf("workers=4 speedup %.2fx below the 2x gate (serial %.3g ev/s, parallel %.3g ev/s)",
+			speedup, serial, parallel)
+	}
+}
