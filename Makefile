@@ -20,7 +20,7 @@ test:
 
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/... ./internal/sim/... ./internal/exec/... ./internal/cluster/... ./internal/ha/... ./internal/dfs/... ./internal/mapred/... ./internal/chaos/...
+	$(GO) test -race -count=5 ./internal/rdd/... ./internal/transport/... ./internal/sim/... ./internal/exec/... ./internal/cluster/... ./internal/ha/... ./internal/dfs/... ./internal/mapred/... ./internal/chaos/... ./internal/rm/...
 	# Multi-shard soak: the whole quick suite on a 4-way sharded kernel
 	# with concurrent sweep points, under the race detector.
 	HPCBD_SHARDS=4 $(GO) test -race -short -count=1 .
@@ -33,8 +33,8 @@ race:
 	HPCBD_SHARDS=4 HPCBD_WORKERS=4 $(GO) test -race -count=1 ./internal/core/...
 
 # Every fault-injection sweep (node crashes, lossy network, master
-# kills, split-brain partitions, gray-node tails) at test scale, with
-# their determinism and shape checks.
+# kills, split-brain partitions, gray-node tails, resource-exhaustion
+# overload) at test scale, with their determinism and shape checks.
 chaos:
 	$(GO) run ./cmd/chaos-bench -quick
 

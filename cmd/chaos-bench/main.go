@@ -18,9 +18,15 @@
 // measurably lose acknowledged writes, and plain MPI deadlocks even
 // though the cut heals. The tail-latency sweep (-mode tail) runs a sustained read +
 // shuffle workload at increasing gray-node fractions, mitigations off vs
-// on, with plain MPI pacing at the slowest rank as the contrast. Each
-// sweep runs twice so the determinism claim — identical seed, identical
-// virtual timings and recovery counters — is checked, not asserted.
+// on, with plain MPI pacing at the slowest rank as the contrast. The
+// overload sweep (-mode overload) submits a seeded job storm against a
+// cluster whose RAM and scratch disks are squeezed by external hogs,
+// comparing an arm with spill, OOM escalation, fetch credits, write
+// redirect and admission control against the same stack with all of it
+// off, plus statically allocated MPI that fails whole at the first
+// refused reservation. Each sweep runs twice so the determinism claim —
+// identical seed, identical virtual timings and recovery counters — is
+// checked, not asserted.
 package main
 
 import (
@@ -36,7 +42,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run the scaled-down test configuration")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit the raw sweep results as JSON (suppresses tables)")
-	mode := flag.String("mode", "all", "which sweeps to run: all, fault (chaos+transport+master+partition), partition or tail")
+	mode := flag.String("mode", "all", "which sweeps to run: all, fault (chaos+transport+master+partition), partition, tail or overload")
 	shards := flag.Int("shards", 0, "event-queue shards per kernel (0 = unsharded); results are identical for every count")
 	workers := flag.Int("workers", 0, "parallel dispatch workers per kernel (0 = serial; needs -shards > 1 to engage); results are identical for every count")
 	flag.Parse()
@@ -50,8 +56,9 @@ func main() {
 	runFault := *mode == "all" || *mode == "fault"
 	runPart := runFault || *mode == "partition"
 	runTail := *mode == "all" || *mode == "tail"
-	if !runFault && !runPart && !runTail {
-		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, fault, partition or tail)\n", *mode)
+	runOver := *mode == "all" || *mode == "overload"
+	if !runFault && !runPart && !runTail && !runOver {
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, fault, partition, tail or overload)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -63,6 +70,7 @@ func main() {
 		Master    *hpcbd.MasterSweepResult    `json:"master,omitempty"`
 		Partition *hpcbd.PartitionSweepResult `json:"partition,omitempty"`
 		Tail      *hpcbd.TailSweepResult      `json:"tail,omitempty"`
+		Overload  *hpcbd.OverloadSweepResult  `json:"overload,omitempty"`
 	}{}
 	okMsg := ""
 
@@ -103,6 +111,17 @@ func main() {
 			okMsg += "; "
 		}
 		okMsg += "adaptive timeouts + ejection + hedging + retry budget cut gray-node p99 tails >= 2x at no material clean-run cost while plain MPI runs at the slowest rank's pace"
+	}
+	if runOver {
+		va := hpcbd.OverloadSweep(o)
+		vb := hpcbd.OverloadSweep(o) // second run, same seed: must match va exactly
+		out.Overload = &va
+		tabs = append(tabs, hpcbd.OverloadTables(va)...)
+		bad = append(bad, hpcbd.CheckOverloadSweep(va, vb)...)
+		if okMsg != "" {
+			okMsg += "; "
+		}
+		okMsg += "under memory and disk exhaustion the spill + escalation + fetch-credit + redirect + admission stack keeps completing jobs at >= 2x the unmitigated goodput while the off arm collapses into an OOM retry spiral and statically allocated MPI fails whole at its first refused reservation"
 	}
 
 	if *jsonOut {

@@ -144,6 +144,27 @@ func TestTailSweepPoolInvariance(t *testing.T) {
 	}
 }
 
+// TestOverloadSweepPoolInvariance verifies the resource-exhaustion
+// sweep — task-memory claims, spill decisions, admission queueing,
+// fetch-credit stalls, write redirects and all — is bit-identical
+// whether the compute pool runs one worker or eight, and that the
+// sweep's shape checks hold on the pool-8 output.
+func TestOverloadSweepPoolInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var a, b OverloadSweepResult
+	withPool(t, 1, func() { a = OverloadSweep(o) })
+	withPool(t, 8, func() { b = OverloadSweep(o) })
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("overload sweep differs between pool sizes 1 and 8:\npool1: %+v\npool8: %+v", a, b)
+	}
+	for _, v := range CheckOverloadSweep(a, b) {
+		t.Errorf("overload sweep pool invariance: %s", v)
+	}
+}
+
 // TestPartitionSweepPoolInvariance verifies the split-brain sweep —
 // quorum counting, fenced step-downs, stale-suffix truncations, epoch
 // bumps and all — is bit-identical whether the compute pool runs one

@@ -89,6 +89,16 @@ type (
 	// TailMPIPoint is one plain-MPI contrast measurement of a
 	// TailSweepResult series.
 	TailMPIPoint = core.TailMPIPoint
+	// OverloadSweepResult is the resource-exhaustion sweep: a seeded job
+	// storm against hogged RAM and full disks, mitigations off vs on,
+	// with a statically allocated plain-MPI contrast arm.
+	OverloadSweepResult = core.OverloadSweepResult
+	// OverloadPoint is one (load, pressure, mitigation arm) measurement
+	// of an OverloadSweepResult series.
+	OverloadPoint = core.OverloadPoint
+	// OverloadMPIPoint is one static-allocation MPI contrast measurement
+	// of an OverloadSweepResult series.
+	OverloadMPIPoint = core.OverloadMPIPoint
 )
 
 // FullOptions returns the paper-scale experiment configuration.
@@ -268,6 +278,29 @@ func TailTables(r TailSweepResult) []Table { return core.TailTables(r) }
 // between two runs of the same options.
 func CheckTailSweep(a, b TailSweepResult) []string {
 	return core.CheckTailSweep(a, b)
+}
+
+// OverloadSweep runs the resource-exhaustion sweep: a seeded job storm
+// at increasing offered loads against a cluster whose RAM is hogged on
+// every node and whose scratch disks are filled on half of them, once
+// with every task claiming its full working set or dying, once with the
+// mitigation set — task-memory spill, OOM retry escalation with
+// memory-aware placement, credit-bounded shuffle fetches, full-disk
+// write redirect and deterministic admission control — plus plain MPI
+// whose static up-front allocation fails the whole job at the first
+// refused reservation.
+func OverloadSweep(o Options) OverloadSweepResult { return core.OverloadSweep(o) }
+
+// OverloadTables renders an OverloadSweepResult as report tables.
+func OverloadTables(r OverloadSweepResult) []Table { return core.OverloadTables(r) }
+
+// CheckOverloadSweep verifies the overload sweep's documented shapes —
+// off-arm collapse under pressure, the mitigated arm's goodput hold,
+// machinery engagement, admission honesty, the MPI static-allocation
+// contrast — including bit-exact determinism between two runs of the
+// same options.
+func CheckOverloadSweep(a, b OverloadSweepResult) []string {
+	return core.CheckOverloadSweep(a, b)
 }
 
 // AblationMRMPI reproduces the related-work claims ([36],[37]): MapReduce

@@ -63,6 +63,25 @@ const (
 	GrayStart
 	// GrayEnd restores the gray node to full performance.
 	GrayEnd
+	// MemHogStart lets an external hog (a co-tenant, a leaking daemon)
+	// claim Factor of the node's RAM via the cluster memory accounting.
+	// If tasks already hold memory the hog takes whatever is free up to
+	// its target — exactly what a real greedy process would get. Health
+	// stays Alive: the machine is slow and swappy, not dead.
+	MemHogStart
+	// MemHogEnd releases everything the hog on this node claimed.
+	MemHogEnd
+	// DiskFillStart claims Factor of the node's scratch-disk capacity
+	// for an external filler (taking whatever is free up to that
+	// target; Factor 1 fills the disk completely). No-op on disks
+	// without capacity accounting.
+	DiskFillStart
+	// DiskFillEnd releases the filler's claim on the node's scratch disk.
+	DiskFillEnd
+	// JobSubmit fires the engine's OnJob hook with the event's Count as
+	// the job index — the building block of JobStorm offered-load bursts.
+	// Node is ignored: submission is a cluster-level act.
+	JobSubmit
 )
 
 func (k Kind) String() string {
@@ -93,6 +112,16 @@ func (k Kind) String() string {
 		return "gray-start"
 	case GrayEnd:
 		return "gray-end"
+	case MemHogStart:
+		return "mem-hog"
+	case MemHogEnd:
+		return "mem-hog-end"
+	case DiskFillStart:
+		return "disk-fill"
+	case DiskFillEnd:
+		return "disk-fill-end"
+	case JobSubmit:
+		return "job-submit"
 	}
 	return "unknown"
 }
@@ -119,6 +148,9 @@ func (e Event) netLevel() bool {
 }
 
 func (e Event) String() string {
+	if e.Kind == JobSubmit {
+		return fmt.Sprintf("%8.3fs job-submit #%d", e.At.Seconds(), e.Count)
+	}
 	if e.netLevel() {
 		s := fmt.Sprintf("%8.3fs net %s", e.At.Seconds(), e.Kind)
 		switch e.Kind {
@@ -137,6 +169,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" n=%d", e.Count)
 	case GrayStart:
 		s += fmt.Sprintf(" x%.1f loss=%.3f", e.Factor, e.Loss)
+	case MemHogStart, DiskFillStart:
+		s += fmt.Sprintf(" frac=%.2f", e.Factor)
 	}
 	return s
 }
@@ -408,6 +442,76 @@ func GrayNodes(seed int64, nodes, count int, factor, loss float64, at, length ti
 	return p
 }
 
+// MemPressure builds an overload plan: `count` distinct nodes each host
+// an external memory hog that claims `frac` of the node's RAM at `at`
+// and releases it after `length` (forever when length is zero). Victims
+// come from the same seeded-permutation prefix construction as
+// GrayNodes/Stragglers, so the victim set at a lower count is a strict
+// prefix of the set at any higher count for the same seed — raising the
+// pressure level only adds pressured nodes, which makes "goodput falls
+// as pressure rises" a checkable shape.
+func MemPressure(seed int64, nodes, count int, frac float64, at, length time.Duration, opts CrashOpts) *Plan {
+	return hogPlan(seed, nodes, count, frac, at, length, opts, MemHogStart, MemHogEnd)
+}
+
+// DiskFull builds the disk analogue of MemPressure: `count` distinct
+// nodes have `frac` of their scratch capacity claimed by an external
+// filler at `at`, released after `length` (forever when length is
+// zero). Same seeded prefix-nested victim construction — and the same
+// seed as a MemPressure plan picks the same victims, so combined
+// memory+disk pressure lands on the same machines, the worst (and most
+// realistic) case.
+func DiskFull(seed int64, nodes, count int, frac float64, at, length time.Duration, opts CrashOpts) *Plan {
+	return hogPlan(seed, nodes, count, frac, at, length, opts, DiskFillStart, DiskFillEnd)
+}
+
+// hogPlan is the shared seeded windowed-pressure construction behind
+// MemPressure and DiskFull.
+func hogPlan(seed int64, nodes, count int, frac float64, at, length time.Duration, opts CrashOpts, start, end Kind) *Plan {
+	p := &Plan{}
+	if frac <= 0 || nodes <= 0 {
+		return p
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(nodes)
+	spared := spareSet(opts.Spare)
+	picked := 0
+	for _, n := range perm {
+		if picked >= count {
+			break
+		}
+		if spared[n] {
+			continue
+		}
+		picked++
+		p.Events = append(p.Events, Event{At: at, Node: n, Kind: start, Factor: frac})
+		if length > 0 {
+			p.Events = append(p.Events, Event{At: at + length, Node: n, Kind: end})
+		}
+	}
+	p.sort()
+	return p
+}
+
+// JobStorm builds a seeded burst of `count` concurrent job submissions
+// spread uniformly over [at, at+spread) (all at `at` when spread is
+// zero). Each event carries its job index in Count; the Engine fires its
+// OnJob hook per event. The offered-load axis of the overload sweeps:
+// the same seed always yields the same submission times.
+func JobStorm(seed int64, count int, at, spread time.Duration) *Plan {
+	p := &Plan{}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < count; i++ {
+		t := at
+		if spread > 0 {
+			t += time.Duration(rng.Int63n(int64(spread)))
+		}
+		p.Events = append(p.Events, Event{At: t, Kind: JobSubmit, Count: i})
+	}
+	p.sort()
+	return p
+}
+
 // MasterKill builds the control-plane assassination plan: crash exactly
 // the given node (no Spare list protects it — typically node 0, where
 // the namenode, Spark driver, and job tracker live) at `at`, recovering
@@ -462,6 +566,11 @@ func FlappingPartition(minority []int, at, period time.Duration, cycles int) *Pl
 type Engine struct {
 	C *cluster.Cluster
 
+	// OnJob, when set, receives each JobSubmit event's job index — the
+	// harness's submission hook for JobStorm plans. Set it after Install
+	// and before the kernel runs; submissions fire on the kernel clock.
+	OnJob func(job int)
+
 	Crashes    int
 	Recoveries int
 	Slowdowns  int
@@ -470,11 +579,25 @@ type Engine struct {
 	Grays      int
 	GrayHeals  int
 
+	// Overload event counters.
+	MemHogs       int
+	MemHogEnds    int
+	DiskFills     int
+	DiskFillEnds  int
+	JobsSubmitted int
+	HoggedBytes   int64 // RAM currently claimed by hogs, total over nodes
+	FilledBytes   int64 // scratch space currently claimed by fillers
+
 	// Fabric-level event counters.
 	LossChanges    int
 	CorruptChanges int
 	Partitions     int
 	Heals          int
+
+	// Per-node outstanding hog claims, so window ends release exactly
+	// what their starts took.
+	hogMem  map[int]int64
+	hogDisk map[int]int64
 }
 
 // Install schedules every plan event on the cluster's kernel, relative to
@@ -482,7 +605,7 @@ type Engine struct {
 // It may be called before Run or from inside a running process (e.g. after
 // input staging, so faults land on the measured region).
 func Install(c *cluster.Cluster, p *Plan) *Engine {
-	e := &Engine{C: c}
+	e := &Engine{C: c, hogMem: make(map[int]int64), hogDisk: make(map[int]int64)}
 	for _, ev := range p.Events {
 		ev := ev
 		c.K.After(ev.At, func() { e.apply(ev) })
@@ -492,6 +615,13 @@ func Install(c *cluster.Cluster, p *Plan) *Engine {
 
 func (e *Engine) apply(ev Event) {
 	c := e.C
+	if ev.Kind == JobSubmit {
+		e.JobsSubmitted++
+		if e.OnJob != nil {
+			e.OnJob(ev.Count)
+		}
+		return
+	}
 	if ev.netLevel() {
 		// Fabric events are cluster-wide; Node is ignored. SetMsgLoss and
 		// friends auto-enable the fault model with a default seed —
@@ -581,6 +711,34 @@ func (e *Engine) apply(ev Event) {
 		n.SetNICScale(1)
 		c.SetNodeMsgLoss(ev.Node, 0)
 		e.GrayHeals++
+	case MemHogStart:
+		f := ev.Factor
+		if f <= 0 || f > 1 || math.IsNaN(f) {
+			return
+		}
+		got := c.ClaimMem(ev.Node, int64(f*float64(n.Spec.MemBytes)))
+		e.hogMem[ev.Node] += got
+		e.HoggedBytes += got
+		e.MemHogs++
+	case MemHogEnd:
+		c.ReleaseMem(ev.Node, e.hogMem[ev.Node])
+		e.HoggedBytes -= e.hogMem[ev.Node]
+		delete(e.hogMem, ev.Node)
+		e.MemHogEnds++
+	case DiskFillStart:
+		f := ev.Factor
+		if f <= 0 || f > 1 || math.IsNaN(f) {
+			return
+		}
+		got := c.ClaimDisk(ev.Node, int64(f*float64(n.Scratch.Spec.Capacity)))
+		e.hogDisk[ev.Node] += got
+		e.FilledBytes += got
+		e.DiskFills++
+	case DiskFillEnd:
+		c.ReleaseDisk(ev.Node, e.hogDisk[ev.Node])
+		e.FilledBytes -= e.hogDisk[ev.Node]
+		delete(e.hogDisk, ev.Node)
+		e.DiskFillEnds++
 	}
 }
 
@@ -596,7 +754,8 @@ func (e *Engine) clearDegraded(node int) {
 
 // Summary formats the engine counters on one line.
 func (e *Engine) Summary() string {
-	return fmt.Sprintf("crashes=%d recoveries=%d slowdowns=%d nic=%d diskerr=%d gray=%d loss=%d corrupt=%d partitions=%d heals=%d",
+	return fmt.Sprintf("crashes=%d recoveries=%d slowdowns=%d nic=%d diskerr=%d gray=%d loss=%d corrupt=%d partitions=%d heals=%d memhogs=%d diskfills=%d jobs=%d",
 		e.Crashes, e.Recoveries, e.Slowdowns, e.NICFaults, e.DiskErrors, e.Grays,
-		e.LossChanges, e.CorruptChanges, e.Partitions, e.Heals)
+		e.LossChanges, e.CorruptChanges, e.Partitions, e.Heals,
+		e.MemHogs, e.DiskFills, e.JobsSubmitted)
 }

@@ -185,8 +185,8 @@ func TestEngineAppliesTransitions(t *testing.T) {
 		t.Errorf("node 3 NIC not restored: health %v scale %v", c.Health(3), c.Node(3).NICScale())
 	}
 	want := Engine{C: c, Crashes: 1, Recoveries: 1, Slowdowns: 1, NICFaults: 1, DiskErrors: 2}
-	if *eng != want {
-		t.Errorf("counters %+v, want %+v", *eng, want)
+	if eng.Summary() != want.Summary() {
+		t.Errorf("counters %s, want %s", eng.Summary(), want.Summary())
 	}
 	// The armed disk faults surfaced as ErrDiskFault on exactly the next
 	// two checked reads.
@@ -352,6 +352,175 @@ func TestFlappingPartitionConstruction(t *testing.T) {
 		}
 		if e := p.Events[2*i+1]; e.Kind != PartitionHeal || e.At != start+500*time.Millisecond {
 			t.Fatalf("cycle %d heal: %v", i, e)
+		}
+	}
+}
+
+// The overload constructors share the seeded prefix-nested victim
+// construction with GrayNodes, and MemPressure and DiskFull at the same
+// seed walk the same permutation — combined memory+disk pressure lands
+// on the same machines by construction, not by luck.
+func TestOverloadPlanConstruction(t *testing.T) {
+	p := MemPressure(5, 8, 3, 0.9, time.Second, time.Minute, CrashOpts{Spare: []int{0}})
+	seen := map[int]bool{}
+	starts, ends := 0, 0
+	for _, e := range p.Events {
+		switch e.Kind {
+		case MemHogStart:
+			starts++
+			if e.Node == 0 {
+				t.Fatalf("spared node hogged: %v", e)
+			}
+			if seen[e.Node] {
+				t.Fatalf("node %d hogged twice", e.Node)
+			}
+			seen[e.Node] = true
+			if e.Factor != 0.9 {
+				t.Errorf("frac %v, want 0.9", e.Factor)
+			}
+		case MemHogEnd:
+			ends++
+			if e.At != time.Second+time.Minute {
+				t.Errorf("MemHogEnd at %v, want %v", e.At, time.Second+time.Minute)
+			}
+		default:
+			t.Fatalf("unexpected event kind in a mem-pressure plan: %v", e)
+		}
+	}
+	if starts != 3 || ends != 3 {
+		t.Errorf("%d starts / %d ends, want 3/3", starts, ends)
+	}
+	// Zero length hogs forever: no end events at all.
+	for _, e := range MemPressure(5, 8, 3, 0.9, time.Second, 0, CrashOpts{}).Events {
+		if e.Kind == MemHogEnd {
+			t.Fatalf("zero-length plan has a MemHogEnd: %v", e)
+		}
+	}
+	// Nonpositive pressure is a no-op plan, not a panic.
+	if n := len(MemPressure(5, 8, 3, 0, time.Second, 0, CrashOpts{}).Events); n != 0 {
+		t.Errorf("zero-frac plan has %d events, want 0", n)
+	}
+
+	victims := func(p *Plan, k Kind) map[int]bool {
+		v := map[int]bool{}
+		for _, e := range p.Events {
+			if e.Kind == k {
+				v[e.Node] = true
+			}
+		}
+		return v
+	}
+	mem := victims(MemPressure(11, 10, 6, 0.9, time.Second, 0, CrashOpts{}), MemHogStart)
+	disk := victims(DiskFull(11, 10, 3, 1.0, time.Second, 0, CrashOpts{}), DiskFillStart)
+	if len(disk) != 3 {
+		t.Fatalf("DiskFull picked %d victims, want 3", len(disk))
+	}
+	for n := range disk {
+		if !mem[n] {
+			t.Fatalf("disk victim %d not among the same-seed memory victims %v", n, mem)
+		}
+	}
+}
+
+// JobStorm is the offered-load axis: count submissions with distinct
+// job indices, spread deterministically over the window.
+func TestJobStormConstruction(t *testing.T) {
+	a := JobStorm(7, 12, 5*time.Millisecond, 200*time.Millisecond)
+	b := JobStorm(7, 12, 5*time.Millisecond, 200*time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different storms")
+	}
+	if len(a.Events) != 12 {
+		t.Fatalf("%d events, want 12", len(a.Events))
+	}
+	jobs := map[int]bool{}
+	for i, e := range a.Events {
+		if e.Kind != JobSubmit {
+			t.Fatalf("unexpected kind %v in a storm", e.Kind)
+		}
+		if e.At < 5*time.Millisecond || e.At >= 205*time.Millisecond {
+			t.Fatalf("submission at %v outside [5ms, 205ms)", e.At)
+		}
+		if i > 0 && e.At < a.Events[i-1].At {
+			t.Fatalf("events not sorted: %v", a.Events)
+		}
+		jobs[e.Count] = true
+	}
+	if len(jobs) != 12 {
+		t.Fatalf("job indices not distinct: %v", jobs)
+	}
+	// Zero spread: every submission at the same instant.
+	for _, e := range JobStorm(7, 3, time.Second, 0).Events {
+		if e.At != time.Second {
+			t.Fatalf("zero-spread submission at %v", e.At)
+		}
+	}
+}
+
+// The engine end of the overload kinds: hogs claim real accounted
+// bytes, releases return exactly what was claimed, and JobSubmit fires
+// the OnJob hook with the event's index.
+func TestEngineAppliesOverload(t *testing.T) {
+	k := sim.NewKernel(3)
+	c := cluster.Comet(k, 2)
+	c.Node(1).Scratch.SetCapacity(100 << 30)
+	plan := Script(
+		Event{At: time.Millisecond, Node: 1, Kind: MemHogStart, Factor: 0.5},
+		Event{At: time.Millisecond, Node: 1, Kind: DiskFillStart, Factor: 1.0},
+		Event{At: 2 * time.Millisecond, Kind: JobSubmit, Count: 42},
+		Event{At: 3 * time.Millisecond, Node: 1, Kind: MemHogEnd},
+		Event{At: 3 * time.Millisecond, Node: 1, Kind: DiskFillEnd},
+	)
+	eng := Install(c, plan)
+	var gotJob int
+	eng.OnJob = func(job int) { gotJob = job }
+
+	memAt2, diskAt2 := int64(-1), int64(-1)
+	k.After(2500*time.Microsecond, func() {
+		memAt2, diskAt2 = c.Node(1).MemFree(), c.Node(1).Scratch.FreeBytes()
+	})
+	k.Run()
+
+	half := c.Node(1).Spec.MemBytes / 2
+	if memAt2 != c.Node(1).Spec.MemBytes-half {
+		t.Errorf("mid-hog MemFree %d, want %d", memAt2, c.Node(1).Spec.MemBytes-half)
+	}
+	if diskAt2 != 0 {
+		t.Errorf("mid-fill disk free %d, want 0 (frac 1.0 fills completely)", diskAt2)
+	}
+	if c.Node(1).MemFree() != c.Node(1).Spec.MemBytes {
+		t.Errorf("MemHogEnd did not release: free %d", c.Node(1).MemFree())
+	}
+	if c.Node(1).Scratch.FreeBytes() != 100<<30 {
+		t.Errorf("DiskFillEnd did not release: free %d", c.Node(1).Scratch.FreeBytes())
+	}
+	if gotJob != 42 {
+		t.Errorf("OnJob got %d, want 42", gotJob)
+	}
+	if eng.MemHogs != 1 || eng.DiskFills != 1 || eng.JobsSubmitted != 1 {
+		t.Errorf("counters hogs=%d fills=%d jobs=%d, want 1/1/1", eng.MemHogs, eng.DiskFills, eng.JobsSubmitted)
+	}
+	if eng.HoggedBytes != 0 || eng.FilledBytes != 0 {
+		t.Errorf("outstanding bytes after release: mem=%d disk=%d", eng.HoggedBytes, eng.FilledBytes)
+	}
+}
+
+// The overload kinds render like every other plan line: a human reads
+// frac and job index straight off Plan.String().
+func TestOverloadEventRendering(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{At: time.Second, Node: 3, Kind: MemHogStart, Factor: 0.9}, "   1.000s node3 mem-hog frac=0.90"},
+		{Event{At: time.Second, Node: 3, Kind: MemHogEnd}, "   1.000s node3 mem-hog-end"},
+		{Event{At: 2 * time.Second, Node: 1, Kind: DiskFillStart, Factor: 1}, "   2.000s node1 disk-fill frac=1.00"},
+		{Event{At: 2 * time.Second, Node: 1, Kind: DiskFillEnd}, "   2.000s node1 disk-fill-end"},
+		{Event{At: 5 * time.Millisecond, Kind: JobSubmit, Count: 42}, "   0.005s job-submit #42"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("%v renders %q, want %q", c.e.Kind, got, c.want)
 		}
 	}
 }

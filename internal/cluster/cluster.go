@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hpcbd/internal/sim"
@@ -51,7 +52,13 @@ type Node struct {
 	GPU     *GPU          // attached accelerator, nil unless AttachGPU was called
 	tx, rx  *sim.Resource // NIC port occupancy, full duplex
 
-	memUsed int64
+	// memUsed is the node's accounted RAM. Atomic with cache-line padding:
+	// memory-aware task placement and overload hogs read and CAS other
+	// nodes' counters from confined events inside PR 9 parallel windows,
+	// so plain fields would race across gang workers. The padding keeps a
+	// neighboring node's hot counter off this cache line.
+	memUsed atomic.Int64
+	_       [56]byte
 
 	// Chaos performance knobs (see health.go): multipliers on compute
 	// time and NIC occupancy. Zero means 1 (full speed).
@@ -60,25 +67,50 @@ type Node struct {
 }
 
 // MemUsed returns currently-accounted memory on the node.
-func (n *Node) MemUsed() int64 { return n.memUsed }
+func (n *Node) MemUsed() int64 { return n.memUsed.Load() }
 
 // MemFree returns unaccounted memory.
-func (n *Node) MemFree() int64 { return n.Spec.MemBytes - n.memUsed }
+func (n *Node) MemFree() int64 { return n.Spec.MemBytes - n.memUsed.Load() }
 
 // AllocMem accounts a memory allocation; it reports false (allocating
 // nothing) when the node lacks capacity, letting callers spill to disk.
+// Safe from confined events: the CAS loop never over-commits even when
+// two shards' workers race for the last bytes.
 func (n *Node) AllocMem(bytes int64) bool {
-	if n.memUsed+bytes > n.Spec.MemBytes {
-		return false
+	for {
+		cur := n.memUsed.Load()
+		if cur+bytes > n.Spec.MemBytes {
+			return false
+		}
+		if n.memUsed.CompareAndSwap(cur, cur+bytes) {
+			return true
+		}
 	}
-	n.memUsed += bytes
-	return true
+}
+
+// AllocMemUpTo claims as much of bytes as the node can supply (possibly
+// zero) and returns the amount claimed — the primitive behind partial
+// working-set grabs and the chaos memory hog.
+func (n *Node) AllocMemUpTo(bytes int64) int64 {
+	for {
+		cur := n.memUsed.Load()
+		free := n.Spec.MemBytes - cur
+		if free <= 0 || bytes <= 0 {
+			return 0
+		}
+		take := bytes
+		if take > free {
+			take = free
+		}
+		if n.memUsed.CompareAndSwap(cur, cur+take) {
+			return take
+		}
+	}
 }
 
 // FreeMem returns accounted memory.
 func (n *Node) FreeMem(bytes int64) {
-	n.memUsed -= bytes
-	if n.memUsed < 0 {
+	if n.memUsed.Add(-bytes) < 0 {
 		panic("cluster: FreeMem below zero")
 	}
 }
@@ -112,6 +144,12 @@ type Cluster struct {
 	// partition groups applied to every fabric. Nil until enabled.
 	net      *netFaults
 	netWatch []func()
+
+	// Resource-pressure watchers, the memory/disk analogue of WatchNet:
+	// notified whenever an external hog claims or releases node RAM or
+	// scratch capacity (ClaimMem/ClaimDisk and their releases). Runtimes
+	// use this to react to pressure transitions without polling.
+	pressureWatch []func(node int)
 
 	// Shard plan (see shard.go): event-queue shard count; node activity
 	// maps onto shards rack-contiguously. Zero/one means unsharded.
@@ -313,6 +351,52 @@ func (c *Cluster) XferAsync(p *sim.Proc, src, dst int, bytes int64, f FabricSpec
 	// Delivery executes on the receiver's shard: a cross-rack message
 	// lands in the destination shard's inbox and heapifies in a batch.
 	c.afterAtFrom(p, dst, f.Latency, deliver)
+}
+
+// WatchPressure registers a callback invoked (serially, from the chaos
+// path) whenever external memory or disk pressure on a node changes.
+// The analogue of WatchNet for resource exhaustion.
+func (c *Cluster) WatchPressure(fn func(node int)) {
+	c.pressureWatch = append(c.pressureWatch, fn)
+}
+
+func (c *Cluster) notifyPressure(node int) {
+	for _, fn := range c.pressureWatch {
+		fn(node)
+	}
+}
+
+// ClaimMem claims up to bytes of node RAM on behalf of an external hog
+// (a co-tenant, a leaking daemon) and returns the amount actually
+// claimed. Serial-path only: chaos events fire between windows.
+func (c *Cluster) ClaimMem(node int, bytes int64) int64 {
+	got := c.Nodes[node].AllocMemUpTo(bytes)
+	c.notifyPressure(node)
+	return got
+}
+
+// ReleaseMem returns RAM claimed by ClaimMem.
+func (c *Cluster) ReleaseMem(node int, bytes int64) {
+	if bytes > 0 {
+		c.Nodes[node].FreeMem(bytes)
+	}
+	c.notifyPressure(node)
+}
+
+// ClaimDisk claims up to bytes of a node's scratch capacity on behalf of
+// an external filler and returns the amount actually claimed.
+func (c *Cluster) ClaimDisk(node int, bytes int64) int64 {
+	got := c.Nodes[node].Scratch.AllocUpTo(bytes)
+	c.notifyPressure(node)
+	return got
+}
+
+// ReleaseDisk returns scratch capacity claimed by ClaimDisk.
+func (c *Cluster) ReleaseDisk(node int, bytes int64) {
+	if bytes > 0 {
+		c.Nodes[node].Scratch.Free(bytes)
+	}
+	c.notifyPressure(node)
 }
 
 // Compute charges the process d of single-core compute time.

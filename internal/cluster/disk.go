@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"hpcbd/internal/sim"
@@ -12,6 +13,11 @@ import (
 // on another replica) is expected to succeed.
 var ErrDiskFault = errors.New("disk: transient read error")
 
+// ErrDiskFull is the persistent allocation error a full device returns:
+// ENOSPC. Unlike ErrDiskFault, retrying the same device cannot succeed
+// until space is freed; callers redirect to another device or fail.
+var ErrDiskFull = errors.New("disk: device full")
+
 // DiskSpec describes a storage device.
 type DiskSpec struct {
 	Name     string
@@ -19,6 +25,7 @@ type DiskSpec struct {
 	WriteBW  float64 // bytes/s sequential write
 	Latency  time.Duration
 	Channels int64 // internal parallelism: concurrent requests served at full speed
+	Capacity int64 // device capacity in bytes; 0 = unbounded (no space accounting)
 }
 
 // LocalSSD models the 320 GB scratch SSD of a Comet node (sequential
@@ -31,6 +38,7 @@ func LocalSSD() DiskSpec {
 		WriteBW:  5.0e8,
 		Latency:  90 * time.Microsecond,
 		Channels: 4,
+		Capacity: 320 << 30,
 	}
 }
 
@@ -53,6 +61,13 @@ type Disk struct {
 	Spec DiskSpec
 	ch   *sim.Resource
 
+	// used is the space-accounting counter (Alloc/Free), the disk
+	// analogue of Node.memUsed: atomic with trailing padding because
+	// spill decisions and overload fillers touch it from confined events
+	// on different gang workers under the parallel window executor.
+	used atomic.Int64
+	_    [56]byte
+
 	scale         float64 // service-time multiplier (chaos straggler knob), 0 == 1
 	pendingFaults int     // reads that will fail with ErrDiskFault
 
@@ -70,6 +85,81 @@ func NewDisk(k *sim.Kernel, name string, spec DiskSpec) *Disk {
 		ch = 1
 	}
 	return &Disk{Spec: spec, ch: sim.NewResource(k, name, ch)}
+}
+
+// Alloc accounts bytes of device space, mirroring Node.AllocMem: it
+// reports false (allocating nothing) when the device lacks capacity,
+// letting callers redirect the write elsewhere. Disks with a zero
+// Capacity are unbounded and always succeed. Alloc models the space
+// reservation only; callers still charge the transfer via Write.
+func (d *Disk) Alloc(bytes int64) bool {
+	if d.Spec.Capacity <= 0 {
+		return true
+	}
+	for {
+		cur := d.used.Load()
+		if cur+bytes > d.Spec.Capacity {
+			return false
+		}
+		if d.used.CompareAndSwap(cur, cur+bytes) {
+			return true
+		}
+	}
+}
+
+// AllocUpTo claims as much of bytes as the device can supply (possibly
+// zero) and returns the amount claimed — the chaos disk-filler primitive.
+// Unbounded disks claim nothing: there is no capacity to exhaust.
+func (d *Disk) AllocUpTo(bytes int64) int64 {
+	if d.Spec.Capacity <= 0 {
+		return 0
+	}
+	for {
+		cur := d.used.Load()
+		free := d.Spec.Capacity - cur
+		if free <= 0 || bytes <= 0 {
+			return 0
+		}
+		take := bytes
+		if take > free {
+			take = free
+		}
+		if d.used.CompareAndSwap(cur, cur+take) {
+			return take
+		}
+	}
+}
+
+// Free returns space accounted by Alloc.
+func (d *Disk) Free(bytes int64) {
+	if d.Spec.Capacity <= 0 {
+		return
+	}
+	if d.used.Add(-bytes) < 0 {
+		panic("disk: Free below zero")
+	}
+}
+
+// Used returns currently-accounted device space.
+func (d *Disk) Used() int64 { return d.used.Load() }
+
+// FreeBytes returns unaccounted capacity; unbounded disks report the
+// full int64 range.
+func (d *Disk) FreeBytes() int64 {
+	if d.Spec.Capacity <= 0 {
+		return int64(1) << 62
+	}
+	return d.Spec.Capacity - d.used.Load()
+}
+
+// SetCapacity overrides the device capacity (a bench/test hook: overload
+// sweeps shrink scratch disks so saturation is reachable at test scale).
+// Panics if the new capacity is below the space already accounted.
+func (d *Disk) SetCapacity(bytes int64) {
+	if bytes > 0 && d.used.Load() > bytes {
+		panic("disk: SetCapacity below used")
+	}
+	d.Spec.Capacity = bytes
 }
 
 // Read charges the process for reading n bytes sequentially.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"hpcbd/internal/cluster"
 	"hpcbd/internal/sim"
@@ -90,6 +91,21 @@ type Options struct {
 	TailGrayFactor float64 // compute/disk/NIC slowdown on gray nodes
 	TailGrayLoss   float64 // per-message loss floor on gray nodes
 	TailMPIIters   int     // iterations of the plain-MPI contrast loop
+
+	// Overload sweep — resource-exhaustion resilience
+	OverNodes       int           // cluster size (node 0 hosts driver + namenode)
+	OverLoads       []int         // storm sizes: concurrent jobs submitted per point
+	OverTaskMem     int64         // per-task working-set claim (Config.TaskMemory)
+	OverDiskCap     int64         // per-node scratch-disk capacity for the sweep
+	OverOutBytes    int64         // DFS output file written (then deleted) per job
+	OverRecsPerPart int           // records per source partition of the storm job
+	OverRecBytes    int64         // logical bytes per record
+	OverFetchWindow int           // reduce-side fetch credits (mitigated arm)
+	OverAdmit       int           // admission gate: max concurrently active jobs
+	OverQueue       int           // admission gate: max queued jobs before shedding
+	OverSpread      time.Duration // storm submissions spread over this window
+	OverMPIRankMem  int64         // static per-rank allocation of the MPI contrast
+	OverMPIIters    int           // iterations of the MPI contrast loop
 }
 
 // Full returns the paper-scale configuration (logical sizes match the
@@ -130,6 +146,20 @@ func Full() Options {
 		TailGrayFactor: 8,
 		TailGrayLoss:   0.15,
 		TailMPIIters:   40,
+
+		OverNodes:       8,
+		OverLoads:       []int{12, 24},
+		OverTaskMem:     8 << 30,
+		OverDiskCap:     128 << 30,
+		OverOutBytes:    2 << 30,
+		OverRecsPerPart: 1024,
+		OverRecBytes:    1 << 20,
+		OverFetchWindow: 4,
+		OverAdmit:       4,
+		OverQueue:       8,
+		OverSpread:      200 * time.Millisecond,
+		OverMPIRankMem:  16 << 30,
+		OverMPIIters:    20,
 	}
 }
 
@@ -154,6 +184,13 @@ func Quick() Options {
 	o.TailJobs = 6
 	o.TailBlockBytes = 2 << 20
 	o.TailMPIIters = 20
+	o.OverNodes = 6
+	o.OverLoads = []int{6, 12}
+	o.OverOutBytes = 512 << 20
+	o.OverRecsPerPart = 512
+	o.OverAdmit = 3
+	o.OverQueue = 4
+	o.OverMPIIters = 10
 	return o
 }
 

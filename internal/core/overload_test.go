@@ -1,0 +1,24 @@
+package core
+
+import "testing"
+
+// TestOverloadSweep runs the resource-exhaustion sweep twice at test
+// scale and validates every documented shape: determinism across runs,
+// off-arm honesty, the collapse of the unmitigated arm at the top
+// pressure, the >= 2x goodput hold from the mitigations, the machinery
+// demonstrably engaged, and statically allocated MPI failing whole at
+// the first refused reservation.
+func TestOverloadSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep is slow; run without -short")
+	}
+	o := Quick()
+	a := OverloadSweep(o)
+	b := OverloadSweep(o)
+	for _, msg := range CheckOverloadSweep(a, b) {
+		t.Error(msg)
+	}
+	for _, tab := range OverloadTables(a) {
+		t.Log("\n" + tab.String())
+	}
+}

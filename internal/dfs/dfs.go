@@ -41,6 +41,18 @@ type Config struct {
 	// answer — the classic tail-latency defence against gray datanodes.
 	// Off by default, leaving the read path byte-identical.
 	Hedge bool
+	// TrackDisk charges every stored replica against its datanode disk's
+	// finite capacity (cluster.Disk.Alloc): a write that finds the disk
+	// full drops the replica (the file is born under-replicated) unless
+	// WriteRedirect saves it. Off by default — capacity is ignored and
+	// the write path is byte-identical to the pre-overload engine.
+	TrackDisk bool
+	// WriteRedirect, with TrackDisk, redirects a replica write whose
+	// target disk is full to the first live datanode with room instead
+	// of dropping it, and is the flag gating "full disks are never
+	// re-replication targets" — the DFS mitigation arm of the overload
+	// sweep.
+	WriteRedirect bool
 }
 
 // DefaultConfig returns HDFS-era defaults (128 MiB blocks, 3 replicas).
@@ -105,6 +117,17 @@ func (b *blockMeta) dropReplica(rep int) {
 	}
 	b.replicas = keep
 	delete(b.corrupt, rep)
+}
+
+// swapReplica rewrites the replica entry `from` to `to` in place (write
+// redirection), keeping placement order.
+func (b *blockMeta) swapReplica(from, to int) {
+	for i, r := range b.replicas {
+		if r == from {
+			b.replicas[i] = to
+			return
+		}
+	}
 }
 
 type fileMeta struct {
@@ -178,6 +201,10 @@ type DFS struct {
 	readLat    transport.LatencyEstimator // profile of recent block reads
 	hedgesSent int64
 	hedgeWins  int64
+
+	// Disk-pressure counters (active only with cfg.TrackDisk)
+	redirectedWrites  int64 // replica writes moved to a non-full datanode
+	fullWriteFailures int64 // replicas dropped because no datanode had room
 
 	rng *rand.Rand // seeded jitter for the namenode RPC backoff ladder
 }
@@ -345,6 +372,58 @@ func (d *DFS) BytesRereplicated() int64  { return d.bytesRereplicated }
 // the hedge answered before the primary replica did.
 func (d *DFS) HedgesSent() int64 { return d.hedgesSent }
 func (d *DFS) HedgeWins() int64  { return d.hedgeWins }
+
+// RedirectedWrites counts replica writes that landed on a different
+// datanode because the intended disk was full (TrackDisk +
+// WriteRedirect); WritesFailedFull counts replicas dropped because no
+// datanode had room.
+func (d *DFS) RedirectedWrites() int64 { return d.redirectedWrites }
+func (d *DFS) WritesFailedFull() int64 { return d.fullWriteFailures }
+
+// allocReplica claims a replica's bytes on a datanode's disk; trivially
+// true when disk tracking is off (or the disk reports no capacity).
+func (d *DFS) allocReplica(node int, bytes int64) bool {
+	if !d.cfg.TrackDisk {
+		return true
+	}
+	return d.c.Node(node).Scratch.Alloc(bytes)
+}
+
+// freeReplica releases a tracked replica's bytes.
+func (d *DFS) freeReplica(node int, bytes int64) {
+	if d.cfg.TrackDisk {
+		d.c.Node(node).Scratch.Free(bytes)
+	}
+}
+
+// claimRedirect finds a live datanode that is not already a replica of b
+// and claims bytes on its disk, rotating deterministically from the
+// block's placement start. Returns the node with the bytes claimed, or
+// -1 if every candidate is full.
+func (d *DFS) claimRedirect(b *blockMeta, bytes int64) int {
+	n := d.c.Size()
+	start := int((uint64(b.id)*0x9e3779b97f4a7c15)>>33) % n
+	for i := 0; i < n; i++ {
+		cand := (start + i) % n
+		if !d.dns[cand].alive {
+			continue
+		}
+		already := false
+		for _, r := range b.replicas {
+			if r == cand {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		if d.c.Node(cand).Scratch.Alloc(bytes) {
+			return cand
+		}
+	}
+	return -1
+}
 
 // CorruptDetected counts read-time checksum mismatches; Quarantined
 // counts replicas pulled from service because of them. CorruptServed is
@@ -565,20 +644,38 @@ func (d *DFS) Create(p *sim.Proc, clientNode int, name string, size int64) error
 			wg.Add(1)
 			d.c.SpawnOnNode(rep, "dfs.write", func(wp *sim.Proc) {
 				defer wg.Done()
-				if rep != clientNode {
-					res, err := d.bulk.Send(wp, clientNode, rep, bsz)
-					if err != nil {
-						// The stream never reached the datanode: the
-						// file is born under-replicated at this block.
+				target := rep
+				if !d.allocReplica(target, bsz) {
+					// The intended disk is full. Redirect the pipeline
+					// stage to a datanode with room, or drop the replica
+					// (the file is born under-replicated at this block).
+					alt := -1
+					if d.cfg.WriteRedirect {
+						alt = d.claimRedirect(b, bsz)
+					}
+					if alt < 0 {
+						d.fullWriteFailures++
 						b.dropReplica(rep)
 						return
 					}
+					d.redirectedWrites++
+					b.swapReplica(rep, alt)
+					target = alt
+				}
+				if target != clientNode {
+					res, err := d.bulk.Send(wp, clientNode, target, bsz)
+					if err != nil {
+						// The stream never reached the datanode.
+						b.dropReplica(target)
+						d.freeReplica(target, bsz)
+						return
+					}
 					if res.Corrupted {
-						b.setCorrupt(rep)
+						b.setCorrupt(target)
 					}
 				}
-				d.c.Node(rep).Scratch.Write(wp, bsz)
-				d.dns[rep].blocks[b.id] = b
+				d.c.Node(target).Scratch.Write(wp, bsz)
+				d.dns[target].blocks[b.id] = b
 			})
 		}
 		p.Sleep(d.c.Cost.DFSStreamSetup)
@@ -825,6 +922,7 @@ func (d *DFS) readBlockHedged(p *sim.Proc, b *blockMeta, clientNode int, n int64
 func (d *DFS) quarantine(b *blockMeta, rep int) {
 	b.dropReplica(rep)
 	delete(d.dns[rep].blocks, b.id)
+	d.freeReplica(rep, b.size)
 	d.quarantined++
 	d.c.K.Spawn("dfs.repair", func(p *sim.Proc) {
 		d.rereplicate(p, b)
@@ -908,6 +1006,9 @@ func (d *DFS) markDead(node int) []*blockMeta {
 			}
 		}
 		b.replicas = keep
+		// The copies are scrubbed; a revived node rejoins with an empty
+		// disk, so their tracked bytes are released.
+		d.freeReplica(node, b.size)
 	}
 	dn.blocks = map[int64]*blockMeta{}
 	return lost
@@ -943,10 +1044,16 @@ func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
 		dst := -1
 		for i := 0; i < d.c.Size(); i++ {
 			cand := (src + 1 + i) % d.c.Size()
-			if d.dns[cand].alive && !have[cand] {
-				dst = cand
-				break
+			if !d.dns[cand].alive || have[cand] {
+				continue
 			}
+			// A full disk is never a re-replication target (the claim
+			// doubles as the reservation when tracking is on).
+			if !d.allocReplica(cand, b.size) {
+				continue
+			}
+			dst = cand
+			break
 		}
 		if dst < 0 {
 			b.replicas = alive
@@ -958,6 +1065,7 @@ func (d *DFS) rereplicate(p *sim.Proc, b *blockMeta) {
 			// The copy never landed (partition or sustained loss); leave
 			// the block under-replicated rather than spin. The next
 			// quarantine or death trigger retries the repair.
+			d.freeReplica(dst, b.size)
 			b.replicas = alive
 			return
 		}
@@ -1032,6 +1140,9 @@ func (d *DFS) Delete(p *sim.Proc, clientNode int, name string) error {
 	})
 	for _, b := range f.blocks {
 		for _, r := range b.replicas {
+			if _, held := d.dns[r].blocks[b.id]; held {
+				d.freeReplica(r, b.size)
+			}
 			delete(d.dns[r].blocks, b.id)
 		}
 	}

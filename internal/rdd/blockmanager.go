@@ -1,5 +1,7 @@
 package rdd
 
+import "hpcbd/internal/cluster"
+
 // blockKey identifies a cached partition.
 type blockKey struct {
 	rdd  int
@@ -22,8 +24,23 @@ type blockManager struct {
 	blocks   map[blockKey]*block
 	lru      []blockKey // least recently used first (memory blocks only)
 
+	// node, when set, charges memory-resident blocks against the host
+	// node's finite RAM (Node.AllocMem) so cache occupancy, task working
+	// sets and external hogs all compete for the same bytes. Nil keeps
+	// the pre-overload behavior: only the executor's own memLimit bounds
+	// the store. Enabled by Config.TaskMemory.
+	node *cluster.Node
+
 	Hits, Misses, Evictions int64
 	DiskBytes               int64
+	// Spills counts blocks pushed to disk by node memory pressure —
+	// either a put that found the node's RAM exhausted or a
+	// spillToDisk migration freeing RAM for a task. SpilledBytes is
+	// their total size. Distinct from Evictions (bm-limit LRU drops,
+	// which lose the block and force lineage recomputation): a spilled
+	// block survives on disk.
+	Spills       int64
+	SpilledBytes int64
 }
 
 func newBlockManager(memLimit int64) *blockManager {
@@ -75,7 +92,7 @@ func (bm *blockManager) put(rdd, part int, data any, bytes int64, level StorageL
 	switch level {
 	case MemoryOnly, MemoryAndDisk:
 		bm.evictFor(bytes)
-		if bm.memUsed+bytes <= bm.memLimit {
+		if bm.memUsed+bytes <= bm.memLimit && bm.allocNode(bytes) {
 			bm.blocks[k] = &block{data: data, bytes: bytes}
 			bm.memUsed += bytes
 			bm.lru = append(bm.lru, k)
@@ -84,6 +101,12 @@ func (bm *blockManager) put(rdd, part int, data any, bytes int64, level StorageL
 		if level == MemoryAndDisk {
 			bm.blocks[k] = &block{data: data, bytes: bytes, onDisk: true}
 			bm.DiskBytes += bytes
+			if bm.memUsed+bytes <= bm.memLimit {
+				// The executor had room; the node's RAM was the limit —
+				// an overload spill, not a cache-capacity one.
+				bm.Spills++
+				bm.SpilledBytes += bytes
+			}
 			return putDisk
 		}
 		return putDropped
@@ -95,6 +118,21 @@ func (bm *blockManager) put(rdd, part int, data any, bytes int64, level StorageL
 	return putDropped
 }
 
+// allocNode charges a memory-resident block against the host node's RAM
+// when node backing is on; trivially true otherwise.
+func (bm *blockManager) allocNode(bytes int64) bool {
+	if bm.node == nil {
+		return true
+	}
+	return bm.node.AllocMem(bytes)
+}
+
+func (bm *blockManager) freeNode(bytes int64) {
+	if bm.node != nil {
+		bm.node.FreeMem(bytes)
+	}
+}
+
 // evictFor evicts LRU memory blocks until bytes would fit (or nothing is
 // left to evict). Evicted blocks are dropped — Spark recomputes them from
 // lineage.
@@ -104,10 +142,36 @@ func (bm *blockManager) evictFor(bytes int64) {
 		bm.lru = bm.lru[1:]
 		if b, ok := bm.blocks[victim]; ok && !b.onDisk {
 			bm.memUsed -= b.bytes
+			bm.freeNode(b.bytes)
 			delete(bm.blocks, victim)
 			bm.Evictions++
 		}
 	}
+}
+
+// spillToDisk migrates LRU memory-resident blocks to disk until at least
+// `bytes` of node RAM has been freed (or no memory blocks remain),
+// returning the bytes spilled. Unlike evictFor the data survives — the
+// OOM mitigation path trades disk I/O (charged by the caller) for RAM
+// instead of throwing cached work away.
+func (bm *blockManager) spillToDisk(bytes int64) int64 {
+	var spilled int64
+	for spilled < bytes && len(bm.lru) > 0 {
+		victim := bm.lru[0]
+		bm.lru = bm.lru[1:]
+		b, ok := bm.blocks[victim]
+		if !ok || b.onDisk {
+			continue
+		}
+		b.onDisk = true
+		bm.memUsed -= b.bytes
+		bm.freeNode(b.bytes)
+		bm.DiskBytes += b.bytes
+		bm.Spills++
+		bm.SpilledBytes += b.bytes
+		spilled += b.bytes
+	}
+	return spilled
 }
 
 // dropRDD removes all partitions of an RDD (unpersist).
@@ -116,6 +180,7 @@ func (bm *blockManager) dropRDD(rdd int) {
 		if k.rdd == rdd {
 			if !b.onDisk {
 				bm.memUsed -= b.bytes
+				bm.freeNode(b.bytes)
 			}
 			delete(bm.blocks, k)
 		}
@@ -131,6 +196,9 @@ func (bm *blockManager) dropRDD(rdd int) {
 
 // dropAll clears the store (executor death).
 func (bm *blockManager) dropAll() {
+	if bm.node != nil {
+		bm.freeNode(bm.memUsed)
+	}
 	bm.blocks = map[blockKey]*block{}
 	bm.lru = nil
 	bm.memUsed = 0

@@ -1,6 +1,11 @@
 package rdd
 
-import "testing"
+import (
+	"testing"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
 
 func TestBlockManagerPutGet(t *testing.T) {
 	bm := newBlockManager(1000)
@@ -189,5 +194,102 @@ func TestBlockManagerDoublePutDiskResident(t *testing.T) {
 	_, bytes, disk, ok := bm.get(1, 0)
 	if !ok || !disk || bytes != 400 {
 		t.Errorf("get after duplicate put: ok=%v disk=%v bytes=%d", ok, disk, bytes)
+	}
+}
+
+// newPressuredBM builds a node-backed block manager on a node whose
+// accounted RAM is squeezed down to `free` bytes, the overload-sweep
+// configuration: cache occupancy competes with tasks and hogs for the
+// same finite pool.
+func newPressuredBM(t *testing.T, memLimit, free int64) (*blockManager, *cluster.Node) {
+	t.Helper()
+	c := cluster.Comet(sim.NewKernel(1), 1)
+	n := c.Node(0)
+	if hog := n.MemFree() - free; hog > 0 && !n.AllocMem(hog) {
+		t.Fatalf("could not squeeze node to %d free bytes", free)
+	}
+	bm := newBlockManager(memLimit)
+	bm.node = n
+	return bm, n
+}
+
+// A put that fits the executor's own limit but not the node's free RAM
+// goes to disk (MemoryAndDisk) and counts as an overload spill — the
+// block survives instead of being dropped.
+func TestBlockManagerNodePressurePutSpills(t *testing.T) {
+	bm, n := newPressuredBM(t, 1000, 300)
+	if res := bm.put(1, 0, "a", 200, MemoryAndDisk); res != putMemory {
+		t.Fatalf("fitting put result %v", res)
+	}
+	if res := bm.put(1, 1, "b", 200, MemoryAndDisk); res != putDisk {
+		t.Fatalf("over-RAM put result %v, want disk", res)
+	}
+	if bm.Spills != 1 || bm.SpilledBytes != 200 {
+		t.Errorf("spills=%d bytes=%d, want 1/200", bm.Spills, bm.SpilledBytes)
+	}
+	if _, _, disk, ok := bm.get(1, 1); !ok || !disk {
+		t.Errorf("spilled block: ok=%v disk=%v, want cached on disk", ok, disk)
+	}
+	// MemoryOnly under the same pressure is dropped, not spilled.
+	if res := bm.put(1, 2, "c", 200, MemoryOnly); res != putDropped {
+		t.Fatalf("memory-only over-RAM put result %v, want dropped", res)
+	}
+	if got := n.MemFree(); got != 100 {
+		t.Errorf("node free %d, want 100 (only the resident block charged)", got)
+	}
+}
+
+// spillToDisk frees real node RAM: each migrated block's bytes return
+// to the node, the data stays readable from disk, and the counters
+// separate spills (survivable) from evictions (lineage recompute).
+func TestBlockManagerSpillToDiskFreesNodeRAM(t *testing.T) {
+	bm, n := newPressuredBM(t, 1000, 600)
+	bm.put(1, 0, "a", 200, MemoryAndDisk)
+	bm.put(1, 1, "b", 200, MemoryAndDisk)
+	free0 := n.MemFree()
+	if got := bm.spillToDisk(300); got != 400 {
+		t.Fatalf("spilled %d, want 400 (whole blocks, LRU first)", got)
+	}
+	if n.MemFree() != free0+400 {
+		t.Errorf("node free %d, want %d", n.MemFree(), free0+400)
+	}
+	for part := 0; part < 2; part++ {
+		if _, _, disk, ok := bm.get(1, part); !ok || !disk {
+			t.Errorf("part %d after spill: ok=%v disk=%v", part, ok, disk)
+		}
+	}
+	if bm.Spills != 2 || bm.SpilledBytes != 400 || bm.Evictions != 0 {
+		t.Errorf("spills=%d bytes=%d evictions=%d, want 2/400/0", bm.Spills, bm.SpilledBytes, bm.Evictions)
+	}
+	// Nothing memory-resident left: further spills are a no-op.
+	if got := bm.spillToDisk(100); got != 0 {
+		t.Errorf("second spill returned %d, want 0", got)
+	}
+	if bm.memUsed != 0 {
+		t.Errorf("memUsed %d after full spill", bm.memUsed)
+	}
+}
+
+// An eviction storm under node backing stays conservative: every
+// evicted or dropped block returns its bytes, so a long churn leaves
+// the node's accounting exactly where it started.
+func TestBlockManagerNodeAccountingConservation(t *testing.T) {
+	bm, n := newPressuredBM(t, 800, 10_000)
+	free0 := n.MemFree()
+	for i := 0; i < 50; i++ {
+		bm.put(1, i, i, 300, MemoryAndDisk) // limit 800: every third put evicts
+	}
+	bm.spillToDisk(300)
+	bm.dropRDD(1)
+	if n.MemFree() != free0 {
+		t.Errorf("node free %d after churn, want %d", n.MemFree(), free0)
+	}
+	if bm.memUsed != 0 {
+		t.Errorf("memUsed %d after dropRDD", bm.memUsed)
+	}
+	bm.put(2, 0, "x", 300, MemoryAndDisk)
+	bm.dropAll()
+	if n.MemFree() != free0 {
+		t.Errorf("node free %d after dropAll, want %d", n.MemFree(), free0)
 	}
 }

@@ -116,6 +116,36 @@ type Config struct {
 	// FetchRetryWait and reports the failure at once. Off by default,
 	// leaving the fetch path byte-identical.
 	HedgedFetch bool
+
+	// TaskMemory enables finite-memory execution: each task claims this
+	// many bytes of its node's RAM for its working set for the task's
+	// duration, and memory-resident cache blocks are charged against
+	// node RAM too — tasks, caches and external hogs then compete for
+	// the same finite bytes. A claim the node cannot satisfy OOM-kills
+	// the task (a genuine, countable failure) unless OOMMitigate is on.
+	// Zero (the default) disables all node-memory accounting, keeping
+	// every pre-overload code path byte-identical.
+	TaskMemory int64
+	// OOMMitigate enables the graceful-degradation path for memory
+	// pressure. A task that cannot claim its working set first has its
+	// executor spill cached blocks to disk (a blockManager migration —
+	// the data survives, unlike an eviction) and retries the claim; if
+	// RAM is still short it runs in external-spill mode, claiming
+	// whatever is free and streaming the shortfall through scratch —
+	// extra disk I/O instead of death. Retries of OOM-killed tasks
+	// escalate their memory request (doubling, capped at half the node)
+	// so placement — which becomes memory-aware, skipping executors
+	// whose nodes cannot fit the request — steers them to nodes with
+	// headroom. Off by default.
+	OOMMitigate bool
+	// FetchWindow, when positive, replaces the serial reduce-side fetch
+	// loop with a credit-based bounded window: up to FetchWindow
+	// fetches are in flight concurrently, each holding one credit and
+	// (under TaskMemory accounting) its buffer's node RAM for its
+	// lifetime, so a slow consumer's memory stays bounded instead of
+	// ballooning until the node OOMs. Zero (the default) keeps the
+	// pre-overload serial fetch path byte-identical.
+	FetchWindow int
 }
 
 // DefaultConfig returns the configuration used by the experiments: 8
@@ -189,6 +219,19 @@ type Context struct {
 	// Gray-failure mitigation stats (HedgedFetch)
 	HedgesSent int64 // duplicate shuffle transfers fired
 	HedgeWins  int64 // fetches where the duplicate landed first
+
+	// Overload stats (TaskMemory / OOMMitigate / FetchWindow)
+	OOMKills    int64 // tasks killed by a working-set claim the node refused
+	OOMRetries  int64 // re-dispatches of OOM-killed tasks with an escalated request
+	TaskSpills  int64 // tasks that ran in external-spill mode instead of dying
+	SpillBytes  int64 // working-set bytes streamed through scratch by spill-mode tasks
+	FetchStalls int64 // bounded-window fetches that waited for a credit
+
+	// memReqs records the escalated per-task memory request after OOM
+	// kills (OOMMitigate), keyed by stage name and partition, so the
+	// retry — a fresh runTasks dispatch — asks for more than the
+	// incarnation that died.
+	memReqs map[string]int64
 }
 
 // NewContext creates a Spark application over the cluster. The driver
@@ -228,7 +271,8 @@ func NewContext(c *cluster.Cluster, conf Config) *Context {
 		conf.FetchRetryWait = 100 * time.Millisecond
 	}
 	ctx := &Context{C: c, Conf: conf, shuffles: map[int]*shuffleState{},
-		pools: map[reflect.Type]any{}, fusedLen: map[reflect.Type]int{}}
+		pools: map[reflect.Type]any{}, fusedLen: map[reflect.Type]int{},
+		memReqs: map[string]int64{}}
 	ctx.shuffleNet = transport.New(c, conf.ShuffleTransport, conf.ShuffleRetry, transport.StreamShuffle, 0x5a7c)
 	if conf.HedgedFetch {
 		// The hedge channel is the escape hatch for ejected or gray
@@ -246,12 +290,16 @@ func NewContext(c *cluster.Cluster, conf Config) *Context {
 		ctx.Conf.DefaultParallelism = c.Size() * conf.CoresPerExecutor
 	}
 	for i := 0; i < c.Size(); i++ {
+		bm := newBlockManager(conf.ExecutorMemory)
+		if conf.TaskMemory > 0 {
+			bm.node = c.Node(i)
+		}
 		ctx.executors = append(ctx.executors, &executor{
 			id:    i,
 			node:  i,
 			alive: true,
 			cores: sim.NewResource(c.K, fmt.Sprintf("exec%d.cores", i), int64(conf.CoresPerExecutor)),
-			bm:    newBlockManager(conf.ExecutorMemory),
+			bm:    bm,
 		})
 	}
 	// Subscribe to cluster node health: when a node dies, the executor's
@@ -345,6 +393,9 @@ func (ctx *Context) RestartExecutor(id int) {
 	e := ctx.executors[id]
 	e.alive = true
 	e.bm = newBlockManager(ctx.Conf.ExecutorMemory)
+	if ctx.Conf.TaskMemory > 0 {
+		e.bm.node = ctx.C.Node(e.node)
+	}
 	e.bcSeen = nil
 	e.failures = 0
 	e.blacklisted = false
@@ -473,6 +524,10 @@ type ExecutorStats struct {
 // Evictions returns cache evictions on this executor.
 func (e ExecutorStats) Evictions() int64 { return e.bm.Evictions }
 
+// Spills returns blocks this executor pushed to disk under node memory
+// pressure (put redirections plus spillToDisk migrations).
+func (e ExecutorStats) Spills() int64 { return e.bm.Spills }
+
 // CacheHits returns block-manager hits.
 func (e ExecutorStats) CacheHits() int64 { return e.bm.Hits }
 
@@ -553,6 +608,17 @@ func (ctx *Context) journalAppend(p *sim.Proc, n int64) {
 		return
 	}
 	_ = ctx.haGroup.AppendFor(p, ha.Lease{Node: ctx.driverNode, Epoch: ctx.driverEpoch}, n, nil)
+}
+
+// CacheSpills sums, over all executors, the cache blocks pushed to disk
+// by node memory pressure and their bytes — the blockManager half of the
+// spill story (TaskSpills/SpillBytes count the task-working-set half).
+func (ctx *Context) CacheSpills() (blocks, bytes int64) {
+	for _, e := range ctx.executors {
+		blocks += e.bm.Spills
+		bytes += e.bm.SpilledBytes
+	}
+	return blocks, bytes
 }
 
 // Executors returns stats handles for all executors.

@@ -26,6 +26,81 @@ type driverLost struct{ gen int }
 
 func (d driverLost) Error() string { return fmt.Sprintf("rdd: driver incarnation %d lost", d.gen) }
 
+// oomError marks a task killed because its node could not supply its
+// working-set claim (TaskMemory accounting). It is a genuine, countable
+// failure — the JVM died — so repeated OOMs burn the stage's retry
+// budget and charge the executor's blacklist record, which is exactly
+// the mitigations-off retry spiral the overload sweep measures.
+type oomError struct {
+	exec int
+	req  int64
+}
+
+func (e oomError) Error() string {
+	return fmt.Sprintf("rdd: executor %d OOM-killed task (working set %d bytes)", e.exec, e.req)
+}
+
+// taskMemKey identifies a task for OOM request escalation.
+func taskMemKey(name string, part int) string { return fmt.Sprintf("%s/%d", name, part) }
+
+// taskMemReq returns the working-set claim for a task of the named
+// stage: the configured TaskMemory, or the escalated request recorded
+// after an earlier incarnation of the task was OOM-killed.
+func (ctx *Context) taskMemReq(name string, part int) int64 {
+	req := ctx.Conf.TaskMemory
+	if req <= 0 {
+		return 0
+	}
+	if esc := ctx.memReqs[taskMemKey(name, part)]; esc > req {
+		req = esc
+	}
+	return req
+}
+
+// claimTaskMemory reserves a task's working set on its node. With
+// mitigation off a refused claim OOM-kills the task. With mitigation on
+// the executor first spills cached blocks to disk (freeing node RAM
+// while keeping the data) and retries; if RAM is still short the task
+// runs in external-spill mode — it claims whatever is free and streams
+// the shortfall through scratch, paying disk I/O instead of dying. Only
+// when the disk has no room either does the mitigated task OOM.
+// Returns the RAM claimed and the scratch bytes reserved for spill mode;
+// the caller releases both when the task ends.
+func (ctx *Context) claimTaskMemory(tp *sim.Proc, exec *executor, req int64) (claimed, spillStream int64, err error) {
+	node := ctx.C.Node(exec.node)
+	if node.AllocMem(req) {
+		return req, 0, nil
+	}
+	if !ctx.Conf.OOMMitigate {
+		ctx.OOMKills++
+		return 0, 0, oomError{exec: exec.id, req: req}
+	}
+	if short := req - node.MemFree(); short > 0 {
+		if spilled := exec.bm.spillToDisk(short); spilled > 0 {
+			tp.Charge(ctx.C.Cost.SerTime(spilled))
+			node.Scratch.Write(tp, spilled)
+		}
+	}
+	if node.AllocMem(req) {
+		return req, 0, nil
+	}
+	claimed = node.AllocMemUpTo(req)
+	short := req - claimed
+	if !node.Scratch.Alloc(short) {
+		// No RAM and no scratch space: nothing left to degrade into.
+		if claimed > 0 {
+			node.FreeMem(claimed)
+		}
+		ctx.OOMKills++
+		return 0, 0, oomError{exec: exec.id, req: req}
+	}
+	ctx.TaskSpills++
+	ctx.SpillBytes += short
+	tp.Charge(ctx.C.Cost.SerTime(short))
+	node.Scratch.Write(tp, short)
+	return claimed, short, nil
+}
+
 // collectShuffles gathers every shuffle dependency reachable from m in
 // dependency-first (post) order, deduplicated — the DAG scheduler's stage
 // list.
@@ -70,8 +145,16 @@ func collectShuffles(m *meta) []*shuffleDep {
 // ejected executors are used only when nothing else is alive; `exclude`
 // names an executor id to avoid (speculative copies must not land next
 // to the original), -1 for none.
-func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int) (*executor, error) {
-	best := func(cands []int, allowBlacklisted bool) *executor {
+//
+// memReq is the task's working-set claim. With OOM mitigation on, nodes
+// that cannot currently supply it are passed over (memory-aware
+// placement: an escalated retry steers away from pressured nodes), with
+// a final ignore-memory tier so a uniformly-pressured cluster still
+// dispatches rather than stranding the stage. With mitigation off (or
+// memReq zero) placement ignores memory entirely — the legacy behavior.
+func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int, memReq int64) (*executor, error) {
+	honorMem := memReq > 0 && ctx.Conf.OOMMitigate
+	best := func(cands []int, allowBlacklisted, needMem bool) *executor {
 		var pick *executor
 		var pickLoad int64
 		for _, id := range cands {
@@ -80,6 +163,9 @@ func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int) (*execut
 			}
 			e := ctx.executors[id]
 			if !e.alive || ((e.blacklisted || ctx.shuffleNet.Ejected(e.node)) && !allowBlacklisted) {
+				continue
+			}
+			if needMem && ctx.C.Node(e.node).MemFree() < memReq {
 				continue
 			}
 			load := e.cores.InUse() + int64(e.cores.QueueLen())
@@ -95,7 +181,7 @@ func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int) (*execut
 		for i := 0; i < len(prefs); i++ {
 			rot = append(rot, prefs[(i+taskIdx)%len(prefs)])
 		}
-		if e := best(rot, false); e != nil {
+		if e := best(rot, false, honorMem); e != nil {
 			return e, nil
 		}
 	}
@@ -107,12 +193,17 @@ func (ctx *Context) pickExecutor(prefs []int, taskIdx int, exclude int) (*execut
 	for i := 0; i < len(alive); i++ {
 		rot = append(rot, alive[(i+taskIdx)%len(alive)])
 	}
-	if e := best(rot, false); e != nil {
+	if honorMem {
+		if e := best(rot, false, true); e != nil {
+			return e, nil
+		}
+	}
+	if e := best(rot, false, false); e != nil {
 		return e, nil
 	}
 	// Everything usable is blacklisted (or excluded): fall back rather
 	// than strand the stage.
-	if e := best(rot, true); e != nil {
+	if e := best(rot, true, false); e != nil {
 		return e, nil
 	}
 	return nil, errors.New("rdd: no live executors")
@@ -147,6 +238,7 @@ type taskState struct {
 	firstExec  *executor
 	started    sim.Time
 	finished   sim.Time
+	memReq     int64 // working-set claim (0 = no memory accounting)
 }
 
 // runTasks dispatches one task per entry of parts and waits for all of
@@ -178,8 +270,25 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 			ctx.C.Xfer(tp, ctx.driverNode, exec.node, cm.SparkCtrlBytes, ctx.Conf.CtrlTransport)
 			exec.cores.Acquire(tp, 1)
 			tp.Sleep(cm.SparkTaskLaunch) // deserialize + start the closure
-			tc := &taskContext{ctx: ctx, exec: exec, p: tp, epoch: startEpoch}
-			err := run(tc, t.part)
+			var claimed, spillStream int64
+			var err error
+			if t.memReq > 0 {
+				claimed, spillStream, err = ctx.claimTaskMemory(tp, exec, t.memReq)
+			}
+			if err == nil {
+				tc := &taskContext{ctx: ctx, exec: exec, p: tp, epoch: startEpoch}
+				err = run(tc, t.part)
+				if err == nil && spillStream > 0 {
+					// Stream the externally-spilled working set back in.
+					ctx.C.Node(exec.node).Scratch.Read(tp, spillStream)
+				}
+			}
+			if claimed > 0 {
+				ctx.C.Node(exec.node).FreeMem(claimed)
+			}
+			if spillStream > 0 {
+				ctx.C.Node(exec.node).Scratch.Free(spillStream)
+			}
 			// Deferred accounting elapses on the task before its core slot
 			// frees — successors must see the slot at the correct time.
 			tp.FlushCharge()
@@ -213,6 +322,19 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 				return
 			}
 			ctx.noteTaskFailure(exec, err)
+			var oe oomError
+			if errors.As(err, &oe) && ctx.Conf.OOMMitigate {
+				// Escalate the next incarnation's request (doubling,
+				// capped at half the node) so the retry both reserves
+				// headroom and steers placement toward roomier nodes.
+				next := t.memReq * 2
+				if limit := ctx.C.Node(exec.node).Spec.MemBytes / 2; next > limit {
+					next = limit
+				}
+				if next > t.memReq {
+					ctx.memReqs[taskMemKey(name, t.part)] = next
+				}
+			}
 			if t.copies == 0 {
 				// Last attempt in flight failed: the task fails.
 				t.resolved = true
@@ -235,7 +357,12 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 		if prefs != nil {
 			pf = prefs(part)
 		}
-		exec, err := ctx.pickExecutor(pf, i, -1)
+		memReq := ctx.taskMemReq(name, part)
+		if memReq > ctx.Conf.TaskMemory {
+			// Re-dispatch of an OOM-killed task at an escalated request.
+			ctx.OOMRetries++
+		}
+		exec, err := ctx.pickExecutor(pf, i, -1, memReq)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -243,7 +370,7 @@ func (ctx *Context) runTasks(p *sim.Proc, name string, parts []int,
 		// Driver-side scheduling cost is serial in the driver.
 		p.Sleep(cm.SparkTaskDispatch)
 		wg.Add(1)
-		t := &taskState{part: part, idx: i, firstExec: exec, started: p.Now()}
+		t := &taskState{part: part, idx: i, firstExec: exec, started: p.Now(), memReq: memReq}
 		states = append(states, t)
 		launch(t, exec, false)
 	}
@@ -291,7 +418,7 @@ func (ctx *Context) speculate(name string, states []*taskState,
 				if time.Duration(mp.Now()-t.started) < threshold {
 					continue
 				}
-				exec, err := ctx.pickExecutor(nil, t.idx+1, t.firstExec.id)
+				exec, err := ctx.pickExecutor(nil, t.idx+1, t.firstExec.id, t.memReq)
 				if err != nil {
 					continue
 				}

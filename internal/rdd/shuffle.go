@@ -112,6 +112,9 @@ func writeShuffle[K comparable, V any](tc *taskContext, dep *shuffleDep, part in
 // recomputing the map output from lineage.
 func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart int) ([][]KV[K, V], error) {
 	ctx := tc.ctx
+	if ctx.Conf.FetchWindow > 0 {
+		return fetchShuffleWindowed[K, V](tc, shuffleID, reducePart)
+	}
 	ss := ctx.shuffles[shuffleID]
 	out := make([][]KV[K, V], 0, len(ss.outputs))
 	// Deserialization is a pure local CPU charge at a fixed rate, so it is
@@ -169,6 +172,115 @@ func fetchShuffle[K comparable, V any](tc *taskContext, shuffleID, reducePart in
 		tc.p.Charge(ctx.C.Cost.DeserTime(deserBytes))
 	}
 	return out, nil
+}
+
+// fetchShuffleWindowed is the credit-based fetch used when
+// Conf.FetchWindow > 0: fetches of the map outputs run concurrently but
+// at most FetchWindow are in flight, and (under TaskMemory accounting)
+// each in-flight fetch claims its buffer on the reducer's node before
+// the bytes move. The bounded window is the reduce-side backpressure —
+// a pressured reducer stalls its remaining fetches instead of buffering
+// the whole shuffle in RAM — and the claim turns "no room" into a
+// disk-staged fetch (mitigated) or an OOM kill (unmitigated) instead of
+// silent overcommit. Buckets and errors aggregate in map-partition
+// order, so the merged output and the reported failure are
+// deterministic regardless of fetch completion order.
+func fetchShuffleWindowed[K comparable, V any](tc *taskContext, shuffleID, reducePart int) ([][]KV[K, V], error) {
+	ctx := tc.ctx
+	ss := ctx.shuffles[shuffleID]
+	n := len(ss.outputs)
+	// Snapshot the outputs up front: a concurrent reducer hitting a fetch
+	// failure may deregister entries while ours are in flight.
+	outs := make([]*mapOutput, n)
+	for m, mo := range ss.outputs {
+		if mo == nil || !ctx.executors[mo.exec].alive {
+			return nil, fetchFailure{shuffleID: shuffleID, mapPart: m}
+		}
+		outs[m] = mo
+	}
+	credits := sim.NewResource(ctx.C.K, fmt.Sprintf("fetchwin.%d.%d", shuffleID, reducePart), int64(ctx.Conf.FetchWindow))
+	wg := sim.NewWaitGroup(ctx.C.K)
+	buckets := make([][]KV[K, V], n)
+	errs := make([]error, n)
+	var deserBytes int64
+	node := ctx.C.Node(tc.exec.node)
+	for m := 0; m < n; m++ {
+		m := m
+		mo := outs[m]
+		b := mo.sizes[reducePart]
+		if b == 0 {
+			buckets[m] = mo.buckets.([][]KV[K, V])[reducePart]
+			continue
+		}
+		wg.Add(1)
+		ctx.C.SpawnOnNode(tc.exec.node, fmt.Sprintf("fetch.%d.%d.%d", shuffleID, reducePart, m), func(fp *sim.Proc) {
+			defer wg.Done()
+			if credits.InUse() >= credits.Capacity() {
+				ctx.FetchStalls++
+			}
+			credits.Acquire(fp, 1)
+			defer credits.Release(1)
+			if ctx.Conf.TaskMemory > 0 {
+				if node.AllocMem(b) {
+					defer node.FreeMem(b)
+				} else if ctx.Conf.OOMMitigate {
+					// Stage the buffer through scratch instead
+					// (fetch-to-disk), trading I/O for RAM. The staged copy
+					// is read back for the merge before the credit frees.
+					ctx.SpillBytes += b
+					node.Scratch.Write(fp, b)
+					defer node.Scratch.Read(fp, b)
+				} else {
+					ctx.OOMKills++
+					errs[m] = oomError{exec: tc.exec.id, req: b}
+					return
+				}
+			}
+			srcNode := ctx.executors[mo.exec].node
+			if ctx.Conf.HedgedFetch && srcNode != tc.exec.node && ctx.shuffleNet.Ejected(srcNode) {
+				ss.outputs[m] = nil
+				ctx.FetchFailures++
+				errs[m] = fetchFailure{shuffleID: shuffleID, mapPart: m}
+				return
+			}
+			ctx.C.Node(srcNode).Scratch.Read(fp, b) // map-side spill read
+			if srcNode != tc.exec.node {
+				if ctx.Conf.HedgedFetch {
+					_, hedged, won, err := ctx.shuffleNet.SendHedged(fp, ctx.hedgeNet, srcNode, tc.exec.node, b)
+					if hedged {
+						ctx.HedgesSent++
+					}
+					if won {
+						ctx.HedgeWins++
+					}
+					if err != nil {
+						ss.outputs[m] = nil
+						ctx.FetchFailures++
+						errs[m] = fetchFailure{shuffleID: shuffleID, mapPart: m}
+						return
+					}
+				} else if _, err := ctx.shuffleNet.Send(fp, srcNode, tc.exec.node, b); err != nil {
+					ctx.FetchFailures++
+					fp.Sleep(ctx.Conf.FetchRetryWait)
+					errs[m] = fetchFailure{shuffleID: shuffleID, mapPart: m}
+					return
+				}
+				ctx.ShuffleBytes += b
+			}
+			deserBytes += b
+			buckets[m] = mo.buckets.([][]KV[K, V])[reducePart]
+		})
+	}
+	wg.Wait(tc.p)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if deserBytes > 0 {
+		tc.p.Charge(ctx.C.Cost.DeserTime(deserBytes))
+	}
+	return buckets, nil
 }
 
 // bucketize partitions pairs by key hash into n buckets, optionally

@@ -1,0 +1,94 @@
+// Admission control: the seed of the ROADMAP's multi-tenant resource
+// manager. A deterministic gate in front of job submission enforces a
+// concurrent-job cap with a bounded FIFO wait queue; jobs beyond both
+// limits are shed immediately with a typed error instead of being
+// allowed to thrash the cluster. This is the YARN-side answer to
+// overload the paper's §IV resource-manager comparison implies: the Big
+// Data stack queues and sheds, while a statically-allocated MPI job
+// either gets its whole reservation or fails outright.
+package rm
+
+import (
+	"errors"
+
+	"hpcbd/internal/sim"
+)
+
+// ErrAdmission is returned when the gate sheds a job: the concurrent-job
+// cap is reached and the bounded wait queue is full. Callers treat it as
+// a fast, typed rejection — the job never touched the cluster.
+var ErrAdmission = errors.New("rm: admission rejected: job cap reached and queue full")
+
+// Admission is a deterministic admission gate. All methods must be
+// called from processes on one kernel (the usual serialized control
+// plane); admitted jobs call Release exactly once when they finish.
+type Admission struct {
+	k         *sim.Kernel
+	maxActive int
+	maxQueue  int
+	active    int
+	queue     []*sim.Future[struct{}]
+
+	// Counters (cumulative): jobs admitted (directly or after
+	// queueing), jobs that had to wait, jobs shed, and the peak queue
+	// length observed.
+	Admitted  int
+	Waited    int
+	Shed      int
+	PeakQueue int
+}
+
+// NewAdmission builds a gate admitting at most maxActive concurrent jobs
+// with a wait queue of at most maxQueue.
+func NewAdmission(k *sim.Kernel, maxActive, maxQueue int) *Admission {
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{k: k, maxActive: maxActive, maxQueue: maxQueue}
+}
+
+// Acquire admits the calling job immediately, parks it in the bounded
+// FIFO queue until a slot frees, or sheds it with ErrAdmission.
+func (a *Admission) Acquire(p *sim.Proc) error {
+	if a.active < a.maxActive {
+		a.active++
+		a.Admitted++
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.Shed++
+		return ErrAdmission
+	}
+	gate := sim.NewFuture[struct{}](a.k)
+	a.queue = append(a.queue, gate)
+	a.Waited++
+	if len(a.queue) > a.PeakQueue {
+		a.PeakQueue = len(a.queue)
+	}
+	gate.Wait(p)
+	return nil
+}
+
+// Release ends an admitted job; the freed slot goes to the queue head.
+func (a *Admission) Release() {
+	if len(a.queue) > 0 {
+		gate := a.queue[0]
+		a.queue = a.queue[1:]
+		a.Admitted++ // slot transfers: active count is unchanged
+		gate.Complete(struct{}{})
+		return
+	}
+	a.active--
+	if a.active < 0 {
+		panic("rm: Admission.Release without Acquire")
+	}
+}
+
+// Active returns the number of currently-admitted jobs.
+func (a *Admission) Active() int { return a.active }
+
+// QueueLen returns the number of jobs waiting at the gate.
+func (a *Admission) QueueLen() int { return len(a.queue) }

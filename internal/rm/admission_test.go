@@ -1,0 +1,112 @@
+package rm
+
+import (
+	"testing"
+	"time"
+
+	"hpcbd/internal/cluster"
+	"hpcbd/internal/sim"
+)
+
+// TestPickNodeSkipsDeadAndDegraded pins the overload-era placement
+// contract: containers never queue on a corpse, degraded nodes are a
+// last resort, and only a fully-dead cluster falls back to the legacy
+// rotation (so the caller queues somewhere and waits out the outage).
+func TestPickNodeSkipsDeadAndDegraded(t *testing.T) {
+	c := newCluster(4)
+	c.KillNode(2)
+	for idx := 0; idx < 16; idx++ {
+		if n := pickNode(c, 1, idx); n.ID == 2 {
+			t.Fatalf("idx %d: picked dead node 2", idx)
+		}
+	}
+	c.SetHealth(1, cluster.Degraded)
+	for idx := 0; idx < 16; idx++ {
+		n := pickNode(c, 1, idx)
+		if n.ID == 1 || n.ID == 2 {
+			t.Fatalf("idx %d: picked node %d while healthy nodes remain", idx, n.ID)
+		}
+	}
+	c.KillNode(0)
+	c.KillNode(3)
+	if n := pickNode(c, 1, 0); n.ID != 1 {
+		t.Fatalf("picked node %d, want the degraded survivor 1", n.ID)
+	}
+	c.KillNode(1)
+	if n := pickNode(c, 1, 3); n.ID != 3 {
+		t.Fatalf("all-dead fallback picked node %d, want legacy rotation 3", n.ID)
+	}
+}
+
+// TestAdmissionGate drives four jobs with staggered arrivals through a
+// 2-active/1-queued gate: the third queues until the first slot frees,
+// the fourth is shed, and every counter matches the story.
+func TestAdmissionGate(t *testing.T) {
+	k := sim.NewKernel(7)
+	a := NewAdmission(k, 2, 1)
+	start := make([]sim.Time, 4)
+	shed := make([]bool, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("job", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			if err := a.Acquire(p); err != nil {
+				if err != ErrAdmission {
+					t.Errorf("job %d: error %v, want ErrAdmission", i, err)
+				}
+				shed[i] = true
+				return
+			}
+			start[i] = p.Now()
+			p.Sleep(10 * time.Millisecond)
+			a.Release()
+		})
+	}
+	k.Run()
+
+	if shed[0] || shed[1] || shed[2] || !shed[3] {
+		t.Fatalf("shed pattern %v, want only job 3 shed", shed)
+	}
+	if ms := start[2].Sub(0); ms < 10*time.Millisecond {
+		t.Errorf("queued job 2 started at %v, before any slot freed", ms)
+	}
+	if a.Admitted != 3 || a.Waited != 1 || a.Shed != 1 || a.PeakQueue != 1 {
+		t.Errorf("counters admitted=%d waited=%d shed=%d peak=%d, want 3/1/1/1",
+			a.Admitted, a.Waited, a.Shed, a.PeakQueue)
+	}
+	if a.Active() != 0 || a.QueueLen() != 0 {
+		t.Errorf("gate not drained: active=%d queue=%d", a.Active(), a.QueueLen())
+	}
+}
+
+// TestAdmissionSlotTransfer pins the Release hand-off: a freed slot
+// goes to the queue head, not back to the pool, so active never
+// exceeds the cap even at the hand-off instant.
+func TestAdmissionSlotTransfer(t *testing.T) {
+	k := sim.NewKernel(9)
+	a := NewAdmission(k, 1, 2)
+	over := false
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("job", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			if err := a.Acquire(p); err != nil {
+				t.Errorf("job %d shed with queue capacity free", i)
+				return
+			}
+			if a.Active() > 1 {
+				over = true
+			}
+			p.Sleep(5 * time.Millisecond)
+			a.Release()
+		})
+	}
+	k.Run()
+	if over {
+		t.Error("active job count exceeded the cap during a slot hand-off")
+	}
+	if a.Admitted != 3 || a.Waited != 2 || a.Shed != 0 || a.PeakQueue != 2 {
+		t.Errorf("counters admitted=%d waited=%d shed=%d peak=%d, want 3/2/0/2",
+			a.Admitted, a.Waited, a.Shed, a.PeakQueue)
+	}
+}

@@ -213,18 +213,36 @@ func RunYarn(c *cluster.Cluster, jobs []Job) Summary {
 }
 
 // pickNode returns the node with the most free cores (FIFO queue length
-// as a tiebreaker), rotating by idx among equals.
+// as a tiebreaker), rotating by idx among equals. Dead nodes are never
+// picked and degraded ones only as a last resort: a container queued on
+// a corpse waits forever, and the pre-overload scheduler did exactly
+// that because it never consulted the node-health layer.
 func pickNode(c *cluster.Cluster, cores, idx int) *cluster.Node {
-	best := c.Node(idx % c.Size())
-	bestFree := best.Cores.Capacity() - best.Cores.InUse() - int64(best.Cores.QueueLen()*cores)
-	for i := 0; i < c.Size(); i++ {
-		n := c.Node((idx + i) % c.Size())
-		free := n.Cores.Capacity() - n.Cores.InUse() - int64(n.Cores.QueueLen()*cores)
-		if free > bestFree {
-			best, bestFree = n, free
+	pick := func(ok func(i int) bool) *cluster.Node {
+		var best *cluster.Node
+		var bestFree int64
+		for i := 0; i < c.Size(); i++ {
+			id := (idx + i) % c.Size()
+			if !ok(id) {
+				continue
+			}
+			n := c.Node(id)
+			free := n.Cores.Capacity() - n.Cores.InUse() - int64(n.Cores.QueueLen()*cores)
+			if best == nil || free > bestFree {
+				best, bestFree = n, free
+			}
 		}
+		return best
 	}
-	return best
+	if n := pick(func(i int) bool { return c.Health(i) == cluster.Alive }); n != nil {
+		return n
+	}
+	if n := pick(func(i int) bool { return c.NodeAlive(i) }); n != nil {
+		return n
+	}
+	// Every node is down: keep the legacy rotation so the caller queues
+	// somewhere instead of crashing; the task waits out the outage.
+	return c.Node(idx % c.Size())
 }
 
 func max(a, b int) int {

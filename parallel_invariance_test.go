@@ -100,6 +100,26 @@ func TestMasterSweepWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestOverloadSweepWorkerInvariance: overload points are dense in
+// cross-shard contention — memory claims and frees, disk fills,
+// admission hand-offs — yet the committed order, and with it every
+// OOM kill, spill and shed decision, must match the serial kernel.
+func TestOverloadSweepWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var ref, got OverloadSweepResult
+	withWorkers(t, 1, func() { ref = OverloadSweep(o) })
+	withWorkers(t, 4, func() { got = OverloadSweep(o) })
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("overload sweep differs between workers=1 and workers=4:\nworkers1: %+v\nworkers4: %+v", ref, got)
+	}
+	for _, v := range CheckOverloadSweep(ref, got) {
+		t.Errorf("overload sweep worker invariance: %s", v)
+	}
+}
+
 // TestShardWorkerPoolInvariance pins all three host-parallelism knobs at
 // once — event-queue shards, dispatch workers, payload pool — against
 // the fully serial baseline.

@@ -162,6 +162,25 @@ func TestTailSweepShardInvariance(t *testing.T) {
 	}
 }
 
+// TestOverloadSweepShardInvariance: concurrent storm jobs contend for
+// node RAM, scratch capacity, admission slots and fetch credits across
+// shard boundaries; every counter must still be bit-identical.
+func TestOverloadSweepShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep is slow; run without -short")
+	}
+	o := QuickOptions()
+	var ref, got OverloadSweepResult
+	withShards(t, 1, func() { ref = OverloadSweep(o) })
+	withShards(t, 4, func() { got = OverloadSweep(o) })
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("overload sweep differs between shards=1 and shards=4:\nshards1: %+v\nshards4: %+v", ref, got)
+	}
+	for _, v := range CheckOverloadSweep(ref, got) {
+		t.Errorf("overload sweep shard invariance: %s", v)
+	}
+}
+
 // TestPartitionSweepShardInvariance: split-brain partitions sever exactly
 // the links that cross shard boundaries in a rack-contiguous plan — the
 // adversarial case for cross-shard inbox routing.
